@@ -1,0 +1,1 @@
+bench/experiments.ml: Eden_devices Eden_filters Eden_fs Eden_kernel Eden_net Eden_sched Eden_transput Eden_util Fun Kernel List Printf String Value

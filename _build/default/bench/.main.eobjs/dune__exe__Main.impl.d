@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Bechamel Benchmark Eden_kernel Eden_sched Eden_transput Eden_util Experiments Fun Hashtbl Instance Kernel List Measure Printf Staged String Sys Test Time Toolkit Value

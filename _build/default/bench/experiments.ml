@@ -1,0 +1,789 @@
+(* The reproduction harness: one experiment per figure/table of
+   DESIGN.md.  Each prints the measured counts next to the paper's
+   predicted values.  Counts are exact (the kernel meters every
+   invocation); virtual times come from the discrete-event clock. *)
+
+open Eden_kernel
+module T = Eden_transput
+module Table = Eden_util.Table
+module Cat = Eden_filters.Catalog
+module Report = Eden_filters.Report
+module Dev = Eden_devices.Devices
+module Fs = Eden_fs.Unix_fs
+module Fse = Eden_fs.Fs_eject
+
+let vstrs = List.map (fun s -> Value.Str s)
+
+let list_gen items =
+  let rest = ref items in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | x :: tl ->
+        rest := tl;
+        Some x
+
+let doc n = List.init n (fun i -> Printf.sprintf "line-%03d the quick brown fox" i)
+
+let section title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+(* Run one full pipeline; return (pipeline, metered diff, makespan,
+   consumed count). *)
+let run_pipeline ?(n_items = 64) ?(capacity = 0) ?(batch = 1) ?(latency = 1.0) discipline
+    n_filters =
+  let k = Kernel.create ~latency:(Eden_net.Net.Fixed latency) () in
+  let filters = List.init n_filters (fun _ -> Cat.trim_trailing) in
+  let consumed = ref 0 in
+  let before = Kernel.Meter.snapshot k in
+  let t0 = Eden_sched.Sched.now (Kernel.sched k) in
+  let p =
+    T.Pipeline.build k ~capacity ~batch discipline ~gen:(list_gen (vstrs (doc n_items)))
+      ~filters
+      ~consume:(fun _ -> incr consumed)
+  in
+  Kernel.run_driver k (fun _ -> T.Pipeline.run p);
+  let d = Kernel.Meter.diff (Kernel.Meter.snapshot k) before in
+  let makespan = Eden_sched.Sched.now (Kernel.sched k) -. t0 in
+  (p, d, makespan, !consumed)
+
+(* ------------------------------------------------------------------ *)
+(* F1 / F2: the two pipeline figures                                   *)
+(* ------------------------------------------------------------------ *)
+
+let figure_experiment ~id ~discipline ~caption =
+  let n_filters = 3 and n_items = 64 in
+  let p, d, _, consumed = run_pipeline discipline n_filters ~n_items in
+  let pred = T.Pipeline.predict discipline ~n_filters in
+  let tbl =
+    Table.create ~title:caption
+      ~columns:
+        [ ("metric", Table.Left); ("measured", Table.Right); ("paper", Table.Right) ]
+  in
+  Table.add_rows tbl
+    [
+      [ "data items end to end"; Table.cell_int consumed; Table.cell_int n_items ];
+      [
+        "entities (Ejects incl. pipes)";
+        Table.cell_int (T.Pipeline.entity_count p);
+        Table.cell_int pred.T.Pipeline.entities;
+      ];
+      [
+        "passive buffer Ejects";
+        Table.cell_int (List.length p.T.Pipeline.pipes);
+        Table.cell_int
+          (match discipline with T.Pipeline.Conventional -> n_filters + 1 | _ -> 0);
+      ];
+      [ "invocations (total)"; Table.cell_int d.Kernel.Meter.invocations; "-" ];
+      [
+        "invocations per datum";
+        Table.cell_float (float_of_int d.Kernel.Meter.invocations /. float_of_int n_items);
+        Table.cell_int pred.T.Pipeline.invocations_per_datum;
+      ];
+    ];
+  Table.print tbl;
+  ignore id
+
+let fig1 () =
+  section "F1  Figure 1: a pipeline in Unix (conventional discipline)";
+  print_endline
+    "Three filters performing active input AND active output, with a kernel\n\
+     pipe (passive buffer) interposed between every adjacent pair (2n+2\n\
+     invocations per datum, n+1 pipes).";
+  figure_experiment ~id:"fig1" ~discipline:T.Pipeline.Conventional
+    ~caption:"Figure 1 (conventional): n=3 filters, 64 lines"
+
+let fig2 () =
+  section "F2  Figure 2: the same pipeline in Eden with read-only transput";
+  print_endline
+    "The same three transformations; filters perform active input and passive\n\
+     output, the sink pumps.  n+2 Ejects, n+1 invocations per datum, no\n\
+     passive buffers.";
+  figure_experiment ~id:"fig2" ~discipline:T.Pipeline.Read_only
+    ~caption:"Figure 2 (read-only): n=3 filters, 64 lines"
+
+(* ------------------------------------------------------------------ *)
+(* F3 / F4: report streams                                             *)
+(* ------------------------------------------------------------------ *)
+
+let preview label lines =
+  Printf.printf "%s (%d lines):\n" label (List.length lines);
+  List.iteri (fun i l -> if i < 4 then Printf.printf "    %s\n" l) lines;
+  if List.length lines > 4 then Printf.printf "    ... (%d more)\n" (List.length lines - 4)
+
+let fig3 () =
+  section "F3  Figure 3: write-only pipeline with Report streams";
+  let k = Kernel.create () in
+  let before = Kernel.Meter.snapshot k in
+  let term = Dev.terminal_wo k () in
+  let window = Dev.report_window_wo k ~writers:2 () in
+  let f3 = T.Stage.filter_wo k ~name:"F3" ~downstream:term.Dev.uid Cat.upcase in
+  let f2 = T.Stage.filter_wo k ~name:"F2" ~downstream:f3 (Cat.grep_v "drop") in
+  let f1 =
+    Report.filter_wo k ~name:"F1" ~downstream:f2 ~report_to:window.Dev.uid
+      (Report.with_progress ~every:4 ~label:"F1" T.Transform.identity)
+  in
+  let src =
+    Report.source_wo k ~name:"source" ~downstream:f1 ~report_to:window.Dev.uid ~label:"source"
+      (list_gen (vstrs (doc 16 @ [ "drop this line" ])))
+  in
+  Kernel.poke k src;
+  Kernel.run k;
+  let d = Kernel.Meter.diff (Kernel.Meter.snapshot k) before in
+  preview "terminal" (term.Dev.lines ());
+  preview "report window (pushed to, fan-in)" (window.Dev.lines ());
+  let tbl =
+    Table.create ~title:"Figure 3 (write-only + reports)"
+      ~columns:[ ("metric", Table.Left); ("value", Table.Right) ]
+  in
+  Table.add_rows tbl
+    [
+      [ "main-stream lines at terminal"; Table.cell_int (List.length (term.Dev.lines ())) ];
+      [ "report lines at window"; Table.cell_int (List.length (window.Dev.lines ())) ];
+      [ "invocations (total)"; Table.cell_int d.Kernel.Meter.invocations ];
+      [ "Deposit invocations"; Table.cell_int d.Kernel.Meter.replies ];
+    ];
+  Table.print tbl
+
+let fig4 () =
+  section "F4  Figure 4: the same topology, read-only with channel identifiers";
+  let k = Kernel.create () in
+  let before = Kernel.Meter.snapshot k in
+  let src =
+    Report.source_ro k ~name:"source" ~label:"source"
+      (list_gen (vstrs (doc 16 @ [ "drop this line" ])))
+  in
+  let f1 =
+    Report.filter_ro k ~name:"F1" ~upstream:src
+      (Report.with_progress ~every:4 ~label:"F1" T.Transform.identity)
+  in
+  let f2 = T.Stage.filter_ro k ~name:"F2" ~upstream:f1 (Cat.grep_v "drop") in
+  let f3 = T.Stage.filter_ro k ~name:"F3" ~upstream:f2 Cat.upcase in
+  let term = Dev.terminal_ro k ~upstream:f3 () in
+  let window =
+    Dev.report_window_ro k
+      ~watch:[ ("source", src, T.Channel.report); ("F1", f1, T.Channel.report) ]
+      ()
+  in
+  Kernel.poke k term.Dev.uid;
+  Kernel.poke k window.Dev.uid;
+  Kernel.run k;
+  let d = Kernel.Meter.diff (Kernel.Meter.snapshot k) before in
+  preview "terminal (Read(Output) requests)" (term.Dev.lines ());
+  preview "report window (Read(ReportStream) requests)" (window.Dev.lines ());
+  let tbl =
+    Table.create ~title:"Figure 4 (read-only + channel identifiers)"
+      ~columns:[ ("metric", Table.Left); ("value", Table.Right) ]
+  in
+  Table.add_rows tbl
+    [
+      [ "main-stream lines at terminal"; Table.cell_int (List.length (term.Dev.lines ())) ];
+      [ "report lines at window"; Table.cell_int (List.length (window.Dev.lines ())) ];
+      [ "invocations (total)"; Table.cell_int d.Kernel.Meter.invocations ];
+    ];
+  Table.print tbl
+
+(* ------------------------------------------------------------------ *)
+(* T1: the invocation-count law                                        *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "T1  Invocations per datum vs pipeline length (the paper's central claim)";
+  let n_items = 64 in
+  let ns = [ 1; 2; 4; 8; 16; 32 ] in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Invocations per datum over %d items (measured | paper's formula)" n_items)
+      ~columns:
+        [
+          ("n filters", Table.Right);
+          ("read-only", Table.Right);
+          ("(n+1)", Table.Right);
+          ("write-only", Table.Right);
+          ("(n+1) ", Table.Right);
+          ("conventional", Table.Right);
+          ("(2n+2)", Table.Right);
+          ("conv/ro", Table.Right);
+        ]
+  in
+  List.iter
+    (fun n ->
+      let measure d =
+        let _, m, _, _ = run_pipeline d n ~n_items in
+        float_of_int m.Kernel.Meter.invocations /. float_of_int n_items
+      in
+      let ro = measure T.Pipeline.Read_only in
+      let wo = measure T.Pipeline.Write_only in
+      let cv = measure T.Pipeline.Conventional in
+      Table.add_row tbl
+        [
+          Table.cell_int n;
+          Table.cell_float ro;
+          Table.cell_int (n + 1);
+          Table.cell_float wo;
+          Table.cell_int (n + 1);
+          Table.cell_float cv;
+          Table.cell_int ((2 * n) + 2);
+          Table.cell_ratio (cv /. ro);
+        ])
+    ns;
+  Table.print tbl;
+  let tbl2 =
+    Table.create ~title:"Entities (Ejects) per pipeline (measured = predicted exactly)"
+      ~columns:
+        [
+          ("n filters", Table.Right);
+          ("read-only", Table.Right);
+          ("write-only", Table.Right);
+          ("conventional", Table.Right);
+          ("of which pipes", Table.Right);
+        ]
+  in
+  List.iter
+    (fun n ->
+      let entities d =
+        let p, _, _, _ = run_pipeline d n ~n_items:4 in
+        (T.Pipeline.entity_count p, List.length p.T.Pipeline.pipes)
+      in
+      let ro, _ = entities T.Pipeline.Read_only in
+      let wo, _ = entities T.Pipeline.Write_only in
+      let cv, pipes = entities T.Pipeline.Conventional in
+      Table.add_row tbl2
+        [
+          Table.cell_int n; Table.cell_int ro; Table.cell_int wo; Table.cell_int cv;
+          Table.cell_int pipes;
+        ])
+    ns;
+  Table.print tbl2
+
+(* ------------------------------------------------------------------ *)
+(* T2: laziness and anticipation                                       *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  section "T2  Laziness (no sink, no work) and anticipation (prefetch depth)";
+  (* Part 1: a pipeline with no sink moves nothing. *)
+  let k = Kernel.create () in
+  let generated = ref 0 in
+  let gen () =
+    incr generated;
+    Some (Value.Str "item")
+  in
+  let src = T.Stage.source_ro k gen in
+  let _f = T.Stage.filter_ro k ~upstream:src Cat.upcase in
+  Kernel.poke k src;
+  Kernel.run k;
+  let snap = Kernel.Meter.snapshot k in
+  let tbl =
+    Table.create ~title:"No sink connected: filters are pure transformers, not pumps"
+      ~columns:[ ("metric", Table.Left); ("value", Table.Right) ]
+  in
+  Table.add_rows tbl
+    [
+      [ "items generated by source"; Table.cell_int !generated ];
+      [ "stream invocations"; Table.cell_int snap.Kernel.Meter.invocations ];
+    ];
+  Table.print tbl;
+  (* Part 2: anticipation vs makespan.  A filter that computes for 0.5
+     per item feeds a bursty consumer (8 items back to back, then 8.0
+     idle).  With capacity 0 each burst item waits for the filter; with
+     capacity >= burst size, the filter works ahead during the idle gap
+     and serves the burst from buffer — §4's "read some input and
+     buffer-up some output ... in this way all the Ejects in a pipeline
+     can run concurrently". *)
+  let burst = 8 and idle = 8.0 and compute = 0.5 and n_items = 32 in
+  let run_anticipation capacity =
+    let k = Kernel.create ~latency:(Eden_net.Net.Fixed 1.0) () in
+    let slow_filter next emit =
+      let rec go () =
+        match next () with
+        | Some v ->
+            Eden_sched.Sched.sleep compute;
+            emit v;
+            go ()
+        | None -> ()
+      in
+      go ()
+    in
+    let consumed = ref 0 in
+    let consume _ =
+      incr consumed;
+      if !consumed mod burst = 0 then Eden_sched.Sched.sleep idle
+    in
+    let p =
+      T.Pipeline.build k ~capacity T.Pipeline.Read_only
+        ~gen:(list_gen (vstrs (doc n_items)))
+        ~filters:[ slow_filter ] ~consume
+    in
+    Kernel.run_driver k (fun _ -> T.Pipeline.run p);
+    Eden_sched.Sched.now (Kernel.sched k)
+  in
+  let tbl2 =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Anticipation: buffer k vs makespan (%d items, %.1f compute/item, bursty sink)"
+           n_items compute)
+      ~columns:[ ("capacity k", Table.Right); ("makespan (virtual)", Table.Right) ]
+  in
+  List.iter
+    (fun capacity ->
+      Table.add_row tbl2 [ Table.cell_int capacity; Table.cell_float (run_anticipation capacity) ])
+    [ 0; 1; 2; 4; 8; 16 ];
+  Table.print tbl2;
+  (* Part 3: batching ablation — Transfer credit vs invocation count. *)
+  let tbl3 =
+    Table.create
+      ~title:"Batching: items per Transfer vs invocations (32 items, 3 filters, capacity 16)"
+      ~columns:
+        [
+          ("batch", Table.Right);
+          ("invocations", Table.Right);
+          ("makespan (virtual)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun batch ->
+      let _, d, makespan, _ =
+        run_pipeline T.Pipeline.Read_only 3 ~n_items:32 ~capacity:16 ~batch
+      in
+      Table.add_row tbl3
+        [
+          Table.cell_int batch;
+          Table.cell_int d.Kernel.Meter.invocations;
+          Table.cell_float makespan;
+        ])
+    [ 1; 2; 4; 8; 16 ];
+  Table.print tbl3
+
+(* ------------------------------------------------------------------ *)
+(* T3: fan-in / fan-out asymmetry                                      *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  section "T3  Fan-in and fan-out under each discipline (§5)";
+  let tbl =
+    Table.create ~title:"Each scenario moves 12 items; 'complete' = a party saw all 12"
+      ~columns:
+        [
+          ("scenario", Table.Left);
+          ("parties", Table.Right);
+          ("items seen", Table.Left);
+          ("verdict", Table.Left);
+        ]
+  in
+  (* Read-only fan-in: one sink, m sources. *)
+  List.iter
+    (fun m ->
+      let k = Kernel.create () in
+      let sources =
+        List.init m (fun i ->
+            Dev.text_source k (List.init (12 / m) (fun j -> Printf.sprintf "s%d-%d" i j)))
+      in
+      let seen = ref 0 in
+      Kernel.run_driver k (fun ctx ->
+          List.iter
+            (fun s -> T.Pull.iter (fun _ -> incr seen) (T.Pull.connect ctx s))
+            sources);
+      Table.add_row tbl
+        [
+          Printf.sprintf "read-only fan-in (m=%d sources)" m;
+          Table.cell_int m;
+          Printf.sprintf "%d/12 at the one sink" !seen;
+          (if !seen = 12 then "works" else "BROKEN");
+        ])
+    [ 2; 4 ];
+  (* Read-only naive fan-out: two sinks share one channel. *)
+  let k = Kernel.create () in
+  let src = Dev.text_source k (List.init 12 (fun i -> Printf.sprintf "x%d" i)) in
+  let n1 = ref 0 and n2 = ref 0 in
+  let mk n = T.Stage.sink_ro k ~upstream:src (fun _ -> incr n) in
+  let s1 = mk n1 and s2 = mk n2 in
+  Kernel.poke k s1;
+  Kernel.poke k s2;
+  Kernel.run k;
+  Table.add_row tbl
+    [
+      "read-only naive fan-out (2 readers, 1 channel)";
+      "2";
+      Printf.sprintf "%d + %d (items stolen)" !n1 !n2;
+      (if !n1 < 12 && !n2 < 12 then "impossible, as the paper argues" else "unexpected");
+    ];
+  (* Read-only fan-out via channel identifiers: source duplicates onto
+     two channels. *)
+  let k = Kernel.create () in
+  let src =
+    T.Stage.custom k ~name:"two-channel-source" (fun ctx ~passive:_ ->
+        let port = T.Port.create () in
+        let a = T.Port.add_channel port ~capacity:12 (T.Channel.Num 0) in
+        let b = T.Port.add_channel port ~capacity:12 (T.Channel.Num 1) in
+        Kernel.spawn_worker ctx (fun () ->
+            for i = 0 to 11 do
+              let v = Value.Str (Printf.sprintf "x%d" i) in
+              T.Port.write a v;
+              T.Port.write b v
+            done;
+            T.Port.close a;
+            T.Port.close b);
+        T.Port.handlers port)
+  in
+  let n1 = ref 0 and n2 = ref 0 in
+  let s1 = T.Stage.sink_ro k ~upstream:src ~upstream_channel:(T.Channel.Num 0) (fun _ -> incr n1) in
+  let s2 = T.Stage.sink_ro k ~upstream:src ~upstream_channel:(T.Channel.Num 1) (fun _ -> incr n2) in
+  Kernel.poke k s1;
+  Kernel.poke k s2;
+  Kernel.run k;
+  Table.add_row tbl
+    [
+      "read-only fan-out via channel ids";
+      "2";
+      Printf.sprintf "%d and %d" !n1 !n2;
+      (if !n1 = 12 && !n2 = 12 then "works (the paper's fix)" else "BROKEN");
+    ];
+  (* Write-only fan-out. *)
+  let k = Kernel.create () in
+  let c1 = ref 0 and c2 = ref 0 in
+  let k1 = T.Stage.sink_wo k (fun _ -> incr c1) in
+  let k2 = T.Stage.sink_wo k (fun _ -> incr c2) in
+  let src =
+    T.Stage.custom k ~name:"fanout-source" (fun ctx ~passive:_ ->
+        Kernel.spawn_worker ctx (fun () ->
+            let p1 = T.Push.connect ctx k1 and p2 = T.Push.connect ctx k2 in
+            for i = 0 to 11 do
+              let v = Value.Str (string_of_int i) in
+              T.Push.write p1 v;
+              T.Push.write p2 v
+            done;
+            T.Push.close p1;
+            T.Push.close p2);
+        [])
+  in
+  Kernel.poke k src;
+  Kernel.run k;
+  Table.add_row tbl
+    [
+      "write-only fan-out (2 sinks)";
+      "2";
+      Printf.sprintf "%d and %d" !c1 !c2;
+      (if !c1 = 12 && !c2 = 12 then "works" else "BROKEN");
+    ];
+  (* Write-only fan-in: two pushers into one sink merge anonymously. *)
+  let k = Kernel.create () in
+  let merged = ref 0 in
+  let sink = T.Stage.custom k ~name:"merge-sink" (fun _ctx ~passive:_ ->
+      let remaining = ref 2 in
+      [
+        ( T.Proto.deposit_op,
+          fun arg ->
+            let _, eos, items = T.Proto.parse_deposit_request arg in
+            merged := !merged + List.length items;
+            if eos then decr remaining;
+            ignore !remaining;
+            Value.Unit );
+      ])
+  in
+  let mk_src i =
+    T.Stage.source_wo k ~downstream:sink
+      (list_gen (List.init 6 (fun j -> Value.Str (Printf.sprintf "s%d-%d" i j))))
+  in
+  let sa = mk_src 1 and sb = mk_src 2 in
+  Kernel.poke k sa;
+  Kernel.poke k sb;
+  Kernel.run k;
+  Table.add_row tbl
+    [
+      "write-only fan-in (2 sources, merged)";
+      "2";
+      Printf.sprintf "%d/12 at the one sink" !merged;
+      (if !merged = 12 then "works (sources indistinguishable)" else "BROKEN");
+    ];
+  Table.print tbl
+
+(* ------------------------------------------------------------------ *)
+(* T4: channel identifier security                                     *)
+(* ------------------------------------------------------------------ *)
+
+let table4 () =
+  section "T4  Integer vs capability channel identifiers (§5 security argument)";
+  (* A source with a public stream and a private stream, under both
+     naming schemes.  The adversary knows the source's UID and tries to
+     read the private stream. *)
+  let run_scheme ~capability =
+    let k = Kernel.create () in
+    let private_chan = ref T.Channel.output in
+    let src =
+      T.Stage.custom k ~name:"source" (fun ctx ~passive:_ ->
+          let port = T.Port.create () in
+          let chan =
+            if capability then T.Channel.Cap (Kernel.mint ctx) else T.Channel.Num 1
+          in
+          private_chan := chan;
+          let pub = T.Port.add_channel port ~capacity:4 (T.Channel.Num 0) in
+          let priv = T.Port.add_channel port ~capacity:4 chan in
+          Kernel.spawn_worker ctx (fun () ->
+              T.Port.write pub (Value.Str "public data");
+              T.Port.close pub;
+              T.Port.write priv (Value.Str "PRIVATE data");
+              T.Port.close priv);
+          ( "GetPrivateChannel",
+            fun _ -> T.Channel.to_value chan )
+          :: T.Port.handlers port)
+    in
+    let setup_invocations = ref 0 in
+    let breach = ref false in
+    let legit_ok = ref false in
+    let before = Kernel.Meter.snapshot k in
+    Kernel.run_driver k (fun ctx ->
+        (* Legitimate consumer: obtains the channel id through the
+           sanctioned route (costs one invocation under both schemes;
+           under the integer scheme it could come from documentation
+           for free). *)
+        let chan =
+          if capability then
+            T.Channel.of_value (Kernel.call ctx src ~op:"GetPrivateChannel" Value.Unit)
+          else T.Channel.Num 1
+        in
+        setup_invocations :=
+          (Kernel.Meter.snapshot k).Kernel.Meter.invocations - before.Kernel.Meter.invocations;
+        let pull = T.Pull.connect ctx ~channel:chan src in
+        (match T.Pull.read pull with Some _ -> legit_ok := true | None -> ());
+        (* Adversary: guesses small integers (and cannot guess a UID). *)
+        List.iter
+          (fun g ->
+            if not (T.Channel.equal g chan) || not capability then
+              match
+                Kernel.invoke ctx src ~op:T.Proto.transfer_op
+                  (T.Proto.transfer_request g ~credit:1)
+              with
+              | Ok _ when T.Channel.equal g !private_chan -> breach := true
+              | Ok _ | Error _ -> ())
+          [ T.Channel.Num 1; T.Channel.Num 2; T.Channel.Num 3 ]);
+    (!setup_invocations, !legit_ok, !breach)
+  in
+  let int_setup, int_ok, int_breach = run_scheme ~capability:false in
+  let cap_setup, cap_ok, cap_breach = run_scheme ~capability:true in
+  let tbl =
+    Table.create ~title:"Channel naming schemes"
+      ~columns:
+        [
+          ("scheme", Table.Left);
+          ("setup invocations", Table.Right);
+          ("legitimate read", Table.Left);
+          ("forgery attempt", Table.Left);
+        ]
+  in
+  Table.add_rows tbl
+    [
+      [
+        "integer identifiers";
+        Table.cell_int int_setup;
+        (if int_ok then "ok" else "FAILED");
+        (if int_breach then "SUCCEEDS (dishonest reader sees private data)" else "blocked?");
+      ];
+      [
+        "capability identifiers";
+        Table.cell_int cap_setup;
+        (if cap_ok then "ok" else "FAILED");
+        (if cap_breach then "BREACH" else "refused (UIDs are unforgeable)");
+      ];
+    ];
+  Table.print tbl
+
+(* ------------------------------------------------------------------ *)
+(* T5: cost model (virtual time); wall-clock half lives in main.ml     *)
+(* ------------------------------------------------------------------ *)
+
+let table5 () =
+  section "T5  Invocation vs intra-Eject communication (virtual-time cost model)";
+  let k = Kernel.create ~latency:(Eden_net.Net.Fixed 1.0) ~nodes:[ "a"; "b" ] () in
+  let nodes = Kernel.nodes k in
+  let echo node =
+    Kernel.create_eject k ~node ~type_name:"echo" (fun _ctx ~passive:_ -> [ ("Echo", Fun.id) ])
+  in
+  let local = echo (List.nth nodes 0) in
+  let remote = echo (List.nth nodes 1) in
+  let rtt target =
+    let t = ref 0.0 in
+    Kernel.run_driver k (fun ctx ->
+        let t0 = Eden_sched.Sched.time () in
+        for _ = 1 to 10 do
+          ignore (Kernel.call ctx target ~op:"Echo" Value.Unit)
+        done;
+        t := (Eden_sched.Sched.time () -. t0) /. 10.0);
+    !t
+  in
+  let local_rtt = rtt local in
+  let remote_rtt = rtt remote in
+  (* Intra-eject IPC: a worker passes 10 items through a Chan to
+     another worker of the same Eject — no kernel messages at all. *)
+  let ipc_time = ref 0.0 in
+  let probe =
+    Kernel.create_eject k ~type_name:"ipc-probe" (fun ctx ~passive:_ ->
+        Kernel.spawn_worker ctx (fun () ->
+            let ch = Eden_sched.Chan.create ~capacity:1 in
+            let t0 = Eden_sched.Sched.time () in
+            let _ = Eden_sched.Sched.spawn_inside (fun () ->
+                for i = 1 to 10 do
+                  Eden_sched.Chan.put ch i
+                done)
+            in
+            for _ = 1 to 10 do
+              ignore (Eden_sched.Chan.get ch)
+            done;
+            ipc_time := (Eden_sched.Sched.time () -. t0) /. 10.0);
+        [])
+  in
+  Kernel.poke k probe;
+  Kernel.run k;
+  let tbl =
+    Table.create ~title:"Virtual-time cost per interaction (link latency 1.0, local 0.1)"
+      ~columns:[ ("mechanism", Table.Left); ("cost (virtual time)", Table.Right) ]
+  in
+  Table.add_rows tbl
+    [
+      [ "invocation round trip, same node"; Table.cell_float ~decimals:3 local_rtt ];
+      [ "invocation round trip, across nodes"; Table.cell_float ~decimals:3 remote_rtt ];
+      [ "intra-Eject channel pass (language processes)"; Table.cell_float ~decimals:3 !ipc_time ];
+    ];
+  Table.print tbl;
+  print_endline
+    "The asymmetric disciplines eliminate half the invocations by turning\n\
+     buffer-to-filter hops into intra-Eject communication, whose cost is the\n\
+     bottom row.";
+  (* Virtual-time makespan of the three disciplines on equal work. *)
+  let tbl2 =
+    Table.create ~title:"Makespan moving 64 items through 4 filters (virtual time)"
+      ~columns:[ ("discipline", Table.Left); ("makespan", Table.Right); ("invocations", Table.Right) ]
+  in
+  List.iter
+    (fun d ->
+      let _, m, makespan, _ = run_pipeline d 4 ~n_items:64 ~capacity:8 in
+      Table.add_row tbl2
+        [
+          T.Pipeline.discipline_name d;
+          Table.cell_float makespan;
+          Table.cell_int m.Kernel.Meter.invocations;
+        ])
+    T.Pipeline.all_disciplines;
+  Table.print tbl2
+
+(* ------------------------------------------------------------------ *)
+(* T6: the §7 bootstrap                                                *)
+(* ------------------------------------------------------------------ *)
+
+let table6 () =
+  section "T6  Bootstrap transput: NewStream / UseStream over the Unix file system";
+  let k = Kernel.create () in
+  let fs = Fs.create () in
+  let fse = Fse.create k fs in
+  let input = doc 64 in
+  Fs.write_file fs "/src.txt" (Eden_util.Text.join_lines input);
+  let before = Kernel.Meter.snapshot k in
+  Kernel.run_driver k (fun ctx ->
+      Fse.copy_through ctx ~fs:fse ~src:"/src.txt" ~dst:"/dst.txt" [ Cat.upcase ]);
+  let d = Kernel.Meter.diff (Kernel.Meter.snapshot k) before in
+  let out = Fs.read_file fs "/dst.txt" in
+  let expected =
+    Eden_util.Text.join_lines (List.map String.uppercase_ascii input)
+  in
+  let tbl =
+    Table.create ~title:"64-line file copied through an upcase filter Eject"
+      ~columns:[ ("metric", Table.Left); ("value", Table.Right) ]
+  in
+  Table.add_rows tbl
+    [
+      [ "output identical to expectation"; (if out = expected then "yes" else "NO") ];
+      [ "bytes written"; Table.cell_int (String.length out) ];
+      [ "invocations (incl. NewStream/UseStream/Await)"; Table.cell_int d.Kernel.Meter.invocations ];
+      [
+        "invocations per line";
+        Table.cell_float (float_of_int d.Kernel.Meter.invocations /. 64.0);
+      ];
+    ];
+  Table.print tbl;
+  let ops = Kernel.op_counts k in
+  let tbl2 =
+    Table.create ~title:"Invocations by operation" ~columns:[ ("op", Table.Left); ("count", Table.Right) ]
+  in
+  List.iter (fun (op, n) -> Table.add_row tbl2 [ op; Table.cell_int n ]) ops;
+  Table.print tbl2
+
+(* ------------------------------------------------------------------ *)
+(* A1: placement ablation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  section "A1  Placement ablation: distributing stages across machines";
+  print_endline
+    "The paper argues invocation cost dominates (location-independent\n\
+     invocation is pricier than a system call), so halving invocations\n\
+     halves the wire time.  Spread the pipeline over m machines and watch\n\
+     the conventional discipline pay double at every scale.";
+  let n_items = 32 and n_filters = 3 in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf "Makespan (virtual), %d items, %d filters, link 1.0 / local 0.1"
+           n_items n_filters)
+      ~columns:
+        [
+          ("machines", Table.Right);
+          ("read-only", Table.Right);
+          ("write-only", Table.Right);
+          ("conventional", Table.Right);
+          ("conv/ro", Table.Right);
+        ]
+  in
+  List.iter
+    (fun machines ->
+      let measure discipline =
+        let k =
+          Kernel.create
+            ~latency:(Eden_net.Net.Fixed 1.0)
+            ~nodes:(List.init machines (fun i -> Printf.sprintf "m%d" i))
+            ()
+        in
+        let p =
+          T.Pipeline.build k ~nodes:(Kernel.nodes k) ~capacity:4 discipline
+            ~gen:(list_gen (vstrs (doc n_items)))
+            ~filters:(List.init n_filters (fun _ -> Cat.trim_trailing))
+            ~consume:ignore
+        in
+        Kernel.run_driver k (fun _ -> T.Pipeline.run p);
+        Eden_sched.Sched.now (Kernel.sched k)
+      in
+      let ro = measure T.Pipeline.Read_only in
+      let wo = measure T.Pipeline.Write_only in
+      let cv = measure T.Pipeline.Conventional in
+      Table.add_row tbl
+        [
+          Table.cell_int machines;
+          Table.cell_float ro;
+          Table.cell_float wo;
+          Table.cell_float cv;
+          Table.cell_ratio (cv /. ro);
+        ])
+    [ 1; 2; 3; 5 ];
+  Table.print tbl;
+  print_endline
+    "Note the m=3 row: round-robin placement happens to co-locate every\n\
+     pipe with the filter that reads it — the moral equivalent of Unix\n\
+     keeping the pipe buffer inside an endpoint's kernel — and the gap\n\
+     nearly closes.  The paper's factor-of-two applies when buffers are\n\
+     genuinely interposed entities; clever placement is the conventional\n\
+     world's only defence, and it cannot help the entity count."
+
+let all () =
+  fig1 ();
+  fig2 ();
+  fig3 ();
+  fig4 ();
+  table1 ();
+  table2 ();
+  table3 ();
+  table4 ();
+  table5 ();
+  table6 ();
+  ablation ()

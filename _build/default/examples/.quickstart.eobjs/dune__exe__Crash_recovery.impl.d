@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Eden_dirsvc Eden_kernel Kernel List Printf Uid Value

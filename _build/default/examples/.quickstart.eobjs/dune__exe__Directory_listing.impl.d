@@ -1,0 +1,1 @@
+examples/directory_listing.ml: Eden_devices Eden_dirsvc Eden_filters Eden_kernel Eden_sched Eden_transput Kernel List Printf Value

@@ -1,0 +1,1 @@
+examples/distributed_pipeline.ml: Eden_filters Eden_kernel Eden_net Eden_sched Eden_transput Kernel List Printf Value

@@ -1,0 +1,1 @@
+examples/paginated_printing.ml: Eden_devices Eden_filters Eden_fs Eden_kernel Eden_sched Eden_transput Eden_util Kernel List Printf

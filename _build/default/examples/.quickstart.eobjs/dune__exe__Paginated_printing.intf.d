@@ -1,0 +1,1 @@
+examples/paginated_printing.mli:

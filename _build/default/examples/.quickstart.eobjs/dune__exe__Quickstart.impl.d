@@ -1,0 +1,1 @@
+examples/quickstart.ml: Eden_filters Eden_kernel Eden_transput Kernel List Printf Value

@@ -1,0 +1,1 @@
+examples/report_streams.ml: Eden_devices Eden_filters Eden_kernel Eden_transput Kernel List Printf Value

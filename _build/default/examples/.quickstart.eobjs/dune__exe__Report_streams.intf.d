@@ -1,0 +1,1 @@
+examples/report_streams.mli:

@@ -1,0 +1,1 @@
+examples/text_tools.ml: Eden_devices Eden_filters Eden_kernel Eden_transput Kernel List Printf Value

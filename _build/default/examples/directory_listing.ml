@@ -1,0 +1,61 @@
+(* Directories are stream sources (§2).
+
+   A directory's List operation "prepares the directory to receive a
+   number of Read invocations, which transfer a printable representation
+   of the directory's contents to the reader" — so a directory can feed
+   a filter pipeline like any file.  The Directory Concatenator provides
+   PATH-style lookup and is behaviourally substitutable for a directory.
+
+   Run with: dune exec examples/directory_listing.exe *)
+
+open Eden_kernel
+module T = Eden_transput
+module Dir = Eden_dirsvc.Directory
+module Cat = Eden_filters.Catalog
+module Dev = Eden_devices.Devices
+
+let () =
+  let kernel = Kernel.create () in
+  let home = Dir.create kernel () in
+  let system = Dir.create kernel () in
+  let path = Dir.concatenator kernel [ home; system ] in
+
+  (* A few Ejects to catalogue. *)
+  let tool name =
+    Kernel.create_eject kernel ~type_name:name (fun _ctx ~passive:_ ->
+        [ ("Describe", fun _ -> Value.Str ("I am " ^ name)) ])
+  in
+  let my_editor = tool "my-editor" in
+  let sys_editor = tool "system-editor" in
+  let compiler = tool "compiler" in
+
+  Kernel.run_driver kernel (fun ctx ->
+      Dir.add_entry ctx ~dir:home "editor" my_editor;
+      Dir.add_entry ctx ~dir:system "editor" sys_editor;
+      Dir.add_entry ctx ~dir:system "compiler" compiler;
+
+      (* PATH-style lookup: home shadows system. *)
+      (match Dir.lookup ctx ~dir:path "editor" with
+      | Some uid ->
+          let reply = Kernel.call ctx uid ~op:"Describe" Value.Unit in
+          Printf.printf "lookup \"editor\" through PATH -> %s\n" (Value.to_str reply)
+      | None -> print_endline "editor not found!?");
+      (match Dir.lookup ctx ~dir:path "compiler" with
+      | Some uid ->
+          let reply = Kernel.call ctx uid ~op:"Describe" Value.Unit in
+          Printf.printf "lookup \"compiler\" through PATH -> %s\n\n" (Value.to_str reply)
+      | None -> print_endline "compiler not found!?");
+
+      (* Stream the system directory's listing through an upcase filter
+         to a terminal: List hands back a capability channel, and from
+         there it is an ordinary read-only pipeline. *)
+      let chan = T.Channel.of_value (Kernel.call ctx system ~op:Dir.op_list Value.Unit) in
+      let shouter =
+        T.Stage.filter_ro kernel ~name:"shouter" ~upstream:system ~upstream_channel:chan
+          Cat.upcase
+      in
+      let terminal = Dev.terminal_ro kernel ~upstream:shouter () in
+      Kernel.poke kernel terminal.Dev.uid;
+      Eden_sched.Ivar.read terminal.Dev.done_;
+      print_endline "system directory, shouted:";
+      List.iter (Printf.printf "  %s\n") (terminal.Dev.lines ()))

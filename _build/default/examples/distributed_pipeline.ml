@@ -1,0 +1,55 @@
+(* Distribution: the same pipeline, placed differently.
+
+   Eden ran on several VAXen on a 10 Mbit Ethernet; invocation is
+   location-independent, so a pipeline works identically whether its
+   stages share a machine or not — only the virtual clock can tell the
+   difference.  This example runs one pipeline three ways and prints
+   what the meters and the clock saw.
+
+   Run with: dune exec examples/distributed_pipeline.exe *)
+
+open Eden_kernel
+module T = Eden_transput
+module Cat = Eden_filters.Catalog
+
+let document = List.init 24 (fun i -> Printf.sprintf "record %02d payload" i)
+
+let run ~label ~machines ~spread =
+  let k =
+    Kernel.create
+      ~latency:(Eden_net.Net.Fixed 1.0) (* 1.0 between machines, 0.1 within *)
+      ~nodes:(List.init machines (fun i -> Printf.sprintf "vax-%d" (i + 1)))
+      ()
+  in
+  let rest = ref document in
+  let gen () =
+    match !rest with
+    | [] -> None
+    | x :: tl ->
+        rest := tl;
+        Some (Value.Str x)
+  in
+  let received = ref 0 in
+  let before = Kernel.Meter.snapshot k in
+  let nodes = if spread then Kernel.nodes k else [ List.hd (Kernel.nodes k) ] in
+  let p =
+    T.Pipeline.build k ~nodes ~capacity:4 T.Pipeline.Read_only ~gen
+      ~filters:[ Cat.trim_trailing; Cat.upcase; Cat.number_lines () ]
+      ~consume:(fun _ -> incr received)
+  in
+  Kernel.run_driver k (fun _ -> T.Pipeline.run p);
+  let d = Kernel.Meter.diff (Kernel.Meter.snapshot k) before in
+  Printf.printf "%-34s %3d items  %4d invocations  makespan %7.2f\n" label !received
+    d.Kernel.Meter.invocations
+    (Eden_sched.Sched.now (Kernel.sched k))
+
+let () =
+  print_endline "The same 3-filter pipeline under three placements:\n";
+  run ~label:"one machine (all local)" ~machines:1 ~spread:false;
+  run ~label:"five machines, stages co-located" ~machines:5 ~spread:false;
+  run ~label:"five machines, one stage each" ~machines:5 ~spread:true;
+  print_endline
+    "\nLocation-independence: identical output and identical invocation\n\
+     counts everywhere; only elapsed virtual time changes, because each\n\
+     datum now crosses the (10x slower) network at every hop.  The paper's\n\
+     economy argument is exactly about halving those crossings."

@@ -1,0 +1,52 @@
+(* The §4 printing scenario, verbatim:
+
+     "A file could be printed simply by requesting the printer server
+      to read from the file.  If a paginated listing were required, the
+      printer server would be requested to read from the paginator, and
+      the paginator to read from the file."
+
+   No Write ever happens at the inter-Eject level: the printer pumps,
+   the paginator and the UnixFile Eject respond.
+
+   Run with: dune exec examples/paginated_printing.exe *)
+
+open Eden_kernel
+module T = Eden_transput
+module Fs = Eden_fs.Unix_fs
+module Fse = Eden_fs.Fs_eject
+module Cat = Eden_filters.Catalog
+module Dev = Eden_devices.Devices
+
+let () =
+  let kernel = Kernel.create () in
+
+  (* The machine's Unix file system and its bootstrap Eject (§7). *)
+  let fs = Fs.create () in
+  let fse = Fse.create kernel fs in
+  Fs.mkdir_p fs "/usr/alice";
+  Fs.write_file fs "/usr/alice/report.txt"
+    (Eden_util.Text.join_lines
+       (List.init 7 (fun i -> Printf.sprintf "finding %d: streams are asymmetric" (i + 1))));
+
+  (* A printer server: a device that performs active input. *)
+  let printer = Dev.printer kernel ~rate:0.5 () in
+
+  Kernel.run_driver kernel (fun ctx ->
+      (* Plain printing: ask the printer to read from the file. *)
+      let stream = Fse.new_stream ctx ~fs:fse "/usr/alice/report.txt" in
+      Dev.print ctx ~printer:printer.Dev.puid stream;
+
+      (* Paginated printing: interpose a paginator Eject.  The paginator
+         is told only where its INPUT comes from; its output goes to
+         whoever asks (the printer). *)
+      let stream2 = Fse.new_stream ctx ~fs:fse "/usr/alice/report.txt" in
+      let paginator =
+        T.Stage.filter_ro kernel ~name:"paginator" ~upstream:stream2
+          (Cat.paginate ~lines_per_page:3 ~title:"report.txt" ())
+      in
+      Dev.print ctx ~printer:printer.Dev.puid paginator);
+
+  Printf.printf "printer output (%d jobs, %.1f virtual seconds):\n\n"
+    (printer.Dev.jobs_completed ())
+    (Eden_sched.Sched.now (Kernel.sched kernel));
+  List.iter print_endline (printer.Dev.paper ())

@@ -1,0 +1,63 @@
+(* Text tools: the §3/§5 utilities working together.
+
+   A spelling pass, a stream edit driven by a command stream (the §5
+   two-input editor), and a diff of before/after — all as Ejects in the
+   read-only discipline.
+
+   Run with: dune exec examples/text_tools.exe *)
+
+open Eden_kernel
+module T = Eden_transput
+module Cat = Eden_filters.Catalog
+module Sed = Eden_filters.Sed
+module Cmp = Eden_filters.Compare
+module Dev = Eden_devices.Devices
+
+let document =
+  [
+    "the quick brown fox";
+    "jumps ovr the lazy dog";
+    "teh end";
+  ]
+
+let dictionary =
+  [ "the"; "quick"; "brown"; "fox"; "jumps"; "over"; "lazy"; "dog"; "end" ]
+
+let drain ctx uid =
+  let pull = T.Pull.connect ctx uid in
+  let acc = ref [] in
+  T.Pull.iter (fun v -> acc := Value.to_str v :: !acc) pull;
+  List.rev !acc
+
+let () =
+  let k = Kernel.create () in
+  Kernel.run_driver k (fun ctx ->
+      (* 1. Spell-check: a filter that emits only the misspelled words. *)
+      let src1 = Dev.text_source k document in
+      let spell = T.Stage.filter_ro k ~name:"spell" ~upstream:src1 (Cat.spell ~dictionary) in
+      let misspelled = drain ctx spell in
+      print_endline "spell(1) finds:";
+      List.iter (Printf.printf "  %s\n") misspelled;
+
+      (* 2. Fix them with the two-input stream editor: one input carries
+         the corrections, the other the text. *)
+      let corrections = Dev.text_source k ~name:"commands" [ "s/ovr/over/g"; "s/teh/the/g" ] in
+      let src2 = Dev.text_source k document in
+      let editor =
+        Sed.two_input_stage k
+          ~commands:(corrections, T.Channel.output)
+          ~text:(src2, T.Channel.output)
+          ()
+      in
+      let fixed = drain ctx editor in
+      print_endline "\nafter the sed pass:";
+      List.iter (Printf.printf "  %s\n") fixed;
+
+      (* 3. Diff original vs fixed, as a two-input comparison Eject. *)
+      let left = Dev.text_source k document in
+      let right = Dev.text_source k fixed in
+      let d =
+        Cmp.diff_stage k ~left:(left, T.Channel.output) ~right:(right, T.Channel.output) ()
+      in
+      print_endline "\ndiff original fixed:";
+      List.iter (Printf.printf "  %s\n") (drain ctx d))

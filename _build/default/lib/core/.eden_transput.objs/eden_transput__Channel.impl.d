@@ -1,0 +1,1 @@
+lib/core/channel.ml: Eden_kernel Format Int

@@ -1,0 +1,1 @@
+lib/core/channel.mli: Eden_kernel Format

@@ -1,0 +1,1 @@
+lib/core/codec.ml: Eden_kernel List Option Pull Push Transform

@@ -1,0 +1,1 @@
+lib/core/codec.mli: Eden_kernel Pull Push Transform

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Channel Eden_kernel Eden_sched List Port Printf Pull

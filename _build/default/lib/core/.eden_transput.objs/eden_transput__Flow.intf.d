@@ -1,0 +1,1 @@
+lib/core/flow.mli: Channel Eden_kernel Eden_net

@@ -1,0 +1,1 @@
+lib/core/intake.mli: Channel Eden_kernel

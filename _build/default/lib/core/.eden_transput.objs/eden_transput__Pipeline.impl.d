@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Eden_kernel Eden_sched List Printf Stage

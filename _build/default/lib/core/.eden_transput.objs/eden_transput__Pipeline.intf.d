@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Eden_kernel Eden_net Eden_sched Stage Transform

@@ -1,0 +1,1 @@
+lib/core/port.ml: Channel Eden_kernel Eden_sched List Proto Queue

@@ -1,0 +1,1 @@
+lib/core/port.mli: Channel Eden_kernel

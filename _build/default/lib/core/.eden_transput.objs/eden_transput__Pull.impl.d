@@ -1,0 +1,1 @@
+lib/core/pull.ml: Channel Eden_kernel Proto

@@ -1,0 +1,1 @@
+lib/core/pull.mli: Channel Eden_kernel

@@ -1,0 +1,1 @@
+lib/core/push.ml: Channel Eden_kernel List Proto

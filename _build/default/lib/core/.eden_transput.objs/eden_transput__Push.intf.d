@@ -1,0 +1,1 @@
+lib/core/push.mli: Channel Eden_kernel

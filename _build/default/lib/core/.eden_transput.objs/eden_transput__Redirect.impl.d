@@ -1,0 +1,1 @@
+lib/core/redirect.ml: Channel Eden_kernel Port Pull

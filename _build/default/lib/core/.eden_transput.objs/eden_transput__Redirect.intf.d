@@ -1,0 +1,1 @@
+lib/core/redirect.mli: Channel Eden_kernel Eden_net

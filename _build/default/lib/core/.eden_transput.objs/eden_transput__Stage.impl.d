@@ -1,0 +1,1 @@
+lib/core/stage.ml: Channel Eden_kernel Intake Port Pull Push

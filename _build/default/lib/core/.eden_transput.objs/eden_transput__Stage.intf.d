@@ -1,0 +1,1 @@
+lib/core/stage.mli: Channel Eden_kernel Eden_net Transform

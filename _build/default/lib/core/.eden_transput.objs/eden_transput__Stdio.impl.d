@@ -1,0 +1,1 @@
+lib/core/stdio.ml: Buffer Channel Eden_kernel Port Printf Pull String

@@ -1,0 +1,1 @@
+lib/core/stdio.mli: Channel Eden_kernel Eden_net Port Pull

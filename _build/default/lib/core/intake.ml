@@ -1,0 +1,82 @@
+module Value = Eden_kernel.Value
+module Kernel = Eden_kernel.Kernel
+module Waitq = Eden_sched.Waitq
+
+type chan_state = {
+  chan : Channel.t;
+  items : Value.t Queue.t;
+  capacity : int;
+  mutable eos : bool;
+  readers : Waitq.t; (* parked [read] callers *)
+  writers : Waitq.t; (* parked Deposit handlers *)
+}
+
+type t = { channels : (Channel.t * chan_state) list ref }
+
+type reader = chan_state
+
+let create () = { channels = ref [] }
+
+let add_channel t ?(capacity = 1) chan =
+  if capacity < 1 then invalid_arg "Intake.add_channel: capacity must be at least 1";
+  if List.exists (fun (c, _) -> Channel.equal c chan) !(t.channels) then
+    invalid_arg ("Intake.add_channel: duplicate channel " ^ Channel.to_string chan);
+  let s =
+    {
+      chan;
+      items = Queue.create ();
+      capacity;
+      eos = false;
+      readers = Waitq.create ("intake " ^ Channel.to_string chan ^ " readers");
+      writers = Waitq.create ("intake " ^ Channel.to_string chan ^ " writers");
+    }
+  in
+  t.channels := (chan, s) :: !(t.channels);
+  s
+
+let find t chan = List.find_opt (fun (c, _) -> Channel.equal c chan) !(t.channels)
+
+let reader t chan = match find t chan with Some (_, s) -> s | None -> raise Not_found
+
+let rec read s =
+  match Queue.take_opt s.items with
+  | Some x ->
+      ignore (Waitq.wake_one s.writers);
+      Some x
+  | None ->
+      if s.eos then None
+      else begin
+        Waitq.park s.readers;
+        read s
+      end
+
+let eos_seen s = s.eos
+let buffered s = Queue.length s.items
+
+let serve_deposit t arg =
+  let chan, eos, items = Proto.parse_deposit_request arg in
+  match find t chan with
+  | None -> raise (Kernel.Eden_error ("no such channel: " ^ Channel.to_string chan))
+  | Some (_, s) ->
+      if s.eos then raise (Kernel.Eden_error "Deposit after end of stream");
+      let rec accept item =
+        if Queue.length s.items < s.capacity then begin
+          Queue.push item s.items;
+          ignore (Waitq.wake_one s.readers)
+        end
+        else begin
+          (* Buffer full: hold the depositor's reply hostage.  The
+             invoker is blocked awaiting it, which is exactly the
+             back-pressure the write-only discipline needs. *)
+          Waitq.park s.writers;
+          accept item
+        end
+      in
+      List.iter accept items;
+      if eos then begin
+        s.eos <- true;
+        ignore (Waitq.wake_all s.readers)
+      end;
+      Value.Unit
+
+let handlers t = [ (Proto.deposit_op, serve_deposit t) ]

@@ -1,0 +1,40 @@
+(** Passive input: the consumer side of the "write only" discipline.
+
+    An [Intake] holds one incoming bounded buffer per channel.  The
+    [Deposit] handler from [handlers] accepts data pushed by upstream
+    Ejects — blocking the depositor (by delaying its reply) when the
+    buffer is full, which is how back-pressure propagates in the
+    write-only discipline — and the Eject's own processes drain it with
+    [read].
+
+    {b Fan-in.}  Deliberately unattributed within a channel: deposits
+    from different senders interleave indistinguishably, the paper's
+    observation (§5) that write-only gives a single merged source.  Use
+    several channels to keep inputs apart (the secondary inputs of an
+    impure write-only filter). *)
+
+module Value = Eden_kernel.Value
+
+type t
+type reader
+
+val create : unit -> t
+
+val add_channel : t -> ?capacity:int -> Channel.t -> reader
+(** [capacity] (default 1) must be at least 1: a zero-capacity intake
+    could never accept a deposit.  @raise Invalid_argument otherwise or
+    on a duplicate channel. *)
+
+val reader : t -> Channel.t -> reader
+(** @raise Not_found if the channel was never added. *)
+
+val read : reader -> Value.t option
+(** Next item, blocking while the buffer is empty and the stream open;
+    [None] after end of stream.  Fiber context only. *)
+
+val eos_seen : reader -> bool
+val buffered : reader -> int
+
+val handlers : t -> (string * Eden_kernel.Kernel.handler) list
+(** The [Deposit] operation, to splice into the Eject's dispatch
+    table. *)

@@ -1,0 +1,145 @@
+module Value = Eden_kernel.Value
+module Kernel = Eden_kernel.Kernel
+module Uid = Eden_kernel.Uid
+module Ivar = Eden_sched.Ivar
+
+type discipline = Read_only | Write_only | Conventional
+
+let discipline_name = function
+  | Read_only -> "read-only"
+  | Write_only -> "write-only"
+  | Conventional -> "conventional"
+
+let all_disciplines = [ Read_only; Write_only; Conventional ]
+
+type t = {
+  kernel : Kernel.t;
+  discipline : discipline;
+  source : Uid.t;
+  filters : Uid.t list;
+  pipes : Uid.t list;
+  sink : Uid.t;
+  done_ : unit Ivar.t;
+}
+
+(* Round-robin stage placement over the requested nodes. *)
+let placer kernel nodes =
+  let nodes = match nodes with [] -> [ List.hd (Kernel.nodes kernel) ] | ns -> ns in
+  let arr = Array.of_list nodes in
+  let i = ref 0 in
+  fun () ->
+    let n = arr.(!i mod Array.length arr) in
+    incr i;
+    n
+
+let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) discipline ~gen ~filters ~consume =
+  let next_node = placer kernel nodes in
+  let done_ = Ivar.create () in
+  let on_done () = Ivar.fill done_ () in
+  let n = List.length filters in
+  match discipline with
+  | Read_only ->
+      let source = Stage.source_ro kernel ~node:(next_node ()) ~capacity gen in
+      let filter_uids =
+        List.fold_left
+          (fun ups tr ->
+            let name = Printf.sprintf "filter-%d" (List.length ups + 1) in
+            Stage.filter_ro kernel ~node:(next_node ()) ~name ~capacity ~batch
+              ~upstream:(List.hd ups) tr
+            :: ups)
+          [ source ] filters
+      in
+      let sink =
+        Stage.sink_ro kernel ~node:(next_node ()) ~batch ~upstream:(List.hd filter_uids)
+          ~on_done consume
+      in
+      {
+        kernel;
+        discipline;
+        source;
+        filters = List.rev (List.filteri (fun i _ -> i < n) filter_uids);
+        pipes = [];
+        sink;
+        done_;
+      }
+  | Write_only ->
+      (* Built sink-first: each write-only stage needs its downstream's
+         UID, the mirror image of the read-only construction. *)
+      let intake_capacity = max 1 capacity in
+      let sink = Stage.sink_wo kernel ~node:(next_node ()) ~capacity:intake_capacity ~on_done consume in
+      let filter_uids =
+        List.fold_left
+          (fun downs tr ->
+            let name = Printf.sprintf "filter-%d" (n - List.length downs + 1) in
+            Stage.filter_wo kernel ~node:(next_node ()) ~name ~capacity:intake_capacity ~batch
+              ~downstream:(List.hd downs) tr
+            :: downs)
+          [ sink ] (List.rev filters)
+      in
+      let source =
+        Stage.source_wo kernel ~node:(next_node ()) ~batch ~downstream:(List.hd filter_uids) gen
+      in
+      {
+        kernel;
+        discipline;
+        source;
+        filters = List.filteri (fun i _ -> i < n) filter_uids;
+        pipes = [];
+        sink;
+        done_;
+      }
+  | Conventional ->
+      let pipe_capacity = max 1 capacity in
+      let first_pipe = Stage.pipe kernel ~node:(next_node ()) ~capacity:pipe_capacity () in
+      let source = Stage.source_active kernel ~node:(next_node ()) ~batch ~downstream:first_pipe gen in
+      let filter_uids, pipe_uids =
+        List.fold_left
+          (fun (fs, ps) tr ->
+            let name = Printf.sprintf "filter-%d" (List.length fs + 1) in
+            let out_pipe = Stage.pipe kernel ~node:(next_node ()) ~capacity:pipe_capacity () in
+            let f =
+              Stage.filter_active kernel ~node:(next_node ()) ~name ~batch
+                ~upstream:(List.hd ps) ~downstream:out_pipe tr
+            in
+            (f :: fs, out_pipe :: ps))
+          ([], [ first_pipe ]) filters
+      in
+      let sink =
+        Stage.sink_active kernel ~node:(next_node ()) ~batch ~upstream:(List.hd pipe_uids)
+          ~on_done consume
+      in
+      {
+        kernel;
+        discipline;
+        source;
+        filters = List.rev filter_uids;
+        pipes = List.rev pipe_uids;
+        sink;
+        done_;
+      }
+
+let start t =
+  match t.discipline with
+  | Read_only -> Kernel.poke t.kernel t.sink
+  | Write_only -> Kernel.poke t.kernel t.source
+  | Conventional ->
+      Kernel.poke t.kernel t.source;
+      List.iter (Kernel.poke t.kernel) t.filters;
+      Kernel.poke t.kernel t.sink
+
+let await t = Ivar.read t.done_
+
+let run t =
+  start t;
+  await t
+
+let entity_count t = 2 + List.length t.filters + List.length t.pipes
+
+type prediction = { entities : int; invocations_per_datum : int }
+
+let predict discipline ~n_filters =
+  match discipline with
+  | Read_only | Write_only ->
+      { entities = n_filters + 2; invocations_per_datum = n_filters + 1 }
+  | Conventional ->
+      { entities = (2 * n_filters) + 3; invocations_per_datum = (2 * n_filters) + 2 }

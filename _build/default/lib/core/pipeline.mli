@@ -1,0 +1,63 @@
+(** Assembling and running whole pipelines, plus the static cost model.
+
+    Given a generator, a list of transforms and a consumer, [build]
+    erects the corresponding Ejects under any of the three disciplines;
+    [start] pokes the pumping stages; [await] blocks the calling driver
+    fiber until the sink has seen end of stream.
+
+    [predict] is the paper's §4 arithmetic — the claim the benchmarks
+    check the metered counts against. *)
+
+module Value = Eden_kernel.Value
+module Kernel = Eden_kernel.Kernel
+module Uid = Eden_kernel.Uid
+
+type discipline = Read_only | Write_only | Conventional
+
+val discipline_name : discipline -> string
+val all_disciplines : discipline list
+
+type t = {
+  kernel : Kernel.t;
+  discipline : discipline;
+  source : Uid.t;
+  filters : Uid.t list;
+  pipes : Uid.t list;  (** Empty except under [Conventional]. *)
+  sink : Uid.t;
+  done_ : unit Eden_sched.Ivar.t;  (** Filled when the sink sees end of stream. *)
+}
+
+val build :
+  Kernel.t ->
+  ?nodes:Eden_net.Net.node_id list ->
+  ?capacity:int ->
+  ?batch:int ->
+  discipline ->
+  gen:Stage.gen ->
+  filters:Transform.t list ->
+  consume:Stage.consume ->
+  t
+(** [nodes] places consecutive stages round-robin (default: everything
+    on the kernel's first node).  [capacity] is each stage's
+    anticipation buffer, [batch] the per-invocation item count. *)
+
+val start : t -> unit
+(** Pokes the pumping stages: the sink under [Read_only], the source
+    under [Write_only], and source, filters and sink under
+    [Conventional]. *)
+
+val await : t -> unit
+(** Blocks until done; fiber context only. *)
+
+val run : t -> unit
+(** [start] then [await]. *)
+
+val entity_count : t -> int
+(** Ejects this pipeline comprises (stages + pipes). *)
+
+type prediction = { entities : int; invocations_per_datum : int }
+
+val predict : discipline -> n_filters:int -> prediction
+(** §4: read-only and write-only move one datum end to end in [n+1]
+    invocations with [n+2] Ejects; the conventional arrangement needs
+    [2n+2] invocations and [2n+3] Ejects ([n+1] of them pipes). *)

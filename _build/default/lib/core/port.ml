@@ -1,0 +1,106 @@
+module Value = Eden_kernel.Value
+module Kernel = Eden_kernel.Kernel
+module Waitq = Eden_sched.Waitq
+
+type chan_state = {
+  chan : Channel.t;
+  items : Value.t Queue.t;
+  capacity : int;
+  mutable closed : bool;
+  mutable demand : int; (* outstanding, unserved Transfer credit *)
+  readers : Waitq.t; (* parked Transfer handlers *)
+  writers : Waitq.t; (* parked [write] callers *)
+}
+
+type t = { channels : (Channel.t * chan_state) list ref }
+
+type writer = chan_state
+
+let create () = { channels = ref [] }
+
+let add_channel t ?(capacity = 0) chan =
+  if capacity < 0 then invalid_arg "Port.add_channel: negative capacity";
+  if List.exists (fun (c, _) -> Channel.equal c chan) !(t.channels) then
+    invalid_arg ("Port.add_channel: duplicate channel " ^ Channel.to_string chan);
+  let s =
+    {
+      chan;
+      items = Queue.create ();
+      capacity;
+      closed = false;
+      demand = 0;
+      readers = Waitq.create ("port " ^ Channel.to_string chan ^ " readers");
+      writers = Waitq.create ("port " ^ Channel.to_string chan ^ " writers");
+    }
+  in
+  t.channels := (chan, s) :: !(t.channels);
+  s
+
+let find t chan = List.find_opt (fun (c, _) -> Channel.equal c chan) !(t.channels)
+
+let writer t chan = match find t chan with Some (_, s) -> s | None -> raise Not_found
+
+let rec write s item =
+  if s.closed then failwith "Port.write: channel closed";
+  if Queue.length s.items < s.capacity + s.demand then begin
+    Queue.push item s.items;
+    ignore (Waitq.wake_one s.readers)
+  end
+  else begin
+    Waitq.park s.writers;
+    write s item
+  end
+
+let close s =
+  if not s.closed then begin
+    s.closed <- true;
+    ignore (Waitq.wake_all s.readers)
+  end
+
+let rec await_demand s =
+  if s.demand = 0 && not s.closed then begin
+    Waitq.park s.writers;
+    await_demand s
+  end
+
+let rec await_writable s =
+  if (not s.closed) && Queue.length s.items >= s.capacity + s.demand then begin
+    Waitq.park s.writers;
+    await_writable s
+  end
+
+let is_closed s = s.closed
+let buffered s = Queue.length s.items
+
+(* Serve one Transfer request.  Runs as an invocation handler inside a
+   worker fiber, so parking here blocks only this request. *)
+let serve_transfer t arg =
+  let chan, credit = Proto.parse_transfer_request arg in
+  match find t chan with
+  | None -> raise (Kernel.Eden_error ("no such channel: " ^ Channel.to_string chan))
+  | Some (_, s) ->
+      s.demand <- s.demand + credit;
+      (* New demand may unblock a lazy writer. *)
+      ignore (Waitq.wake_all s.writers);
+      let rec await () =
+        if Queue.is_empty s.items && not s.closed then begin
+          Waitq.park s.readers;
+          await ()
+        end
+      in
+      await ();
+      let rec take n acc =
+        if n = 0 then List.rev acc
+        else
+          match Queue.take_opt s.items with
+          | None -> List.rev acc
+          | Some x -> take (n - 1) (x :: acc)
+      in
+      let items = take credit [] in
+      s.demand <- max 0 (s.demand - credit);
+      (* Space freed (and demand gone): let the writer reassess. *)
+      ignore (Waitq.wake_all s.writers);
+      let eos = s.closed && Queue.is_empty s.items in
+      Proto.transfer_reply { Proto.eos; items }
+
+let handlers t = [ (Proto.transfer_op, serve_transfer t) ]

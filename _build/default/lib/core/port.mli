@@ -1,0 +1,68 @@
+(** Passive output: the producer side of the "read only" discipline.
+
+    A [Port] holds one outgoing buffer per channel.  The Eject's own
+    processes write into it (blocking, for flow control); the [Transfer]
+    handler that [handlers] returns serves incoming read requests from
+    it.  This is exactly the paper's "standard IO module" arrangement
+    (§4): the filter process is written conventionally with [write],
+    while a server process — here the [Transfer] handler, run per
+    invocation — feeds data to whoever asks.
+
+    {b Laziness and anticipation.}  The per-channel [capacity] is the
+    amount of output the Eject computes in advance of demand:
+
+    - [capacity = 0] (default): fully lazy.  [write] blocks until a
+      [Transfer] is outstanding, so no computation happens until a sink
+      asks (§4's pure-transformer behaviour).
+    - [capacity = k]: the writer may run up to [k] items ahead,
+      restoring pipeline parallelism (§4's "read some input and
+      buffer-up some output").
+
+    {b Fan-out.}  Deliberately none within a channel: concurrent readers
+    of one channel steal items from each other, which is the paper's
+    argument (§5) for why naive read-only fan-out cannot work.  Use
+    several channels for fan-out. *)
+
+module Value = Eden_kernel.Value
+
+type t
+type writer
+
+val create : unit -> t
+
+val add_channel : t -> ?capacity:int -> Channel.t -> writer
+(** @raise Invalid_argument on a duplicate channel or negative
+    capacity. *)
+
+val writer : t -> Channel.t -> writer
+(** @raise Not_found if the channel was never added. *)
+
+val write : writer -> Value.t -> unit
+(** Queue one item, blocking while the buffer is at capacity and no
+    unsatisfied demand is outstanding.  Fiber context only.
+    @raise Failure after [close]. *)
+
+val close : writer -> unit
+(** End of stream for this channel; idempotent.  Outstanding and future
+    [Transfer]s on it complete with [eos = true] once drained. *)
+
+val await_demand : writer -> unit
+(** Park until at least one [Transfer] is outstanding on this channel
+    (or it is closed).  A fully lazy producer calls this before doing
+    any work at all, so that not even the first item is computed
+    speculatively.  Fiber context only. *)
+
+val await_writable : writer -> unit
+(** Park until a subsequent [write] would succeed without blocking (or
+    the channel is closed).  A producer that calls this before {e
+    computing} each item does no work beyond its declared anticipation:
+    none at capacity 0, at most [k] items ahead at capacity [k].  Fiber
+    context only. *)
+
+val is_closed : writer -> bool
+val buffered : writer -> int
+
+val handlers : t -> (string * Eden_kernel.Kernel.handler) list
+(** The [Transfer] operation, to splice into the Eject's dispatch table.
+    Requests for unregistered channels are refused — with a capability
+    channel this refusal is what enforces security (T4). *)

@@ -1,0 +1,30 @@
+module Value = Eden_kernel.Value
+
+let transfer_op = "Transfer"
+let deposit_op = "Deposit"
+
+let transfer_request chan ~credit = Value.List [ Channel.to_value chan; Value.Int credit ]
+
+let parse_transfer_request v =
+  match v with
+  | Value.List [ chan; Value.Int credit ] ->
+      if credit <= 0 then raise (Value.Protocol_error "Transfer: credit must be positive");
+      (Channel.of_value chan, credit)
+  | v -> raise (Value.Protocol_error ("malformed Transfer request: " ^ Value.to_string v))
+
+type transfer_reply = { eos : bool; items : Value.t list }
+
+let transfer_reply { eos; items } = Value.List [ Value.Bool eos; Value.List items ]
+
+let parse_transfer_reply v =
+  match v with
+  | Value.List [ Value.Bool eos; Value.List items ] -> { eos; items }
+  | v -> raise (Value.Protocol_error ("malformed Transfer reply: " ^ Value.to_string v))
+
+let deposit_request chan ~eos items =
+  Value.List [ Channel.to_value chan; Value.Bool eos; Value.List items ]
+
+let parse_deposit_request v =
+  match v with
+  | Value.List [ chan; Value.Bool eos; Value.List items ] -> (Channel.of_value chan, eos, items)
+  | v -> raise (Value.Protocol_error ("malformed Deposit request: " ^ Value.to_string v))

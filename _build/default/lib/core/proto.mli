@@ -1,0 +1,38 @@
+(** The asymmetric stream wire protocol.
+
+    Two operations are enough for all three disciplines:
+
+    - [Transfer] (active input ⇄ passive output): the consumer invokes
+      [Transfer(channel, credit)] on the producer, which replies
+      [(eos, items)] with [1 ≤ length items ≤ credit] unless the stream
+      has ended.  This is the only operation the "read only" discipline
+      needs, and is the operation of the paper's bootstrap system (§7).
+    - [Deposit] (active output ⇄ passive input): the producer invokes
+      [Deposit(channel, eos, items)] on the consumer; the reply (unit)
+      doubles as the flow-control acknowledgement.
+
+    A conventional Unix-style pipe supports both: [Deposit] fills it and
+    [Transfer] drains it. *)
+
+module Value = Eden_kernel.Value
+
+val transfer_op : string
+val deposit_op : string
+
+(** {1 Transfer} *)
+
+val transfer_request : Channel.t -> credit:int -> Value.t
+
+val parse_transfer_request : Value.t -> Channel.t * int
+(** @raise Value.Protocol_error on malformed requests, including
+    non-positive credit. *)
+
+type transfer_reply = { eos : bool; items : Value.t list }
+
+val transfer_reply : transfer_reply -> Value.t
+val parse_transfer_reply : Value.t -> transfer_reply
+
+(** {1 Deposit} *)
+
+val deposit_request : Channel.t -> eos:bool -> Value.t list -> Value.t
+val parse_deposit_request : Value.t -> Channel.t * bool * Value.t list

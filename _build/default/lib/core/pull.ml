@@ -1,0 +1,52 @@
+module Value = Eden_kernel.Value
+module Kernel = Eden_kernel.Kernel
+module Uid = Eden_kernel.Uid
+
+type t = {
+  ctx : Kernel.ctx;
+  src : Uid.t;
+  chan : Channel.t;
+  batch : int;
+  mutable buf : Value.t list;
+  mutable eos : bool;
+  mutable transfers : int;
+}
+
+let connect ctx ?(batch = 1) ?(channel = Channel.output) src =
+  if batch < 1 then invalid_arg "Pull.connect: batch must be at least 1";
+  { ctx; src; chan = channel; batch; buf = []; eos = false; transfers = 0 }
+
+let rec read t =
+  match t.buf with
+  | x :: rest ->
+      t.buf <- rest;
+      Some x
+  | [] ->
+      if t.eos then None
+      else begin
+        t.transfers <- t.transfers + 1;
+        let reply =
+          Kernel.call t.ctx t.src ~op:Proto.transfer_op
+            (Proto.transfer_request t.chan ~credit:t.batch)
+        in
+        let { Proto.eos; items } = Proto.parse_transfer_reply reply in
+        t.eos <- eos;
+        t.buf <- items;
+        (* A live producer never replies empty without eos, but retry
+           defensively rather than fabricate an end of stream. *)
+        read t
+      end
+
+let iter f t =
+  let rec go () =
+    match read t with
+    | Some v ->
+        f v;
+        go ()
+    | None -> ()
+  in
+  go ()
+
+let source t = t.src
+let channel t = t.chan
+let transfers_issued t = t.transfers

@@ -1,0 +1,33 @@
+(** Active input: a client-side connection that reads a remote Eject's
+    channel by issuing [Transfer] invocations.
+
+    A [Pull.t] embodies the paper's observation that in the read-only
+    discipline a consumer knows {e where} its input comes from (it holds
+    the producer's UID and a channel identifier) while producers never
+    know who reads them.  Items are fetched [batch] at a time —
+    batching is one of the ablations (T5) — and handed out one by one. *)
+
+module Value = Eden_kernel.Value
+
+type t
+
+val connect :
+  Eden_kernel.Kernel.ctx -> ?batch:int -> ?channel:Channel.t -> Eden_kernel.Uid.t -> t
+(** [batch] defaults to 1 (one invocation per datum, the paper's
+    counting regime); [channel] to {!Channel.output}.
+    @raise Invalid_argument if [batch < 1]. *)
+
+val read : t -> Value.t option
+(** Next item, [None] at end of stream.  Issues a [Transfer] when the
+    local batch buffer is empty.  Blocks; fiber context only.
+    @raise Eden_kernel.Kernel.Eden_error on a protocol refusal (no such
+    eject / channel), as when presenting a channel identifier one was
+    never given. *)
+
+val iter : (Value.t -> unit) -> t -> unit
+(** [read] until end of stream. *)
+
+val source : t -> Eden_kernel.Uid.t
+val channel : t -> Channel.t
+val transfers_issued : t -> int
+(** Local count of [Transfer] invocations this connection has made. *)

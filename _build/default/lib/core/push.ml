@@ -1,0 +1,46 @@
+module Value = Eden_kernel.Value
+module Kernel = Eden_kernel.Kernel
+module Uid = Eden_kernel.Uid
+
+type t = {
+  ctx : Kernel.ctx;
+  dst : Uid.t;
+  chan : Channel.t;
+  batch : int;
+  mutable pending : Value.t list; (* reversed *)
+  mutable closed : bool;
+  mutable deposits : int;
+}
+
+let connect ctx ?(batch = 1) ?(channel = Channel.output) dst =
+  if batch < 1 then invalid_arg "Push.connect: batch must be at least 1";
+  { ctx; dst; chan = channel; batch; pending = []; closed = false; deposits = 0 }
+
+let send t ~eos items =
+  t.deposits <- t.deposits + 1;
+  ignore
+    (Kernel.call t.ctx t.dst ~op:Proto.deposit_op (Proto.deposit_request t.chan ~eos items))
+
+let flush t =
+  match t.pending with
+  | [] -> ()
+  | pending ->
+      t.pending <- [];
+      send t ~eos:false (List.rev pending)
+
+let write t item =
+  if t.closed then failwith "Push.write: closed";
+  t.pending <- item :: t.pending;
+  if List.length t.pending >= t.batch then flush t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    let items = List.rev t.pending in
+    t.pending <- [];
+    send t ~eos:true items
+  end
+
+let sink t = t.dst
+let channel t = t.chan
+let deposits_issued t = t.deposits

@@ -1,0 +1,31 @@
+(** Active output: a client-side connection that writes to a remote
+    Eject's channel by issuing [Deposit] invocations.
+
+    The dual of {!Pull}: in the write-only discipline a producer knows
+    where its output goes, while consumers never know who feeds them.
+    Items accumulate locally until [batch] are pending, then travel in
+    one [Deposit]; [close] flushes the remainder with the end-of-stream
+    mark. *)
+
+module Value = Eden_kernel.Value
+
+type t
+
+val connect :
+  Eden_kernel.Kernel.ctx -> ?batch:int -> ?channel:Channel.t -> Eden_kernel.Uid.t -> t
+(** @raise Invalid_argument if [batch < 1]. *)
+
+val write : t -> Value.t -> unit
+(** Queue one item, depositing when the batch fills.  The deposit blocks
+    until the consumer accepts (back-pressure).  Fiber context only.
+    @raise Failure after [close]. *)
+
+val flush : t -> unit
+(** Deposit any pending items immediately. *)
+
+val close : t -> unit
+(** Flush and send end of stream.  Idempotent. *)
+
+val sink : t -> Eden_kernel.Uid.t
+val channel : t -> Channel.t
+val deposits_issued : t -> int

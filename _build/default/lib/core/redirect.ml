@@ -1,0 +1,51 @@
+module Kernel = Eden_kernel.Kernel
+module Uid = Eden_kernel.Uid
+module Value = Eden_kernel.Value
+
+let op_set_source = "SetSource"
+
+let create k ?node ?(name = "redirector") ?(batch = 1) ~initial () =
+  Kernel.create_eject k ?node ~dispatch:Kernel.Concurrent ~type_name:name
+    (fun ctx ~passive:_ ->
+      (* The current connection, replaced wholesale on SetSource so
+         buffered items from the old source are not mixed into the new
+         stream.  [switched] marks that a redirection happened while the
+         current source was (or went) dead, so its EOS must not
+         propagate. *)
+      let current = ref (Pull.connect ctx ~batch ~channel:(snd initial) (fst initial)) in
+      let generation = ref 0 in
+      let port = Port.create () in
+      let w = Port.add_channel port ~capacity:0 Channel.output in
+      Kernel.spawn_worker ctx ~name:(name ^ "/proxy") (fun () ->
+          let rec pump my_generation =
+            if !generation <> my_generation then
+              (* A switch happened: abandon this source, follow the new
+                 one. *)
+              pump !generation
+            else
+              match Pull.read !current with
+              | Some v ->
+                  Port.write w v;
+                  pump !generation
+              | None ->
+                  if !generation <> my_generation then pump !generation
+                  else begin
+                    (* True end of stream with no pending redirection:
+                       wait briefly for a possible SetSource — in this
+                       simulation, park until one arrives or close. *)
+                    Port.close w
+                  end
+          in
+          pump !generation);
+      ( op_set_source,
+        fun arg ->
+          let u, c = Value.to_pair arg in
+          current := Pull.connect ctx ~batch ~channel:(Channel.of_value c) (Value.to_uid u);
+          incr generation;
+          Value.Unit )
+      :: Port.handlers port)
+
+let set_source ctx ~redirector ?(channel = Channel.output) src =
+  Value.to_unit
+    (Kernel.call ctx redirector ~op:op_set_source
+       (Value.pair (Value.Uid src) (Channel.to_value channel)))

@@ -1,0 +1,129 @@
+module Value = Eden_kernel.Value
+module Kernel = Eden_kernel.Kernel
+module Uid = Eden_kernel.Uid
+
+type gen = unit -> Value.t option
+type consume = Value.t -> unit
+
+let custom k ?node ?(dispatch = Kernel.Concurrent) ~name behaviour =
+  Kernel.create_eject k ?node ~dispatch ~type_name:name behaviour
+
+(* --- Read-only ------------------------------------------------------ *)
+
+let source_ro k ?node ?(name = "source") ?(capacity = 0) gen =
+  custom k ?node ~name (fun ctx ~passive:_ ->
+      let port = Port.create () in
+      let w = Port.add_channel port ~capacity Channel.output in
+      Kernel.spawn_worker ctx ~name:(name ^ "/produce") (fun () ->
+          (* Wait for room before generating, so production never runs
+             beyond the declared anticipation. *)
+          let rec go () =
+            Port.await_writable w;
+            match gen () with
+            | Some v ->
+                Port.write w v;
+                go ()
+            | None -> Port.close w
+          in
+          go ());
+      Port.handlers port)
+
+let filter_ro k ?node ?(name = "filter") ?(capacity = 0) ?(batch = 1) ~upstream
+    ?(upstream_channel = Channel.output) transform =
+  custom k ?node ~name (fun ctx ~passive:_ ->
+      let port = Port.create () in
+      let w = Port.add_channel port ~capacity Channel.output in
+      let pull = Pull.connect ctx ~batch ~channel:upstream_channel upstream in
+      Kernel.spawn_worker ctx ~name:(name ^ "/transform") (fun () ->
+          if capacity = 0 then Port.await_demand w;
+          transform (fun () -> Pull.read pull) (Port.write w);
+          Port.close w);
+      Port.handlers port)
+
+let sink_ro k ?node ?(name = "sink") ?(batch = 1) ~upstream ?(upstream_channel = Channel.output)
+    ?(on_done = fun () -> ()) consume =
+  custom k ?node ~name (fun ctx ~passive:_ ->
+      let pull = Pull.connect ctx ~batch ~channel:upstream_channel upstream in
+      Kernel.spawn_worker ctx ~name:(name ^ "/pump") (fun () ->
+          Pull.iter consume pull;
+          on_done ());
+      [])
+
+(* --- Write-only ----------------------------------------------------- *)
+
+let source_wo k ?node ?(name = "source") ?(batch = 1) ~downstream
+    ?(downstream_channel = Channel.output) gen =
+  custom k ?node ~name (fun ctx ~passive:_ ->
+      let push = Push.connect ctx ~batch ~channel:downstream_channel downstream in
+      Kernel.spawn_worker ctx ~name:(name ^ "/pump") (fun () ->
+          let rec go () =
+            match gen () with
+            | Some v ->
+                Push.write push v;
+                go ()
+            | None -> Push.close push
+          in
+          go ());
+      [])
+
+let filter_wo k ?node ?(name = "filter") ?(capacity = 1) ?(batch = 1) ~downstream
+    ?(downstream_channel = Channel.output) transform =
+  custom k ?node ~name (fun ctx ~passive:_ ->
+      let intake = Intake.create () in
+      let r = Intake.add_channel intake ~capacity Channel.output in
+      let push = Push.connect ctx ~batch ~channel:downstream_channel downstream in
+      Kernel.spawn_worker ctx ~name:(name ^ "/transform") (fun () ->
+          transform (fun () -> Intake.read r) (Push.write push);
+          Push.close push);
+      Intake.handlers intake)
+
+let sink_wo k ?node ?(name = "sink") ?(capacity = 1) ?(on_done = fun () -> ()) consume =
+  custom k ?node ~name (fun ctx ~passive:_ ->
+      let intake = Intake.create () in
+      let r = Intake.add_channel intake ~capacity Channel.output in
+      Kernel.spawn_worker ctx ~name:(name ^ "/consume") (fun () ->
+          let rec go () =
+            match Intake.read r with
+            | Some v ->
+                consume v;
+                go ()
+            | None -> on_done ()
+          in
+          go ());
+      Intake.handlers intake)
+
+(* --- Conventional --------------------------------------------------- *)
+
+let pipe k ?node ?(name = "pipe") ?(capacity = 4) () =
+  custom k ?node ~name (fun ctx ~passive:_ ->
+      let intake = Intake.create () in
+      let r = Intake.add_channel intake ~capacity Channel.output in
+      let port = Port.create () in
+      let w = Port.add_channel port ~capacity:0 Channel.output in
+      (* The internal copy from intake to port costs no invocations; the
+         pipe is one Eject with one buffer, observed from both sides. *)
+      Kernel.spawn_worker ctx ~name:(name ^ "/buffer") (fun () ->
+          let rec go () =
+            match Intake.read r with
+            | Some v ->
+                Port.write w v;
+                go ()
+            | None -> Port.close w
+          in
+          go ());
+      Intake.handlers intake @ Port.handlers port)
+
+let source_active k ?node ?(name = "source") ?batch ~downstream gen =
+  source_wo k ?node ~name ?batch ~downstream gen
+
+let filter_active k ?node ?(name = "filter") ?(batch = 1) ~upstream ~downstream transform =
+  custom k ?node ~name (fun ctx ~passive:_ ->
+      let pull = Pull.connect ctx ~batch upstream in
+      let push = Push.connect ctx ~batch downstream in
+      Kernel.spawn_worker ctx ~name:(name ^ "/pump") (fun () ->
+          transform (fun () -> Pull.read pull) (Push.write push);
+          Push.close push);
+      [])
+
+let sink_active k ?node ?name ?batch ~upstream ?on_done consume =
+  sink_ro k ?node ?name ?batch ~upstream ?on_done consume

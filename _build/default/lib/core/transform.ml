@@ -1,0 +1,87 @@
+module Value = Eden_kernel.Value
+
+type next = unit -> Value.t option
+type emit = Value.t -> unit
+type t = next -> emit -> unit
+
+let identity next emit =
+  let rec go () =
+    match next () with
+    | Some v ->
+        emit v;
+        go ()
+    | None -> ()
+  in
+  go ()
+
+let map f next emit =
+  let rec go () =
+    match next () with
+    | Some v ->
+        emit (f v);
+        go ()
+    | None -> ()
+  in
+  go ()
+
+let filter_map f next emit =
+  let rec go () =
+    match next () with
+    | Some v ->
+        (match f v with Some v' -> emit v' | None -> ());
+        go ()
+    | None -> ()
+  in
+  go ()
+
+let filter pred = filter_map (fun v -> if pred v then Some v else None)
+
+let stateful ~init ~step ~flush next emit =
+  let rec go state =
+    match next () with
+    | Some v ->
+        let state', outs = step state v in
+        List.iter emit outs;
+        go state'
+    | None -> List.iter emit (flush state)
+  in
+  go init
+
+let take n next emit =
+  let rec go remaining =
+    if remaining > 0 then
+      match next () with
+      | Some v ->
+          emit v;
+          go (remaining - 1)
+      | None -> ()
+  in
+  go n
+
+let drop n next emit =
+  let rec skip remaining =
+    if remaining > 0 then match next () with Some _ -> skip (remaining - 1) | None -> ()
+  in
+  skip n;
+  identity next emit
+
+let buffer_all f next emit =
+  let rec collect acc =
+    match next () with Some v -> collect (v :: acc) | None -> List.rev acc
+  in
+  let items = collect [] in
+  List.iter emit (f items)
+
+let run_list t items =
+  let input = ref items in
+  let output = ref [] in
+  let next () =
+    match !input with
+    | [] -> None
+    | x :: rest ->
+        input := rest;
+        Some x
+  in
+  let emit v = output := v :: !output in
+  t next emit;
+  List.rev !output

@@ -1,0 +1,42 @@
+(** Stream transformations, independent of discipline.
+
+    A filter's essence is a transformation from one stream to another
+    (§3); which side holds the initiative is the discipline's business.
+    A [Transform.t] is written in the natural "loop" style — call [next]
+    for input, [emit] for output, return at end of stream — and the
+    {!Stage} builders wrap the same transform as a read-only, write-only
+    or conventional filter Eject.  This separation is the reproduction's
+    form of the paper's point that filters are pure transformers, not
+    pumps. *)
+
+module Value = Eden_kernel.Value
+
+type next = unit -> Value.t option
+(** Produces the next input item, [None] at end of stream. *)
+
+type emit = Value.t -> unit
+
+type t = next -> emit -> unit
+(** Must consume input only via [next] and produce output only via
+    [emit]; both may block.  Returning ends the output stream. *)
+
+val identity : t
+val map : (Value.t -> Value.t) -> t
+val filter : (Value.t -> bool) -> t
+val filter_map : (Value.t -> Value.t option) -> t
+
+val stateful : init:'s -> step:('s -> Value.t -> 's * Value.t list) -> flush:('s -> Value.t list) -> t
+(** Threaded-state transform: [step] maps each item to outputs, [flush]
+    emits any tail when input ends (a paginator's last partial page). *)
+
+val take : int -> t
+(** First [n] items, then end of stream without draining the rest. *)
+
+val drop : int -> t
+
+val buffer_all : (Value.t list -> Value.t list) -> t
+(** Reads the whole input, then emits [f items]; the shape of sorting
+    filters.  Unavoidably unbounded memory, like sort(1). *)
+
+val run_list : t -> Value.t list -> Value.t list
+(** Pure, in-process execution for tests: feed a list, collect output. *)

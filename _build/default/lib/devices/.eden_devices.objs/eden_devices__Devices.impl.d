@@ -1,0 +1,1 @@
+lib/devices/devices.ml: Eden_kernel Eden_sched Eden_transput Eden_util List Printf String

@@ -1,0 +1,1 @@
+lib/devices/devices.mli: Eden_kernel Eden_net Eden_sched Eden_transput

@@ -1,0 +1,1 @@
+lib/dirsvc/directory.ml: Eden_kernel Eden_transput List Printf String

@@ -1,0 +1,1 @@
+lib/dirsvc/directory.mli: Eden_kernel Eden_net

@@ -1,0 +1,1 @@
+lib/dirsvc/namespace.ml: Directory Eden_kernel List String

@@ -1,0 +1,1 @@
+lib/dirsvc/namespace.mli: Eden_kernel

@@ -1,0 +1,57 @@
+module Kernel = Eden_kernel.Kernel
+module Uid = Eden_kernel.Uid
+module Value = Eden_kernel.Value
+
+let split path =
+  let comps = List.filter (fun c -> c <> "") (String.split_on_char '/' path) in
+  List.iter
+    (fun c -> if c = "." || c = ".." then invalid_arg "Namespace.split: . and .. not supported")
+    comps;
+  comps
+
+let resolve ctx ~root path =
+  let rec walk dir = function
+    | [] -> Some dir
+    | c :: rest -> (
+        match Directory.lookup ctx ~dir c with
+        | Some next -> walk next rest
+        | None -> None)
+  in
+  walk root (split path)
+
+let bind ctx ~root path target =
+  match List.rev (split path) with
+  | [] -> raise (Kernel.Eden_error "cannot bind the root")
+  | last :: rev_dirs ->
+      let dirs = List.rev rev_dirs in
+      let parent =
+        List.fold_left
+          (fun dir c ->
+            match Directory.lookup ctx ~dir c with
+            | Some next -> next
+            | None ->
+                (* Create the missing intermediate directory and enter
+                   it — building the network as we walk. *)
+                let fresh = Directory.create (Kernel.kernel ctx) () in
+                Directory.add_entry ctx ~dir c fresh;
+                fresh)
+          root dirs
+      in
+      Directory.add_entry ctx ~dir:parent last target
+
+let unbind ctx ~root path =
+  match List.rev (split path) with
+  | [] -> raise (Kernel.Eden_error "cannot unbind the root")
+  | last :: rev_dirs -> (
+      let dir_path = String.concat "/" (List.rev rev_dirs) in
+      match resolve ctx ~root dir_path with
+      | Some parent -> Directory.delete_entry ctx ~dir:parent last
+      | None -> raise (Kernel.Eden_error ("no such path: " ^ path)))
+
+let list ctx ~root path =
+  match resolve ctx ~root path with
+  | Some dir -> (
+      match Directory.list_lines ctx ~dir with
+      | lines -> Some lines
+      | exception Kernel.Eden_error _ -> None)
+  | None -> None

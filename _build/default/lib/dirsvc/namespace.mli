@@ -1,0 +1,38 @@
+(** Hierarchical naming over directory Ejects.
+
+    §2: "it is, of course, possible to enter the UID of any Eject in a
+    directory, so arbitrary networks of directories can be
+    constructed."  This module walks such networks with Unix-style
+    paths: each component is a [Lookup] on the directory found so far.
+    There is no kernel involvement and no special file descriptors —
+    path resolution is just invocations, which is the paper's
+    conclusion about redirection generalised to naming.
+
+    Paths use [/] separators; leading and duplicate separators are
+    tolerated; ["."] and [".."] are {e not} interpreted (a directory
+    network need not be a tree, so dot-dot has no canonical meaning). *)
+
+module Kernel = Eden_kernel.Kernel
+module Uid = Eden_kernel.Uid
+
+val split : string -> string list
+(** Path to components.  @raise Invalid_argument on ["."]/[".."]
+    components. *)
+
+val resolve : Kernel.ctx -> root:Uid.t -> string -> Uid.t option
+(** [resolve ctx ~root "/a/b/c"]: [Lookup a] on [root], [Lookup b] on
+    the result, and so on.  [None] if any step is missing; the root
+    itself for the empty path. *)
+
+val bind : Kernel.ctx -> root:Uid.t -> string -> Uid.t -> unit
+(** Binds the final component, creating fresh directory Ejects for any
+    missing intermediate components.  @raise Kernel.Eden_error if the
+    final name is already bound, or if an intermediate component exists
+    but does not behave as a directory. *)
+
+val unbind : Kernel.ctx -> root:Uid.t -> string -> unit
+(** Removes the final binding.  @raise Kernel.Eden_error when the path
+    does not resolve. *)
+
+val list : Kernel.ctx -> root:Uid.t -> string -> string list option
+(** The streamed listing of the directory at the path. *)

@@ -1,0 +1,1 @@
+lib/edenfs/eden_file.ml: Eden_kernel Eden_transput List Printf

@@ -1,0 +1,1 @@
+lib/edenfs/eden_file.mli: Eden_kernel Eden_net Eden_transput

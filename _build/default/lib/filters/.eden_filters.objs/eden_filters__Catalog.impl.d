@@ -1,0 +1,1 @@
+lib/filters/catalog.ml: Char Eden_kernel Eden_transput Eden_util Line List Printf Result Sed Seq Set String

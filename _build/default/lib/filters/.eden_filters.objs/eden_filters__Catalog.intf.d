@@ -1,0 +1,1 @@
+lib/filters/catalog.mli: Eden_transput

@@ -1,0 +1,1 @@
+lib/filters/compare.ml: Array Eden_kernel Eden_transput List Option Printf String

@@ -1,0 +1,1 @@
+lib/filters/compare.mli: Eden_kernel Eden_net Eden_transput

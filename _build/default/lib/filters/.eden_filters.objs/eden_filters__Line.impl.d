@@ -1,0 +1,1 @@
+lib/filters/line.ml: Eden_kernel Eden_transput List

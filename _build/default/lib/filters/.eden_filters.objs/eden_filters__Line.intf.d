@@ -1,0 +1,1 @@
+lib/filters/line.mli: Eden_kernel Eden_transput

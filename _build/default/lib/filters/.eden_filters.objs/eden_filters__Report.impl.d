@@ -1,0 +1,1 @@
+lib/filters/report.ml: Eden_kernel Eden_transput Printf

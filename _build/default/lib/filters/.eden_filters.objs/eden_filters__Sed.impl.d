@@ -1,0 +1,1 @@
+lib/filters/sed.ml: Buffer Eden_kernel Eden_transput Eden_util Line List Printf Re Result String

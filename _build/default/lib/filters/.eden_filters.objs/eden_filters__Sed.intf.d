@@ -1,0 +1,1 @@
+lib/filters/sed.mli: Eden_kernel Eden_net Eden_transput

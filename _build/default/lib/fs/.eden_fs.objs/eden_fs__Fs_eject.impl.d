@@ -1,0 +1,1 @@
+lib/fs/fs_eject.ml: Eden_kernel Eden_sched Eden_transput Eden_util List Printf Unix_fs

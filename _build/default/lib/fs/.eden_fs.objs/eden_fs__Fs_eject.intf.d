@@ -1,0 +1,1 @@
+lib/fs/fs_eject.mli: Eden_kernel Eden_net Eden_transput Unix_fs

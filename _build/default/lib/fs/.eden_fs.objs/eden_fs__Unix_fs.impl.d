@@ -1,0 +1,1 @@
+lib/fs/unix_fs.ml: Hashtbl List String

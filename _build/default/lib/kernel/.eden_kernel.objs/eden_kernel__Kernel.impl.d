@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Eden_net Eden_sched Eden_util Format Hashtbl List Option Printf Result String Uid Value

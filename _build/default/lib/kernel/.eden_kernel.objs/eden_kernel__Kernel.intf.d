@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Eden_net Eden_sched Format Uid Value

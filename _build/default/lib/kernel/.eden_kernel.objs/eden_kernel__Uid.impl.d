@@ -1,0 +1,1 @@
+lib/kernel/uid.ml: Eden_util Format Hashtbl Int Int64 Map Printf Set

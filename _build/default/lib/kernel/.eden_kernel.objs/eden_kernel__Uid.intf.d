@@ -1,0 +1,1 @@
+lib/kernel/uid.mli: Format Hashtbl Map Set

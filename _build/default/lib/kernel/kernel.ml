@@ -1,0 +1,433 @@
+module Sched = Eden_sched.Sched
+module Ivar = Eden_sched.Ivar
+module Mailbox = Eden_sched.Mailbox
+module Net = Eden_net.Net
+
+exception Eden_error of string
+
+type reply = (Value.t, string) result
+
+type handler = Value.t -> Value.t
+
+type dispatch = Serial | Concurrent
+
+(* A message in an Eject's coordinator mailbox.  [Stop] is the internal
+   poison pill used by deactivate/destroy to unblock the coordinator. *)
+type message =
+  | Invoke of { op : string; arg : Value.t; reply_to : reply -> unit }
+  | Stop
+
+type runtime = {
+  mailbox : message Mailbox.t;
+  mutable worker_fids : int list;
+  handlers : (string, handler) Hashtbl.t;
+  mutable stopping : bool;
+}
+
+type eject_state = Active of runtime | Passive | Destroyed
+
+type eject = {
+  uid : Uid.t;
+  node : Net.node_id;
+  etype : string;
+  dispatch : dispatch;
+  mutable state : eject_state;
+  mutable versions : (float * Value.t) list; (* checkpoints, newest first *)
+  mutable received : int;
+  behaviour : behaviour;
+}
+
+and t = {
+  sched : Sched.t;
+  net : Net.t;
+  uid_gen : Uid.gen;
+  ejects : eject Uid.Tbl.t;
+  node_ids : Net.node_id list;
+  per_op : (string, int) Hashtbl.t;
+  mutable invocations : int;
+  mutable replies : int;
+  mutable activations : int;
+  mutable ejects_created : int;
+  mutable ejects_destroyed : int;
+  mutable crashes : int;
+  mutable tracing : bool;
+  mutable trace_log : trace_event list; (* newest first *)
+}
+
+and trace_event =
+  | Invoked of { op : string; dst : Uid.t; at : float }
+  | Replied of { op : string; dst : Uid.t; ok : bool; at : float }
+  | Activated of { uid : Uid.t; etype : string; at : float }
+  | Checkpointed of { uid : Uid.t; at : float }
+  | Crashed of { uid : Uid.t; at : float }
+  | Destroyed of { uid : Uid.t; at : float }
+
+and ctx = { k : t; self_uid : Uid.t option; src_node : Net.node_id }
+
+and behaviour = ctx -> passive:Value.t option -> (string * handler) list
+
+let create ?(seed = 0xEDE0L) ?(latency = Net.Fixed 1.0) ?(nodes = [ "node-0" ]) () =
+  let sched = Sched.create () in
+  let prng = Eden_util.Prng.create seed in
+  let net = Net.create ~seed:(Eden_util.Prng.next_int64 prng) ~sched ~latency () in
+  let nodes = if nodes = [] then [ "node-0" ] else nodes in
+  let node_ids = List.map (Net.add_node net) nodes in
+  {
+    sched;
+    net;
+    uid_gen = Uid.generator ~seed:(Eden_util.Prng.next_int64 prng);
+    ejects = Uid.Tbl.create 64;
+    node_ids;
+    per_op = Hashtbl.create 32;
+    invocations = 0;
+    replies = 0;
+    activations = 0;
+    ejects_created = 0;
+    ejects_destroyed = 0;
+    crashes = 0;
+    tracing = false;
+    trace_log = [];
+  }
+
+let trace t ev = if t.tracing then t.trace_log <- ev :: t.trace_log
+
+let sched t = t.sched
+let net t = t.net
+let nodes t = t.node_ids
+
+let run t =
+  Sched.run t.sched;
+  Sched.check_failures t.sched
+
+let create_eject t ?node ?(dispatch = Serial) ~type_name behaviour =
+  let node = match node with Some n -> n | None -> List.hd t.node_ids in
+  let uid = Uid.fresh t.uid_gen in
+  let e =
+    {
+      uid;
+      node;
+      etype = type_name;
+      dispatch;
+      state = Passive;
+      versions = [];
+      received = 0;
+      behaviour;
+    }
+  in
+  Uid.Tbl.replace t.ejects uid e;
+  t.ejects_created <- t.ejects_created + 1;
+  uid
+
+let exists t uid =
+  match Uid.Tbl.find_opt t.ejects uid with
+  | Some { state = Destroyed; _ } | None -> false
+  | Some _ -> true
+
+let is_active t uid =
+  match Uid.Tbl.find_opt t.ejects uid with Some { state = Active _; _ } -> true | _ -> false
+
+let type_name t uid =
+  match Uid.Tbl.find_opt t.ejects uid with
+  | Some e when e.state <> Destroyed -> Some e.etype
+  | _ -> None
+
+let live_ejects t = t.ejects_created - t.ejects_destroyed
+
+let checkpoints t uid =
+  match Uid.Tbl.find_opt t.ejects uid with Some e -> e.versions | None -> []
+
+(* --- Eject runtime ------------------------------------------------- *)
+
+let run_handler e msg =
+  match msg with
+  | Stop -> ()
+  | Invoke { op; arg; reply_to } -> (
+      let rt = match e.state with Active rt -> rt | Passive | Destroyed -> assert false in
+      match Hashtbl.find_opt rt.handlers op with
+      | None -> reply_to (Error (Printf.sprintf "no such operation: %s" op))
+      | Some h -> (
+          match h arg with
+          | v -> reply_to (Ok v)
+          | exception Eden_error m -> reply_to (Error m)
+          | exception Value.Protocol_error m -> reply_to (Error ("protocol error: " ^ m))
+          | exception Sched.Cancelled -> raise Sched.Cancelled))
+
+let rec coordinator t e rt () =
+  let msg = Mailbox.receive rt.mailbox in
+  (match e.state with
+  | Active _ when not rt.stopping -> (
+      e.received <- e.received + 1;
+      match msg with
+      | Stop -> ()
+      | Invoke _ as m -> (
+          match e.dispatch with
+          | Serial -> run_handler e m
+          | Concurrent ->
+              let fid =
+                Sched.spawn_inside ~name:(Uid.to_string e.uid ^ "/worker") (fun () ->
+                    run_handler e m)
+              in
+              rt.worker_fids <- fid :: rt.worker_fids))
+  | Active _ | Passive | Destroyed -> ());
+  match e.state with
+  | Active rt' when rt' == rt && not rt.stopping -> coordinator t e rt ()
+  | Active _ | Passive | Destroyed -> ()
+
+and activate t e =
+  match e.state with
+  | Active rt -> rt
+  | Destroyed -> invalid_arg "Kernel.activate: destroyed eject"
+  | Passive ->
+      let rt =
+        {
+          mailbox = Mailbox.create ~label:(e.etype ^ " coordinator") ();
+          worker_fids = [];
+          handlers = Hashtbl.create 8;
+          stopping = false;
+        }
+      in
+      e.state <- Active rt;
+      t.activations <- t.activations + 1;
+      trace t (Activated { uid = e.uid; etype = e.etype; at = Sched.now t.sched });
+      let ctx = { k = t; self_uid = Some e.uid; src_node = e.node } in
+      let passive = match e.versions with (_, data) :: _ -> Some data | [] -> None in
+      let table = e.behaviour ctx ~passive in
+      List.iter (fun (op, h) -> Hashtbl.replace rt.handlers op h) table;
+      let fid =
+        Sched.spawn t.sched
+          ~name:(Printf.sprintf "%s(%s)/coord" e.etype (Uid.to_string e.uid))
+          (coordinator t e rt)
+      in
+      rt.worker_fids <- fid :: rt.worker_fids;
+      rt
+
+(* --- Invocation ---------------------------------------------------- *)
+
+let bump_op t op =
+  Hashtbl.replace t.per_op op (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_op op))
+
+let invoke_from t ~src_node dst ~op arg =
+  t.invocations <- t.invocations + 1;
+  bump_op t op;
+  trace t (Invoked { op; dst; at = Sched.now t.sched });
+  let ivar = Ivar.create () in
+  let fail_local msg =
+    (* The kernel detects a dangling UID at the source; model the check
+       as a local hop so even errors cost simulated time. *)
+    Net.send t.net ~src:src_node ~dst:src_node ~size:16 (fun () ->
+        ignore (Ivar.try_fill ivar (Error msg)))
+  in
+  (match Uid.Tbl.find_opt t.ejects dst with
+  | None | Some { state = Destroyed; _ } -> fail_local "no such eject"
+  | Some e ->
+      let size = Value.size arg + String.length op + 16 in
+      Net.send t.net ~src:src_node ~dst:e.node ~size (fun () ->
+          match e.state with
+          | Destroyed -> ignore (Ivar.try_fill ivar (Error "no such eject"))
+          | Passive | Active _ ->
+              let rt = activate t e in
+              let reply_to r =
+                t.replies <- t.replies + 1;
+                trace t
+                  (Replied
+                     { op; dst; ok = Result.is_ok r; at = Sched.now t.sched });
+                let rsize =
+                  match r with Ok v -> Value.size v + 16 | Error m -> String.length m + 16
+                in
+                Net.send t.net ~src:e.node ~dst:src_node ~size:rsize (fun () ->
+                    ignore (Ivar.try_fill ivar r))
+              in
+              Mailbox.send rt.mailbox (Invoke { op; arg; reply_to })));
+  ivar
+
+let invoke_async ctx dst ~op arg = invoke_from ctx.k ~src_node:ctx.src_node dst ~op arg
+
+let invoke ctx dst ~op arg = Ivar.read (invoke_async ctx dst ~op arg)
+
+let invoke_timeout ctx dst ~op arg ~timeout =
+  Ivar.read_timeout ctx.k.sched (invoke_async ctx dst ~op arg) timeout
+
+let call ctx dst ~op arg =
+  match invoke ctx dst ~op arg with Ok v -> v | Error m -> raise (Eden_error m)
+
+(* --- Self-operations ----------------------------------------------- *)
+
+let self ctx =
+  match ctx.self_uid with
+  | Some uid -> uid
+  | None -> invalid_arg "Kernel.self: driver context has no self"
+
+let kernel ctx = ctx.k
+
+let my_eject ctx =
+  match ctx.self_uid with
+  | None -> invalid_arg "Kernel: operation requires an Eject context"
+  | Some uid -> (
+      match Uid.Tbl.find_opt ctx.k.ejects uid with
+      | Some e -> e
+      | None -> invalid_arg "Kernel: unknown self")
+
+let spawn_worker ctx ?name body =
+  let e = my_eject ctx in
+  match e.state with
+  | Active rt ->
+      let name =
+        match name with Some n -> n | None -> Uid.to_string e.uid ^ "/worker"
+      in
+      let fid = Sched.spawn ctx.k.sched ~name body in
+      rt.worker_fids <- fid :: rt.worker_fids
+  | Passive | Destroyed -> invalid_arg "Kernel.spawn_worker: eject not active"
+
+let checkpoint ctx data =
+  let e = my_eject ctx in
+  e.versions <- (Sched.now ctx.k.sched, data) :: e.versions;
+  trace ctx.k (Checkpointed { uid = e.uid; at = Sched.now ctx.k.sched })
+
+let mint ctx = Uid.fresh ctx.k.uid_gen
+
+let last_checkpoint ctx =
+  let e = my_eject ctx in
+  match e.versions with (_, data) :: _ -> Some data | [] -> None
+
+(* Stop an active eject's processes.  [self_fid] protection is not
+   needed: cancellation is only delivered at suspension points, and the
+   coordinator checks [stopping] before its next receive. *)
+let stop_runtime t e ~drop_mailbox =
+  match e.state with
+  | Active rt ->
+      rt.stopping <- true;
+      Mailbox.send rt.mailbox Stop;
+      List.iter (fun fid -> Sched.cancel t.sched fid) rt.worker_fids;
+      if drop_mailbox then
+        (* Crash: pending messages are lost; their invokers never get a
+           reply (they can use invoke_timeout). *)
+        while Mailbox.try_receive rt.mailbox <> None do
+          ()
+        done;
+      e.state <- Passive
+  | Passive | Destroyed -> ()
+
+let deactivate ctx =
+  let e = my_eject ctx in
+  match e.state with
+  | Active rt ->
+      (* Graceful: let queued invocations drain by re-posting them after
+         reactivation — here simply leave them; the coordinator exits and
+         any queued message reactivates the Eject lazily on next send.
+         To keep semantics simple we require the mailbox be drained by
+         the time a well-behaved Eject deactivates. *)
+      rt.stopping <- true;
+      Mailbox.send rt.mailbox Stop;
+      List.iter
+        (fun fid -> Sched.cancel ctx.k.sched fid)
+        rt.worker_fids;
+      e.state <- Passive
+  | Passive | Destroyed -> ()
+
+let destroy ctx =
+  let e = my_eject ctx in
+  (match e.state with
+  | Active rt ->
+      rt.stopping <- true;
+      Mailbox.send rt.mailbox Stop;
+      List.iter (fun fid -> Sched.cancel ctx.k.sched fid) rt.worker_fids
+  | Passive | Destroyed -> ());
+  if e.state <> Destroyed then begin
+    e.state <- Destroyed;
+    ctx.k.ejects_destroyed <- ctx.k.ejects_destroyed + 1;
+    trace ctx.k (Destroyed { uid = e.uid; at = Sched.now ctx.k.sched })
+  end
+
+let poke t uid =
+  match Uid.Tbl.find_opt t.ejects uid with
+  | None | Some { state = Destroyed; _ } -> invalid_arg "Kernel.poke: no such eject"
+  | Some e -> ignore (activate t e)
+
+let crash t uid =
+  match Uid.Tbl.find_opt t.ejects uid with
+  | None | Some { state = Destroyed; _ } -> ()
+  | Some e ->
+      t.crashes <- t.crashes + 1;
+      trace t (Crashed { uid = e.uid; at = Sched.now t.sched });
+      stop_runtime t e ~drop_mailbox:true
+
+(* --- Drivers -------------------------------------------------------- *)
+
+let run_driver t f =
+  let ctx = { k = t; self_uid = None; src_node = List.hd t.node_ids } in
+  ignore (Sched.spawn t.sched ~name:"driver" (fun () -> f ctx));
+  run t
+
+(* --- Metering ------------------------------------------------------- *)
+
+module Meter = struct
+  type snapshot = {
+    invocations : int;
+    replies : int;
+    activations : int;
+    ejects_created : int;
+    ejects_live : int;
+    crashes : int;
+    net : Net.meter;
+  }
+
+  let snapshot (k : t) =
+    {
+      invocations = k.invocations;
+      replies = k.replies;
+      activations = k.activations;
+      ejects_created = k.ejects_created;
+      ejects_live = live_ejects k;
+      crashes = k.crashes;
+      net = Net.meter k.net;
+    }
+
+  let diff later earlier =
+    {
+      invocations = later.invocations - earlier.invocations;
+      replies = later.replies - earlier.replies;
+      activations = later.activations - earlier.activations;
+      ejects_created = later.ejects_created - earlier.ejects_created;
+      ejects_live = later.ejects_live;
+      crashes = later.crashes - earlier.crashes;
+      net = Net.meter_diff later.net earlier.net;
+    }
+
+  let pp ppf s =
+    Format.fprintf ppf "invocations=%d replies=%d activations=%d ejects=%d live=%d crashes=%d %a"
+      s.invocations s.replies s.activations s.ejects_created s.ejects_live s.crashes Net.pp_meter
+      s.net
+end
+
+let op_counts t =
+  Hashtbl.fold (fun op n acc -> (op, n) :: acc) t.per_op []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+module Trace = struct
+  type event = trace_event =
+    | Invoked of { op : string; dst : Uid.t; at : float }
+    | Replied of { op : string; dst : Uid.t; ok : bool; at : float }
+    | Activated of { uid : Uid.t; etype : string; at : float }
+    | Checkpointed of { uid : Uid.t; at : float }
+    | Crashed of { uid : Uid.t; at : float }
+    | Destroyed of { uid : Uid.t; at : float }
+
+  let enable t = t.tracing <- true
+  let disable t = t.tracing <- false
+  let clear t = t.trace_log <- []
+  let events t = List.rev t.trace_log
+
+  let pp_event ppf = function
+    | Invoked { op; dst; at } -> Format.fprintf ppf "%8.3f invoke %s -> %a" at op Uid.pp dst
+    | Replied { op; dst; ok; at } ->
+        Format.fprintf ppf "%8.3f reply  %s <- %a (%s)" at op Uid.pp dst
+          (if ok then "ok" else "error")
+    | Activated { uid; etype; at } ->
+        Format.fprintf ppf "%8.3f activate %a (%s)" at Uid.pp uid etype
+    | Checkpointed { uid; at } -> Format.fprintf ppf "%8.3f checkpoint %a" at Uid.pp uid
+    | Crashed { uid; at } -> Format.fprintf ppf "%8.3f crash %a" at Uid.pp uid
+    | Destroyed { uid; at } -> Format.fprintf ppf "%8.3f destroy %a" at Uid.pp uid
+
+  let ops t =
+    List.filter_map (function Invoked { op; _ } -> Some op | _ -> None) (events t)
+end

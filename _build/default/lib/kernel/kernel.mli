@@ -1,0 +1,203 @@
+(** The Eden kernel simulation: Ejects and invocations.
+
+    An Eject (§1 of the paper) is an active entity with a unique
+    unforgeable {!Uid.t}, a concrete type (a dispatch table of named
+    operations), its own processes (fibers), and the ability to
+    [checkpoint] a passive representation to stable storage.  Ejects may
+    be passive; invoking a passive Eject activates it, reconstructing
+    its state from its last checkpoint.
+
+    Invocation is a location-independent request/reply: the invoker
+    names a UID and an operation, the kernel routes the request over the
+    simulated network, the target's coordinator process dispatches it,
+    and the reply travels back.  The identity of the invoker is {e
+    deliberately not} made available to the handler — the paper (§5)
+    argues the effect of an invocation must depend only on its
+    parameters, and the channel-capability security experiment depends
+    on this.
+
+    The kernel meters every invocation; those counters are the
+    instrument behind each reproduced table. *)
+
+exception Eden_error of string
+(** Raised by operation handlers to signal a clean application-level
+    error; delivered to the invoker as [Error message]. *)
+
+type t
+type ctx
+(** Capability handed to an Eject's own code: identifies the Eject and
+    lets it invoke others, spawn worker processes, checkpoint,
+    deactivate or destroy itself. *)
+
+type reply = (Value.t, string) result
+
+type handler = Value.t -> Value.t
+(** Operation implementation: argument in, reply out.  May block (invoke
+    other Ejects, wait on internal channels); raise {!Eden_error} for a
+    clean error reply. *)
+
+type behaviour = ctx -> passive:Value.t option -> (string * handler) list
+(** The Eden "type-code".  Called at each activation with the latest
+    checkpointed passive representation (or [None] on first activation /
+    after a crash that preceded any checkpoint); returns the dispatch
+    table.  May call {!spawn_worker} to start background processes. *)
+
+(** Whether an Eject serves invocations one at a time (default —
+    deterministic, and the right semantics for stream Ejects) or spawns
+    a worker per invocation. *)
+type dispatch = Serial | Concurrent
+
+(** {1 Kernel lifecycle} *)
+
+val create : ?seed:int64 -> ?latency:Eden_net.Net.latency -> ?nodes:string list -> unit -> t
+(** A kernel with its own scheduler and network.  [nodes] (default one
+    node ["node-0"]) are created in order; node 0 also hosts external
+    drivers. *)
+
+val sched : t -> Eden_sched.Sched.t
+val net : t -> Eden_net.Net.t
+val nodes : t -> Eden_net.Net.node_id list
+
+val run : t -> unit
+(** Drives the simulation to quiescence and re-raises the first fiber
+    failure, if any. *)
+
+val run_driver : t -> (ctx -> unit) -> unit
+(** Spawns [f] as a driver fiber on node 0 with an external context,
+    then {!run}s to quiescence.  The standard way to execute an
+    experiment. *)
+
+(** {1 Ejects} *)
+
+val create_eject :
+  t ->
+  ?node:Eden_net.Net.node_id ->
+  ?dispatch:dispatch ->
+  type_name:string ->
+  behaviour ->
+  Uid.t
+(** Registers a new (initially passive) Eject and returns its UID. *)
+
+val exists : t -> Uid.t -> bool
+val is_active : t -> Uid.t -> bool
+val type_name : t -> Uid.t -> string option
+val live_ejects : t -> int
+(** Created and not destroyed. *)
+
+val poke : t -> Uid.t -> unit
+(** Management-plane activation: ensures the Eject is active (its
+    behaviour installed, its workers running) without sending it an
+    invocation.  Used to start the pumping end of a pipeline — the
+    paper's "connecting a terminal to a filter is rather like starting a
+    pump" — without perturbing the data-plane invocation counts that the
+    experiments measure.  @raise Invalid_argument on unknown or
+    destroyed UIDs. *)
+
+val crash : t -> Uid.t -> unit
+(** Simulated failure: cancels the Eject's processes, discards volatile
+    state and pending messages.  The Eject is passive afterwards and
+    reactivates from its last checkpoint on the next invocation.
+    No-op on unknown/destroyed UIDs. *)
+
+val checkpoints : t -> Uid.t -> (float * Value.t) list
+(** All checkpointed passive representations, newest first, with their
+    virtual timestamps. *)
+
+(** {1 Invoking (from Eject code or drivers)} *)
+
+val invoke : ctx -> Uid.t -> op:string -> Value.t -> reply
+(** Synchronous invocation; blocks the calling fiber for the full
+    request/reply round trip. *)
+
+val invoke_async : ctx -> Uid.t -> op:string -> Value.t -> reply Eden_sched.Ivar.t
+(** The sending Eject is free to perform other tasks (§1); read the ivar
+    when the reply is needed. *)
+
+val invoke_timeout : ctx -> Uid.t -> op:string -> Value.t -> timeout:float -> reply option
+(** [None] if no reply arrives in the given virtual-time window (lost
+    message, crashed or partitioned target). *)
+
+val call : ctx -> Uid.t -> op:string -> Value.t -> Value.t
+(** [invoke] that raises {!Eden_error} on an [Error] reply.  The usual
+    form inside protocol code. *)
+
+(** {1 Eject self-operations (inside handlers / workers)} *)
+
+val self : ctx -> Uid.t
+val kernel : ctx -> t
+
+val spawn_worker : ctx -> ?name:string -> (unit -> unit) -> unit
+(** A background process belonging to this Eject; cancelled when the
+    Eject deactivates, is destroyed, or crashes. *)
+
+val checkpoint : ctx -> Value.t -> unit
+(** Writes a passive representation to stable storage (§1); survives
+    [crash].  Values may carry UIDs, so capabilities survive recovery
+    without ever being exposed as forgeable strings. *)
+
+val last_checkpoint : ctx -> Value.t option
+
+val mint : ctx -> Uid.t
+(** A fresh unforgeable UID that names no Eject — a capability token,
+    e.g. a secure channel identifier (§5). *)
+
+val deactivate : ctx -> unit
+(** Graceful self-deactivation after the current invocation completes.
+    State is rebuilt from the last checkpoint at next activation. *)
+
+val destroy : ctx -> unit
+(** Self-destruction, like the bootstrap [UnixFile] Ejects that
+    deactivate without ever checkpointing and disappear (§7).  Later
+    invocations get [Error "no such eject"]. *)
+
+(** {1 Metering} *)
+
+module Meter : sig
+  type snapshot = {
+    invocations : int;  (** invocations issued *)
+    replies : int;  (** replies sent by handlers *)
+    activations : int;
+    ejects_created : int;
+    ejects_live : int;
+    crashes : int;
+    net : Eden_net.Net.meter;
+  }
+
+  val snapshot : t -> snapshot
+  val diff : snapshot -> snapshot -> snapshot
+  (** Counter-wise subtraction (for [ejects_live], the later value is
+      kept: it is a gauge, not a counter). *)
+
+  val pp : Format.formatter -> snapshot -> unit
+end
+
+val op_counts : t -> (string * int) list
+(** Invocations issued per operation name, sorted by name. *)
+
+(** {1 Tracing}
+
+    An optional in-kernel event log for debugging and for tests that
+    assert interaction sequences.  Disabled (and free) by default. *)
+
+module Trace : sig
+  type event =
+    | Invoked of { op : string; dst : Uid.t; at : float }
+    | Replied of { op : string; dst : Uid.t; ok : bool; at : float }
+    | Activated of { uid : Uid.t; etype : string; at : float }
+    | Checkpointed of { uid : Uid.t; at : float }
+    | Crashed of { uid : Uid.t; at : float }
+    | Destroyed of { uid : Uid.t; at : float }
+
+  val enable : t -> unit
+  val disable : t -> unit
+  val clear : t -> unit
+
+  val events : t -> event list
+  (** Oldest first. *)
+
+  val pp_event : Format.formatter -> event -> unit
+
+  val ops : t -> string list
+  (** Just the operation names of [Invoked] events, oldest first — the
+      common shape for sequence assertions. *)
+end

@@ -1,0 +1,33 @@
+type t = { tag : int64; serial : int }
+
+type gen = { prng : Eden_util.Prng.t; mutable next : int }
+
+let generator ~seed = { prng = Eden_util.Prng.create seed; next = 0 }
+
+let fresh g =
+  let serial = g.next in
+  g.next <- serial + 1;
+  { tag = Eden_util.Prng.next_int64 g.prng; serial }
+
+let equal a b = a.serial = b.serial && Int64.equal a.tag b.tag
+let compare a b =
+  let c = Int.compare a.serial b.serial in
+  if c <> 0 then c else Int64.compare a.tag b.tag
+
+let hash a = a.serial lxor Int64.to_int a.tag
+
+let to_string a = Printf.sprintf "E#%04Lx.%d" (Int64.logand a.tag 0xFFFFL) a.serial
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+module Key = struct
+  type nonrec t = t
+
+  let equal = equal
+  let compare = compare
+  let hash = hash
+end
+
+module Tbl = Hashtbl.Make (Key)
+module Set = Set.Make (Key)
+module Map = Map.Make (Key)

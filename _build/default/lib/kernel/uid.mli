@@ -1,0 +1,27 @@
+(** Unique unforgeable identifiers for Ejects.
+
+    A UID is the only way to name an Eject (the paper, §1).  The type is
+    abstract and fresh values can only be minted through a [gen] held by
+    the kernel, which is what makes them capabilities: user code can
+    pass them around and compare them but never invent one.  The random
+    tag means UIDs are not guessable even across kernels. *)
+
+type t
+
+type gen
+
+val generator : seed:int64 -> gen
+val fresh : gen -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_string : t -> string
+(** Short printable form like ["E#0f3a.17"]; stable for a given UID. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Tbl : Hashtbl.S with type key = t
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

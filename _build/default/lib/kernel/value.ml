@@ -1,0 +1,74 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Uid of Uid.t
+  | List of t list
+
+exception Protocol_error of string
+
+let unit = Unit
+let bool b = Bool b
+let int n = Int n
+let float f = Float f
+let str s = Str s
+let uid u = Uid u
+let list vs = List vs
+let pair a b = List [ a; b ]
+
+let shape = function
+  | Unit -> "unit"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Str _ -> "string"
+  | Uid _ -> "uid"
+  | List _ -> "list"
+
+let wrong expected v =
+  raise (Protocol_error (Printf.sprintf "expected %s, got %s" expected (shape v)))
+
+let to_unit = function Unit -> () | v -> wrong "unit" v
+let to_bool = function Bool b -> b | v -> wrong "bool" v
+let to_int = function Int n -> n | v -> wrong "int" v
+let to_float = function Float f -> f | v -> wrong "float" v
+let to_str = function Str s -> s | v -> wrong "string" v
+let to_uid = function Uid u -> u | v -> wrong "uid" v
+let to_list = function List vs -> vs | v -> wrong "list" v
+
+let to_pair = function
+  | List [ a; b ] -> (a, b)
+  | v -> wrong "pair" v
+
+let rec equal a b =
+  match a, b with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | Uid x, Uid y -> Uid.equal x y
+  | List xs, List ys -> ( try List.for_all2 equal xs ys with Invalid_argument _ -> false)
+  | (Unit | Bool _ | Int _ | Float _ | Str _ | Uid _ | List _), _ -> false
+
+let rec size = function
+  | Unit -> 1
+  | Bool _ -> 1
+  | Int _ | Float _ -> 8
+  | Str s -> 4 + String.length s
+  | Uid _ -> 16
+  | List vs -> List.fold_left (fun acc v -> acc + size v) 4 vs
+
+let rec pp ppf = function
+  | Unit -> Format.pp_print_string ppf "()"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int n -> Format.pp_print_int ppf n
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Uid u -> Uid.pp ppf u
+  | List vs ->
+      Format.fprintf ppf "[@[%a@]]" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp) vs
+
+let to_string v = Format.asprintf "%a" pp v

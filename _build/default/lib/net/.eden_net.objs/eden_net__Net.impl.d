@@ -1,0 +1,1 @@
+lib/net/net.ml: Array Eden_sched Eden_util Format Hashtbl

@@ -1,0 +1,116 @@
+module Sched = Eden_sched.Sched
+module Prng = Eden_util.Prng
+
+type node_id = int
+
+type latency =
+  | Fixed of float
+  | Per_byte of { base : float; per_byte : float }
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+
+type meter = { sent : int; delivered : int; dropped : int; bytes : int }
+
+let empty_meter = { sent = 0; delivered = 0; dropped = 0; bytes = 0 }
+
+type t = {
+  sched : Sched.t;
+  prng : Prng.t;
+  mutable nodes : string array;
+  mutable default_latency : latency;
+  mutable local_latency : latency;
+  link_latency : (int * int, latency) Hashtbl.t;
+  partitions : (int * int, unit) Hashtbl.t;
+  mutable loss_probability : float;
+  mutable m : meter;
+}
+
+let mean_of = function
+  | Fixed f -> f
+  | Per_byte { base; per_byte } -> base +. (per_byte *. 256.0)
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Exponential { mean } -> mean
+
+let create ?(seed = 0x5EEDL) ~sched ~latency () =
+  {
+    sched;
+    prng = Prng.create seed;
+    nodes = [||];
+    default_latency = latency;
+    local_latency = Fixed (mean_of latency /. 10.0);
+    link_latency = Hashtbl.create 8;
+    partitions = Hashtbl.create 8;
+    loss_probability = 0.0;
+    m = empty_meter;
+  }
+
+let sched t = t.sched
+
+let add_node t name =
+  t.nodes <- Array.append t.nodes [| name |];
+  Array.length t.nodes - 1
+
+let node_count t = Array.length t.nodes
+
+let node_name t id =
+  if id < 0 || id >= Array.length t.nodes then invalid_arg "Net.node_name: unknown node";
+  t.nodes.(id)
+
+let set_latency t l = t.default_latency <- l
+let set_local_latency t l = t.local_latency <- l
+
+let link_key a b = if a <= b then (a, b) else (b, a)
+
+let set_link_latency t a b l = Hashtbl.replace t.link_latency (link_key a b) l
+
+let set_loss_probability t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Net.set_loss_probability: outside [0,1]";
+  t.loss_probability <- p
+
+let partition t a b = Hashtbl.replace t.partitions (link_key a b) ()
+let heal t a b = Hashtbl.remove t.partitions (link_key a b)
+let heal_all t = Hashtbl.reset t.partitions
+
+let draw_latency t model size =
+  match model with
+  | Fixed f -> f
+  | Per_byte { base; per_byte } -> base +. (per_byte *. float_of_int size)
+  | Uniform { lo; hi } -> lo +. Prng.float t.prng (hi -. lo)
+  | Exponential { mean } -> Prng.exponential t.prng mean
+
+let latency_for t ~src ~dst ~size =
+  if src = dst then draw_latency t t.local_latency size
+  else
+    let model =
+      match Hashtbl.find_opt t.link_latency (link_key src dst) with
+      | Some l -> l
+      | None -> t.default_latency
+    in
+    draw_latency t model size
+
+let send t ~src ~dst ~size deliver =
+  t.m <- { t.m with sent = t.m.sent + 1; bytes = t.m.bytes + size };
+  let partitioned = src <> dst && Hashtbl.mem t.partitions (link_key src dst) in
+  let lost = t.loss_probability > 0.0 && Prng.float t.prng 1.0 < t.loss_probability in
+  if partitioned || lost then t.m <- { t.m with dropped = t.m.dropped + 1 }
+  else begin
+    let delay = latency_for t ~src ~dst ~size in
+    Sched.timer t.sched delay (fun () ->
+        t.m <- { t.m with delivered = t.m.delivered + 1 };
+        deliver ())
+  end
+
+let meter t = t.m
+let reset_meter t = t.m <- empty_meter
+
+let meter_diff later earlier =
+  {
+    sent = later.sent - earlier.sent;
+    delivered = later.delivered - earlier.delivered;
+    dropped = later.dropped - earlier.dropped;
+    bytes = later.bytes - earlier.bytes;
+  }
+
+let pp_meter ppf m =
+  Format.fprintf ppf "sent=%d delivered=%d dropped=%d bytes=%d" m.sent m.delivered m.dropped
+    m.bytes

@@ -1,0 +1,1 @@
+lib/sched/chan.ml: Eden_util Waitq

@@ -1,0 +1,1 @@
+lib/sched/chan.mli:

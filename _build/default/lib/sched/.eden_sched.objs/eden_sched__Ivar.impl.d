@@ -1,0 +1,1 @@
+lib/sched/ivar.ml: Sched Waitq

@@ -1,0 +1,1 @@
+lib/sched/sched.ml: Eden_util Effect Float Hashtbl List Printexc Printf Queue

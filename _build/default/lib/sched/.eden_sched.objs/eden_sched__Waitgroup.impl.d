@@ -1,0 +1,1 @@
+lib/sched/waitgroup.ml: Waitq

@@ -1,0 +1,41 @@
+type 'a t = { ring : 'a Eden_util.Ring.t; readers : Waitq.t; writers : Waitq.t }
+
+let create ~capacity =
+  {
+    ring = Eden_util.Ring.create ~capacity;
+    readers = Waitq.create "chan.get";
+    writers = Waitq.create "chan.put";
+  }
+
+let rec put t x =
+  if Eden_util.Ring.push t.ring x then ignore (Waitq.wake_one t.readers)
+  else begin
+    Waitq.park t.writers;
+    put t x
+  end
+
+let try_put t x =
+  let ok = Eden_util.Ring.push t.ring x in
+  if ok then ignore (Waitq.wake_one t.readers);
+  ok
+
+let rec get t =
+  match Eden_util.Ring.pop t.ring with
+  | Some x ->
+      ignore (Waitq.wake_one t.writers);
+      x
+  | None ->
+      Waitq.park t.readers;
+      get t
+
+let try_get t =
+  match Eden_util.Ring.pop t.ring with
+  | Some x ->
+      ignore (Waitq.wake_one t.writers);
+      Some x
+  | None -> None
+
+let length t = Eden_util.Ring.length t.ring
+let capacity t = Eden_util.Ring.capacity t.ring
+let is_empty t = Eden_util.Ring.is_empty t.ring
+let is_full t = Eden_util.Ring.is_full t.ring

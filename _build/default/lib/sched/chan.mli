@@ -1,0 +1,24 @@
+(** Bounded blocking channel — intra-Eject IPC.
+
+    This is the buffer that the paper's [Stdio] veneer shares between
+    the filter's worker process (which [put]s via conventional [Write]
+    calls) and the coordinator process that services Read invocations
+    (which [get]s).  [put] blocks when full, [get] when empty. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val put : 'a t -> 'a -> unit
+(** Blocks while full.  Fiber context only. *)
+
+val try_put : 'a t -> 'a -> bool
+val get : 'a t -> 'a
+(** Blocks while empty.  Fiber context only. *)
+
+val try_get : 'a t -> 'a option
+val length : 'a t -> int
+val capacity : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool

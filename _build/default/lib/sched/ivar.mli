@@ -1,0 +1,24 @@
+(** Write-once variable ("incremental variable").
+
+    The reply slot of every invocation is an [Ivar]: the invoker blocks
+    in [read] until the invokee [fill]s it. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** @raise Failure if already filled. *)
+
+val try_fill : 'a t -> 'a -> bool
+(** [false] if already filled. *)
+
+val read : 'a t -> 'a
+(** Blocks until filled.  Fiber context only. *)
+
+val read_timeout : Sched.t -> 'a t -> float -> 'a option
+(** Blocks until filled or until the virtual-time delay elapses; [None]
+    on timeout.  Needs the scheduler handle to arm the timer. *)
+
+val peek : 'a t -> 'a option
+val is_filled : 'a t -> bool

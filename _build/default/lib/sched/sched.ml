@@ -1,0 +1,251 @@
+(* Discrete-event cooperative scheduler built on OCaml 5 effect
+   handlers.  The design constraint throughout is determinism: FIFO run
+   queue, a stable (insertion-ordered) timer heap, and virtual time that
+   advances only at quiescence of the run queue. *)
+
+module Timer_heap = Eden_util.Heap.Make (struct
+  type t = float
+
+  let compare = Float.compare
+end)
+
+exception Cancelled
+
+type fiber_id = int
+
+type state = Ready | Running | Blocked of string | Finished
+
+(* [fired] makes resume/cancel mutually exclusive and idempotent:
+   whichever of {waker, canceller, timer} gets there first wins. *)
+type wake = { mutable fired : bool; mutable cancel_hook : unit -> unit }
+
+type fiber = {
+  fid : fiber_id;
+  fname : string;
+  mutable fstate : state;
+  mutable fwake : wake option;
+  mutable fcancelled : bool;
+}
+
+type t = {
+  runq : (unit -> unit) Queue.t;
+  mutable timers : (unit -> unit) Timer_heap.t;
+  mutable clock : float;
+  fibers : (fiber_id, fiber) Hashtbl.t;
+  mutable next_id : int;
+  mutable failures : (string * exn) list;
+  mutable current : fiber option;
+  mutable live : int;
+}
+
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Sleep : float -> unit Effect.t
+  | Suspend : (string * ((unit -> unit) -> unit)) -> unit Effect.t
+  | Time : float Effect.t
+  | Self : fiber Effect.t
+  | Spawn_inside : (string option * (unit -> unit)) -> fiber_id Effect.t
+
+let create () =
+  {
+    runq = Queue.create ();
+    timers = Timer_heap.empty;
+    clock = 0.0;
+    fibers = Hashtbl.create 64;
+    next_id = 0;
+    failures = [];
+    current = None;
+    live = 0;
+  }
+
+let now t = t.clock
+
+let timer t delay thunk =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  t.timers <- Timer_heap.insert (t.clock +. delay) thunk t.timers
+
+let finish t fiber outcome =
+  fiber.fstate <- Finished;
+  fiber.fwake <- None;
+  t.live <- t.live - 1;
+  match outcome with
+  | None -> ()
+  | Some exn -> t.failures <- (fiber.fname, exn) :: t.failures
+
+(* Park [fiber]; build the resume/cancel pair sharing one [wake]. *)
+let park t fiber reason (k : (unit, unit) Effect.Deep.continuation) register =
+  fiber.fstate <- Blocked reason;
+  let wake = { fired = false; cancel_hook = (fun () -> ()) } in
+  fiber.fwake <- Some wake;
+  let resume () =
+    if not wake.fired then begin
+      wake.fired <- true;
+      fiber.fwake <- None;
+      fiber.fstate <- Ready;
+      Queue.push
+        (fun () ->
+          t.current <- Some fiber;
+          fiber.fstate <- Running;
+          if fiber.fcancelled then Effect.Deep.discontinue k Cancelled
+          else Effect.Deep.continue k ())
+        t.runq
+    end
+  in
+  let cancel () =
+    if not wake.fired then begin
+      wake.fired <- true;
+      fiber.fwake <- None;
+      fiber.fstate <- Ready;
+      Queue.push
+        (fun () ->
+          t.current <- Some fiber;
+          fiber.fstate <- Running;
+          Effect.Deep.discontinue k Cancelled)
+        t.runq
+    end
+  in
+  wake.cancel_hook <- cancel;
+  register resume
+
+let rec spawn t ?name body =
+  let fid = t.next_id in
+  t.next_id <- fid + 1;
+  let fname = match name with Some n -> n | None -> Printf.sprintf "fiber-%d" fid in
+  let fiber = { fid; fname; fstate = Ready; fwake = None; fcancelled = false } in
+  Hashtbl.replace t.fibers fid fiber;
+  t.live <- t.live + 1;
+  let handler : (unit, unit) Effect.Deep.handler =
+    {
+      retc = (fun () -> finish t fiber None);
+      exnc =
+        (fun exn ->
+          match exn with Cancelled -> finish t fiber None | exn -> finish t fiber (Some exn));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  if fiber.fcancelled then Effect.Deep.discontinue k Cancelled
+                  else begin
+                    fiber.fstate <- Ready;
+                    Queue.push
+                      (fun () ->
+                        t.current <- Some fiber;
+                        fiber.fstate <- Running;
+                        if fiber.fcancelled then Effect.Deep.discontinue k Cancelled
+                        else Effect.Deep.continue k ())
+                      t.runq
+                  end)
+          | Sleep d ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  if fiber.fcancelled then Effect.Deep.discontinue k Cancelled
+                  else
+                    park t fiber
+                      (Printf.sprintf "sleep %.3f" d)
+                      k
+                      (fun resume -> timer t d resume))
+          | Suspend (reason, register) ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  if fiber.fcancelled then Effect.Deep.discontinue k Cancelled
+                  else park t fiber reason k register)
+          | Time -> Some (fun (k : (a, unit) Effect.Deep.continuation) -> Effect.Deep.continue k t.clock)
+          | Self -> Some (fun (k : (a, unit) Effect.Deep.continuation) -> Effect.Deep.continue k fiber)
+          | Spawn_inside (name, body) ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  let fid : fiber_id = spawn_dispatch t name body in
+                  Effect.Deep.continue k fid)
+          | _ -> None);
+    }
+  in
+  let thunk () =
+    t.current <- Some fiber;
+    if fiber.fcancelled then finish t fiber None
+    else begin
+      fiber.fstate <- Running;
+      Effect.Deep.match_with body () handler
+    end
+  in
+  Queue.push thunk t.runq;
+  fid
+
+(* Indirection so the Spawn_inside handler (defined inside [spawn]) can
+   recurse into [spawn] with optional-argument plumbing resolved. *)
+and spawn_dispatch t name body =
+  match name with Some n -> spawn t ~name:n body | None -> spawn t body
+
+let cancel t fid =
+  match Hashtbl.find_opt t.fibers fid with
+  | None -> ()
+  | Some fiber -> (
+      match fiber.fstate with
+      | Finished -> ()
+      | Running | Ready | Blocked _ -> (
+          fiber.fcancelled <- true;
+          match fiber.fwake with Some w -> w.cancel_hook () | None -> ()))
+
+let step t =
+  if not (Queue.is_empty t.runq) then begin
+    let thunk = Queue.pop t.runq in
+    thunk ();
+    t.current <- None;
+    true
+  end
+  else
+    match Timer_heap.delete_min t.timers with
+    | None -> false
+    | Some (time, thunk, rest) ->
+        t.timers <- rest;
+        if time > t.clock then t.clock <- time;
+        thunk ();
+        t.current <- None;
+        true
+
+let run t =
+  let rec go () = if step t then go () else () in
+  go ()
+
+let run_until t limit =
+  let rec go () =
+    if not (Queue.is_empty t.runq) then begin
+      let thunk = Queue.pop t.runq in
+      thunk ();
+      t.current <- None;
+      go ()
+    end
+    else
+      match Timer_heap.find_min t.timers with
+      | Some (time, _) when time <= limit ->
+          ignore (step t);
+          go ()
+      | Some _ | None -> if t.clock < limit then t.clock <- limit
+  in
+  go ()
+
+let live_count t = t.live
+
+let blocked t =
+  Hashtbl.fold
+    (fun _ f acc -> match f.fstate with Blocked reason -> (f.fname, reason) :: acc | _ -> acc)
+    t.fibers []
+  |> List.sort compare
+
+let failures t = t.failures
+
+let check_failures t =
+  match List.rev t.failures with
+  | [] -> ()
+  | (name, exn) :: _ ->
+      failwith (Printf.sprintf "fiber %s died: %s" name (Printexc.to_string exn))
+
+(* Fiber-side operations. *)
+
+let yield () = Effect.perform Yield
+let sleep d = Effect.perform (Sleep d)
+let suspend ~reason register = Effect.perform (Suspend (reason, register))
+let time () = Effect.perform Time
+let self_name () = (Effect.perform Self).fname
+let spawn_inside ?name body = Effect.perform (Spawn_inside (name, body))

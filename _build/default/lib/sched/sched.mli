@@ -1,0 +1,93 @@
+(** Cooperative fiber scheduler over simulated (virtual) time.
+
+    Every Eject process in the Eden simulation is a fiber.  Fibers run
+    deterministically: a FIFO run queue, a stable timer heap, and no
+    wall-clock dependence mean that a given program produces the same
+    schedule on every run.  Virtual time only advances when the run
+    queue drains, jumping to the earliest pending timer — the usual
+    discrete-event rule.
+
+    Blocking operations ([yield], [sleep], [suspend] and everything in
+    {!Waitq}, {!Ivar}, {!Mailbox}, {!Chan}, {!Semaphore}, {!Waitgroup})
+    may only be called from inside a fiber; calling them elsewhere
+    raises [Effect.Unhandled].  Non-blocking operations ([spawn],
+    [timer], wakes, sends) are safe anywhere. *)
+
+type t
+(** A scheduler instance. *)
+
+type fiber_id = int
+
+exception Cancelled
+(** Raised inside a fiber that has been [cancel]led, at its next
+    suspension point. *)
+
+val create : unit -> t
+
+(** {1 Driving the simulation} *)
+
+val run : t -> unit
+(** Runs until quiescence: no runnable fiber and no pending timer.
+    Blocked fibers may remain (e.g. servers parked waiting for requests);
+    inspect them with [blocked]. *)
+
+val run_until : t -> float -> unit
+(** Like [run] but stops once virtual time would exceed the given
+    instant; timers after it stay pending. *)
+
+val step : t -> bool
+(** Executes one runnable fiber slice or one timer; [false] when
+    quiescent.  Useful for tests that interleave assertions. *)
+
+val now : t -> float
+(** Current virtual time. *)
+
+val live_count : t -> int
+(** Fibers spawned and not yet finished. *)
+
+val blocked : t -> (string * string) list
+(** [(fiber name, reason)] for every currently blocked fiber. *)
+
+val failures : t -> (string * exn) list
+(** Fibers that terminated with an uncaught exception (most recent
+    first).  [Cancelled] terminations are not failures. *)
+
+val check_failures : t -> unit
+(** @raise Failure describing the first recorded failure, if any. *)
+
+(** {1 Creating and controlling fibers} *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> fiber_id
+(** Registers a new fiber; it starts when the run loop reaches it. *)
+
+val cancel : t -> fiber_id -> unit
+(** Marks the fiber cancelled.  If it is blocked it is woken with
+    {!Cancelled}; otherwise it receives {!Cancelled} at its next
+    suspension point.  Cancelling a finished fiber is a no-op. *)
+
+val timer : t -> float -> (unit -> unit) -> unit
+(** [timer t delay f] runs [f] at virtual time [now t +. delay].  [f]
+    must not block (it runs outside any fiber); typically it wakes one. *)
+
+(** {1 Operations inside a fiber} *)
+
+val yield : unit -> unit
+(** Re-queues the current fiber behind all currently runnable ones. *)
+
+val sleep : float -> unit
+(** Suspends for the given span of virtual time. *)
+
+val suspend : reason:string -> ((unit -> unit) -> unit) -> unit
+(** [suspend ~reason register] parks the current fiber.  [register] is
+    called immediately with a [resume] closure; stash it somewhere a
+    waker will find it.  [resume] is idempotent and may be called from
+    any context.  [reason] appears in [blocked] listings. *)
+
+val time : unit -> float
+(** Virtual time, from inside a fiber. *)
+
+val self_name : unit -> string
+
+val spawn_inside : ?name:string -> (unit -> unit) -> fiber_id
+(** [spawn] without needing the scheduler handle; for fibers spawning
+    workers. *)

@@ -1,0 +1,25 @@
+type t = { mutable count : int; waiters : Waitq.t }
+
+let create n =
+  if n < 0 then invalid_arg "Semaphore.create: negative count";
+  { count = n; waiters = Waitq.create "semaphore" }
+
+let rec acquire t =
+  if t.count > 0 then t.count <- t.count - 1
+  else begin
+    Waitq.park t.waiters;
+    acquire t
+  end
+
+let try_acquire t =
+  if t.count > 0 then begin
+    t.count <- t.count - 1;
+    true
+  end
+  else false
+
+let release t =
+  t.count <- t.count + 1;
+  ignore (Waitq.wake_one t.waiters)
+
+let available t = t.count

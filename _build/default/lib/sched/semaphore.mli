@@ -1,0 +1,13 @@
+(** Counting semaphore over fibers. *)
+
+type t
+
+val create : int -> t
+(** @raise Invalid_argument on a negative initial count. *)
+
+val acquire : t -> unit
+(** Blocks while the count is zero.  Fiber context only. *)
+
+val try_acquire : t -> bool
+val release : t -> unit
+val available : t -> int

@@ -1,0 +1,22 @@
+type t = { label : string; q : (unit -> unit) Queue.t }
+
+let create label = { label; q = Queue.create () }
+
+let park t = Sched.suspend ~reason:t.label (fun resume -> Queue.push resume t.q)
+
+let park_external t resume = Queue.push resume t.q
+
+let wake_one t =
+  match Queue.take_opt t.q with
+  | None -> false
+  | Some resume ->
+      resume ();
+      true
+
+let wake_all t =
+  let n = Queue.length t.q in
+  Queue.iter (fun resume -> resume ()) t.q;
+  Queue.clear t.q;
+  n
+
+let waiters t = Queue.length t.q

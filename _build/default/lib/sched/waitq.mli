@@ -1,0 +1,27 @@
+(** Park/wake queue — the primitive under every higher-level
+    synchronisation structure.
+
+    A fiber [park]s itself on the queue; any context may later [wake_one]
+    or [wake_all].  Wakes are FIFO.  A resume left behind by a cancelled
+    fiber is harmless (resumes are idempotent). *)
+
+type t
+
+val create : string -> t
+(** The string names the queue in blocked-fiber listings. *)
+
+val park : t -> unit
+(** Suspend the current fiber until woken.  Fiber context only. *)
+
+val park_external : t -> (unit -> unit) -> unit
+(** Registers an externally-created resume closure (from
+    {!Sched.suspend}) without suspending; used to race a queue against a
+    timer. *)
+
+val wake_one : t -> bool
+(** Wakes the longest-parked fiber; [false] if none was parked. *)
+
+val wake_all : t -> int
+(** Wakes everyone; returns how many resumes were issued. *)
+
+val waiters : t -> int

@@ -1,0 +1,1 @@
+lib/shell/shell.ml: Buffer Eden_devices Eden_filters Eden_fs Eden_kernel Eden_sched Eden_transput Eden_util List Printf Result String

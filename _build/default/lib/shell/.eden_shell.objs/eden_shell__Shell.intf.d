@@ -1,0 +1,1 @@
+lib/shell/shell.mli: Eden_fs Eden_kernel Eden_transput

@@ -1,0 +1,26 @@
+type 'a t = { front : 'a list; back : 'a list; len : int }
+
+let empty = { front = []; back = []; len = 0 }
+let is_empty t = t.len = 0
+let length t = t.len
+
+let push x t = { t with back = x :: t.back; len = t.len + 1 }
+
+let pop t =
+  match t.front with
+  | x :: front -> Some (x, { t with front; len = t.len - 1 })
+  | [] -> (
+      match List.rev t.back with
+      | [] -> None
+      | x :: front -> Some (x, { front; back = []; len = t.len - 1 }))
+
+let peek t =
+  match t.front with
+  | x :: _ -> Some x
+  | [] -> ( match List.rev t.back with [] -> None | x :: _ -> Some x)
+
+let of_list xs = { front = xs; back = []; len = List.length xs }
+
+let to_list t = t.front @ List.rev t.back
+
+let fold f acc t = List.fold_left f acc (to_list t)

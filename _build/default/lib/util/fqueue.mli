@@ -1,0 +1,17 @@
+(** Purely functional FIFO queue (Okasaki's two-list batched queue).
+
+    Used where a queue must be captured in a checkpoint / passive
+    representation: snapshots are free because the structure is
+    immutable. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a -> 'a t -> 'a t
+val pop : 'a t -> ('a * 'a t) option
+val peek : 'a t -> 'a option
+val of_list : 'a list -> 'a t
+val to_list : 'a t -> 'a list
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc

@@ -1,0 +1,63 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Ord : ORDERED) = struct
+  (* Each node carries a sequence number so that equal keys pop in
+     insertion order: the event loop must be FIFO among simultaneous
+     events or the simulation would be non-deterministic. *)
+  type 'a node = {
+    key : Ord.t;
+    seq : int;
+    value : 'a;
+    left : 'a tree;
+    right : 'a tree;
+    rank : int;
+  }
+
+  and 'a tree = Leaf | Node of 'a node
+
+  type 'a t = { tree : 'a tree; size : int; next_seq : int }
+
+  let empty = { tree = Leaf; size = 0; next_seq = 0 }
+  let is_empty t = t.size = 0
+  let size t = t.size
+
+  let rank = function Leaf -> 0 | Node n -> n.rank
+
+  let less a b =
+    let c = Ord.compare a.key b.key in
+    if c <> 0 then c < 0 else a.seq < b.seq
+
+  let make_node key seq value l r =
+    if rank l >= rank r then Node { key; seq; value; left = l; right = r; rank = rank r + 1 }
+    else Node { key; seq; value; left = r; right = l; rank = rank l + 1 }
+
+  let rec merge a b =
+    match a, b with
+    | Leaf, t | t, Leaf -> t
+    | Node na, Node nb ->
+        if less na nb then make_node na.key na.seq na.value na.left (merge na.right b)
+        else make_node nb.key nb.seq nb.value nb.left (merge a nb.right)
+
+  let insert key value t =
+    let single = Node { key; seq = t.next_seq; value; left = Leaf; right = Leaf; rank = 1 } in
+    { tree = merge t.tree single; size = t.size + 1; next_seq = t.next_seq + 1 }
+
+  let find_min t = match t.tree with Leaf -> None | Node n -> Some (n.key, n.value)
+
+  let delete_min t =
+    match t.tree with
+    | Leaf -> None
+    | Node n -> Some (n.key, n.value, { t with tree = merge n.left n.right; size = t.size - 1 })
+
+  let of_list kvs = List.fold_left (fun t (k, v) -> insert k v t) empty kvs
+
+  let to_sorted_list t =
+    let rec go t acc =
+      match delete_min t with None -> List.rev acc | Some (k, v, t') -> go t' ((k, v) :: acc)
+    in
+    go t []
+end

@@ -1,0 +1,25 @@
+(** Leftist min-heap, the priority queue behind the virtual-time event
+    loop.  Keys are compared with the ordering supplied to [Make]. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Ord : ORDERED) : sig
+  type 'a t
+  (** Heap of values prioritised by [Ord.t] keys.  Immutable. *)
+
+  val empty : 'a t
+  val is_empty : 'a t -> bool
+  val size : 'a t -> int
+  val insert : Ord.t -> 'a -> 'a t -> 'a t
+
+  val find_min : 'a t -> (Ord.t * 'a) option
+  (** Smallest key, with insertion order breaking ties (stable). *)
+
+  val delete_min : 'a t -> (Ord.t * 'a * 'a t) option
+  val of_list : (Ord.t * 'a) list -> 'a t
+  val to_sorted_list : 'a t -> (Ord.t * 'a) list
+end

@@ -1,0 +1,77 @@
+(* SplitMix64, Steele et al., "Fast splittable pseudorandom number
+   generators" (OOPSLA 2014).  Chosen because it is trivially splittable
+   and its 64-bit mixing function is well studied. *)
+
+type t = { mutable state : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let popcount x =
+  let rec go x acc =
+    if Int64.equal x 0L then acc else go (Int64.logand x (Int64.sub x 1L)) (acc + 1)
+  in
+  go x 0
+
+(* mix_gamma guarantees the gamma is odd and has enough bit transitions
+   to keep child streams independent. *)
+let mix_gamma z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  let z = Int64.logor z 1L in
+  let n = popcount (Int64.logxor z (Int64.shift_right_logical z 1)) in
+  if n < 24 then Int64.logxor z 0xAAAAAAAAAAAAAAAAL else z
+
+let create seed = { state = seed; gamma = golden_gamma }
+
+let copy t = { state = t.state; gamma = t.gamma }
+
+let next_raw t =
+  t.state <- Int64.add t.state t.gamma;
+  t.state
+
+let next_int64 t = mix64 (next_raw t)
+
+let split t =
+  let s = next_raw t in
+  let g = next_raw t in
+  { state = mix64 s; gamma = mix_gamma g }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Mask to 62 bits so Int64.to_int cannot land in OCaml's sign bit.
+     Modulo bias is negligible (< 2^-40) for the small bounds used by
+     the simulator. *)
+  let r = Int64.to_int (Int64.logand (next_int64 t) 0x3FFF_FFFF_FFFF_FFFFL) in
+  r mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let exponential t mean =
+  let u = float t 1.0 in
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int t (Array.length a))

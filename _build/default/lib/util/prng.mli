@@ -1,0 +1,45 @@
+(** Deterministic splittable pseudo-random number generator (SplitMix64).
+
+    All randomness in the simulator flows through a [Prng.t] so that every
+    experiment is reproducible from a single seed.  The generator may be
+    [split] to give independent streams to independent components without
+    serialising their draws through shared state. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a fresh generator.  Equal seeds give equal streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy and the original then
+    produce identical streams. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a statistically independent child
+    generator.  Used to give sub-components their own streams. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from an exponential distribution with the
+    given mean; used by latency models. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array.  @raise Invalid_argument on
+    an empty array. *)

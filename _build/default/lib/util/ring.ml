@@ -1,0 +1,57 @@
+type 'a t = {
+  buf : 'a option array;
+  mutable head : int; (* index of oldest element *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { buf = Array.make capacity None; head = 0; len = 0 }
+
+let capacity t = Array.length t.buf
+let length t = t.len
+let is_empty t = t.len = 0
+let is_full t = t.len = Array.length t.buf
+
+let push t x =
+  if is_full t then false
+  else begin
+    let i = (t.head + t.len) mod Array.length t.buf in
+    t.buf.(i) <- Some x;
+    t.len <- t.len + 1;
+    true
+  end
+
+let push_exn t x = if not (push t x) then failwith "Ring.push_exn: full"
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let x = t.buf.(t.head) in
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.len <- t.len - 1;
+    x
+  end
+
+let pop_exn t = match pop t with Some x -> x | None -> failwith "Ring.pop_exn: empty"
+
+let peek t = if t.len = 0 then None else t.buf.(t.head)
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0
+
+let iter f t =
+  let n = Array.length t.buf in
+  for k = 0 to t.len - 1 do
+    match t.buf.((t.head + k) mod n) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc

@@ -1,0 +1,38 @@
+(** Fixed-capacity circular FIFO buffer.
+
+    This is the data structure behind every passive buffer and device
+    queue in the simulator.  Operations are O(1); the buffer never
+    allocates after creation. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** [push t x] appends [x]; returns [false] (and does nothing) when full. *)
+
+val push_exn : 'a t -> 'a -> unit
+(** @raise Failure when full. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the oldest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Failure when empty. *)
+
+val peek : 'a t -> 'a option
+(** Oldest element without removing it. *)
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest-first iteration over current contents. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest-first snapshot. *)

@@ -1,0 +1,59 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float; (* sum of squared deviations, Welford *)
+  mutable minv : float;
+  mutable maxv : float;
+  mutable samples : float list; (* retained for percentiles *)
+  mutable sorted : float array option; (* memoised sort *)
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; minv = infinity; maxv = neg_infinity; samples = []; sorted = None }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.minv then t.minv <- x;
+  if x > t.maxv then t.maxv <- x;
+  t.samples <- x :: t.samples;
+  t.sorted <- None
+
+let count t = t.n
+let total t = t.mean *. float_of_int t.n
+let mean t = if t.n = 0 then 0.0 else t.mean
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int t.n
+let stddev t = sqrt (variance t)
+
+let min_value t = if t.n = 0 then invalid_arg "Stats.min_value: empty" else t.minv
+let max_value t = if t.n = 0 then invalid_arg "Stats.max_value: empty" else t.maxv
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list t.samples in
+      Array.sort compare a;
+      t.sorted <- Some a;
+      a
+
+let percentile t p =
+  if t.n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p outside [0,1]";
+  let a = sorted t in
+  let rank = int_of_float (ceil (p *. float_of_int t.n)) in
+  let i = if rank <= 0 then 0 else min (rank - 1) (t.n - 1) in
+  a.(i)
+
+let merge a b =
+  let t = create () in
+  List.iter (add t) (List.rev_append a.samples b.samples);
+  t
+
+let pp ppf t =
+  if t.n = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f max=%.3f" t.n (mean t) (stddev t)
+      t.minv (percentile t 0.5) t.maxv

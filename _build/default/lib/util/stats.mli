@@ -1,0 +1,33 @@
+(** Streaming statistics accumulator.
+
+    Collects samples and reports count / mean / variance (Welford's
+    online algorithm) plus exact percentiles from retained samples.
+    Benchmarks use one of these per measured series. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Population variance; 0 when fewer than two samples. *)
+
+val stddev : t -> float
+val min_value : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val max_value : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t 0.5] is the median (nearest-rank on retained samples).
+    @raise Invalid_argument when empty or p outside [0,1]. *)
+
+val merge : t -> t -> t
+(** Combined statistics over both sample sets. *)
+
+val pp : Format.formatter -> t -> unit

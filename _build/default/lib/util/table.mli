@@ -1,0 +1,30 @@
+(** Plain-text aligned table rendering for benchmark and example output.
+
+    The bench harness prints one [Table.t] per reproduced paper table or
+    figure; keeping the renderer here avoids every binary reinventing
+    column alignment. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+(** A table with a caption and fixed column headers. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_rows : t -> string list list -> unit
+
+val render : t -> string
+(** Full rendering: title, rule, header, rule, rows. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+(** Cell formatting helpers. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_ratio : float -> string
+(** e.g. [1.97x]. *)

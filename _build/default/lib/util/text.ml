@@ -1,0 +1,107 @@
+let split_lines s =
+  let n = String.length s in
+  if n = 0 then []
+  else
+    let rec go start acc =
+      if start >= n then List.rev acc
+      else
+        match String.index_from_opt s start '\n' with
+        | None -> List.rev (String.sub s start (n - start) :: acc)
+        | Some i ->
+            let line = String.sub s start (i - start) in
+            if i = n - 1 then List.rev (line :: acc) else go (i + 1) (line :: acc)
+    in
+    go 0 []
+
+let join_lines = function
+  | [] -> ""
+  | lines -> String.concat "\n" lines ^ "\n"
+
+let is_prefix ~prefix s =
+  let np = String.length prefix in
+  String.length s >= np && String.sub s 0 np = prefix
+
+let is_suffix ~suffix s =
+  let ns = String.length suffix and n = String.length s in
+  n >= ns && String.sub s (n - ns) ns = suffix
+
+let find_sub ~sub s =
+  let ns = String.length sub and n = String.length s in
+  if ns = 0 then Some 0
+  else
+    let rec go i =
+      if i + ns > n then None
+      else if String.sub s i ns = sub then Some i
+      else go (i + 1)
+    in
+    go 0
+
+let contains_sub ~sub s = find_sub ~sub s <> None
+
+let replace_all ~sub ~by s =
+  if String.length sub = 0 then invalid_arg "Text.replace_all: empty sub";
+  let buf = Buffer.create (String.length s) in
+  let ns = String.length sub and n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if i + ns <= n && String.sub s i ns = sub then begin
+      Buffer.add_string buf by;
+      go (i + ns)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let pad_right width s =
+  if String.length s >= width then s else s ^ String.make (width - String.length s) ' '
+
+let pad_left width s =
+  if String.length s >= width then s else String.make (width - String.length s) ' ' ^ s
+
+let chunks ~size s =
+  if size <= 0 then invalid_arg "Text.chunks: size must be positive";
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let len = min size (n - i) in
+      go (i + len) (String.sub s i len :: acc)
+  in
+  if n = 0 then [] else go 0 []
+
+let expand_tabs ~tabstop s =
+  if tabstop <= 0 then invalid_arg "Text.expand_tabs: tabstop must be positive";
+  let buf = Buffer.create (String.length s) in
+  let col = ref 0 in
+  String.iter
+    (fun c ->
+      if c = '\t' then begin
+        let spaces = tabstop - (!col mod tabstop) in
+        Buffer.add_string buf (String.make spaces ' ');
+        col := !col + spaces
+      end
+      else begin
+        Buffer.add_char buf c;
+        incr col
+      end)
+    s;
+  Buffer.contents buf
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let words s =
+  let n = String.length s in
+  let rec skip i = if i < n && is_space s.[i] then skip (i + 1) else i in
+  let rec take i = if i < n && not (is_space s.[i]) then take (i + 1) else i in
+  let rec go i acc =
+    let i = skip i in
+    if i >= n then List.rev acc
+    else
+      let j = take i in
+      go j (String.sub s i (j - i) :: acc)
+  in
+  go 0 []

@@ -1,0 +1,36 @@
+(** Small text utilities shared by the filter library and the shell.
+
+    Lines in the transput system are strings without the trailing
+    newline; these helpers convert between the two representations and
+    provide the handful of string operations the stdlib lacks. *)
+
+val split_lines : string -> string list
+(** Splits on ['\n'].  A trailing newline does not produce a final empty
+    line; ["a\nb\n"] and ["a\nb"] both give [\["a"; "b"\]].  The empty
+    string gives [\[\]]. *)
+
+val join_lines : string list -> string
+(** Joins with ['\n'] and appends a final newline when non-empty. *)
+
+val is_prefix : prefix:string -> string -> bool
+val is_suffix : suffix:string -> string -> bool
+val contains_sub : sub:string -> string -> bool
+
+val find_sub : sub:string -> string -> int option
+(** Index of the first occurrence. *)
+
+val replace_all : sub:string -> by:string -> string -> string
+(** @raise Invalid_argument if [sub] is empty. *)
+
+val pad_right : int -> string -> string
+val pad_left : int -> string -> string
+
+val chunks : size:int -> string -> string list
+(** Splits a string into consecutive pieces of at most [size] bytes.
+    @raise Invalid_argument if [size <= 0]. *)
+
+val expand_tabs : tabstop:int -> string -> string
+(** Replaces each tab with spaces up to the next multiple of [tabstop]. *)
+
+val words : string -> string list
+(** Maximal runs of non-whitespace. *)

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Codec Eden_devices Eden_kernel Eden_sched Eden_transput Eden_util Kernel List Printf Pull Push QCheck2 QCheck_alcotest Stage Uid Value

@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Eden_devices Eden_filters Eden_fs Eden_kernel Eden_net Eden_sched Eden_transput Eden_util Kernel List String Value

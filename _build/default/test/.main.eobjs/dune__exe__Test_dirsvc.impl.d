@@ -1,0 +1,1 @@
+test/test_dirsvc.ml: Alcotest Eden_dirsvc Eden_kernel Eden_util Fun Kernel List Uid

@@ -1,0 +1,1 @@
+test/test_edenfs.ml: Alcotest Eden_dirsvc Eden_edenfs Eden_filters Eden_kernel Eden_transput Eden_util Kernel List Value

@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Channel Eden_devices Eden_kernel Eden_net Eden_sched Eden_transput Eden_util Fun Kernel List Port Printf Proto Pull Stage Transform Value

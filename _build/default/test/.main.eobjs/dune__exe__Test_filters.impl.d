@@ -1,0 +1,1 @@
+test/test_filters.ml: Alcotest Array Eden_devices Eden_filters Eden_kernel Eden_transput Eden_util Kernel List QCheck2 QCheck_alcotest Value

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Channel Eden_devices Eden_filters Eden_kernel Eden_sched Eden_transput Eden_util Flow Kernel List Printf Pull Stage String Value

@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Eden_fs Eden_kernel Eden_transput Eden_util Kernel List QCheck2 QCheck_alcotest String Value

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Eden_devices Eden_dirsvc Eden_edenfs Eden_filters Eden_fs Eden_kernel Eden_sched Eden_transput Eden_util Kernel List Option Value

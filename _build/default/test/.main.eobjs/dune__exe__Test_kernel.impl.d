@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Eden_kernel Eden_net Eden_sched Eden_util Kernel List String Uid Value

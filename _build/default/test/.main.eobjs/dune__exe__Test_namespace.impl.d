@@ -1,0 +1,1 @@
+test/test_namespace.ml: Alcotest Eden_dirsvc Eden_kernel Eden_util Kernel List Uid

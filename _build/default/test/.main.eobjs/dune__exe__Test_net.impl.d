@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Eden_net Eden_sched Printf QCheck2 QCheck_alcotest

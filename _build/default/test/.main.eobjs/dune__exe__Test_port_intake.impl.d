@@ -1,0 +1,1 @@
+test/test_port_intake.ml: Alcotest Channel Eden_kernel Eden_sched Eden_transput Intake Kernel List Port Proto Value

@@ -1,0 +1,1 @@
+test/test_redirect.ml: Alcotest Channel Eden_devices Eden_filters Eden_kernel Eden_sched Eden_transput Eden_util Kernel List Printf Pull Redirect Stage Value

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Buffer Chan Eden_sched Eden_util Int64 Ivar List Mailbox Printf QCheck2 QCheck_alcotest Sched Semaphore Waitgroup

@@ -1,0 +1,1 @@
+test/test_sed.ml: Alcotest Eden_devices Eden_edenfs Eden_filters Eden_kernel Eden_sched Eden_transput Eden_util Kernel List QCheck2 QCheck_alcotest Value

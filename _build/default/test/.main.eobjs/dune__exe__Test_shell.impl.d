@@ -1,0 +1,1 @@
+test/test_shell.ml: Alcotest Eden_fs Eden_shell Eden_transput Eden_util List Printf

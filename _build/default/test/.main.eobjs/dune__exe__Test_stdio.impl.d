@@ -1,0 +1,1 @@
+test/test_stdio.ml: Alcotest Eden_devices Eden_kernel Eden_sched Eden_transput Kernel Stage Stdio String Transform

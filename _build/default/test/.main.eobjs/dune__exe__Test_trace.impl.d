@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Eden_kernel Eden_transput Format Fun Kernel List Pipeline String Transform Value

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Eden_util Float Fqueue Fun Heap Int Int64 List Prng QCheck2 QCheck_alcotest Queue Ring Stats String Table Text

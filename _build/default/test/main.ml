@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "eden"
+    [
+      ("util", Test_util.suite);
+      ("sched", Test_sched.suite);
+      ("net", Test_net.suite);
+      ("kernel", Test_kernel.suite);
+      ("transput", Test_transput.suite);
+      ("fs", Test_fs.suite);
+      ("dirsvc", Test_dirsvc.suite);
+      ("filters", Test_filters.suite);
+      ("devices", Test_devices.suite);
+      ("shell", Test_shell.suite);
+      ("stdio", Test_stdio.suite);
+      ("codec", Test_codec.suite);
+      ("flow", Test_flow.suite);
+      ("failures", Test_failures.suite);
+      ("trace", Test_trace.suite);
+      ("redirect", Test_redirect.suite);
+      ("edenfs", Test_edenfs.suite);
+      ("sed", Test_sed.suite);
+      ("namespace", Test_namespace.suite);
+      ("port-intake", Test_port_intake.suite);
+      ("integration", Test_integration.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,242 @@
+(* Device Ejects: terminals, printer server, sources, report windows.
+   Includes the Figure 3 and Figure 4 configurations end to end. *)
+
+open Eden_kernel
+module Dev = Eden_devices.Devices
+module Cat = Eden_filters.Catalog
+module Report = Eden_filters.Report
+module T = Eden_transput
+
+let check = Alcotest.check
+let lines_t = Alcotest.(list string)
+
+let test_terminal_pumps () =
+  let k = Kernel.create () in
+  let src = Dev.text_source k [ "hello"; "world" ] in
+  let term = Dev.terminal_ro k ~upstream:src () in
+  Kernel.poke k term.Dev.uid;
+  Kernel.run k;
+  check lines_t "rendered" [ "hello"; "world" ] (term.Dev.lines ());
+  Alcotest.(check bool) "done" true (Eden_sched.Ivar.is_filled term.Dev.done_)
+
+let test_terminal_rate_paces_pipeline () =
+  (* A slow terminal paces the whole (lazy) pipeline: total time ≈
+     items × rate. *)
+  let k = Kernel.create ~latency:(Eden_net.Net.Fixed 0.001) () in
+  let src = Dev.counter_source k ~limit:5 () in
+  let term = Dev.terminal_ro k ~rate:10.0 ~upstream:src () in
+  Kernel.poke k term.Dev.uid;
+  Kernel.run k;
+  check Alcotest.int "all rendered" 5 (List.length (term.Dev.lines ()));
+  Alcotest.(check bool) "device-paced" true (Eden_sched.Sched.now (Kernel.sched k) >= 50.0)
+
+let test_terminal_wo () =
+  let k = Kernel.create () in
+  let term = Dev.terminal_wo k () in
+  let src = T.Stage.source_wo k ~downstream:term.Dev.uid
+      (let n = ref 0 in
+       fun () ->
+         incr n;
+         if !n <= 3 then Some (Value.Str (string_of_int !n)) else None)
+  in
+  Kernel.poke k src;
+  Kernel.run k;
+  check lines_t "rendered" [ "1"; "2"; "3" ] (term.Dev.lines ())
+
+let test_null_sink_discards () =
+  let k = Kernel.create () in
+  let src = Dev.text_source k [ "a"; "b" ] in
+  let null = Dev.null_sink_ro k ~upstream:src () in
+  Kernel.poke k null.Dev.uid;
+  Kernel.run k;
+  check lines_t "nothing kept" [] (null.Dev.lines ());
+  Alcotest.(check bool) "but stream drained" true (Eden_sched.Ivar.is_filled null.Dev.done_)
+
+let test_date_source_reflects_virtual_time () =
+  let k = Kernel.create () in
+  let date = Dev.date_source k () in
+  let first = ref "" and second = ref "" in
+  Kernel.run_driver k (fun ctx ->
+      let pull = T.Pull.connect ctx date in
+      (match T.Pull.read pull with Some v -> first := Value.to_str v | None -> ());
+      Eden_sched.Sched.sleep 42.0;
+      match T.Pull.read pull with Some v -> second := Value.to_str v | None -> ());
+  Alcotest.(check bool) "lines differ as time passes" true (!first <> !second);
+  Alcotest.(check bool) "mentions virtual time" true
+    (Eden_util.Text.is_prefix ~prefix:"virtual time" !first)
+
+let test_counter_source_ends () =
+  let k = Kernel.create () in
+  let src = Dev.counter_source k ~prefix:"n" ~limit:3 () in
+  let got = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      let pull = T.Pull.connect ctx src in
+      T.Pull.iter (fun v -> got := Value.to_str v :: !got) pull);
+  check lines_t "numbered then eos" [ "n1"; "n2"; "n3" ] (List.rev !got)
+
+let test_random_source_deterministic () =
+  let read_all seed =
+    let k = Kernel.create () in
+    let src = Dev.random_source k ~seed ~limit:5 () in
+    let out = ref [] in
+    Kernel.run_driver k (fun ctx ->
+        T.Pull.iter (fun v -> out := Value.to_str v :: !out) (T.Pull.connect ctx src));
+    List.rev !out
+  in
+  let a = read_all 1L and b = read_all 1L and c = read_all 2L in
+  check lines_t "same seed same text" a b;
+  Alcotest.(check bool) "different seed differs" true (a <> c);
+  check Alcotest.int "limit honoured" 5 (List.length a)
+
+let test_printer_prints_file_stream () =
+  (* §4: "A file could be printed simply by requesting the printer
+     server to read from the file." *)
+  let k = Kernel.create () in
+  let fs = Eden_fs.Unix_fs.create () in
+  let fse = Eden_fs.Fs_eject.create k fs in
+  Eden_fs.Unix_fs.write_file fs "/doc" "page one\npage two\n";
+  let pr = Dev.printer k () in
+  Kernel.run_driver k (fun ctx ->
+      let stream = Eden_fs.Fs_eject.new_stream ctx ~fs:fse "/doc" in
+      Dev.print ctx ~printer:pr.Dev.puid stream);
+  check lines_t "on paper" [ "page one"; "page two" ] (pr.Dev.paper ());
+  check Alcotest.int "one job" 1 (pr.Dev.jobs_completed ())
+
+let test_printer_paginated_listing () =
+  (* §4: "If a paginated listing were required, the printer server would
+     be requested to read from the paginator, and the paginator to read
+     from the file." *)
+  let k = Kernel.create () in
+  let src = Dev.text_source k [ "a"; "b"; "c" ] in
+  let paginator =
+    T.Stage.filter_ro k ~name:"paginator" ~upstream:src
+      (Cat.paginate ~lines_per_page:2 ~title:"listing" ())
+  in
+  let pr = Dev.printer k () in
+  Kernel.run_driver k (fun ctx -> Dev.print ctx ~printer:pr.Dev.puid paginator);
+  check lines_t "paginated on paper"
+    [ "==== listing page 1 ===="; "a"; "b"; "==== listing page 2 ===="; "c" ]
+    (pr.Dev.paper ())
+
+let test_printer_serialises_jobs () =
+  let k = Kernel.create () in
+  let s1 = Dev.text_source k [ "j1-a"; "j1-b" ] in
+  let s2 = Dev.text_source k [ "j2-a"; "j2-b" ] in
+  let pr = Dev.printer k ~rate:1.0 () in
+  Kernel.run_driver k (fun ctx ->
+      let iv1 = Kernel.invoke_async ctx pr.Dev.puid ~op:Dev.op_print (Value.Uid s1) in
+      let iv2 = Kernel.invoke_async ctx pr.Dev.puid ~op:Dev.op_print (Value.Uid s2) in
+      ignore (Eden_sched.Ivar.read iv1);
+      ignore (Eden_sched.Ivar.read iv2));
+  check Alcotest.int "both jobs done" 2 (pr.Dev.jobs_completed ());
+  (* Jobs must not interleave on paper. *)
+  match pr.Dev.paper () with
+  | [ a1; a2; b1; b2 ] ->
+      let prefix s = String.sub s 0 2 in
+      Alcotest.(check bool) "first job contiguous" true (prefix a1 = prefix a2);
+      Alcotest.(check bool) "second job contiguous" true (prefix b1 = prefix b2)
+  | other -> Alcotest.failf "expected four lines, got %d" (List.length other)
+
+(* --- Figure 3: write-only discipline with report streams ------------- *)
+
+let test_figure3_write_only_reports () =
+  let k = Kernel.create () in
+  let term = Dev.terminal_wo k () in
+  let window = Dev.report_window_wo k ~writers:2 () in
+  (* Build backwards: F3 -> terminal; F2 -> F3; F1 (reports) -> F2;
+     source (reports) -> F1. *)
+  let f3 = T.Stage.filter_wo k ~name:"F3" ~downstream:term.Dev.uid Cat.upcase in
+  let f2 = T.Stage.filter_wo k ~name:"F2" ~downstream:f3 (Cat.grep_v "skip") in
+  let f1 =
+    Report.filter_wo k ~name:"F1" ~downstream:f2 ~report_to:window.Dev.uid
+      (Report.with_progress ~every:2 ~label:"F1" T.Transform.identity)
+  in
+  let src =
+    Report.source_wo k ~name:"source" ~downstream:f1 ~report_to:window.Dev.uid ~label:"source"
+      (let rest = ref [ "keep one"; "skip me"; "keep two" ] in
+       fun () ->
+         match !rest with
+         | [] -> None
+         | x :: tl ->
+             rest := tl;
+             Some (Value.Str x))
+  in
+  Kernel.poke k src;
+  Kernel.run k;
+  Eden_sched.Sched.check_failures (Kernel.sched k);
+  check lines_t "terminal gets main stream" [ "KEEP ONE"; "KEEP TWO" ] (term.Dev.lines ());
+  Alcotest.(check bool) "window closed after both reporters" true
+    (Eden_sched.Ivar.is_filled window.Dev.done_);
+  let wl = window.Dev.lines () in
+  Alcotest.(check bool) "window saw source reports" true
+    (List.exists (fun l -> Eden_util.Text.is_prefix ~prefix:"source:" l) wl);
+  Alcotest.(check bool) "window saw F1 reports" true
+    (List.exists (fun l -> Eden_util.Text.is_prefix ~prefix:"F1:" l) wl)
+
+(* --- Figure 4: read-only discipline with channel identifiers --------- *)
+
+let test_figure4_read_only_channels () =
+  let k = Kernel.create () in
+  let src =
+    Report.source_ro k ~name:"source" ~label:"source"
+      (let rest = ref [ "alpha"; "beta"; "gamma" ] in
+       fun () ->
+         match !rest with
+         | [] -> None
+         | x :: tl ->
+             rest := tl;
+             Some (Value.Str x))
+  in
+  let f1 =
+    Report.filter_ro k ~name:"F1" ~upstream:src
+      (Report.with_progress ~every:1 ~label:"F1" Cat.upcase)
+  in
+  let f2 = T.Stage.filter_ro k ~name:"F2" ~upstream:f1 (Cat.grep_v "BETA") in
+  let term = Dev.terminal_ro k ~upstream:f2 () in
+  let window =
+    Dev.report_window_ro k
+      ~watch:[ ("source", src, T.Channel.report); ("F1", f1, T.Channel.report) ]
+      ()
+  in
+  Kernel.poke k term.Dev.uid;
+  Kernel.poke k window.Dev.uid;
+  Kernel.run k;
+  Eden_sched.Sched.check_failures (Kernel.sched k);
+  check lines_t "terminal output" [ "ALPHA"; "GAMMA" ] (term.Dev.lines ());
+  Alcotest.(check bool) "window done when streams end" true
+    (Eden_sched.Ivar.is_filled window.Dev.done_);
+  let wl = window.Dev.lines () in
+  Alcotest.(check bool) "source reports labelled" true
+    (List.exists (fun l -> Eden_util.Text.is_prefix ~prefix:"source |" l) wl);
+  Alcotest.(check bool) "F1 reports labelled" true
+    (List.exists (fun l -> Eden_util.Text.is_prefix ~prefix:"F1 |" l) wl)
+
+let test_window_wo_rejects_wrong_channel () =
+  let k = Kernel.create () in
+  let window = Dev.report_window_wo k ~writers:1 () in
+  let refused = ref false in
+  Kernel.run_driver k (fun ctx ->
+      match
+        Kernel.invoke ctx window.Dev.uid ~op:T.Proto.deposit_op
+          (T.Proto.deposit_request T.Channel.output ~eos:false [ Value.Str "x" ])
+      with
+      | Error _ -> refused := true
+      | Ok _ -> ());
+  Alcotest.(check bool) "only report channel accepted" true !refused
+
+let suite =
+  [
+    ("terminal pumps", `Quick, test_terminal_pumps);
+    ("terminal rate paces pipeline", `Quick, test_terminal_rate_paces_pipeline);
+    ("terminal write-only", `Quick, test_terminal_wo);
+    ("null sink discards", `Quick, test_null_sink_discards);
+    ("date source uses virtual time", `Quick, test_date_source_reflects_virtual_time);
+    ("counter source ends", `Quick, test_counter_source_ends);
+    ("random source deterministic", `Quick, test_random_source_deterministic);
+    ("printer prints a file stream", `Quick, test_printer_prints_file_stream);
+    ("printer paginated listing", `Quick, test_printer_paginated_listing);
+    ("printer serialises jobs", `Quick, test_printer_serialises_jobs);
+    ("figure 3: write-only with reports", `Quick, test_figure3_write_only_reports);
+    ("figure 4: read-only with channels", `Quick, test_figure4_read_only_channels);
+    ("window rejects wrong channel", `Quick, test_window_wo_rejects_wrong_channel);
+  ]

@@ -1,0 +1,173 @@
+(* Directory Ejects: lookup algebra, the streaming List protocol,
+   checkpoint recovery, and the concatenator. *)
+
+open Eden_kernel
+module Dir = Eden_dirsvc.Directory
+
+let check = Alcotest.check
+
+let echo k name =
+  Kernel.create_eject k ~type_name:name (fun _ctx ~passive:_ -> [ ("Echo", Fun.id) ])
+
+let test_add_lookup () =
+  let k = Kernel.create () in
+  let dir = Dir.create k () in
+  let target = echo k "file" in
+  let found = ref None in
+  Kernel.run_driver k (fun ctx ->
+      Dir.add_entry ctx ~dir "hello" target;
+      found := Dir.lookup ctx ~dir "hello");
+  match !found with
+  | Some uid -> Alcotest.(check bool) "same uid" true (Uid.equal uid target)
+  | None -> Alcotest.fail "lookup failed"
+
+let test_lookup_missing () =
+  let k = Kernel.create () in
+  let dir = Dir.create k () in
+  let found = ref (Some (Uid.fresh (Uid.generator ~seed:0L))) in
+  Kernel.run_driver k (fun ctx -> found := Dir.lookup ctx ~dir "ghost");
+  Alcotest.(check bool) "absent" true (!found = None)
+
+let test_duplicate_add_refused () =
+  let k = Kernel.create () in
+  let dir = Dir.create k () in
+  let t1 = echo k "a" and t2 = echo k "b" in
+  let refused = ref false in
+  Kernel.run_driver k (fun ctx ->
+      Dir.add_entry ctx ~dir "x" t1;
+      try Dir.add_entry ctx ~dir "x" t2 with Kernel.Eden_error _ -> refused := true);
+  Alcotest.(check bool) "refused" true !refused
+
+let test_delete_entry () =
+  let k = Kernel.create () in
+  let dir = Dir.create k () in
+  let t = echo k "a" in
+  let after = ref (Some t) in
+  Kernel.run_driver k (fun ctx ->
+      Dir.add_entry ctx ~dir "x" t;
+      Dir.delete_entry ctx ~dir "x";
+      after := Dir.lookup ctx ~dir "x");
+  Alcotest.(check bool) "gone" true (!after = None)
+
+let test_list_streams_sorted () =
+  (* §2: List prepares the directory to answer Read invocations — the
+     directory behaves as a stream source. *)
+  let k = Kernel.create () in
+  let dir = Dir.create k () in
+  let lines = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      Dir.add_entry ctx ~dir "zebra" (echo k "z");
+      Dir.add_entry ctx ~dir "apple" (echo k "a");
+      Dir.add_entry ctx ~dir "mango" (echo k "m");
+      lines := Dir.list_lines ctx ~dir);
+  check Alcotest.int "three lines" 3 (List.length !lines);
+  let names = List.map (fun l -> List.hd (Eden_util.Text.words l)) !lines in
+  check Alcotest.(list string) "sorted" [ "apple"; "mango"; "zebra" ] names
+
+let test_list_twice_independent () =
+  let k = Kernel.create () in
+  let dir = Dir.create k () in
+  let l1 = ref [] and l2 = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      Dir.add_entry ctx ~dir "only" (echo k "o");
+      l1 := Dir.list_lines ctx ~dir;
+      l2 := Dir.list_lines ctx ~dir);
+  check Alcotest.int "first listing" 1 (List.length !l1);
+  check Alcotest.(list string) "second listing equal" !l1 !l2
+
+let test_directory_survives_crash () =
+  (* Directories checkpoint after each mutation: entries — including
+     the capabilities they hold — come back after a crash. *)
+  let k = Kernel.create () in
+  let dir = Dir.create k () in
+  let target = echo k "precious" in
+  let found = ref None in
+  Kernel.run_driver k (fun ctx ->
+      Dir.add_entry ctx ~dir "precious" target;
+      Kernel.crash k dir;
+      found := Dir.lookup ctx ~dir "precious");
+  match !found with
+  | Some uid -> Alcotest.(check bool) "capability recovered" true (Uid.equal uid target)
+  | None -> Alcotest.fail "entry lost in crash"
+
+let test_deleted_entry_stays_deleted_after_crash () =
+  let k = Kernel.create () in
+  let dir = Dir.create k () in
+  let found = ref None in
+  Kernel.run_driver k (fun ctx ->
+      Dir.add_entry ctx ~dir "tmp" (echo k "t");
+      Dir.delete_entry ctx ~dir "tmp";
+      Kernel.crash k dir;
+      found := Dir.lookup ctx ~dir "tmp");
+  Alcotest.(check bool) "still gone" true (!found = None)
+
+let test_concatenator_path_order () =
+  (* §2: the concatenator yields the same result as looking up each
+     directory in turn until the name is found. *)
+  let k = Kernel.create () in
+  let d1 = Dir.create k () and d2 = Dir.create k () in
+  let first = echo k "first" and second = echo k "second" and only2 = echo k "only2" in
+  let cat = Dir.concatenator k [ d1; d2 ] in
+  let got_shadowed = ref None and got_only2 = ref None and got_missing = ref None in
+  Kernel.run_driver k (fun ctx ->
+      Dir.add_entry ctx ~dir:d1 "shadowed" first;
+      Dir.add_entry ctx ~dir:d2 "shadowed" second;
+      Dir.add_entry ctx ~dir:d2 "only2" only2;
+      got_shadowed := Dir.lookup ctx ~dir:cat "shadowed";
+      got_only2 := Dir.lookup ctx ~dir:cat "only2";
+      got_missing := Dir.lookup ctx ~dir:cat "missing");
+  (match !got_shadowed with
+  | Some uid -> Alcotest.(check bool) "earlier dir wins" true (Uid.equal uid first)
+  | None -> Alcotest.fail "shadowed not found");
+  (match !got_only2 with
+  | Some uid -> Alcotest.(check bool) "falls through" true (Uid.equal uid only2)
+  | None -> Alcotest.fail "only2 not found");
+  Alcotest.(check bool) "missing stays missing" true (!got_missing = None)
+
+let test_concatenator_is_behaviourally_a_directory () =
+  (* Behavioural compatibility (§2): any client using only Lookup can
+     use a concatenator where it expects a directory — here, a nested
+     lookup through a concatenator of concatenators. *)
+  let k = Kernel.create () in
+  let leaf = Dir.create k () in
+  let target = echo k "deep" in
+  let cat1 = Dir.concatenator k [ leaf ] in
+  let cat2 = Dir.concatenator k [ cat1 ] in
+  let found = ref None in
+  Kernel.run_driver k (fun ctx ->
+      Dir.add_entry ctx ~dir:leaf "deep" target;
+      found := Dir.lookup ctx ~dir:cat2 "deep");
+  match !found with
+  | Some uid -> Alcotest.(check bool) "nested lookup" true (Uid.equal uid target)
+  | None -> Alcotest.fail "not found through nested concatenators"
+
+let test_directories_nest () =
+  (* "Arbitrary networks of directories can be constructed" (§2). *)
+  let k = Kernel.create () in
+  let root = Dir.create k () and sub = Dir.create k () in
+  let f = echo k "f" in
+  let found = ref None in
+  Kernel.run_driver k (fun ctx ->
+      Dir.add_entry ctx ~dir:root "sub" sub;
+      Dir.add_entry ctx ~dir:sub "f" f;
+      match Dir.lookup ctx ~dir:root "sub" with
+      | Some sub' -> found := Dir.lookup ctx ~dir:sub' "f"
+      | None -> ());
+  match !found with
+  | Some uid -> Alcotest.(check bool) "two-level lookup" true (Uid.equal uid f)
+  | None -> Alcotest.fail "nested entry not found"
+
+let suite =
+  [
+    ("add + lookup", `Quick, test_add_lookup);
+    ("lookup missing", `Quick, test_lookup_missing);
+    ("duplicate add refused", `Quick, test_duplicate_add_refused);
+    ("delete entry", `Quick, test_delete_entry);
+    ("list streams sorted", `Quick, test_list_streams_sorted);
+    ("list twice independent", `Quick, test_list_twice_independent);
+    ("survives crash via checkpoint", `Quick, test_directory_survives_crash);
+    ("delete survives crash", `Quick, test_deleted_entry_stays_deleted_after_crash);
+    ("concatenator path order", `Quick, test_concatenator_path_order);
+    ("concatenator behavioural compat", `Quick, test_concatenator_is_behaviourally_a_directory);
+    ("directories nest", `Quick, test_directories_nest);
+  ]

@@ -1,0 +1,184 @@
+(* Eden-native files: active file Ejects with dual protocols. *)
+
+open Eden_kernel
+module T = Eden_transput
+module File = Eden_edenfs.Eden_file
+module Dir = Eden_dirsvc.Directory
+
+let check = Alcotest.check
+let lines_t = Alcotest.(list string)
+
+let test_read_initial_contents () =
+  let k = Kernel.create () in
+  let f = File.create k ~initial:[ "alpha"; "beta" ] () in
+  let got = ref [] in
+  Kernel.run_driver k (fun ctx -> got := File.read_all ctx f);
+  check lines_t "initial contents" [ "alpha"; "beta" ] !got
+
+let test_write_then_read () =
+  let k = Kernel.create () in
+  let f = File.create k () in
+  let got = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      File.write_all ctx f [ "one"; "two" ];
+      got := File.read_all ctx f);
+  check lines_t "written contents" [ "one"; "two" ] !got
+
+let test_append_mode () =
+  let k = Kernel.create () in
+  let f = File.create k ~initial:[ "base" ] () in
+  let got = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      File.write_all ctx ~append:true f [ "more" ];
+      got := File.read_all ctx f);
+  check lines_t "appended" [ "base"; "more" ] !got
+
+let test_concurrent_readers_snapshot () =
+  (* Two readers each get a full, independent copy (own capability
+     channel) — no stealing, and a commit between opens does not tear
+     the earlier reader's view. *)
+  let k = Kernel.create () in
+  let f = File.create k ~initial:[ "v1-a"; "v1-b" ] () in
+  let first = ref [] and second = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      let chan1 = File.open_read ctx f in
+      File.write_all ctx f [ "v2-only" ];
+      let pull1 = T.Pull.connect ctx ~channel:chan1 f in
+      T.Pull.iter (fun v -> first := Value.to_str v :: !first) pull1;
+      second := File.read_all ctx f);
+  check lines_t "reader 1 sees the snapshot it opened" [ "v1-a"; "v1-b" ] (List.rev !first);
+  check lines_t "reader 2 sees the commit" [ "v2-only" ] !second
+
+let test_map_protocol () =
+  let k = Kernel.create () in
+  let f = File.create k ~initial:[ "zero"; "one"; "two" ] () in
+  Kernel.run_driver k (fun ctx ->
+      check Alcotest.int "size" 3 (File.size ctx f);
+      check Alcotest.string "read_at" "one" (File.read_at ctx f 1);
+      File.write_at ctx f 1 "ONE";
+      check Alcotest.string "after write_at" "ONE" (File.read_at ctx f 1);
+      File.truncate_to ctx f 2;
+      check Alcotest.int "after truncate" 2 (File.size ctx f))
+
+let test_map_bounds () =
+  let k = Kernel.create () in
+  let f = File.create k ~initial:[ "only" ] () in
+  Kernel.run_driver k (fun ctx ->
+      (match File.read_at ctx f 5 with
+      | exception Kernel.Eden_error msg ->
+          Alcotest.(check bool) "names bounds" true
+            (Eden_util.Text.contains_sub ~sub:"out of bounds" msg)
+      | _ -> Alcotest.fail "expected bounds error");
+      match File.write_at ctx f (-1) "x" with
+      | exception Kernel.Eden_error _ -> ()
+      | _ -> Alcotest.fail "expected bounds error")
+
+let test_both_protocols_interoperate () =
+  (* §6: "it may support both protocols" — stream a file written via
+     the Map protocol. *)
+  let k = Kernel.create () in
+  let f = File.create k ~initial:[ "a"; "b"; "c" ] () in
+  Kernel.run_driver k (fun ctx ->
+      File.write_at ctx f 0 "A";
+      let lines = File.read_all ctx f in
+      check lines_t "map write visible to stream read" [ "A"; "b"; "c" ] lines)
+
+let test_commit_survives_crash () =
+  let k = Kernel.create () in
+  let f = File.create k () in
+  let got = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      File.write_all ctx f [ "durable" ];
+      Kernel.crash k f;
+      got := File.read_all ctx f);
+  check lines_t "committed contents recovered" [ "durable" ] !got
+
+let test_uncommitted_write_lost_on_crash () =
+  (* A writer that never sends end of stream has committed nothing; a
+     crash reverts to the last checkpoint. *)
+  let k = Kernel.create () in
+  let f = File.create k ~initial:[ "old" ] () in
+  let got = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      let chan = File.open_write ctx f in
+      let push = T.Push.connect ctx ~channel:chan f in
+      T.Push.write push (Value.Str "half-written");
+      (* no close: no commit *)
+      Kernel.crash k f;
+      got := File.read_all ctx f);
+  check lines_t "uncommitted write lost" [ "old" ] !got
+
+let test_initial_contents_durable () =
+  let k = Kernel.create () in
+  let f = File.create k ~initial:[ "born-with" ] () in
+  let got = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      (* Activate (first read), then crash before any write. *)
+      ignore (File.read_all ctx f);
+      Kernel.crash k f;
+      got := File.read_all ctx f);
+  check lines_t "creation contents checkpointed" [ "born-with" ] !got
+
+let test_file_feeds_pipeline () =
+  (* An Eden file is a stream source like any other: pipe it through a
+     filter to a terminal. *)
+  let k = Kernel.create () in
+  let f = File.create k ~initial:[ "C comment"; "      CODE" ] () in
+  let out = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      let chan = File.open_read ctx f in
+      let filter =
+        T.Stage.filter_ro k ~upstream:f ~upstream_channel:chan
+          (Eden_filters.Catalog.strip_comments ())
+      in
+      let pull = T.Pull.connect ctx filter in
+      T.Pull.iter (fun v -> out := Value.to_str v :: !out) pull);
+  check lines_t "filtered file" [ "      CODE" ] !out
+
+let test_file_in_directory () =
+  (* Files are Ejects, so they are catalogued like anything else (§2). *)
+  let k = Kernel.create () in
+  let dir = Dir.create k () in
+  let f = File.create k ~initial:[ "hello" ] () in
+  let via_dir = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      Dir.add_entry ctx ~dir "readme" f;
+      match Dir.lookup ctx ~dir "readme" with
+      | Some uid -> via_dir := File.read_all ctx uid
+      | None -> ());
+  check lines_t "read through directory" [ "hello" ] !via_dir
+
+let test_last_commit_wins () =
+  let k = Kernel.create () in
+  let f = File.create k () in
+  let got = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      (* Two writers open; the one that closes last defines the
+         contents. *)
+      let c1 = File.open_write ctx f in
+      let c2 = File.open_write ctx f in
+      let p1 = T.Push.connect ctx ~channel:c1 f in
+      let p2 = T.Push.connect ctx ~channel:c2 f in
+      T.Push.write p1 (Value.Str "first");
+      T.Push.write p2 (Value.Str "second");
+      T.Push.close p1;
+      T.Push.close p2;
+      got := File.read_all ctx f);
+  check lines_t "second commit wins" [ "second" ] !got
+
+let suite =
+  [
+    ("read initial contents", `Quick, test_read_initial_contents);
+    ("write then read", `Quick, test_write_then_read);
+    ("append mode", `Quick, test_append_mode);
+    ("concurrent readers snapshot", `Quick, test_concurrent_readers_snapshot);
+    ("map protocol", `Quick, test_map_protocol);
+    ("map bounds", `Quick, test_map_bounds);
+    ("both protocols interoperate", `Quick, test_both_protocols_interoperate);
+    ("commit survives crash", `Quick, test_commit_survives_crash);
+    ("uncommitted write lost on crash", `Quick, test_uncommitted_write_lost_on_crash);
+    ("initial contents durable", `Quick, test_initial_contents_durable);
+    ("file feeds pipeline", `Quick, test_file_feeds_pipeline);
+    ("file in directory", `Quick, test_file_in_directory);
+    ("last commit wins", `Quick, test_last_commit_wins);
+  ]

@@ -1,0 +1,177 @@
+(* Multi-stream plumbing: tee, merge, split, zip. *)
+
+open Eden_kernel
+open Eden_transput
+module Dev = Eden_devices.Devices
+
+let check = Alcotest.check
+let lines_t = Alcotest.(list string)
+
+let drain ctx ?channel uid =
+  let pull = Pull.connect ctx ?channel uid in
+  let acc = ref [] in
+  Pull.iter (fun v -> acc := Value.to_str v :: !acc) pull;
+  List.rev !acc
+
+let test_tee_duplicates () =
+  let k = Kernel.create () in
+  let src = Dev.text_source k [ "a"; "b"; "c" ] in
+  let ch1 = Channel.Num 10 and ch2 = Channel.Num 20 in
+  let tee = Flow.tee k ~capacity:4 ~upstream:src ~channels:[ ch1; ch2 ] () in
+  let got1 = ref [] and got2 = ref [] in
+  let wg = Eden_sched.Waitgroup.create () in
+  Eden_sched.Waitgroup.add wg 2;
+  let mk chan out =
+    Stage.sink_ro k ~upstream:tee ~upstream_channel:chan
+      ~on_done:(fun () -> Eden_sched.Waitgroup.finish wg)
+      (fun v -> out := Value.to_str v :: !out)
+  in
+  let s1 = mk ch1 got1 and s2 = mk ch2 got2 in
+  Kernel.poke k s1;
+  Kernel.poke k s2;
+  Kernel.run k;
+  Eden_sched.Sched.check_failures (Kernel.sched k);
+  check lines_t "copy 1 complete" [ "a"; "b"; "c" ] (List.rev !got1);
+  check lines_t "copy 2 complete" [ "a"; "b"; "c" ] (List.rev !got2)
+
+let test_tee_empty_channels_rejected () =
+  let k = Kernel.create () in
+  let src = Dev.text_source k [] in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Flow.tee k ~upstream:src ~channels:[] ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_tee_slow_consumer_backpressures () =
+  (* With capacity 0 the tee can run no further ahead than its slowest
+     consumer: after the fast reader drains what it can, the tee parks
+     on the unread channel. *)
+  let k = Kernel.create () in
+  let src = Dev.text_source k [ "a"; "b"; "c"; "d" ] in
+  let ch1 = Channel.Num 1 and ch2 = Channel.Num 2 in
+  let tee = Flow.tee k ~capacity:0 ~upstream:src ~channels:[ ch1; ch2 ] () in
+  let got = ref [] in
+  (* Only channel 1 gets a reader. *)
+  let s1 = Stage.sink_ro k ~upstream:tee ~upstream_channel:ch1 (fun v -> got := v :: !got) in
+  Kernel.poke k s1;
+  Kernel.run k;
+  (* The first item went to ch1's reader; the copy for ch2 blocks the
+     tee, so the reader saw at most 2 items before quiescence. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "reader starved at %d items" (List.length !got))
+    true
+    (List.length !got <= 2);
+  Alcotest.(check bool) "tee parked, not crashed" true
+    (Eden_sched.Sched.failures (Kernel.sched k) = [])
+
+let test_merge_arrival_sees_everything () =
+  let k = Kernel.create () in
+  let s1 = Dev.text_source k [ "a1"; "a2" ] in
+  let s2 = Dev.text_source k [ "b1"; "b2"; "b3" ] in
+  let m =
+    Flow.merge k ~upstreams:[ (s1, Channel.output); (s2, Channel.output) ] ()
+  in
+  let out = ref [] in
+  Kernel.run_driver k (fun ctx -> out := drain ctx m);
+  check Alcotest.int "all five arrive" 5 (List.length !out);
+  let of_src p = List.filter (Eden_util.Text.is_prefix ~prefix:p) !out in
+  check lines_t "source order preserved within s1" [ "a1"; "a2" ] (of_src "a");
+  check lines_t "source order preserved within s2" [ "b1"; "b2"; "b3" ] (of_src "b")
+
+let test_merge_round_robin_alternates () =
+  let k = Kernel.create () in
+  let s1 = Dev.text_source k ~capacity:4 [ "a1"; "a2"; "a3" ] in
+  let s2 = Dev.text_source k ~capacity:4 [ "b1" ] in
+  let m =
+    Flow.merge k ~policy:Flow.Round_robin
+      ~upstreams:[ (s1, Channel.output); (s2, Channel.output) ]
+      ()
+  in
+  let out = ref [] in
+  Kernel.run_driver k (fun ctx -> out := drain ctx m);
+  (* Round robin: a1 b1, then s2 ends and drops out, then a2 a3. *)
+  check lines_t "alternation then drain" [ "a1"; "b1"; "a2"; "a3" ] !out
+
+let test_split_routes_by_predicate () =
+  let k = Kernel.create () in
+  let src = Dev.text_source k [ "apple"; "10"; "pear"; "42" ] in
+  let digits = Channel.Num 1 and words = Channel.Num 2 in
+  let is_digits v = String.for_all (fun c -> c >= '0' && c <= '9') (Value.to_str v) in
+  let sp =
+    Flow.split k ~capacity:8 ~upstream:src ~pred:is_digits ~accept:digits ~reject:words ()
+  in
+  let got_digits = ref [] and got_words = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      got_digits := drain ctx ~channel:digits sp;
+      got_words := drain ctx ~channel:words sp);
+  check lines_t "digits" [ "10"; "42" ] !got_digits;
+  check lines_t "words" [ "apple"; "pear" ] !got_words
+
+let test_split_same_channel_rejected () =
+  let k = Kernel.create () in
+  let src = Dev.text_source k [] in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore
+         (Flow.split k ~upstream:src
+            ~pred:(fun _ -> true)
+            ~accept:(Channel.Num 1) ~reject:(Channel.Num 1) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_zip_pairs_until_shorter () =
+  let k = Kernel.create () in
+  let s1 = Dev.text_source k [ "a"; "b"; "c" ] in
+  let s2 = Dev.text_source k [ "1"; "2" ] in
+  let z = Flow.zip k ~left:(s1, Channel.output) ~right:(s2, Channel.output) () in
+  let out = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      let pull = Pull.connect ctx z in
+      Pull.iter
+        (fun v ->
+          let l, r = Value.to_pair v in
+          out := (Value.to_str l ^ Value.to_str r) :: !out)
+        pull);
+  check lines_t "pairs, ending with shorter" [ "a1"; "b2" ] (List.rev !out)
+
+let test_flow_composes_with_filters () =
+  (* split -> per-branch filter -> merge: a little dataflow graph. *)
+  let k = Kernel.create () in
+  let src = Dev.text_source k ~capacity:8 [ "keep a"; "drop b"; "keep c"; "drop d" ] in
+  let keeps = Channel.Num 1 and drops = Channel.Num 2 in
+  let sp =
+    Flow.split k ~capacity:8 ~upstream:src
+      ~pred:(fun v -> Eden_util.Text.is_prefix ~prefix:"keep" (Value.to_str v))
+      ~accept:keeps ~reject:drops ()
+  in
+  let shout =
+    Stage.filter_ro k ~capacity:8 ~upstream:sp ~upstream_channel:keeps
+      Eden_filters.Catalog.upcase
+  in
+  let tag =
+    Stage.filter_ro k ~capacity:8 ~upstream:sp ~upstream_channel:drops
+      (Eden_filters.Line.map (fun l -> "(" ^ l ^ ")"))
+  in
+  let m =
+    Flow.merge k ~capacity:8 ~upstreams:[ (shout, Channel.output); (tag, Channel.output) ] ()
+  in
+  let out = ref [] in
+  Kernel.run_driver k (fun ctx -> out := drain ctx m);
+  let sorted = List.sort String.compare !out in
+  check lines_t "all four, transformed per branch"
+    [ "(drop b)"; "(drop d)"; "KEEP A"; "KEEP C" ]
+    sorted
+
+let suite =
+  [
+    ("tee duplicates", `Quick, test_tee_duplicates);
+    ("tee rejects empty channels", `Quick, test_tee_empty_channels_rejected);
+    ("tee backpressures on slow consumer", `Quick, test_tee_slow_consumer_backpressures);
+    ("merge arrival", `Quick, test_merge_arrival_sees_everything);
+    ("merge round robin", `Quick, test_merge_round_robin_alternates);
+    ("split routes", `Quick, test_split_routes_by_predicate);
+    ("split rejects same channel", `Quick, test_split_same_channel_rejected);
+    ("zip pairs", `Quick, test_zip_pairs_until_shorter);
+    ("split/filter/merge graph", `Quick, test_flow_composes_with_filters);
+  ]

@@ -1,0 +1,226 @@
+(* Unix_fs path algebra and the §7 bootstrap Ejects. *)
+
+open Eden_kernel
+module Fs = Eden_fs.Unix_fs
+module Fse = Eden_fs.Fs_eject
+module T = Eden_transput
+
+let check = Alcotest.check
+let prop name ?(count = 100) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+(* ------------------------------------------------------------------ *)
+(* Plain file system                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_normalise () =
+  check Alcotest.(list string) "plain" [ "a"; "b" ] (Fs.normalise "/a/b");
+  check Alcotest.(list string) "relative" [ "a"; "b" ] (Fs.normalise "a/b");
+  check Alcotest.(list string) "dots" [ "a"; "c" ] (Fs.normalise "/a/./b/../c");
+  check Alcotest.(list string) "root" [] (Fs.normalise "/");
+  check Alcotest.(list string) "double slash" [ "a" ] (Fs.normalise "//a//");
+  check Alcotest.(list string) "dotdot clamp" [ "x" ] (Fs.normalise "/../../x")
+
+let test_write_read () =
+  let fs = Fs.create () in
+  Fs.mkdir_p fs "/usr/alice";
+  Fs.write_file fs "/usr/alice/hello.txt" "hi\n";
+  check Alcotest.string "read back" "hi\n" (Fs.read_file fs "/usr/alice/hello.txt");
+  Fs.write_file fs "/usr/alice/hello.txt" "replaced\n";
+  check Alcotest.string "truncate" "replaced\n" (Fs.read_file fs "/usr/alice/hello.txt")
+
+let test_append () =
+  let fs = Fs.create () in
+  Fs.append_file fs "/log" "a";
+  Fs.append_file fs "/log" "b";
+  check Alcotest.string "appended" "ab" (Fs.read_file fs "/log")
+
+let test_readdir_sorted () =
+  let fs = Fs.create () in
+  Fs.mkdir fs "/d";
+  List.iter (fun n -> Fs.write_file fs ("/d/" ^ n) "") [ "zeta"; "alpha"; "mid" ];
+  check Alcotest.(list string) "sorted" [ "alpha"; "mid"; "zeta" ] (Fs.readdir fs "/d")
+
+let test_errors () =
+  let fs = Fs.create () in
+  let expect_err err f =
+    match f () with
+    | exception Fs.Error (e, _) when e = err -> ()
+    | exception Fs.Error (e, p) ->
+        Alcotest.failf "wrong error %s for %s" (Fs.error_message e) p
+    | _ -> Alcotest.fail "expected error"
+  in
+  expect_err Fs.Enoent (fun () -> Fs.read_file fs "/missing");
+  expect_err Fs.Enoent (fun () -> Fs.readdir fs "/missing");
+  Fs.write_file fs "/f" "x";
+  expect_err Fs.Enotdir (fun () -> Fs.write_file fs "/f/under" "x");
+  expect_err Fs.Eisdir (fun () -> Fs.read_file fs "/");
+  expect_err Fs.Eexist (fun () -> Fs.mkdir fs "/f");
+  Fs.mkdir fs "/d";
+  Fs.write_file fs "/d/inner" "x";
+  expect_err Fs.Enotempty (fun () -> Fs.rmdir fs "/d");
+  expect_err Fs.Eisdir (fun () -> Fs.unlink fs "/d")
+
+let test_rmdir_unlink () =
+  let fs = Fs.create () in
+  Fs.mkdir fs "/d";
+  Fs.write_file fs "/d/f" "x";
+  Fs.unlink fs "/d/f";
+  Fs.rmdir fs "/d";
+  Alcotest.(check bool) "gone" false (Fs.exists fs "/d")
+
+let test_rename () =
+  let fs = Fs.create () in
+  Fs.mkdir_p fs "/a";
+  Fs.write_file fs "/a/f" "data";
+  Fs.mkdir_p fs "/b";
+  Fs.rename fs "/a/f" "/b/g";
+  Alcotest.(check bool) "source gone" false (Fs.exists fs "/a/f");
+  check Alcotest.string "moved" "data" (Fs.read_file fs "/b/g");
+  (* Renaming a directory moves its contents. *)
+  Fs.rename fs "/b" "/c";
+  check Alcotest.string "dir moved" "data" (Fs.read_file fs "/c/g")
+
+let test_stat_like () =
+  let fs = Fs.create () in
+  Fs.write_file fs "/f" "12345";
+  Alcotest.(check bool) "is_file" true (Fs.is_file fs "/f");
+  Alcotest.(check bool) "not dir" false (Fs.is_dir fs "/f");
+  Alcotest.(check bool) "root is dir" true (Fs.is_dir fs "/");
+  check Alcotest.int "size" 5 (Fs.size fs "/f");
+  check Alcotest.int "files" 1 (Fs.total_files fs);
+  check Alcotest.int "bytes" 5 (Fs.total_bytes fs)
+
+let prop_roundtrip_any_content =
+  prop "write/read roundtrips arbitrary bytes" QCheck2.Gen.(string_size (int_range 0 200))
+    (fun content ->
+      let fs = Fs.create () in
+      match Fs.write_file fs "/blob" content with
+      | () -> Fs.read_file fs "/blob" = content
+      | exception Fs.Error (Fs.Einval, _) -> String.contains content '\x00')
+
+let prop_mkdir_p_idempotent =
+  let seg = QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 5)) in
+  prop "mkdir_p is idempotent" QCheck2.Gen.(list_size (int_range 1 4) seg) (fun segs ->
+      let fs = Fs.create () in
+      let path = "/" ^ String.concat "/" segs in
+      Fs.mkdir_p fs path;
+      Fs.mkdir_p fs path;
+      Fs.is_dir fs path)
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap Ejects                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let boot () =
+  let k = Kernel.create () in
+  let fs = Fs.create () in
+  let fse = Fse.create k fs in
+  (k, fs, fse)
+
+let test_new_stream_reads_lines () =
+  let k, fs, fse = boot () in
+  Fs.write_file fs "/doc" "one\ntwo\nthree\n";
+  let got = ref [] in
+  Kernel.run_driver k (fun ctx -> got := Fse.read_lines ctx ~fs:fse "/doc");
+  check Alcotest.(list string) "lines" [ "one"; "two"; "three" ] !got
+
+let test_unixfile_disappears_after_close () =
+  let k, fs, fse = boot () in
+  Fs.write_file fs "/doc" "x\n";
+  let stream = ref None in
+  Kernel.run_driver k (fun ctx ->
+      let s = Fse.new_stream ctx ~fs:fse "/doc" in
+      stream := Some s;
+      Fse.close_stream ctx s);
+  match !stream with
+  | Some s -> Alcotest.(check bool) "gone" false (Kernel.exists k s)
+  | None -> Alcotest.fail "no stream"
+
+let test_new_stream_missing_file () =
+  let k, _fs, fse = boot () in
+  let failed = ref false in
+  Kernel.run_driver k (fun ctx ->
+      try ignore (Fse.new_stream ctx ~fs:fse "/nope")
+      with Kernel.Eden_error msg ->
+        failed := Eden_util.Text.contains_sub ~sub:"no such file" msg);
+  Alcotest.(check bool) "refused with ENOENT" true !failed
+
+let test_use_stream_records () =
+  let k, fs, fse = boot () in
+  Fs.write_file fs "/in" "alpha\nbeta\n";
+  Kernel.run_driver k (fun ctx ->
+      let src = Fse.new_stream ctx ~fs:fse "/in" in
+      let writer = Fse.use_stream ctx ~fs:fse "/out" src in
+      Fse.await_writer ctx writer);
+  check Alcotest.string "copied" "alpha\nbeta\n" (Fs.read_file fs "/out")
+
+let test_copy_through_filters () =
+  (* §7 end to end: file -> filter pipeline -> file, all by Transfer. *)
+  let k, fs, fse = boot () in
+  Fs.write_file fs "/prog.f" "C comment\nREAL X\nC another\nX = 1\n";
+  let before = Kernel.Meter.snapshot k in
+  Kernel.run_driver k (fun ctx ->
+      Fse.copy_through ctx ~fs:fse ~src:"/prog.f" ~dst:"/prog.stripped"
+        [
+          Eden_transput.Transform.filter (fun v ->
+              not (Eden_util.Text.is_prefix ~prefix:"C" (Value.to_str v)));
+        ]);
+  check Alcotest.string "stripped" "REAL X\nX = 1\n" (Fs.read_file fs "/prog.stripped");
+  let d = Kernel.Meter.diff (Kernel.Meter.snapshot k) before in
+  Alcotest.(check bool) "transfers metered" true (d.Kernel.Meter.invocations > 0)
+
+let test_direct_ops () =
+  let k, fs, fse = boot () in
+  ignore fs;
+  let listing = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      ignore (Kernel.call ctx fse ~op:Fse.op_make_dir (Value.Str "/proj"));
+      ignore
+        (Kernel.call ctx fse ~op:Fse.op_write_file
+           (Value.pair (Value.Str "/proj/a") (Value.Str "A")));
+      ignore
+        (Kernel.call ctx fse ~op:Fse.op_write_file
+           (Value.pair (Value.Str "/proj/b") (Value.Str "B")));
+      ignore (Kernel.call ctx fse ~op:Fse.op_remove (Value.Str "/proj/a"));
+      listing :=
+        List.map Value.to_str
+          (Value.to_list (Kernel.call ctx fse ~op:Fse.op_list_dir (Value.Str "/proj"))));
+  check Alcotest.(list string) "listing" [ "b" ] !listing
+
+let test_two_machines_two_filesystems () =
+  (* One UnixFileSystem Eject per physical machine (§7): copy a file
+     from machine a to machine b through the stream protocol. *)
+  let k = Kernel.create ~nodes:[ "vax-a"; "vax-b" ] () in
+  let fs_a = Fs.create () and fs_b = Fs.create () in
+  let nodes = Kernel.nodes k in
+  let fse_a = Fse.create k ~node:(List.nth nodes 0) fs_a in
+  let fse_b = Fse.create k ~node:(List.nth nodes 1) fs_b in
+  Fs.write_file fs_a "/doc" "travels\nacross\n";
+  Kernel.run_driver k (fun ctx ->
+      let src = Fse.new_stream ctx ~fs:fse_a "/doc" in
+      let writer = Fse.use_stream ctx ~fs:fse_b "/doc-copy" src in
+      Fse.await_writer ctx writer);
+  check Alcotest.string "copied across machines" "travels\nacross\n"
+    (Fs.read_file fs_b "/doc-copy")
+
+let suite =
+  [
+    ("normalise", `Quick, test_normalise);
+    ("write/read", `Quick, test_write_read);
+    ("append", `Quick, test_append);
+    ("readdir sorted", `Quick, test_readdir_sorted);
+    ("error cases", `Quick, test_errors);
+    ("rmdir/unlink", `Quick, test_rmdir_unlink);
+    ("rename", `Quick, test_rename);
+    ("stat-like queries", `Quick, test_stat_like);
+    ("new_stream reads lines", `Quick, test_new_stream_reads_lines);
+    ("unixfile disappears after close", `Quick, test_unixfile_disappears_after_close);
+    ("new_stream missing file", `Quick, test_new_stream_missing_file);
+    ("use_stream records", `Quick, test_use_stream_records);
+    ("copy through filters", `Quick, test_copy_through_filters);
+    ("direct ops", `Quick, test_direct_ops);
+    ("two machines", `Quick, test_two_machines_two_filesystems);
+    prop_roundtrip_any_content;
+    prop_mkdir_p_idempotent;
+  ]

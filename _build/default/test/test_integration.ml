@@ -1,0 +1,158 @@
+(* Capstone integration: the whole stack in one scenario.
+
+   Three machines.  Machine A holds a Unix file system with a Fortran
+   source file; machine B runs the editing; machine C hosts the devices.
+   A user namespace maps names to everything.  The job: strip comments,
+   apply a sed script stored in an Eden-native file, paginate, and print
+   — while a report window watches progress — then diff the result
+   against a golden Eden file, and survive a directory crash on the way. *)
+
+open Eden_kernel
+module T = Eden_transput
+module Fs = Eden_fs.Unix_fs
+module Fse = Eden_fs.Fs_eject
+module File = Eden_edenfs.Eden_file
+module Dir = Eden_dirsvc.Directory
+module Ns = Eden_dirsvc.Namespace
+module Cat = Eden_filters.Catalog
+module Sed = Eden_filters.Sed
+module Cmp = Eden_filters.Compare
+module Report = Eden_filters.Report
+module Dev = Eden_devices.Devices
+
+let check = Alcotest.check
+let lines_t = Alcotest.(list string)
+
+let program =
+  [
+    "C     AREA OF A CIRCLE";
+    "      REAL R, A";
+    "C     READ THE RADIUS";
+    "      READ *, R";
+    "      A = PI * R * R";
+    "      PRINT *, A";
+    "      END";
+  ]
+
+let test_the_works () =
+  let k = Kernel.create ~nodes:[ "vax-a"; "vax-b"; "vax-c" ] () in
+  let na, nb, nc =
+    match Kernel.nodes k with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> Alcotest.fail "expected three nodes"
+  in
+
+  (* Machine A: the Unix bootstrap file system. *)
+  let fs = Fs.create () in
+  let fse = Fse.create k ~node:na fs in
+  Fs.mkdir_p fs "/usr/src";
+  Fs.write_file fs "/usr/src/circle.f" (Eden_util.Text.join_lines program);
+
+  (* Machine B: a sed script stored in an Eden-native file. *)
+  let sed_script = File.create k ~node:nb ~initial:[ "s/PI/3.14159/"; "/^$/d" ] () in
+
+  (* Machine C: devices. *)
+  let printer = Dev.printer k ~node:nc () in
+
+  (* The user's namespace, on machine A. *)
+  let root = Dir.create k ~node:na () in
+
+  let window_lines = ref [] in
+  let paper = ref [] in
+  let diff_out = ref [] in
+
+  Kernel.run_driver k (fun ctx ->
+      (* Name everything. *)
+      Ns.bind ctx ~root "/bin/fs" fse;
+      Ns.bind ctx ~root "/etc/fix-pi.sed" sed_script;
+      Ns.bind ctx ~root "/dev/printer" printer.Dev.puid;
+
+      (* A directory crash must not lose the bindings (checkpoints). *)
+      Kernel.crash k root;
+
+      let fse = Option.get (Ns.resolve ctx ~root "/bin/fs") in
+      let sed_file = Option.get (Ns.resolve ctx ~root "/etc/fix-pi.sed") in
+      let printer_uid = Option.get (Ns.resolve ctx ~root "/dev/printer") in
+
+      (* Build the read-only pipeline on machine B:
+         unix file -> strip-comments (reporting) -> sed (two-input, with
+         the command stream read from the Eden file) -> paginate. *)
+      let src = Fse.new_stream ctx ~fs:fse "/usr/src/circle.f" in
+      let strip =
+        Report.filter_ro k ~node:nb ~name:"strip" ~upstream:src
+          (Report.with_progress ~every:2 ~label:"strip" (Cat.strip_comments ()))
+      in
+      let commands_chan = File.open_read ctx sed_file in
+      let edit =
+        Sed.two_input_stage k ~node:nb ~commands:(sed_file, commands_chan)
+          ~text:(strip, T.Channel.output) ()
+      in
+      let pages =
+        T.Stage.filter_ro k ~node:nb ~name:"paginate" ~upstream:edit
+          (Cat.paginate ~lines_per_page:3 ~title:"circle.f" ())
+      in
+
+      (* Watch the strip filter's reports while printing. *)
+      let window =
+        Dev.report_window_ro k ~node:nc ~watch:[ ("strip", strip, T.Channel.report) ] ()
+      in
+      Kernel.poke k window.Dev.uid;
+
+      (* "A file could be printed simply by requesting the printer
+         server to read from the paginator." *)
+      Dev.print ctx ~printer:printer_uid pages;
+      Eden_sched.Ivar.read window.Dev.done_;
+      window_lines := window.Dev.lines ();
+      paper := printer.Dev.paper ();
+
+      (* Golden copy in an Eden file; diff must be empty. *)
+      let golden =
+        File.create k ~node:nb
+          ~initial:
+            [
+              "==== circle.f page 1 ====";
+              "      REAL R, A";
+              "      READ *, R";
+              "      A = 3.14159 * R * R";
+              "==== circle.f page 2 ====";
+              "      PRINT *, A";
+              "      END";
+            ]
+          ()
+      in
+      let result = File.create k ~node:nb () in
+      File.write_all ctx result !paper;
+      let gc = File.open_read ctx golden in
+      let rc = File.open_read ctx result in
+      let d = Cmp.diff_stage k ~node:nb ~left:(golden, gc) ~right:(result, rc) () in
+      let pull = T.Pull.connect ctx d in
+      T.Pull.iter (fun v -> diff_out := Value.to_str v :: !diff_out) pull);
+
+  check lines_t "printed output matches the golden file (diff empty)" [] !diff_out;
+  Alcotest.(check bool) "paper non-empty" true (!paper <> []);
+  Alcotest.(check bool) "window saw strip's reports" true
+    (List.exists (fun l -> Eden_util.Text.is_prefix ~prefix:"strip |" l) !window_lines)
+
+let test_meter_sanity_across_the_works () =
+  (* The same scenario must run deterministically: same seed, same
+     counts. *)
+  let run () =
+    let k = Kernel.create ~seed:5L () in
+    let fs = Fs.create () in
+    let fse = Fse.create k fs in
+    Fs.write_file fs "/f" "a\nb\nc\n";
+    Kernel.run_driver k (fun ctx ->
+        Fse.copy_through ctx ~fs:fse ~src:"/f" ~dst:"/g" [ Cat.upcase; Cat.tail 2 ]);
+    ((Kernel.Meter.snapshot k).Kernel.Meter.invocations, Fs.read_file fs "/g")
+  in
+  let i1, o1 = run () in
+  let i2, o2 = run () in
+  check Alcotest.int "same invocation count" i1 i2;
+  check Alcotest.string "same output" o1 o2;
+  check Alcotest.string "content correct" "B\nC\n" o1
+
+let suite =
+  [
+    ("the works", `Quick, test_the_works);
+    ("determinism across the works", `Quick, test_meter_sanity_across_the_works);
+  ]

@@ -1,0 +1,129 @@
+(* Path resolution over directory-Eject networks. *)
+
+open Eden_kernel
+module Dir = Eden_dirsvc.Directory
+module Ns = Eden_dirsvc.Namespace
+
+let check = Alcotest.check
+
+let leaf k name =
+  Kernel.create_eject k ~type_name:name (fun _ctx ~passive:_ -> [])
+
+let test_split () =
+  check Alcotest.(list string) "plain" [ "a"; "b" ] (Ns.split "/a/b");
+  check Alcotest.(list string) "messy" [ "a"; "b" ] (Ns.split "//a///b/");
+  check Alcotest.(list string) "empty" [] (Ns.split "/");
+  Alcotest.(check bool) "dots rejected" true
+    (try
+       ignore (Ns.split "/a/../b");
+       false
+     with Invalid_argument _ -> true)
+
+let test_bind_and_resolve () =
+  let k = Kernel.create () in
+  let root = Dir.create k () in
+  let target = leaf k "tool" in
+  let found = ref None in
+  Kernel.run_driver k (fun ctx ->
+      Ns.bind ctx ~root "/usr/local/bin/tool" target;
+      found := Ns.resolve ctx ~root "/usr/local/bin/tool");
+  match !found with
+  | Some uid -> Alcotest.(check bool) "resolved" true (Uid.equal uid target)
+  | None -> Alcotest.fail "path did not resolve"
+
+let test_resolve_root_and_missing () =
+  let k = Kernel.create () in
+  let root = Dir.create k () in
+  let r1 = ref None and r2 = ref (Some root) in
+  Kernel.run_driver k (fun ctx ->
+      r1 := Ns.resolve ctx ~root "/";
+      r2 := Ns.resolve ctx ~root "/no/such/path");
+  (match !r1 with
+  | Some uid -> Alcotest.(check bool) "root resolves to itself" true (Uid.equal uid root)
+  | None -> Alcotest.fail "root did not resolve");
+  Alcotest.(check bool) "missing path is None" true (!r2 = None)
+
+let test_intermediate_directories_created () =
+  let k = Kernel.create () in
+  let root = Dir.create k () in
+  let t1 = leaf k "a" and t2 = leaf k "b" in
+  let listing = ref None in
+  Kernel.run_driver k (fun ctx ->
+      Ns.bind ctx ~root "/etc/one" t1;
+      (* Second bind reuses the existing /etc directory. *)
+      Ns.bind ctx ~root "/etc/two" t2;
+      listing := Ns.list ctx ~root "/etc");
+  match !listing with
+  | Some lines ->
+      check Alcotest.int "two entries" 2 (List.length lines);
+      let names = List.map (fun l -> List.hd (Eden_util.Text.words l)) lines in
+      check Alcotest.(list string) "sorted names" [ "one"; "two" ] names
+  | None -> Alcotest.fail "/etc did not list"
+
+let test_unbind () =
+  let k = Kernel.create () in
+  let root = Dir.create k () in
+  let t = leaf k "t" in
+  let after = ref (Some t) in
+  Kernel.run_driver k (fun ctx ->
+      Ns.bind ctx ~root "/tmp/x" t;
+      Ns.unbind ctx ~root "/tmp/x";
+      after := Ns.resolve ctx ~root "/tmp/x");
+  Alcotest.(check bool) "gone" true (!after = None)
+
+let test_bind_duplicate_refused () =
+  let k = Kernel.create () in
+  let root = Dir.create k () in
+  let refused = ref false in
+  Kernel.run_driver k (fun ctx ->
+      Ns.bind ctx ~root "/x" (leaf k "a");
+      try Ns.bind ctx ~root "/x" (leaf k "b") with Kernel.Eden_error _ -> refused := true);
+  Alcotest.(check bool) "refused" true !refused
+
+let test_namespace_over_concatenator () =
+  (* A concatenator placed inside the tree participates in resolution:
+     behavioural compatibility again. *)
+  let k = Kernel.create () in
+  let root = Dir.create k () in
+  let d1 = Dir.create k () and d2 = Dir.create k () in
+  let cat = Dir.concatenator k [ d1; d2 ] in
+  let target = leaf k "deep" in
+  let found = ref None in
+  Kernel.run_driver k (fun ctx ->
+      Dir.add_entry ctx ~dir:root "path" cat;
+      Dir.add_entry ctx ~dir:d2 "tool" target;
+      found := Ns.resolve ctx ~root "/path/tool");
+  match !found with
+  | Some uid -> Alcotest.(check bool) "resolved through concatenator" true (Uid.equal uid target)
+  | None -> Alcotest.fail "concatenator did not resolve"
+
+let test_namespace_survives_crashes () =
+  (* Every directory checkpoints, so a whole resolved path survives
+     crashing every node along it. *)
+  let k = Kernel.create () in
+  let root = Dir.create k () in
+  let target = leaf k "precious" in
+  let found = ref None in
+  Kernel.run_driver k (fun ctx ->
+      Ns.bind ctx ~root "/a/b/precious" target;
+      (* Crash the root and whatever /a resolves to. *)
+      (match Ns.resolve ctx ~root "/a" with
+      | Some a -> Kernel.crash k a
+      | None -> ());
+      Kernel.crash k root;
+      found := Ns.resolve ctx ~root "/a/b/precious");
+  match !found with
+  | Some uid -> Alcotest.(check bool) "path survives crashes" true (Uid.equal uid target)
+  | None -> Alcotest.fail "path lost after crashes"
+
+let suite =
+  [
+    ("split", `Quick, test_split);
+    ("bind and resolve", `Quick, test_bind_and_resolve);
+    ("root and missing", `Quick, test_resolve_root_and_missing);
+    ("intermediate directories created", `Quick, test_intermediate_directories_created);
+    ("unbind", `Quick, test_unbind);
+    ("bind duplicate refused", `Quick, test_bind_duplicate_refused);
+    ("resolution through concatenator", `Quick, test_namespace_over_concatenator);
+    ("namespace survives crashes", `Quick, test_namespace_survives_crashes);
+  ]

@@ -1,0 +1,170 @@
+(* The simulated interconnect: latency models, loss, partitions,
+   meters. *)
+
+module Net = Eden_net.Net
+module Sched = Eden_sched.Sched
+
+let check = Alcotest.check
+let prop name ?(count = 100) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let make ?(latency = Net.Fixed 1.0) () =
+  let s = Sched.create () in
+  let net = Net.create ~sched:s ~latency () in
+  let a = Net.add_node net "a" in
+  let b = Net.add_node net "b" in
+  (s, net, a, b)
+
+let delivery_time s net ~src ~dst ~size =
+  let sent_at = Sched.now s in
+  let t = ref nan in
+  Net.send net ~src ~dst ~size (fun () -> t := Sched.now s);
+  Sched.run s;
+  !t -. sent_at
+
+let test_fixed_latency () =
+  let s, net, a, b = make () in
+  check (Alcotest.float 1e-9) "remote" 1.0 (delivery_time s net ~src:a ~dst:b ~size:10)
+
+let test_local_latency_default () =
+  let s, net, a, _ = make () in
+  (* Same-node default: a tenth of the remote mean. *)
+  check (Alcotest.float 1e-9) "local" 0.1 (delivery_time s net ~src:a ~dst:a ~size:10)
+
+let test_per_byte_latency () =
+  let s, net, a, b = make ~latency:(Net.Per_byte { base = 1.0; per_byte = 0.01 }) () in
+  check (Alcotest.float 1e-9) "size-dependent" 2.0 (delivery_time s net ~src:a ~dst:b ~size:100)
+
+let test_uniform_latency_bounds () =
+  let s = Sched.create () in
+  let net = Net.create ~sched:s ~latency:(Net.Uniform { lo = 2.0; hi = 3.0 }) () in
+  let a = Net.add_node net "a" and b = Net.add_node net "b" in
+  for _ = 1 to 50 do
+    let sent_at = Sched.now s in
+    let t = ref nan in
+    Net.send net ~src:a ~dst:b ~size:1 (fun () -> t := Sched.now s);
+    Sched.run s;
+    let d = !t -. sent_at in
+    Alcotest.(check bool) (Printf.sprintf "%.3f in [2,3]" d) true (d >= 2.0 && d <= 3.0)
+  done
+
+let test_exponential_latency_positive () =
+  let s = Sched.create () in
+  let net = Net.create ~sched:s ~latency:(Net.Exponential { mean = 1.0 }) () in
+  let a = Net.add_node net "a" and b = Net.add_node net "b" in
+  for _ = 1 to 50 do
+    let sent_at = Sched.now s in
+    let t = ref nan in
+    Net.send net ~src:a ~dst:b ~size:1 (fun () -> t := Sched.now s);
+    Sched.run s;
+    Alcotest.(check bool) "positive" true (!t -. sent_at >= 0.0)
+  done
+
+let test_link_override () =
+  let s, net, a, b = make () in
+  Net.set_link_latency net a b (Net.Fixed 5.0);
+  check (Alcotest.float 1e-9) "override wins" 5.0 (delivery_time s net ~src:a ~dst:b ~size:1);
+  (* Symmetric. *)
+  check (Alcotest.float 1e-9) "symmetric" 5.0 (delivery_time s net ~src:b ~dst:a ~size:1)
+
+let test_partition_and_heal () =
+  let s, net, a, b = make () in
+  Net.partition net a b;
+  let delivered = ref false in
+  Net.send net ~src:a ~dst:b ~size:1 (fun () -> delivered := true);
+  Sched.run s;
+  Alcotest.(check bool) "dropped during partition" false !delivered;
+  Net.heal net a b;
+  Net.send net ~src:a ~dst:b ~size:1 (fun () -> delivered := true);
+  Sched.run s;
+  Alcotest.(check bool) "delivered after heal" true !delivered;
+  (* Partition does not affect local traffic. *)
+  Net.partition net a b;
+  let local = ref false in
+  Net.send net ~src:a ~dst:a ~size:1 (fun () -> local := true);
+  Sched.run s;
+  Alcotest.(check bool) "local unaffected" true !local
+
+let test_heal_all () =
+  let s, net, a, b = make () in
+  Net.partition net a b;
+  Net.heal_all net;
+  let ok = ref false in
+  Net.send net ~src:a ~dst:b ~size:1 (fun () -> ok := true);
+  Sched.run s;
+  Alcotest.(check bool) "healed" true !ok
+
+let test_meter_accounting () =
+  let s, net, a, b = make () in
+  Net.send net ~src:a ~dst:b ~size:7 (fun () -> ());
+  Net.partition net a b;
+  Net.send net ~src:a ~dst:b ~size:3 (fun () -> ());
+  Sched.run s;
+  let m = Net.meter net in
+  check Alcotest.int "sent" 2 m.Net.sent;
+  check Alcotest.int "delivered" 1 m.Net.delivered;
+  check Alcotest.int "dropped" 1 m.Net.dropped;
+  check Alcotest.int "bytes counts both" 10 m.Net.bytes;
+  Net.reset_meter net;
+  check Alcotest.int "reset" 0 (Net.meter net).Net.sent
+
+let test_meter_diff () =
+  let a = { Net.sent = 10; delivered = 8; dropped = 2; bytes = 100 } in
+  let b = { Net.sent = 4; delivered = 3; dropped = 1; bytes = 30 } in
+  let d = Net.meter_diff a b in
+  check Alcotest.int "sent" 6 d.Net.sent;
+  check Alcotest.int "bytes" 70 d.Net.bytes
+
+let test_loss_probability_validation () =
+  let s, net, a, b = make () in
+  Alcotest.(check bool) "rejects > 1" true
+    (try
+       Net.set_loss_probability net 1.5;
+       false
+     with Invalid_argument _ -> true);
+  Net.set_loss_probability net 1.0;
+  (* Total loss: nothing arrives. *)
+  let delivered = ref 0 in
+  for _ = 1 to 10 do
+    Net.send net ~src:a ~dst:b ~size:1 (fun () -> incr delivered)
+  done;
+  Sched.run s;
+  check Alcotest.int "all lost" 0 !delivered
+
+let test_node_names () =
+  let _, net, a, b = make () in
+  check Alcotest.string "a" "a" (Net.node_name net a);
+  check Alcotest.string "b" "b" (Net.node_name net b);
+  check Alcotest.int "count" 2 (Net.node_count net)
+
+let prop_messages_conserved =
+  prop "sent = delivered + dropped + in-flight(0 after run)"
+    QCheck2.Gen.(pair (int_range 0 30) (float_bound_inclusive 1.0))
+    (fun (n, loss) ->
+      let s = Sched.create () in
+      let net = Net.create ~sched:s ~latency:(Net.Fixed 1.0) () in
+      let a = Net.add_node net "a" and b = Net.add_node net "b" in
+      Net.set_loss_probability net loss;
+      for _ = 1 to n do
+        Net.send net ~src:a ~dst:b ~size:1 (fun () -> ())
+      done;
+      Sched.run s;
+      let m = Net.meter net in
+      m.Net.sent = n && m.Net.delivered + m.Net.dropped = n)
+
+let suite =
+  [
+    ("fixed latency", `Quick, test_fixed_latency);
+    ("local latency default", `Quick, test_local_latency_default);
+    ("per-byte latency", `Quick, test_per_byte_latency);
+    ("uniform latency bounds", `Quick, test_uniform_latency_bounds);
+    ("exponential latency positive", `Quick, test_exponential_latency_positive);
+    ("link override", `Quick, test_link_override);
+    ("partition and heal", `Quick, test_partition_and_heal);
+    ("heal_all", `Quick, test_heal_all);
+    ("meter accounting", `Quick, test_meter_accounting);
+    ("meter diff", `Quick, test_meter_diff);
+    ("loss probability validation", `Quick, test_loss_probability_validation);
+    ("node names", `Quick, test_node_names);
+    prop_messages_conserved;
+  ]

@@ -1,0 +1,196 @@
+(* Direct unit tests of Port and Intake on bare fibers — the handler
+   protocol exercised without kernel or network in the way. *)
+
+open Eden_kernel
+open Eden_transput
+module Sched = Eden_sched.Sched
+
+let check = Alcotest.check
+
+(* Run a Transfer against a port's handler from inside a fiber. *)
+let transfer handlers chan credit =
+  let h = List.assoc Proto.transfer_op handlers in
+  Proto.parse_transfer_reply (h (Proto.transfer_request chan ~credit))
+
+let deposit handlers chan ~eos items =
+  let h = List.assoc Proto.deposit_op handlers in
+  ignore (h (Proto.deposit_request chan ~eos items))
+
+let in_fiber f =
+  let s = Sched.create () in
+  ignore (Sched.spawn s ~name:"test" f);
+  Sched.run s;
+  Sched.check_failures s;
+  s
+
+let test_transfer_served_from_buffer () =
+  ignore
+    (in_fiber (fun () ->
+         let port = Port.create () in
+         let w = Port.add_channel port ~capacity:8 Channel.output in
+         List.iter (fun i -> Port.write w (Value.Int i)) [ 1; 2; 3 ];
+         let r = transfer (Port.handlers port) Channel.output 2 in
+         Alcotest.(check bool) "not eos" false r.Proto.eos;
+         check Alcotest.int "two items (credit-limited)" 2 (List.length r.Proto.items);
+         check Alcotest.int "buffer keeps the rest" 1 (Port.buffered w)))
+
+let test_transfer_credit_larger_than_buffer () =
+  ignore
+    (in_fiber (fun () ->
+         let port = Port.create () in
+         let w = Port.add_channel port ~capacity:8 Channel.output in
+         Port.write w (Value.Int 1);
+         Port.close w;
+         let r = transfer (Port.handlers port) Channel.output 10 in
+         Alcotest.(check bool) "eos piggybacked" true r.Proto.eos;
+         check Alcotest.int "one item" 1 (List.length r.Proto.items)))
+
+let test_transfer_on_closed_empty () =
+  ignore
+    (in_fiber (fun () ->
+         let port = Port.create () in
+         let w = Port.add_channel port ~capacity:1 Channel.output in
+         Port.close w;
+         let r = transfer (Port.handlers port) Channel.output 1 in
+         Alcotest.(check bool) "eos, empty" true (r.Proto.eos && r.Proto.items = [])))
+
+let test_write_after_close_fails () =
+  ignore
+    (in_fiber (fun () ->
+         let port = Port.create () in
+         let w = Port.add_channel port ~capacity:1 Channel.output in
+         Port.close w;
+         Alcotest.(check bool) "raises" true
+           (try
+              Port.write w (Value.Int 1);
+              false
+            with Failure _ -> true)))
+
+let test_close_idempotent () =
+  ignore
+    (in_fiber (fun () ->
+         let port = Port.create () in
+         let w = Port.add_channel port ~capacity:1 Channel.output in
+         Port.close w;
+         Port.close w;
+         Alcotest.(check bool) "closed" true (Port.is_closed w)))
+
+let test_duplicate_channel_rejected () =
+  let port = Port.create () in
+  ignore (Port.add_channel port Channel.output);
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Port.add_channel port Channel.output);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative capacity rejected" true
+    (try
+       ignore (Port.add_channel port ~capacity:(-1) (Channel.Num 5));
+       false
+     with Invalid_argument _ -> true)
+
+let test_writer_lookup () =
+  let port = Port.create () in
+  let w = Port.add_channel port (Channel.Num 3) in
+  Alcotest.(check bool) "found" true (Port.writer port (Channel.Num 3) == w);
+  Alcotest.(check bool) "missing raises" true
+    (try
+       ignore (Port.writer port (Channel.Num 9));
+       false
+     with Not_found -> true)
+
+let test_transfer_blocks_until_write () =
+  let s = Sched.create () in
+  let port = Port.create () in
+  let w = Port.add_channel port ~capacity:0 Channel.output in
+  let got = ref None in
+  ignore
+    (Sched.spawn s ~name:"reader" (fun () ->
+         got := Some (transfer (Port.handlers port) Channel.output 1)));
+  ignore
+    (Sched.spawn s ~name:"writer" (fun () ->
+         Sched.sleep 5.0;
+         Port.write w (Value.Str "late")));
+  Sched.run s;
+  Sched.check_failures s;
+  match !got with
+  | Some r -> check Alcotest.int "one item after wait" 1 (List.length r.Proto.items)
+  | None -> Alcotest.fail "transfer never completed"
+
+let test_intake_deposit_then_read () =
+  ignore
+    (in_fiber (fun () ->
+         let intake = Intake.create () in
+         let r = Intake.add_channel intake ~capacity:4 Channel.output in
+         deposit (Intake.handlers intake) Channel.output ~eos:false
+           [ Value.Int 1; Value.Int 2 ];
+         check Alcotest.int "buffered" 2 (Intake.buffered r);
+         Alcotest.(check bool) "read 1" true (Intake.read r = Some (Value.Int 1));
+         Alcotest.(check bool) "read 2" true (Intake.read r = Some (Value.Int 2));
+         deposit (Intake.handlers intake) Channel.output ~eos:true [];
+         Alcotest.(check bool) "eos -> None" true (Intake.read r = None);
+         Alcotest.(check bool) "eos seen" true (Intake.eos_seen r)))
+
+let test_intake_unknown_channel () =
+  ignore
+    (in_fiber (fun () ->
+         let intake = Intake.create () in
+         ignore (Intake.add_channel intake Channel.output);
+         Alcotest.(check bool) "refused" true
+           (try
+              deposit (Intake.handlers intake) (Channel.Num 9) ~eos:false [ Value.Int 1 ];
+              false
+            with Kernel.Eden_error _ -> true)))
+
+let test_intake_capacity_bounds () =
+  let intake = Intake.create () in
+  Alcotest.(check bool) "zero capacity rejected" true
+    (try
+       ignore (Intake.add_channel intake ~capacity:0 Channel.output);
+       false
+     with Invalid_argument _ -> true)
+
+let test_intake_read_blocks_until_deposit () =
+  let s = Sched.create () in
+  let intake = Intake.create () in
+  let r = Intake.add_channel intake ~capacity:1 Channel.output in
+  let got = ref None in
+  ignore (Sched.spawn s ~name:"consumer" (fun () -> got := Intake.read r));
+  ignore
+    (Sched.spawn s ~name:"producer" (fun () ->
+         Sched.sleep 3.0;
+         deposit (Intake.handlers intake) Channel.output ~eos:false [ Value.Str "x" ]));
+  Sched.run s;
+  Sched.check_failures s;
+  Alcotest.(check bool) "woken with the deposit" true (!got = Some (Value.Str "x"))
+
+let test_port_two_channels_independent_eos () =
+  ignore
+    (in_fiber (fun () ->
+         let port = Port.create () in
+         let a = Port.add_channel port ~capacity:2 (Channel.Num 1) in
+         let b = Port.add_channel port ~capacity:2 (Channel.Num 2) in
+         Port.write a (Value.Int 1);
+         Port.close a;
+         Port.write b (Value.Int 2);
+         let ra = transfer (Port.handlers port) (Channel.Num 1) 5 in
+         let rb = transfer (Port.handlers port) (Channel.Num 2) 5 in
+         Alcotest.(check bool) "a closed" true ra.Proto.eos;
+         Alcotest.(check bool) "b still open" false rb.Proto.eos))
+
+let suite =
+  [
+    ("transfer served from buffer", `Quick, test_transfer_served_from_buffer);
+    ("credit larger than buffer", `Quick, test_transfer_credit_larger_than_buffer);
+    ("transfer on closed empty", `Quick, test_transfer_on_closed_empty);
+    ("write after close fails", `Quick, test_write_after_close_fails);
+    ("close idempotent", `Quick, test_close_idempotent);
+    ("duplicate channel rejected", `Quick, test_duplicate_channel_rejected);
+    ("writer lookup", `Quick, test_writer_lookup);
+    ("transfer blocks until write", `Quick, test_transfer_blocks_until_write);
+    ("intake deposit then read", `Quick, test_intake_deposit_then_read);
+    ("intake unknown channel", `Quick, test_intake_unknown_channel);
+    ("intake capacity bounds", `Quick, test_intake_capacity_bounds);
+    ("intake read blocks until deposit", `Quick, test_intake_read_blocks_until_deposit);
+    ("two channels independent eos", `Quick, test_port_two_channels_independent_eos);
+  ]

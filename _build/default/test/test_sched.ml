@@ -1,0 +1,495 @@
+(* Tests for the cooperative scheduler and its synchronisation
+   primitives.  Determinism is load-bearing for the whole reproduction,
+   so several tests assert exact schedules. *)
+
+open Eden_sched
+
+let check = Alcotest.check
+let prop name ?(count = 100) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let run_ok t =
+  Sched.run t;
+  Sched.check_failures t
+
+(* ------------------------------------------------------------------ *)
+(* Basic fiber mechanics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_spawn_runs () =
+  let t = Sched.create () in
+  let hit = ref false in
+  ignore (Sched.spawn t (fun () -> hit := true));
+  run_ok t;
+  Alcotest.(check bool) "body ran" true !hit
+
+let test_fifo_order () =
+  let t = Sched.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Sched.spawn t (fun () -> log := i :: !log))
+  done;
+  run_ok t;
+  check Alcotest.(list int) "spawn order preserved" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_yield_interleaves () =
+  let t = Sched.create () in
+  let log = Buffer.create 16 in
+  let worker c () =
+    for _ = 1 to 3 do
+      Buffer.add_char log c;
+      Sched.yield ()
+    done
+  in
+  ignore (Sched.spawn t (worker 'a'));
+  ignore (Sched.spawn t (worker 'b'));
+  run_ok t;
+  check Alcotest.string "round robin" "ababab" (Buffer.contents log)
+
+let test_sleep_orders_by_time () =
+  let t = Sched.create () in
+  let log = ref [] in
+  let napper label d () =
+    Sched.sleep d;
+    log := label :: !log
+  in
+  ignore (Sched.spawn t (napper "slow" 3.0));
+  ignore (Sched.spawn t (napper "fast" 1.0));
+  ignore (Sched.spawn t (napper "mid" 2.0));
+  run_ok t;
+  check Alcotest.(list string) "time order" [ "fast"; "mid"; "slow" ] (List.rev !log);
+  check (Alcotest.float 1e-9) "clock at last wake" 3.0 (Sched.now t)
+
+let test_virtual_time_jumps () =
+  let t = Sched.create () in
+  ignore (Sched.spawn t (fun () -> Sched.sleep 1000.0));
+  run_ok t;
+  check (Alcotest.float 1e-9) "jumped, not waited" 1000.0 (Sched.now t)
+
+let test_nested_sleep_accumulates () =
+  let t = Sched.create () in
+  let seen = ref [] in
+  ignore
+    (Sched.spawn t (fun () ->
+         Sched.sleep 1.5;
+         seen := Sched.time () :: !seen;
+         Sched.sleep 2.5;
+         seen := Sched.time () :: !seen));
+  run_ok t;
+  check Alcotest.(list (float 1e-9)) "timestamps" [ 4.0; 1.5 ] !seen
+
+let test_failure_recorded () =
+  let t = Sched.create () in
+  ignore (Sched.spawn t ~name:"bad" (fun () -> failwith "boom"));
+  Sched.run t;
+  match Sched.failures t with
+  | [ ("bad", Failure msg) ] when msg = "boom" -> ()
+  | _ -> Alcotest.fail "expected one failure from fiber bad"
+
+let test_check_failures_raises () =
+  let t = Sched.create () in
+  ignore (Sched.spawn t ~name:"bad" (fun () -> failwith "boom"));
+  Sched.run t;
+  Alcotest.(check bool) "raises" true
+    (try
+       Sched.check_failures t;
+       false
+     with Failure _ -> true)
+
+let test_live_count () =
+  let t = Sched.create () in
+  ignore (Sched.spawn t (fun () -> ()));
+  ignore (Sched.spawn t (fun () -> Sched.sleep 1.0));
+  check Alcotest.int "two live before run" 2 (Sched.live_count t);
+  run_ok t;
+  check Alcotest.int "none live after" 0 (Sched.live_count t)
+
+let test_spawn_inside () =
+  let t = Sched.create () in
+  let log = ref [] in
+  ignore
+    (Sched.spawn t ~name:"parent" (fun () ->
+         log := "parent" :: !log;
+         ignore
+           (Sched.spawn_inside ~name:"child" (fun () ->
+                log := ("child of " ^ Sched.self_name ()) :: !log));
+         Sched.yield ()));
+  run_ok t;
+  check Alcotest.(list string) "child ran" [ "parent"; "child of child" ] (List.rev !log)
+
+let test_run_until_stops_clock () =
+  let t = Sched.create () in
+  let fired = ref false in
+  Sched.timer t 10.0 (fun () -> fired := true);
+  Sched.run_until t 5.0;
+  Alcotest.(check bool) "timer pending" false !fired;
+  check (Alcotest.float 1e-9) "clock advanced to limit" 5.0 (Sched.now t);
+  Sched.run t;
+  Alcotest.(check bool) "fires later" true !fired
+
+let test_step_granularity () =
+  let t = Sched.create () in
+  let count = ref 0 in
+  ignore (Sched.spawn t (fun () -> incr count));
+  ignore (Sched.spawn t (fun () -> incr count));
+  Alcotest.(check bool) "first step" true (Sched.step t);
+  check Alcotest.int "one fiber ran" 1 !count;
+  Alcotest.(check bool) "second step" true (Sched.step t);
+  Alcotest.(check bool) "quiescent" false (Sched.step t)
+
+(* ------------------------------------------------------------------ *)
+(* Blocking & deadlock reporting                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_blocked_listing () =
+  let t = Sched.create () in
+  let mb : int Mailbox.t = Mailbox.create ~label:"lonely" () in
+  ignore (Sched.spawn t ~name:"waiter" (fun () -> ignore (Mailbox.receive mb)));
+  Sched.run t;
+  check
+    Alcotest.(list (pair string string))
+    "blocked fiber visible"
+    [ ("waiter", "lonely") ]
+    (Sched.blocked t)
+
+let test_cancel_blocked_fiber () =
+  let t = Sched.create () in
+  let mb : int Mailbox.t = Mailbox.create () in
+  let cleanup = ref false in
+  let fid =
+    Sched.spawn t ~name:"victim" (fun () ->
+        match Mailbox.receive mb with
+        | exception Sched.Cancelled ->
+            cleanup := true;
+            raise Sched.Cancelled
+        | _ -> ())
+  in
+  Sched.run t;
+  check Alcotest.int "blocked" 1 (List.length (Sched.blocked t));
+  Sched.cancel t fid;
+  Sched.run t;
+  Alcotest.(check bool) "cancellation observed" true !cleanup;
+  check Alcotest.int "no longer blocked" 0 (List.length (Sched.blocked t));
+  Sched.check_failures t
+
+let test_cancel_before_first_run () =
+  let t = Sched.create () in
+  let ran = ref false in
+  let fid = Sched.spawn t (fun () -> ran := true) in
+  Sched.cancel t fid;
+  run_ok t;
+  Alcotest.(check bool) "body never ran" false !ran
+
+let test_cancel_finished_noop () =
+  let t = Sched.create () in
+  let fid = Sched.spawn t (fun () -> ()) in
+  run_ok t;
+  Sched.cancel t fid;
+  run_ok t
+
+(* ------------------------------------------------------------------ *)
+(* Ivar                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_ivar_fill_then_read () =
+  let t = Sched.create () in
+  let iv = Ivar.create () in
+  Ivar.fill iv 42;
+  let got = ref 0 in
+  ignore (Sched.spawn t (fun () -> got := Ivar.read iv));
+  run_ok t;
+  check Alcotest.int "read" 42 !got
+
+let test_ivar_read_blocks_until_fill () =
+  let t = Sched.create () in
+  let iv = Ivar.create () in
+  let got = ref 0 in
+  ignore (Sched.spawn t ~name:"reader" (fun () -> got := Ivar.read iv));
+  ignore
+    (Sched.spawn t ~name:"writer" (fun () ->
+         Sched.sleep 2.0;
+         Ivar.fill iv 7));
+  run_ok t;
+  check Alcotest.int "read after fill" 7 !got
+
+let test_ivar_double_fill () =
+  let iv = Ivar.create () in
+  Ivar.fill iv 1;
+  Alcotest.(check bool) "try_fill fails" false (Ivar.try_fill iv 2);
+  Alcotest.check_raises "fill raises" (Failure "Ivar.fill: already filled") (fun () ->
+      Ivar.fill iv 3);
+  check Alcotest.(option int) "value unchanged" (Some 1) (Ivar.peek iv)
+
+let test_ivar_many_readers () =
+  let t = Sched.create () in
+  let iv = Ivar.create () in
+  let sum = ref 0 in
+  for _ = 1 to 5 do
+    ignore (Sched.spawn t (fun () -> sum := !sum + Ivar.read iv))
+  done;
+  ignore (Sched.spawn t (fun () -> Ivar.fill iv 10));
+  run_ok t;
+  check Alcotest.int "all readers woken" 50 !sum
+
+let test_ivar_timeout_expires () =
+  let t = Sched.create () in
+  let iv : int Ivar.t = Ivar.create () in
+  let got = ref (Some 99) in
+  ignore (Sched.spawn t (fun () -> got := Ivar.read_timeout t iv 5.0));
+  run_ok t;
+  check Alcotest.(option int) "timed out" None !got;
+  check (Alcotest.float 1e-9) "waited 5" 5.0 (Sched.now t)
+
+let test_ivar_timeout_beaten_by_fill () =
+  let t = Sched.create () in
+  let iv = Ivar.create () in
+  let got = ref None in
+  ignore (Sched.spawn t (fun () -> got := Ivar.read_timeout t iv 5.0));
+  ignore
+    (Sched.spawn t (fun () ->
+         Sched.sleep 1.0;
+         Ivar.fill iv 3));
+  run_ok t;
+  check Alcotest.(option int) "filled in time" (Some 3) !got
+
+(* ------------------------------------------------------------------ *)
+(* Mailbox                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_mailbox_fifo () =
+  let t = Sched.create () in
+  let mb = Mailbox.create () in
+  let log = ref [] in
+  ignore
+    (Sched.spawn t (fun () ->
+         for _ = 1 to 3 do
+           log := Mailbox.receive mb :: !log
+         done));
+  List.iter (Mailbox.send mb) [ "x"; "y"; "z" ];
+  run_ok t;
+  check Alcotest.(list string) "fifo" [ "x"; "y"; "z" ] (List.rev !log)
+
+let test_mailbox_send_wakes () =
+  let t = Sched.create () in
+  let mb = Mailbox.create () in
+  let got = ref 0 in
+  ignore (Sched.spawn t (fun () -> got := Mailbox.receive mb));
+  ignore
+    (Sched.spawn t (fun () ->
+         Sched.sleep 1.0;
+         Mailbox.send mb 5));
+  run_ok t;
+  check Alcotest.int "woken with value" 5 !got
+
+let test_mailbox_many_receivers () =
+  let t = Sched.create () in
+  let mb = Mailbox.create () in
+  let total = ref 0 in
+  for _ = 1 to 3 do
+    ignore
+      (Sched.spawn t (fun () ->
+           let v = Mailbox.receive mb in
+           total := !total + v))
+  done;
+  ignore
+    (Sched.spawn t (fun () ->
+         Mailbox.send mb 1;
+         Mailbox.send mb 2;
+         Mailbox.send mb 4));
+  run_ok t;
+  check Alcotest.int "each message consumed once" 7 !total
+
+let test_mailbox_try_receive () =
+  let mb = Mailbox.create () in
+  check Alcotest.(option int) "empty" None (Mailbox.try_receive mb);
+  Mailbox.send mb 1;
+  check Alcotest.(option int) "one" (Some 1) (Mailbox.try_receive mb);
+  check Alcotest.(option int) "drained" None (Mailbox.try_receive mb)
+
+let test_mailbox_timeout () =
+  let t = Sched.create () in
+  let mb : int Mailbox.t = Mailbox.create () in
+  let first = ref None and second = ref None in
+  ignore
+    (Sched.spawn t (fun () ->
+         first := Mailbox.receive_timeout t mb 2.0;
+         second := Mailbox.receive_timeout t mb 2.0));
+  ignore
+    (Sched.spawn t (fun () ->
+         Sched.sleep 1.0;
+         Mailbox.send mb 9));
+  run_ok t;
+  check Alcotest.(option int) "first arrives" (Some 9) !first;
+  check Alcotest.(option int) "second times out" None !second
+
+(* ------------------------------------------------------------------ *)
+(* Chan (bounded)                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_chan_backpressure () =
+  let t = Sched.create () in
+  let ch = Chan.create ~capacity:2 in
+  let produced = ref 0 and consumed = ref [] in
+  ignore
+    (Sched.spawn t ~name:"producer" (fun () ->
+         for i = 1 to 5 do
+           Chan.put ch i;
+           produced := i
+         done));
+  ignore
+    (Sched.spawn t ~name:"consumer" (fun () ->
+         Sched.sleep 1.0;
+         for _ = 1 to 5 do
+           consumed := Chan.get ch :: !consumed
+         done));
+  Sched.run_until t 0.5;
+  (* Producer must have stalled at the capacity limit. *)
+  check Alcotest.int "producer blocked at capacity" 2 !produced;
+  Sched.run t;
+  Sched.check_failures t;
+  check Alcotest.(list int) "all delivered in order" [ 1; 2; 3; 4; 5 ] (List.rev !consumed)
+
+let test_chan_try_ops () =
+  let ch = Chan.create ~capacity:1 in
+  Alcotest.(check bool) "try_put ok" true (Chan.try_put ch 1);
+  Alcotest.(check bool) "try_put full" false (Chan.try_put ch 2);
+  check Alcotest.(option int) "try_get" (Some 1) (Chan.try_get ch);
+  check Alcotest.(option int) "try_get empty" None (Chan.try_get ch)
+
+let prop_chan_preserves_sequence =
+  prop "bounded chan delivers exactly the sent sequence"
+    QCheck2.Gen.(pair (int_range 1 4) (small_list (int_bound 100)))
+    (fun (cap, xs) ->
+      let t = Sched.create () in
+      let ch = Chan.create ~capacity:cap in
+      let out = ref [] in
+      ignore (Sched.spawn t (fun () -> List.iter (Chan.put ch) xs));
+      ignore
+        (Sched.spawn t (fun () ->
+             for _ = 1 to List.length xs do
+               out := Chan.get ch :: !out
+             done));
+      Sched.run t;
+      Sched.failures t = [] && List.rev !out = xs)
+
+(* ------------------------------------------------------------------ *)
+(* Semaphore & Waitgroup                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_semaphore_limits_concurrency () =
+  let t = Sched.create () in
+  let sem = Semaphore.create 2 in
+  let active = ref 0 and peak = ref 0 in
+  for _ = 1 to 6 do
+    ignore
+      (Sched.spawn t (fun () ->
+           Semaphore.acquire sem;
+           incr active;
+           if !active > !peak then peak := !active;
+           Sched.sleep 1.0;
+           decr active;
+           Semaphore.release sem))
+  done;
+  run_ok t;
+  check Alcotest.int "at most 2 in section" 2 !peak
+
+let test_semaphore_try () =
+  let sem = Semaphore.create 1 in
+  Alcotest.(check bool) "first ok" true (Semaphore.try_acquire sem);
+  Alcotest.(check bool) "second fails" false (Semaphore.try_acquire sem);
+  Semaphore.release sem;
+  check Alcotest.int "available" 1 (Semaphore.available sem)
+
+let test_waitgroup () =
+  let t = Sched.create () in
+  let wg = Waitgroup.create () in
+  let done_ = ref false in
+  Waitgroup.add wg 3;
+  for _ = 1 to 3 do
+    ignore
+      (Sched.spawn t (fun () ->
+           Sched.sleep 1.0;
+           Waitgroup.finish wg))
+  done;
+  ignore
+    (Sched.spawn t (fun () ->
+         Waitgroup.wait wg;
+         done_ := true));
+  run_ok t;
+  Alcotest.(check bool) "released after all finish" true !done_
+
+let test_waitgroup_negative () =
+  let wg = Waitgroup.create () in
+  Alcotest.check_raises "underflow" (Failure "Waitgroup.finish: no outstanding tasks") (fun () ->
+      Waitgroup.finish wg)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism property                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_mixed_workload seed =
+  (* A little zoo of interacting fibers; returns the event log.  Run
+     twice with the same seed it must produce the same log. *)
+  let g = Eden_util.Prng.create (Int64.of_int seed) in
+  let t = Sched.create () in
+  let log = Buffer.create 64 in
+  let mb = Mailbox.create () in
+  for i = 1 to 5 do
+    let delay = Eden_util.Prng.float g 3.0 in
+    ignore
+      (Sched.spawn t (fun () ->
+           Sched.sleep delay;
+           Mailbox.send mb i;
+           Buffer.add_string log (Printf.sprintf "s%d@%.3f;" i (Sched.time ()))))
+  done;
+  ignore
+    (Sched.spawn t (fun () ->
+         for _ = 1 to 5 do
+           let v = Mailbox.receive mb in
+           Buffer.add_string log (Printf.sprintf "r%d;" v)
+         done));
+  Sched.run t;
+  Buffer.contents log
+
+let prop_deterministic_schedule =
+  prop "identical seeds give identical schedules" QCheck2.Gen.(int_bound 10_000) (fun seed ->
+      run_mixed_workload seed = run_mixed_workload seed)
+
+let suite =
+  [
+    ("spawn runs", `Quick, test_spawn_runs);
+    ("fifo order", `Quick, test_fifo_order);
+    ("yield interleaves", `Quick, test_yield_interleaves);
+    ("sleep orders by time", `Quick, test_sleep_orders_by_time);
+    ("virtual time jumps", `Quick, test_virtual_time_jumps);
+    ("nested sleeps accumulate", `Quick, test_nested_sleep_accumulates);
+    ("failure recorded", `Quick, test_failure_recorded);
+    ("check_failures raises", `Quick, test_check_failures_raises);
+    ("live count", `Quick, test_live_count);
+    ("spawn inside", `Quick, test_spawn_inside);
+    ("run_until stops clock", `Quick, test_run_until_stops_clock);
+    ("step granularity", `Quick, test_step_granularity);
+    ("blocked listing", `Quick, test_blocked_listing);
+    ("cancel blocked fiber", `Quick, test_cancel_blocked_fiber);
+    ("cancel before first run", `Quick, test_cancel_before_first_run);
+    ("cancel finished is noop", `Quick, test_cancel_finished_noop);
+    ("ivar fill then read", `Quick, test_ivar_fill_then_read);
+    ("ivar read blocks", `Quick, test_ivar_read_blocks_until_fill);
+    ("ivar double fill", `Quick, test_ivar_double_fill);
+    ("ivar many readers", `Quick, test_ivar_many_readers);
+    ("ivar timeout expires", `Quick, test_ivar_timeout_expires);
+    ("ivar timeout beaten by fill", `Quick, test_ivar_timeout_beaten_by_fill);
+    ("mailbox fifo", `Quick, test_mailbox_fifo);
+    ("mailbox send wakes", `Quick, test_mailbox_send_wakes);
+    ("mailbox many receivers", `Quick, test_mailbox_many_receivers);
+    ("mailbox try_receive", `Quick, test_mailbox_try_receive);
+    ("mailbox timeout", `Quick, test_mailbox_timeout);
+    ("chan backpressure", `Quick, test_chan_backpressure);
+    ("chan try ops", `Quick, test_chan_try_ops);
+    ("semaphore limits concurrency", `Quick, test_semaphore_limits_concurrency);
+    ("semaphore try", `Quick, test_semaphore_try);
+    ("waitgroup", `Quick, test_waitgroup);
+    ("waitgroup underflow", `Quick, test_waitgroup_negative);
+    prop_chan_preserves_sequence;
+    prop_deterministic_schedule;
+  ]

@@ -1,0 +1,230 @@
+(* The stream editor and the file comparators — §5's multi-input
+   filters. *)
+
+open Eden_kernel
+module Sed = Eden_filters.Sed
+module Cmp = Eden_filters.Compare
+module Dev = Eden_devices.Devices
+module T = Eden_transput
+
+let check = Alcotest.check
+let lines_t = Alcotest.(list string)
+
+let script lines =
+  match Sed.parse_script lines with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "script rejected: %s" e
+
+let run cmds input = Sed.run_lines (script cmds) input
+
+(* --- parsing -------------------------------------------------------- *)
+
+let test_parse_errors () =
+  let expect_err l =
+    match Sed.parse_script [ l ] with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted bad command %S" l
+  in
+  List.iter expect_err
+    [ "z"; "s/a"; "s/a/b/x"; "y/ab/c/"; "1,"; "$d"; "s/[/x/" ]
+
+let test_comments_and_blanks_skipped () =
+  check lines_t "only real commands run"
+    [ "B" ]
+    (run [ "# a comment"; ""; "s/a/b/"; "  "; "y/b/B/" ] [ "a" ])
+
+(* --- substitution --------------------------------------------------- *)
+
+let test_substitute_first_vs_global () =
+  check lines_t "first only" [ "Xbcabc" ] (run [ "s/a/X/" ] [ "abcabc" ]);
+  check lines_t "global" [ "XbcXbc" ] (run [ "s/a/X/g" ] [ "abcabc" ])
+
+let test_substitute_regex () =
+  check lines_t "classes and anchors" [ "NUM"; "keep 12a" ]
+    (run [ "s/^[0-9]+$/NUM/" ] [ "42"; "keep 12a" ]);
+  check lines_t "ampersand is whole match" [ "[ab][ab]!" ] (run [ "s/ab/[&]/g" ] [ "abab!" ])
+
+let test_substitute_alt_delimiter () =
+  check lines_t "comma delimiter" [ "b" ] (run [ "s,a,b," ] [ "a" ])
+
+(* --- other commands -------------------------------------------------- *)
+
+let test_delete_with_addresses () =
+  let input = [ "one"; "two"; "three"; "four" ] in
+  check lines_t "line number" [ "one"; "three"; "four" ] (run [ "2d" ] input);
+  check lines_t "pattern" [ "one"; "four" ] (run [ "/t/d" ] input);
+  check lines_t "range" [ "four" ] (run [ "1,3d" ] input);
+  check lines_t "pattern range" [ "one"; "four" ] (run [ "/two/,/three/d" ] input)
+
+let test_print_duplicates () =
+  check lines_t "p doubles" [ "a"; "a"; "b" ] (run [ "1p" ] [ "a"; "b" ])
+
+let test_transliterate () =
+  check lines_t "y" [ "HELLO" ] (run [ "y/helo/HELO/" ] [ "hello" ])
+
+let test_quit_stops_stream () =
+  check lines_t "q after 2" [ "a"; "b" ] (run [ "2q" ] [ "a"; "b"; "c"; "d" ])
+
+let test_insert_append () =
+  check lines_t "i and a"
+    [ ">>"; "x"; "<<"; "y" ]
+    (run [ "1i\\>>"; "1a\\<<" ] [ "x"; "y" ])
+
+let test_commands_compose_in_order () =
+  (* delete wins over later substitution; substitutions chain. *)
+  check lines_t "pipeline of commands"
+    [ "B-suffix" ]
+    (run [ "/drop/d"; "s/a/b/"; "y/b/B/" ] [ "drop me"; "a-suffix" ])
+
+(* --- the §5 two-input editor ------------------------------------------ *)
+
+let test_two_input_stage () =
+  let k = Kernel.create () in
+  let commands = Dev.text_source k [ "s/cat/dog/g"; "/^#/d" ] in
+  let text = Dev.text_source k [ "# header"; "the cat sat"; "cat and cat" ] in
+  let editor =
+    Sed.two_input_stage k
+      ~commands:(commands, T.Channel.output)
+      ~text:(text, T.Channel.output)
+      ()
+  in
+  let out = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      let pull = T.Pull.connect ctx editor in
+      T.Pull.iter (fun v -> out := Value.to_str v :: !out) pull);
+  check lines_t "commands applied to text" [ "the dog sat"; "dog and dog" ] (List.rev !out)
+
+let test_two_input_stage_bad_script_fails_loudly () =
+  let k = Kernel.create () in
+  let commands = Dev.text_source k [ "not a command" ] in
+  let text = Dev.text_source k [ "x" ] in
+  let editor =
+    Sed.two_input_stage k
+      ~commands:(commands, T.Channel.output)
+      ~text:(text, T.Channel.output)
+      ()
+  in
+  let sink = T.Stage.sink_ro k ~upstream:editor ignore in
+  Kernel.poke k sink;
+  Eden_sched.Sched.run (Kernel.sched k);
+  match Eden_sched.Sched.failures (Kernel.sched k) with
+  | (_, Failure msg) :: _ ->
+      Alcotest.(check bool) "names sed" true (Eden_util.Text.contains_sub ~sub:"sed" msg)
+  | _ -> Alcotest.fail "expected a loud worker failure"
+
+(* A property: substitution with an identity replacement is identity. *)
+let prop_identity_substitution =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"s/x/x/g is the identity" ~count:100
+       QCheck2.Gen.(small_list (string_size ~gen:(char_range 'a' 'z') (int_range 0 8)))
+       (fun lines -> run [ "s/x/x/g" ] lines = lines))
+
+(* --- comm / diff ------------------------------------------------------ *)
+
+let test_comm_basics () =
+  check lines_t "merge classification"
+    [ "=\tb"; "<\tc"; ">\td"; "=\te"; ">\tf" ]
+    (Cmp.comm [ "b"; "c"; "e" ] [ "b"; "d"; "e"; "f" ]);
+  check lines_t "left empty" [ ">\tx" ] (Cmp.comm [] [ "x" ]);
+  check lines_t "both empty" [] (Cmp.comm [] [])
+
+let test_diff_equal_is_empty () =
+  check lines_t "no hunks" [] (Cmp.diff [ "a"; "b" ] [ "a"; "b" ])
+
+let test_diff_change () =
+  check lines_t "change hunk"
+    [ "2c2"; "< old"; "---"; "> new" ]
+    (Cmp.diff [ "a"; "old"; "c" ] [ "a"; "new"; "c" ])
+
+let test_diff_add_delete () =
+  check lines_t "append" [ "2a3" ; "> c" ] (Cmp.diff [ "a"; "b" ] [ "a"; "b"; "c" ]);
+  check lines_t "delete" [ "2d1"; "< b" ] (Cmp.diff [ "a"; "b"; "c" ] [ "a"; "c" ])
+
+let test_lcs_length () =
+  check Alcotest.int "lcs" 3 (Cmp.lcs_length [ "a"; "x"; "b"; "c" ] [ "a"; "b"; "y"; "c" ]);
+  check Alcotest.int "disjoint" 0 (Cmp.lcs_length [ "a" ] [ "b" ])
+
+let prop_diff_empty_iff_equal =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"diff = [] iff inputs equal" ~count:100
+       QCheck2.Gen.(
+         pair
+           (small_list (string_size ~gen:(char_range 'a' 'c') (int_range 0 2)))
+           (small_list (string_size ~gen:(char_range 'a' 'c') (int_range 0 2))))
+       (fun (a, b) -> Cmp.diff a b = [] = (a = b)))
+
+let prop_lcs_bounds =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"0 <= lcs <= min length" ~count:100
+       QCheck2.Gen.(
+         pair
+           (small_list (string_size ~gen:(char_range 'a' 'b') (int_range 0 2)))
+           (small_list (string_size ~gen:(char_range 'a' 'b') (int_range 0 2))))
+       (fun (a, b) ->
+         let l = Cmp.lcs_length a b in
+         l >= 0 && l <= min (List.length a) (List.length b)))
+
+let test_comm_stage () =
+  let k = Kernel.create () in
+  let l = Dev.text_source k [ "apple"; "pear" ] in
+  let r = Dev.text_source k [ "apple"; "plum" ] in
+  let c = Cmp.comm_stage k ~left:(l, T.Channel.output) ~right:(r, T.Channel.output) () in
+  let out = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      let pull = T.Pull.connect ctx c in
+      T.Pull.iter (fun v -> out := Value.to_str v :: !out) pull);
+  check lines_t "streamed comm" [ "=\tapple"; "<\tpear"; ">\tplum" ] (List.rev !out)
+
+let test_diff_stage () =
+  let k = Kernel.create () in
+  let l = Dev.text_source k [ "a"; "b" ] in
+  let r = Dev.text_source k [ "a"; "B" ] in
+  let d = Cmp.diff_stage k ~left:(l, T.Channel.output) ~right:(r, T.Channel.output) () in
+  let out = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      let pull = T.Pull.connect ctx d in
+      T.Pull.iter (fun v -> out := Value.to_str v :: !out) pull);
+  check lines_t "streamed diff" [ "2c2"; "< b"; "---"; "> B" ] (List.rev !out)
+
+let test_diff_two_eden_files () =
+  (* Compare two Eden-native file Ejects: a pipeline of pure Ejects
+     from storage to comparison. *)
+  let k = Kernel.create () in
+  let f1 = Eden_edenfs.Eden_file.create k ~initial:[ "x"; "same" ] () in
+  let f2 = Eden_edenfs.Eden_file.create k ~initial:[ "y"; "same" ] () in
+  let out = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      let c1 = Eden_edenfs.Eden_file.open_read ctx f1 in
+      let c2 = Eden_edenfs.Eden_file.open_read ctx f2 in
+      let d = Cmp.diff_stage k ~left:(f1, c1) ~right:(f2, c2) () in
+      let pull = T.Pull.connect ctx d in
+      T.Pull.iter (fun v -> out := Value.to_str v :: !out) pull);
+  check lines_t "files diffed" [ "1c1"; "< x"; "---"; "> y" ] (List.rev !out)
+
+let suite =
+  [
+    ("parse errors", `Quick, test_parse_errors);
+    ("comments and blanks", `Quick, test_comments_and_blanks_skipped);
+    ("substitute first vs global", `Quick, test_substitute_first_vs_global);
+    ("substitute regex", `Quick, test_substitute_regex);
+    ("substitute alt delimiter", `Quick, test_substitute_alt_delimiter);
+    ("delete with addresses", `Quick, test_delete_with_addresses);
+    ("print duplicates", `Quick, test_print_duplicates);
+    ("transliterate", `Quick, test_transliterate);
+    ("quit stops stream", `Quick, test_quit_stops_stream);
+    ("insert/append", `Quick, test_insert_append);
+    ("commands compose in order", `Quick, test_commands_compose_in_order);
+    ("two-input editor stage", `Quick, test_two_input_stage);
+    ("bad script fails loudly", `Quick, test_two_input_stage_bad_script_fails_loudly);
+    ("comm basics", `Quick, test_comm_basics);
+    ("diff equal empty", `Quick, test_diff_equal_is_empty);
+    ("diff change", `Quick, test_diff_change);
+    ("diff add/delete", `Quick, test_diff_add_delete);
+    ("lcs length", `Quick, test_lcs_length);
+    ("comm stage", `Quick, test_comm_stage);
+    ("diff stage", `Quick, test_diff_stage);
+    ("diff two eden files", `Quick, test_diff_two_eden_files);
+    prop_identity_substitution;
+    prop_diff_empty_iff_equal;
+    prop_lcs_bounds;
+  ]

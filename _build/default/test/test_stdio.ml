@@ -1,0 +1,130 @@
+(* The conventional-programming veneer of §4. *)
+
+open Eden_kernel
+open Eden_transput
+module Dev = Eden_devices.Devices
+
+let check = Alcotest.check
+let lines_t = Alcotest.(list string)
+
+let with_filter ?(input = [ "one"; "two"; "three" ]) body =
+  let k = Kernel.create () in
+  let src = Dev.text_source k input in
+  let f = Stdio.filter_ro k ~upstream:src body in
+  let term = Dev.terminal_ro k ~upstream:f () in
+  Kernel.poke k term.Dev.uid;
+  Kernel.run k;
+  Eden_sched.Sched.check_failures (Kernel.sched k);
+  term.Dev.lines ()
+
+let test_identity_via_stdio () =
+  let out =
+    with_filter (fun stdin stdout -> Stdio.iter_lines (Stdio.print_line stdout) stdin)
+  in
+  check lines_t "copied conventionally" [ "one"; "two"; "three" ] out
+
+let test_printf_and_partial_lines () =
+  let out =
+    with_filter (fun stdin stdout ->
+        Stdio.iter_lines
+          (fun l ->
+            (* Build one output line from several conventional writes. *)
+            Stdio.output_string stdout "[";
+            Stdio.output_string stdout l;
+            Stdio.output_string stdout "]";
+            Stdio.output_char stdout '\n';
+            Stdio.printf stdout "len=%d" (String.length l))
+          stdin)
+  in
+  check lines_t "interleaved writes form lines"
+    [ "[one]"; "len=3"; "[two]"; "len=3"; "[three]"; "len=5" ]
+    out
+
+let test_unterminated_line_flushed_on_close () =
+  let out =
+    with_filter (fun _stdin stdout -> Stdio.output_string stdout "no newline")
+  in
+  check lines_t "partial line emitted at close" [ "no newline" ] out
+
+let test_char_level_input () =
+  (* Re-split the stream on 'x' instead of newlines, reading char by
+     char: lines "axb" "c" become "a", "b\nc". *)
+  let out =
+    with_filter ~input:[ "axb"; "c" ] (fun stdin stdout ->
+        let rec go () =
+          match Stdio.input_char stdin with
+          | Some 'x' ->
+              Stdio.output_char stdout '\n';
+              go ()
+          | Some c ->
+              Stdio.output_char stdout c;
+              go ()
+          | None -> ()
+        in
+        go ())
+  in
+  check lines_t "resplit on x" [ "a"; "b"; "c" ] out
+
+let test_mixed_char_then_line () =
+  let out =
+    with_filter ~input:[ "abc"; "rest" ] (fun stdin stdout ->
+        (match Stdio.input_char stdin with
+        | Some c -> Stdio.printf stdout "first char %c" c
+        | None -> ());
+        (* input_line must return the remainder of the broken line. *)
+        (match Stdio.input_line stdin with
+        | Some rest -> Stdio.printf stdout "rest %s" rest
+        | None -> ());
+        match Stdio.input_line stdin with
+        | Some l -> Stdio.print_line stdout l
+        | None -> ())
+  in
+  check lines_t "char then line" [ "first char a"; "rest bc"; "rest" ] out
+
+let test_write_after_close_fails () =
+  let k = Kernel.create () in
+  let failed = ref false in
+  let src = Dev.text_source k [] in
+  let f =
+    Stdio.filter_ro k ~upstream:src (fun _stdin stdout ->
+        Stdio.close_out stdout;
+        try Stdio.print_line stdout "too late" with Failure _ -> failed := true)
+  in
+  let term = Dev.terminal_ro k ~upstream:f () in
+  Kernel.poke k term.Dev.uid;
+  Kernel.run k;
+  Eden_sched.Sched.check_failures (Kernel.sched k);
+  Alcotest.(check bool) "raised" true !failed
+
+let test_stdio_filter_costs_like_plain_filter () =
+  (* The veneer must not add invocations: it is internal to the Eject. *)
+  let run mk =
+    let k = Kernel.create () in
+    let src = Dev.text_source k [ "a"; "b"; "c"; "d" ] in
+    let f = mk k src in
+    let term = Dev.terminal_ro k ~upstream:f () in
+    let before = Kernel.Meter.snapshot k in
+    Kernel.poke k term.Dev.uid;
+    Kernel.run k;
+    (Kernel.Meter.diff (Kernel.Meter.snapshot k) before).Kernel.Meter.invocations
+  in
+  let plain =
+    run (fun k src -> Stage.filter_ro k ~upstream:src Transform.identity)
+  in
+  let veneer =
+    run (fun k src ->
+        Stdio.filter_ro k ~upstream:src (fun stdin stdout ->
+            Stdio.iter_lines (Stdio.print_line stdout) stdin))
+  in
+  check Alcotest.int "same invocation count" plain veneer
+
+let suite =
+  [
+    ("identity via stdio", `Quick, test_identity_via_stdio);
+    ("printf and partial lines", `Quick, test_printf_and_partial_lines);
+    ("unterminated line flushed", `Quick, test_unterminated_line_flushed_on_close);
+    ("char-level input", `Quick, test_char_level_input);
+    ("mixed char then line", `Quick, test_mixed_char_then_line);
+    ("write after close fails", `Quick, test_write_after_close_fails);
+    ("veneer adds no invocations", `Quick, test_stdio_filter_costs_like_plain_filter);
+  ]

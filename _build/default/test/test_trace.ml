@@ -1,0 +1,152 @@
+(* The kernel event trace. *)
+
+open Eden_kernel
+
+let check = Alcotest.check
+
+let echo_behaviour _ctx ~passive:_ = [ ("Echo", Fun.id) ]
+
+let test_disabled_by_default () =
+  let k = Kernel.create () in
+  let uid = Kernel.create_eject k ~type_name:"echo" echo_behaviour in
+  Kernel.run_driver k (fun ctx -> ignore (Kernel.invoke ctx uid ~op:"Echo" Value.Unit));
+  check Alcotest.int "no events" 0 (List.length (Kernel.Trace.events k))
+
+let test_invocation_sequence () =
+  let k = Kernel.create () in
+  Kernel.Trace.enable k;
+  let uid = Kernel.create_eject k ~type_name:"echo" echo_behaviour in
+  Kernel.run_driver k (fun ctx ->
+      ignore (Kernel.invoke ctx uid ~op:"Echo" (Value.Int 1));
+      ignore (Kernel.invoke ctx uid ~op:"Echo" (Value.Int 2)));
+  check Alcotest.(list string) "ops in order" [ "Echo"; "Echo" ] (Kernel.Trace.ops k);
+  (* Shape: Invoked, Activated (on first), Replied, Invoked, Replied. *)
+  let shapes =
+    List.map
+      (function
+        | Kernel.Trace.Invoked _ -> "invoke"
+        | Replied _ -> "reply"
+        | Activated _ -> "activate"
+        | Checkpointed _ -> "checkpoint"
+        | Crashed _ -> "crash"
+        | Destroyed _ -> "destroy")
+      (Kernel.Trace.events k)
+  in
+  check Alcotest.(list string) "event shapes"
+    [ "invoke"; "activate"; "reply"; "invoke"; "reply" ]
+    shapes
+
+let test_timestamps_monotone () =
+  let k = Kernel.create () in
+  Kernel.Trace.enable k;
+  let uid = Kernel.create_eject k ~type_name:"echo" echo_behaviour in
+  Kernel.run_driver k (fun ctx ->
+      for _ = 1 to 3 do
+        ignore (Kernel.invoke ctx uid ~op:"Echo" Value.Unit)
+      done);
+  let times =
+    List.map
+      (function
+        | Kernel.Trace.Invoked { at; _ }
+        | Replied { at; _ }
+        | Activated { at; _ }
+        | Checkpointed { at; _ }
+        | Crashed { at; _ }
+        | Destroyed { at; _ } -> at)
+      (Kernel.Trace.events k)
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "non-decreasing" true (monotone times)
+
+let test_lifecycle_events () =
+  let k = Kernel.create () in
+  Kernel.Trace.enable k;
+  let uid =
+    Kernel.create_eject k ~type_name:"life" (fun ctx ~passive:_ ->
+        [
+          ( "Save",
+            fun _ ->
+              Kernel.checkpoint ctx (Value.Int 1);
+              Value.Unit );
+          ( "Die",
+            fun _ ->
+              Kernel.destroy ctx;
+              Value.Unit );
+        ])
+  in
+  Kernel.run_driver k (fun ctx ->
+      ignore (Kernel.call ctx uid ~op:"Save" Value.Unit);
+      Kernel.crash k uid;
+      ignore (Kernel.call ctx uid ~op:"Die" Value.Unit));
+  let count pred = List.length (List.filter pred (Kernel.Trace.events k)) in
+  check Alcotest.int "one checkpoint" 1
+    (count (function Kernel.Trace.Checkpointed _ -> true | _ -> false));
+  check Alcotest.int "one crash" 1 (count (function Kernel.Trace.Crashed _ -> true | _ -> false));
+  check Alcotest.int "one destroy" 1
+    (count (function Kernel.Trace.Destroyed _ -> true | _ -> false));
+  check Alcotest.int "two activations" 2
+    (count (function Kernel.Trace.Activated _ -> true | _ -> false))
+
+let test_clear_and_disable () =
+  let k = Kernel.create () in
+  Kernel.Trace.enable k;
+  let uid = Kernel.create_eject k ~type_name:"echo" echo_behaviour in
+  Kernel.run_driver k (fun ctx -> ignore (Kernel.invoke ctx uid ~op:"Echo" Value.Unit));
+  Alcotest.(check bool) "has events" true (Kernel.Trace.events k <> []);
+  Kernel.Trace.clear k;
+  check Alcotest.int "cleared" 0 (List.length (Kernel.Trace.events k));
+  Kernel.Trace.disable k;
+  Kernel.run_driver k (fun ctx -> ignore (Kernel.invoke ctx uid ~op:"Echo" Value.Unit));
+  check Alcotest.int "disabled" 0 (List.length (Kernel.Trace.events k))
+
+let test_pp_event_renders () =
+  let k = Kernel.create () in
+  Kernel.Trace.enable k;
+  let uid = Kernel.create_eject k ~type_name:"echo" echo_behaviour in
+  Kernel.run_driver k (fun ctx -> ignore (Kernel.invoke ctx uid ~op:"Echo" Value.Unit));
+  List.iter
+    (fun ev ->
+      let s = Format.asprintf "%a" Kernel.Trace.pp_event ev in
+      Alcotest.(check bool) "non-empty rendering" true (String.length s > 0))
+    (Kernel.Trace.events k)
+
+(* The trace lets tests assert the paper's interaction patterns
+   directly: a read-only pipeline is all Transfer, a write-only one all
+   Deposit. *)
+let test_pipeline_op_mix () =
+  let open Eden_transput in
+  let run discipline =
+    let k = Kernel.create () in
+    Kernel.Trace.enable k;
+    let rest = ref (List.init 4 (fun i -> Value.Int i)) in
+    let gen () =
+      match !rest with
+      | [] -> None
+      | x :: tl ->
+          rest := tl;
+          Some x
+    in
+    let p = Pipeline.build k discipline ~gen ~filters:[ Transform.identity ] ~consume:ignore in
+    Kernel.run_driver k (fun _ -> Pipeline.run p);
+    List.sort_uniq String.compare (Kernel.Trace.ops k)
+  in
+  check Alcotest.(list string) "read-only is pure Transfer" [ "Transfer" ]
+    (run Pipeline.Read_only);
+  check Alcotest.(list string) "write-only is pure Deposit" [ "Deposit" ]
+    (run Pipeline.Write_only);
+  check Alcotest.(list string) "conventional uses both" [ "Deposit"; "Transfer" ]
+    (run Pipeline.Conventional)
+
+let suite =
+  [
+    ("disabled by default", `Quick, test_disabled_by_default);
+    ("invocation sequence", `Quick, test_invocation_sequence);
+    ("timestamps monotone", `Quick, test_timestamps_monotone);
+    ("lifecycle events", `Quick, test_lifecycle_events);
+    ("clear and disable", `Quick, test_clear_and_disable);
+    ("pp_event renders", `Quick, test_pp_event_renders);
+    ("pipeline op mix", `Quick, test_pipeline_op_mix);
+  ]

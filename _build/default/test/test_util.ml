@@ -1,0 +1,393 @@
+(* Unit and property tests for Eden_util. *)
+
+open Eden_util
+
+let check = Alcotest.check
+let prop name ?(count = 200) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_copy () =
+  let a = Prng.create 7L in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  for _ = 1 to 50 do
+    check Alcotest.int64 "copy tracks original" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_split_independent () =
+  let a = Prng.create 1L in
+  let child = Prng.split a in
+  (* Child and parent streams should not coincide. *)
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Prng.next_int64 a) (Prng.next_int64 child) then incr same
+  done;
+  Alcotest.(check bool) "streams diverge" true (!same < 4)
+
+let test_prng_int_bounds () =
+  let g = Prng.create 99L in
+  for _ = 1 to 1000 do
+    let x = Prng.int g 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_prng_int_in () =
+  let g = Prng.create 5L in
+  for _ = 1 to 500 do
+    let x = Prng.int_in g (-3) 9 in
+    Alcotest.(check bool) "in closed range" true (x >= -3 && x <= 9)
+  done
+
+let test_prng_float_bounds () =
+  let g = Prng.create 11L in
+  for _ = 1 to 1000 do
+    let x = Prng.float g 2.5 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_prng_invalid () =
+  let g = Prng.create 3L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0));
+  Alcotest.check_raises "empty choose" (Invalid_argument "Prng.choose: empty array") (fun () ->
+      ignore (Prng.choose g [||]))
+
+let test_prng_shuffle_permutes () =
+  let g = Prng.create 123L in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_prng_exponential_positive () =
+  let g = Prng.create 321L in
+  for _ = 1 to 200 do
+    Alcotest.(check bool) "positive" true (Prng.exponential g 3.0 >= 0.0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Ring                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_fifo () =
+  let r = Ring.create ~capacity:3 in
+  Alcotest.(check bool) "push a" true (Ring.push r "a");
+  Alcotest.(check bool) "push b" true (Ring.push r "b");
+  check Alcotest.(option string) "pop a" (Some "a") (Ring.pop r);
+  Alcotest.(check bool) "push c" true (Ring.push r "c");
+  Alcotest.(check bool) "push d" true (Ring.push r "d");
+  Alcotest.(check bool) "full rejects" false (Ring.push r "e");
+  check Alcotest.(list string) "order" [ "b"; "c"; "d" ] (Ring.to_list r)
+
+let test_ring_wraparound () =
+  let r = Ring.create ~capacity:2 in
+  for i = 1 to 10 do
+    Ring.push_exn r i;
+    check Alcotest.int "pop returns i" i (Ring.pop_exn r)
+  done;
+  Alcotest.(check bool) "empty at end" true (Ring.is_empty r)
+
+let test_ring_peek_clear () =
+  let r = Ring.create ~capacity:4 in
+  check Alcotest.(option int) "peek empty" None (Ring.peek r);
+  Ring.push_exn r 1;
+  Ring.push_exn r 2;
+  check Alcotest.(option int) "peek oldest" (Some 1) (Ring.peek r);
+  check Alcotest.int "peek does not remove" 2 (Ring.length r);
+  Ring.clear r;
+  Alcotest.(check bool) "cleared" true (Ring.is_empty r);
+  check Alcotest.(option int) "pop after clear" None (Ring.pop r)
+
+let test_ring_errors () =
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Ring.create: capacity must be positive")
+    (fun () -> ignore (Ring.create ~capacity:0));
+  let r = Ring.create ~capacity:1 in
+  Alcotest.check_raises "pop empty" (Failure "Ring.pop_exn: empty") (fun () ->
+      ignore (Ring.pop_exn r));
+  Ring.push_exn r 0;
+  Alcotest.check_raises "push full" (Failure "Ring.push_exn: full") (fun () -> Ring.push_exn r 1)
+
+let prop_ring_model =
+  (* Ring behaves like a bounded FIFO queue model. *)
+  prop "ring = bounded queue model"
+    QCheck2.Gen.(pair (int_range 1 8) (small_list (int_bound 1)))
+    (fun (cap, ops) ->
+      let r = Ring.create ~capacity:cap in
+      let model = Queue.create () in
+      List.iteri
+        (fun i op ->
+          if op = 0 then begin
+            let accepted = Ring.push r i in
+            let model_accepts = Queue.length model < cap in
+            if accepted <> model_accepts then QCheck2.Test.fail_report "push disagreement";
+            if accepted then Queue.push i model
+          end
+          else begin
+            let got = Ring.pop r in
+            let expect = Queue.take_opt model in
+            if got <> expect then QCheck2.Test.fail_report "pop disagreement"
+          end)
+        ops;
+      Ring.to_list r = List.of_seq (Queue.to_seq model))
+
+(* ------------------------------------------------------------------ *)
+(* Fqueue                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_fqueue_basic () =
+  let q = Fqueue.empty |> Fqueue.push 1 |> Fqueue.push 2 |> Fqueue.push 3 in
+  check Alcotest.int "length" 3 (Fqueue.length q);
+  (match Fqueue.pop q with
+  | Some (1, q') -> check Alcotest.(list int) "rest" [ 2; 3 ] (Fqueue.to_list q')
+  | _ -> Alcotest.fail "expected 1");
+  check Alcotest.(option int) "peek" (Some 1) (Fqueue.peek q)
+
+let test_fqueue_empty () =
+  Alcotest.(check bool) "is_empty" true (Fqueue.is_empty Fqueue.empty);
+  check Alcotest.(option int) "peek none" None (Fqueue.peek Fqueue.empty);
+  Alcotest.(check bool) "pop none" true (Fqueue.pop Fqueue.empty = None)
+
+let test_fqueue_persistence () =
+  let q1 = Fqueue.of_list [ 1; 2 ] in
+  let q2 = Fqueue.push 3 q1 in
+  check Alcotest.(list int) "q1 unchanged" [ 1; 2 ] (Fqueue.to_list q1);
+  check Alcotest.(list int) "q2 extended" [ 1; 2; 3 ] (Fqueue.to_list q2)
+
+let prop_fqueue_fifo =
+  prop "fqueue preserves list order" QCheck2.Gen.(small_list int) (fun xs ->
+      Fqueue.to_list (Fqueue.of_list xs) = xs
+      && Fqueue.to_list (List.fold_left (fun q x -> Fqueue.push x q) Fqueue.empty xs) = xs)
+
+let prop_fqueue_fold =
+  prop "fold visits in order" QCheck2.Gen.(small_list int) (fun xs ->
+      Fqueue.fold (fun acc x -> x :: acc) [] (Fqueue.of_list xs) = List.rev xs)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Iheap = Heap.Make (Int)
+
+let test_heap_sorts () =
+  let h = Iheap.of_list [ (5, "e"); (1, "a"); (3, "c"); (2, "b"); (4, "d") ] in
+  check
+    Alcotest.(list (pair int string))
+    "sorted"
+    [ (1, "a"); (2, "b"); (3, "c"); (4, "d"); (5, "e") ]
+    (Iheap.to_sorted_list h)
+
+let test_heap_stable_ties () =
+  (* Events at the same instant must pop in insertion order. *)
+  let h = Iheap.empty |> Iheap.insert 7 "first" |> Iheap.insert 7 "second" |> Iheap.insert 7 "third" in
+  check
+    Alcotest.(list (pair int string))
+    "fifo among ties"
+    [ (7, "first"); (7, "second"); (7, "third") ]
+    (Iheap.to_sorted_list h)
+
+let test_heap_empty () =
+  Alcotest.(check bool) "find_min none" true (Iheap.find_min Iheap.empty = None);
+  Alcotest.(check bool) "delete_min none" true (Iheap.delete_min Iheap.empty = None);
+  check Alcotest.int "size 0" 0 (Iheap.size Iheap.empty)
+
+let prop_heap_sorted =
+  prop "heap sort agrees with List.sort" QCheck2.Gen.(small_list (int_bound 100)) (fun xs ->
+      let kvs = List.map (fun x -> (x, ())) xs in
+      List.map fst (Iheap.to_sorted_list (Iheap.of_list kvs)) = List.sort compare xs)
+
+let prop_heap_size =
+  prop "size tracks inserts/deletes" QCheck2.Gen.(small_list (int_bound 50)) (fun xs ->
+      let h = Iheap.of_list (List.map (fun x -> (x, x)) xs) in
+      let rec drain h n =
+        match Iheap.delete_min h with
+        | None -> n = 0
+        | Some (_, _, h') -> Iheap.size h' = n - 1 && drain h' (n - 1)
+      in
+      Iheap.size h = List.length xs && drain h (List.length xs))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check Alcotest.int "count" 4 (Stats.count s);
+  check feq "mean" 2.5 (Stats.mean s);
+  check feq "min" 1.0 (Stats.min_value s);
+  check feq "max" 4.0 (Stats.max_value s);
+  check feq "variance" 1.25 (Stats.variance s);
+  check feq "total" 10.0 (Stats.total s)
+
+let test_stats_percentile () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  check feq "p50" 50.0 (Stats.percentile s 0.5);
+  check feq "p01" 1.0 (Stats.percentile s 0.01);
+  check feq "p100" 100.0 (Stats.percentile s 1.0)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check feq "mean of empty" 0.0 (Stats.mean s);
+  Alcotest.check_raises "min of empty" (Invalid_argument "Stats.min_value: empty") (fun () ->
+      ignore (Stats.min_value s))
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  List.iter (Stats.add a) [ 1.0; 2.0 ];
+  List.iter (Stats.add b) [ 3.0; 4.0 ];
+  let m = Stats.merge a b in
+  check Alcotest.int "merged count" 4 (Stats.count m);
+  check feq "merged mean" 2.5 (Stats.mean m)
+
+let prop_stats_mean =
+  prop "mean matches direct computation"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let direct = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      Float.abs (Stats.mean s -. direct) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" ~columns:[ ("name", Table.Left); ("n", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "100" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "title present" true (Text.is_prefix ~prefix:"demo\n" out);
+  (* "b" padded to width 5, two-space separator, "100" right-aligned in
+     width 3: six spaces between. *)
+  Alcotest.(check bool) "right aligned" true (Text.contains_sub ~sub:"b      100" out)
+
+let test_table_row_width () =
+  let t = Table.create ~title:"x" ~columns:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "wrong width" (Invalid_argument "Table.add_row: row width differs from header")
+    (fun () -> Table.add_row t [ "1"; "2" ])
+
+let test_table_cells () =
+  check Alcotest.string "int" "42" (Table.cell_int 42);
+  check Alcotest.string "float" "3.14" (Table.cell_float 3.14159);
+  check Alcotest.string "float decimals" "3.1416" (Table.cell_float ~decimals:4 3.14159);
+  check Alcotest.string "ratio" "1.97x" (Table.cell_ratio 1.9666)
+
+(* ------------------------------------------------------------------ *)
+(* Text                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_split_lines () =
+  check Alcotest.(list string) "trailing nl" [ "a"; "b" ] (Text.split_lines "a\nb\n");
+  check Alcotest.(list string) "no trailing nl" [ "a"; "b" ] (Text.split_lines "a\nb");
+  check Alcotest.(list string) "empty" [] (Text.split_lines "");
+  check Alcotest.(list string) "interior empties" [ "a"; ""; "b" ] (Text.split_lines "a\n\nb")
+
+let test_join_lines () =
+  check Alcotest.string "join" "a\nb\n" (Text.join_lines [ "a"; "b" ]);
+  check Alcotest.string "join empty" "" (Text.join_lines [])
+
+let prop_lines_roundtrip =
+  let line = QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 0 10)) in
+  prop "split . join = id on line lists" QCheck2.Gen.(small_list line) (fun lines ->
+      Text.split_lines (Text.join_lines lines) = lines)
+
+let test_affixes () =
+  Alcotest.(check bool) "prefix yes" true (Text.is_prefix ~prefix:"foo" "foobar");
+  Alcotest.(check bool) "prefix no" false (Text.is_prefix ~prefix:"bar" "foobar");
+  Alcotest.(check bool) "suffix yes" true (Text.is_suffix ~suffix:"bar" "foobar");
+  Alcotest.(check bool) "suffix no" false (Text.is_suffix ~suffix:"foo" "foobar");
+  Alcotest.(check bool) "contains" true (Text.contains_sub ~sub:"oba" "foobar");
+  check Alcotest.(option int) "find" (Some 2) (Text.find_sub ~sub:"oba" "foobar");
+  check Alcotest.(option int) "find missing" None (Text.find_sub ~sub:"zz" "foobar")
+
+let test_replace_all () =
+  check Alcotest.string "simple" "xbxb" (Text.replace_all ~sub:"a" ~by:"x" "abab");
+  check Alcotest.string "grows" "xyxy" (Text.replace_all ~sub:"a" ~by:"xy" "aa");
+  check Alcotest.string "no match" "abc" (Text.replace_all ~sub:"z" ~by:"q" "abc")
+
+let test_chunks () =
+  check Alcotest.(list string) "even" [ "ab"; "cd" ] (Text.chunks ~size:2 "abcd");
+  check Alcotest.(list string) "ragged" [ "abc"; "d" ] (Text.chunks ~size:3 "abcd");
+  check Alcotest.(list string) "empty" [] (Text.chunks ~size:4 "")
+
+let prop_chunks_concat =
+  prop "concat . chunks = id"
+    QCheck2.Gen.(pair (int_range 1 7) (string_size ~gen:(char_range 'a' 'z') (int_range 0 40)))
+    (fun (size, s) -> String.concat "" (Text.chunks ~size s) = s)
+
+let test_expand_tabs () =
+  check Alcotest.string "col 0" "        x" (Text.expand_tabs ~tabstop:8 "\tx");
+  check Alcotest.string "mid col" "ab      x" (Text.expand_tabs ~tabstop:8 "ab\tx");
+  check Alcotest.string "tabstop 4" "ab  x" (Text.expand_tabs ~tabstop:4 "ab\tx")
+
+let test_words () =
+  check Alcotest.(list string) "basic" [ "a"; "bc"; "d" ] (Text.words "  a bc\td \n");
+  check Alcotest.(list string) "empty" [] (Text.words "   ")
+
+let test_padding () =
+  check Alcotest.string "pad right" "ab  " (Text.pad_right 4 "ab");
+  check Alcotest.string "pad left" "  ab" (Text.pad_left 4 "ab");
+  check Alcotest.string "no pad needed" "abcdef" (Text.pad_right 4 "abcdef")
+
+let suite =
+  [
+    ("prng deterministic", `Quick, test_prng_deterministic);
+    ("prng copy", `Quick, test_prng_copy);
+    ("prng split independent", `Quick, test_prng_split_independent);
+    ("prng int bounds", `Quick, test_prng_int_bounds);
+    ("prng int_in bounds", `Quick, test_prng_int_in);
+    ("prng float bounds", `Quick, test_prng_float_bounds);
+    ("prng invalid args", `Quick, test_prng_invalid);
+    ("prng shuffle permutes", `Quick, test_prng_shuffle_permutes);
+    ("prng exponential positive", `Quick, test_prng_exponential_positive);
+    ("ring fifo", `Quick, test_ring_fifo);
+    ("ring wraparound", `Quick, test_ring_wraparound);
+    ("ring peek/clear", `Quick, test_ring_peek_clear);
+    ("ring errors", `Quick, test_ring_errors);
+    ("fqueue basic", `Quick, test_fqueue_basic);
+    ("fqueue empty", `Quick, test_fqueue_empty);
+    ("fqueue persistence", `Quick, test_fqueue_persistence);
+    ("heap sorts", `Quick, test_heap_sorts);
+    ("heap stable ties", `Quick, test_heap_stable_ties);
+    ("heap empty", `Quick, test_heap_empty);
+    ("stats basic", `Quick, test_stats_basic);
+    ("stats percentile", `Quick, test_stats_percentile);
+    ("stats empty", `Quick, test_stats_empty);
+    ("stats merge", `Quick, test_stats_merge);
+    ("table render", `Quick, test_table_render);
+    ("table row width", `Quick, test_table_row_width);
+    ("table cells", `Quick, test_table_cells);
+    ("text split_lines", `Quick, test_split_lines);
+    ("text join_lines", `Quick, test_join_lines);
+    ("text affixes", `Quick, test_affixes);
+    ("text replace_all", `Quick, test_replace_all);
+    ("text chunks", `Quick, test_chunks);
+    ("text expand_tabs", `Quick, test_expand_tabs);
+    ("text words", `Quick, test_words);
+    ("text padding", `Quick, test_padding);
+    prop_ring_model;
+    prop_fqueue_fifo;
+    prop_fqueue_fold;
+    prop_heap_sorted;
+    prop_heap_size;
+    prop_stats_mean;
+    prop_lines_roundtrip;
+    prop_chunks_concat;
+  ]
