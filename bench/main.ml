@@ -100,6 +100,7 @@ let () =
       ("table5", Experiments.table5);
       ("table6", Experiments.table6);
       ("ablation", Experiments.ablation);
+      ("r1", Experiments.r1);
       ("bechamel", run_bechamel);
     ]
   in

@@ -2,6 +2,7 @@ module Value = Eden_kernel.Value
 module Kernel = Eden_kernel.Kernel
 module Uid = Eden_kernel.Uid
 module Ivar = Eden_sched.Ivar
+module Sched = Eden_sched.Sched
 
 type discipline = Read_only | Write_only | Conventional
 
@@ -134,6 +135,70 @@ let run t =
   await t
 
 let entity_count t = 2 + List.length t.filters + List.length t.pipes
+
+(* Stall diagnosis: turn the scheduler's raw blocked-fiber report into
+   per-stage attribution.  Fiber names carry either the stage's type
+   name ("filter-2/transform", "sink(ro)/pump") or its UID
+   ("uid:17/worker", "source(ro)(uid:3)/coord"), so matching on both
+   covers coordinators and workers alike. *)
+
+type stall = { fiber : string; reason : string; stage : string option }
+type diagnosis = { at : float; stalls : stall list }
+
+let contains_sub ~sub s =
+  let ls = String.length s and lsub = String.length sub in
+  lsub = 0
+  || (lsub <= ls
+     &&
+     let found = ref false in
+     for i = 0 to ls - lsub do
+       if (not !found) && String.sub s i lsub = sub then found := true
+     done;
+     !found)
+
+let stall_report kernel ~stages =
+  let blocked = Sched.blocked (Kernel.sched kernel) in
+  List.map
+    (fun (fiber, reason) ->
+      let stage =
+        List.find_map
+          (fun (label, uid) ->
+            let tname =
+              match Kernel.type_name kernel uid with Some n -> n | None -> ""
+            in
+            if
+              (tname <> "" && contains_sub ~sub:tname fiber)
+              || contains_sub ~sub:(Uid.to_string uid) fiber
+            then Some label
+            else None)
+          stages
+      in
+      { fiber; reason; stage })
+    blocked
+
+let stage_labels t =
+  (("source", t.source) :: List.mapi (fun i u -> (Printf.sprintf "filter-%d" (i + 1), u)) t.filters)
+  @ List.mapi (fun i u -> (Printf.sprintf "pipe-%d" (i + 1), u)) t.pipes
+  @ [ ("sink", t.sink) ]
+
+let diagnose t =
+  if Ivar.is_filled t.done_ then None
+  else
+    Some
+      {
+        at = Sched.now (Kernel.sched t.kernel);
+        stalls = stall_report t.kernel ~stages:(stage_labels t);
+      }
+
+let pp_stall ppf { fiber; reason; stage } =
+  match stage with
+  | Some s -> Format.fprintf ppf "%s: %s (%s)" s fiber reason
+  | None -> Format.fprintf ppf "?: %s (%s)" fiber reason
+
+let pp_diagnosis ppf { at; stalls } =
+  Format.fprintf ppf "@[<v>stalled at t=%g with %d blocked fiber(s):" at (List.length stalls);
+  List.iter (fun s -> Format.fprintf ppf "@,  %a" pp_stall s) stalls;
+  Format.fprintf ppf "@]"
 
 type prediction = { entities : int; invocations_per_datum : int }
 

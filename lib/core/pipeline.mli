@@ -55,6 +55,37 @@ val run : t -> unit
 val entity_count : t -> int
 (** Ejects this pipeline comprises (stages + pipes). *)
 
+(** {1 Stall diagnosis}
+
+    When a pipeline wedges (a stage crashed, a message was lost and
+    nobody retries), the scheduler knows only that fibers are parked.
+    These helpers turn that raw report into an actionable diagnosis:
+    which stage each blocked fiber belongs to and what it is waiting
+    for. *)
+
+type stall = {
+  fiber : string;  (** Blocked fiber's name. *)
+  reason : string;  (** What it is parked on, from {!Eden_sched.Sched.blocked}. *)
+  stage : string option;  (** Pipeline stage it was attributed to, if any. *)
+}
+
+type diagnosis = { at : float;  (** Virtual time of the report. *) stalls : stall list }
+
+val stall_report : Kernel.t -> stages:(string * Uid.t) list -> stall list
+(** Attributes every currently blocked fiber to one of the labelled
+    stages by matching fiber names against each stage's type name and
+    UID.  Usable outside [Pipeline.t] (e.g. for hand-built stage
+    graphs). *)
+
+val diagnose : t -> diagnosis option
+(** [None] once the pipeline has completed; otherwise the current
+    blocked-fiber attribution.  Meaningful when called after [Sched.run]
+    has quiesced with [done_] unfilled — everything still blocked then
+    is a genuine stall, not transient backpressure. *)
+
+val pp_stall : Format.formatter -> stall -> unit
+val pp_diagnosis : Format.formatter -> diagnosis -> unit
+
 type prediction = { entities : int; invocations_per_datum : int }
 
 val predict : discipline -> n_filters:int -> prediction

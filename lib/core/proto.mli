@@ -12,7 +12,20 @@
       doubles as the flow-control acknowledgement.
 
     A conventional Unix-style pipe supports both: [Deposit] fills it and
-    [Transfer] drains it. *)
+    [Transfer] drains it.
+
+    {2 Resumable extension}
+
+    For crash-resumable streams each form takes an optional trailing
+    sequence number.  [Transfer(channel, credit, seq)] asks for items
+    starting at absolute position [seq]; the reply [(eos, items, base)]
+    echoes the position of its first item and, by carrying [seq],
+    cumulatively acknowledges everything below it.  [Deposit(channel,
+    eos, items, seq)] stamps its first item's position so a retried
+    deposit is deduplicated, and the ack becomes [Int next_seq] — the
+    position the consumer expects next.  Legacy peers that omit the
+    trailing field interoperate: the plain parsers accept both shapes,
+    and the [_seq] parsers report the extension as an [option]. *)
 
 module Value = Eden_kernel.Value
 
@@ -21,18 +34,36 @@ val deposit_op : string
 
 (** {1 Transfer} *)
 
-val transfer_request : Channel.t -> credit:int -> Value.t
+val transfer_request : ?seq:int -> Channel.t -> credit:int -> Value.t
 
 val parse_transfer_request : Value.t -> Channel.t * int
-(** @raise Value.Protocol_error on malformed requests, including
+(** Accepts both plain and seq-stamped requests, ignoring the seq.
+    @raise Value.Protocol_error on malformed requests, including
     non-positive credit. *)
+
+val parse_transfer_request_seq : Value.t -> Channel.t * int * int option
+(** Like {!parse_transfer_request} but also reports the resume position,
+    when present. *)
 
 type transfer_reply = { eos : bool; items : Value.t list }
 
-val transfer_reply : transfer_reply -> Value.t
+val transfer_reply : ?base:int -> transfer_reply -> Value.t
 val parse_transfer_reply : Value.t -> transfer_reply
+(** Accepts both plain and base-stamped replies, ignoring the base. *)
+
+val parse_transfer_reply_base : Value.t -> transfer_reply * int option
+(** Like {!parse_transfer_reply} but also reports the absolute position
+    of the first item, when present. *)
 
 (** {1 Deposit} *)
 
-val deposit_request : Channel.t -> eos:bool -> Value.t list -> Value.t
+val deposit_request : ?seq:int -> Channel.t -> eos:bool -> Value.t list -> Value.t
 val parse_deposit_request : Value.t -> Channel.t * bool * Value.t list
+(** Accepts both plain and seq-stamped requests, ignoring the seq. *)
+
+val parse_deposit_request_seq : Value.t -> Channel.t * bool * Value.t list * int option
+
+val deposit_ack : next_seq:int -> Value.t
+val parse_deposit_ack : Value.t -> int option
+(** [None] for the legacy unit ack, [Some next_seq] for the resumable
+    form. *)

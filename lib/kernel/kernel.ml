@@ -34,6 +34,7 @@ type eject = {
   mutable state : eject_state;
   mutable versions : (float * Value.t) list; (* checkpoints, newest first *)
   mutable received : int;
+  mutable crash_count : int;
   behaviour : behaviour;
 }
 
@@ -50,6 +51,7 @@ and t = {
   mutable ejects_created : int;
   mutable ejects_destroyed : int;
   mutable crashes : int;
+  mutable timeouts : int;
   mutable tracing : bool;
   mutable trace_log : trace_event list; (* newest first *)
 }
@@ -85,6 +87,7 @@ let create ?(seed = 0xEDE0L) ?(latency = Net.Fixed 1.0) ?(nodes = [ "node-0" ]) 
     ejects_created = 0;
     ejects_destroyed = 0;
     crashes = 0;
+    timeouts = 0;
     tracing = false;
     trace_log = [];
   }
@@ -111,6 +114,7 @@ let create_eject t ?node ?(dispatch = Serial) ~type_name behaviour =
       state = Passive;
       versions = [];
       received = 0;
+      crash_count = 0;
       behaviour;
     }
   in
@@ -135,6 +139,11 @@ let live_ejects t = t.ejects_created - t.ejects_destroyed
 
 let checkpoints t uid =
   match Uid.Tbl.find_opt t.ejects uid with Some e -> e.versions | None -> []
+
+let crash_count t uid =
+  match Uid.Tbl.find_opt t.ejects uid with Some e -> e.crash_count | None -> 0
+
+let timeouts t = t.timeouts
 
 (* --- Eject runtime ------------------------------------------------- *)
 
@@ -245,7 +254,17 @@ let invoke_async ctx dst ~op arg = invoke_from ctx.k ~src_node:ctx.src_node dst 
 let invoke ctx dst ~op arg = Ivar.read (invoke_async ctx dst ~op arg)
 
 let invoke_timeout ctx dst ~op arg ~timeout =
-  Ivar.read_timeout ctx.k.sched (invoke_async ctx dst ~op arg) timeout
+  let ivar = invoke_async ctx dst ~op arg in
+  match Ivar.read_timeout ctx.k.sched ivar timeout with
+  | Some _ as reply -> reply
+  | None ->
+      (* Seal the abandoned reply slot: a reply arriving after the
+         timeout finds the ivar filled and is discarded, and filling it
+         empties its waiter queue so repeated retries do not accumulate
+         orphan resume closures. *)
+      ignore (Ivar.try_fill ivar (Error "timed out"));
+      ctx.k.timeouts <- ctx.k.timeouts + 1;
+      None
 
 let call ctx dst ~op arg =
   match invoke ctx dst ~op arg with Ok v -> v | Error m -> raise (Eden_error m)
@@ -348,6 +367,7 @@ let crash t uid =
   | None | Some { state = Destroyed; _ } -> ()
   | Some e ->
       t.crashes <- t.crashes + 1;
+      e.crash_count <- e.crash_count + 1;
       trace t (Crashed { uid = e.uid; at = Sched.now t.sched });
       stop_runtime t e ~drop_mailbox:true
 

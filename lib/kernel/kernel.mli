@@ -103,6 +103,11 @@ val checkpoints : t -> Uid.t -> (float * Value.t) list
 (** All checkpointed passive representations, newest first, with their
     virtual timestamps. *)
 
+val crash_count : t -> Uid.t -> int
+(** How many times the Eject has been [crash]ed.  Readable without
+    invoking it (and so without reactivating it) — a supervisor's
+    crash-detection probe.  0 for unknown UIDs. *)
+
 (** {1 Invoking (from Eject code or drivers)} *)
 
 val invoke : ctx -> Uid.t -> op:string -> Value.t -> reply
@@ -115,7 +120,13 @@ val invoke_async : ctx -> Uid.t -> op:string -> Value.t -> reply Eden_sched.Ivar
 
 val invoke_timeout : ctx -> Uid.t -> op:string -> Value.t -> timeout:float -> reply option
 (** [None] if no reply arrives in the given virtual-time window (lost
-    message, crashed or partitioned target). *)
+    message, crashed or partitioned target).  On timeout the reply slot
+    is sealed: a reply arriving later is discarded rather than left
+    filling an ivar nobody reads, and the abandoned waiter is removed
+    from the blocked-fiber report. *)
+
+val timeouts : t -> int
+(** Total [invoke_timeout] calls that expired without a reply. *)
 
 val call : ctx -> Uid.t -> op:string -> Value.t -> Value.t
 (** [invoke] that raises {!Eden_error} on an [Error] reply.  The usual

@@ -9,9 +9,17 @@ type latency =
   | Uniform of { lo : float; hi : float }
   | Exponential of { mean : float }
 
-type meter = { sent : int; delivered : int; dropped : int; bytes : int }
+type meter = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  dropped_loss : int;
+  dropped_partition : int;
+  bytes : int;
+}
 
-let empty_meter = { sent = 0; delivered = 0; dropped = 0; bytes = 0 }
+let empty_meter =
+  { sent = 0; delivered = 0; dropped = 0; dropped_loss = 0; dropped_partition = 0; bytes = 0 }
 
 type t = {
   sched : Sched.t;
@@ -92,7 +100,14 @@ let send t ~src ~dst ~size deliver =
   t.m <- { t.m with sent = t.m.sent + 1; bytes = t.m.bytes + size };
   let partitioned = src <> dst && Hashtbl.mem t.partitions (link_key src dst) in
   let lost = t.loss_probability > 0.0 && Prng.float t.prng 1.0 < t.loss_probability in
-  if partitioned || lost then t.m <- { t.m with dropped = t.m.dropped + 1 }
+  (* A message crossing a partitioned link is charged to the partition
+     even when the loss coin also came up: the link would have eaten it
+     regardless. *)
+  if partitioned then
+    t.m <-
+      { t.m with dropped = t.m.dropped + 1; dropped_partition = t.m.dropped_partition + 1 }
+  else if lost then
+    t.m <- { t.m with dropped = t.m.dropped + 1; dropped_loss = t.m.dropped_loss + 1 }
   else begin
     let delay = latency_for t ~src ~dst ~size in
     Sched.timer t.sched delay (fun () ->
@@ -108,9 +123,11 @@ let meter_diff later earlier =
     sent = later.sent - earlier.sent;
     delivered = later.delivered - earlier.delivered;
     dropped = later.dropped - earlier.dropped;
+    dropped_loss = later.dropped_loss - earlier.dropped_loss;
+    dropped_partition = later.dropped_partition - earlier.dropped_partition;
     bytes = later.bytes - earlier.bytes;
   }
 
 let pp_meter ppf m =
-  Format.fprintf ppf "sent=%d delivered=%d dropped=%d bytes=%d" m.sent m.delivered m.dropped
-    m.bytes
+  Format.fprintf ppf "sent=%d delivered=%d dropped=%d (loss=%d partition=%d) bytes=%d" m.sent
+    m.delivered m.dropped m.dropped_loss m.dropped_partition m.bytes

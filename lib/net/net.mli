@@ -65,7 +65,16 @@ val send : t -> src:node_id -> dst:node_id -> size:int -> (unit -> unit) -> unit
 
 (** {1 Metering} *)
 
-type meter = { sent : int; delivered : int; dropped : int; bytes : int }
+type meter = {
+  sent : int;
+  delivered : int;
+  dropped : int;  (** Always [dropped_loss + dropped_partition]. *)
+  dropped_loss : int;  (** Dropped by the random-loss coin. *)
+  dropped_partition : int;  (** Dropped by a partitioned link. *)
+  bytes : int;
+}
+(** A message that would be eaten by both causes is charged to the
+    partition only, so the sum invariant holds. *)
 
 val meter : t -> meter
 val reset_meter : t -> unit

@@ -1,0 +1,29 @@
+module Prng = Eden_util.Prng
+
+type t = { base : float; multiplier : float; cap : float; jitter : float }
+
+let make ?(base = 1.0) ?(multiplier = 2.0) ?(cap = 30.0) ?(jitter = 0.1) () =
+  if base <= 0.0 then invalid_arg "Backoff.make: base must be positive";
+  if multiplier < 1.0 then invalid_arg "Backoff.make: multiplier must be at least 1";
+  if cap < base then invalid_arg "Backoff.make: cap must be at least base";
+  if jitter < 0.0 || jitter >= 1.0 then invalid_arg "Backoff.make: jitter must be in [0,1)";
+  { base; multiplier; cap; jitter }
+
+let default = make ()
+
+let delay t ~attempt ~u ~prev =
+  if attempt < 1 then invalid_arg "Backoff.delay: attempt must be at least 1";
+  let raw = t.base *. (t.multiplier ** float_of_int (attempt - 1)) in
+  let jittered = raw *. (1.0 -. (t.jitter *. u)) in
+  Float.min t.cap (Float.max prev jittered)
+
+let schedule t ~seed n =
+  let prng = Prng.create seed in
+  let rec go i prev acc =
+    if i > n then List.rev acc
+    else
+      let u = Prng.float prng 1.0 in
+      let d = delay t ~attempt:i ~u ~prev in
+      go (i + 1) d (d :: acc)
+  in
+  go 1 0.0 []

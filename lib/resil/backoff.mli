@@ -1,0 +1,38 @@
+(** Deterministic exponential backoff with bounded jitter.
+
+    A reliable invocation that times out should not retry immediately
+    (it would re-lose under the same congestion or re-hit the same
+    crashed Eject before its supervisor notices), nor at fixed intervals
+    (synchronised retries).  The schedule here grows geometrically from
+    [base] by [multiplier], subtracts up to [jitter] of each raw delay
+    using a caller-supplied uniform draw, and clamps to [cap].
+
+    Three properties, relied on by tests and by the experiments'
+    reproducibility:
+
+    - {b deterministic}: the schedule is a pure function of the
+      parameters and the PRNG seed;
+    - {b monotone}: each delay is at least the previous one (jitter
+      never reorders the schedule);
+    - {b bounded}: no delay exceeds [cap]. *)
+
+type t = private { base : float; multiplier : float; cap : float; jitter : float }
+
+val default : t
+(** 1s doubling to a 30s cap with 10% jitter. *)
+
+val make : ?base:float -> ?multiplier:float -> ?cap:float -> ?jitter:float -> unit -> t
+(** @raise Invalid_argument unless [base > 0], [multiplier >= 1],
+    [cap >= base] and [0 <= jitter < 1]. *)
+
+val delay : t -> attempt:int -> u:float -> prev:float -> float
+(** Delay before retry number [attempt] (1-based), given a uniform draw
+    [u] in [0,1) and the previous delay [prev] (0 for the first).
+    Computed as [min cap (max prev (base * multiplier^(attempt-1) * (1 -
+    jitter * u)))] — the [max prev] enforces monotonicity under jitter,
+    the [min cap] boundedness.
+    @raise Invalid_argument if [attempt < 1]. *)
+
+val schedule : t -> seed:int64 -> int -> float list
+(** The first [n] delays using a {!Eden_util.Prng} stream from [seed];
+    the reference realisation of the three properties above. *)

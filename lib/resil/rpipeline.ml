@@ -1,0 +1,177 @@
+module Value = Eden_kernel.Value
+module Kernel = Eden_kernel.Kernel
+module Uid = Eden_kernel.Uid
+module Ivar = Eden_sched.Ivar
+module Sched = Eden_sched.Sched
+module Pipeline = Eden_transput.Pipeline
+
+type t = {
+  kernel : Kernel.t;
+  discipline : Pipeline.discipline;
+  stages : (string * Uid.t) list;
+  source : Uid.t;
+  sink : Uid.t;
+  done_ : unit Ivar.t;
+  meter : Retry.meter;
+}
+
+let placer kernel nodes =
+  let nodes = match nodes with [] -> [ List.hd (Kernel.nodes kernel) ] | ns -> ns in
+  let arr = Array.of_list nodes in
+  let i = ref 0 in
+  fun () ->
+    let n = arr.(!i mod Array.length arr) in
+    incr i;
+    n
+
+let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) ?policy ~seed discipline ~gen
+    ~filters =
+  let next_node = placer kernel nodes in
+  let meter = Retry.create_meter () in
+  let done_ = Ivar.create () in
+  let on_done () = ignore (Ivar.try_fill done_ ()) in
+  let stage_seed i = Int64.add seed (Int64.of_int i) in
+  let n = List.length filters in
+  let flabel i = Printf.sprintf "filter-%d" i in
+  match discipline with
+  | Pipeline.Read_only ->
+      let source = Rstage.source_ro kernel ~node:(next_node ()) ~capacity gen in
+      let filter_uids =
+        List.fold_left
+          (fun ups spec ->
+            let i = List.length ups in
+            Rstage.filter_ro kernel ~node:(next_node ()) ~name:(flabel i) ~capacity ~batch
+              ~upstream:(List.hd ups) ?policy ~meter ~seed:(stage_seed i) spec
+            :: ups)
+          [ source ] filters
+      in
+      let sink =
+        Rstage.sink_ro kernel ~node:(next_node ()) ~batch ~upstream:(List.hd filter_uids)
+          ?policy ~meter ~seed:(stage_seed (n + 1)) ~on_done ()
+      in
+      let filters_in_order = List.rev (List.filteri (fun i _ -> i < n) filter_uids) in
+      {
+        kernel;
+        discipline;
+        stages =
+          (("source", source) :: List.mapi (fun i u -> (flabel (i + 1), u)) filters_in_order)
+          @ [ ("sink", sink) ];
+        source;
+        sink;
+        done_;
+        meter;
+      }
+  | Pipeline.Write_only ->
+      (* Sink-first, the mirror image. *)
+      let sink = Rstage.sink_wo kernel ~node:(next_node ()) ~on_done () in
+      let filter_uids =
+        List.fold_left
+          (fun downs spec ->
+            let i = n - List.length downs + 1 in
+            Rstage.filter_wo kernel ~node:(next_node ()) ~name:(flabel i) ~batch
+              ~downstream:(List.hd downs) ?policy ~meter ~seed:(stage_seed i) spec
+            :: downs)
+          [ sink ] (List.rev filters)
+      in
+      let source =
+        Rstage.source_wo kernel ~node:(next_node ()) ~batch
+          ~downstream:(List.hd filter_uids) ?policy ~meter ~seed:(stage_seed 0) gen
+      in
+      let filters_in_order = List.filteri (fun i _ -> i < n) filter_uids in
+      {
+        kernel;
+        discipline;
+        stages =
+          (("source", source) :: List.mapi (fun i u -> (flabel (i + 1), u)) filters_in_order)
+          @ [ ("sink", sink) ];
+        source;
+        sink;
+        done_;
+        meter;
+      }
+  | Pipeline.Conventional ->
+      let pipe_capacity = max 1 capacity in
+      let first_pipe =
+        Rstage.pipe kernel ~node:(next_node ()) ~name:"pipe-1" ~capacity:pipe_capacity ()
+      in
+      let source =
+        Rstage.source_active kernel ~node:(next_node ()) ~batch ~downstream:first_pipe
+          ?policy ~meter ~seed:(stage_seed 0) gen
+      in
+      let filter_uids, pipe_uids =
+        List.fold_left
+          (fun (fs, ps) spec ->
+            let i = List.length fs + 1 in
+            let out_pipe =
+              Rstage.pipe kernel ~node:(next_node ())
+                ~name:(Printf.sprintf "pipe-%d" (i + 1))
+                ~capacity:pipe_capacity ()
+            in
+            let f =
+              Rstage.filter_active kernel ~node:(next_node ()) ~name:(flabel i) ~batch
+                ~upstream:(List.hd ps) ~downstream:out_pipe ?policy ~meter
+                ~seed:(stage_seed i) spec
+            in
+            (f :: fs, out_pipe :: ps))
+          ([], [ first_pipe ]) filters
+      in
+      let sink =
+        Rstage.sink_active kernel ~node:(next_node ()) ~batch ~upstream:(List.hd pipe_uids)
+          ?policy ~meter ~seed:(stage_seed (n + 1)) ~on_done ()
+      in
+      let filters_in_order = List.rev filter_uids in
+      let pipes_in_order = List.rev pipe_uids in
+      {
+        kernel;
+        discipline;
+        stages =
+          ("source", source)
+          :: List.concat
+               (List.mapi
+                  (fun i p ->
+                    (Printf.sprintf "pipe-%d" (i + 1), p)
+                    ::
+                    (match List.nth_opt filters_in_order i with
+                    | Some f -> [ (flabel (i + 1), f) ]
+                    | None -> []))
+                  pipes_in_order)
+          @ [ ("sink", sink) ];
+        source;
+        sink;
+        done_;
+        meter;
+      }
+
+let start t =
+  match t.discipline with
+  | Pipeline.Read_only -> Kernel.poke t.kernel t.sink
+  | Pipeline.Write_only -> Kernel.poke t.kernel t.source
+  | Pipeline.Conventional ->
+      Kernel.poke t.kernel t.source;
+      List.iter
+        (fun (label, u) ->
+          if String.length label >= 6 && String.sub label 0 6 = "filter" then
+            Kernel.poke t.kernel u)
+        t.stages;
+      Kernel.poke t.kernel t.sink
+
+let await t = Ivar.read t.done_
+
+let await_timeout t ~deadline =
+  match Ivar.read_timeout (Kernel.sched t.kernel) t.done_ deadline with
+  | Some () -> true
+  | None -> false
+
+let completed t = Ivar.is_filled t.done_
+let output t = Rstage.sink_output t.kernel t.sink
+
+let supervise ?ping t sup =
+  List.iter (fun (label, u) -> Supervisor.watch sup ?ping ~label u) t.stages
+
+let crash_at t uid at =
+  let sched = Kernel.sched t.kernel in
+  let delay = Float.max 0.0 (at -. Sched.now sched) in
+  Sched.timer sched delay (fun () -> Kernel.crash t.kernel uid)
+
+let diagnose t =
+  if completed t then None else Some (Pipeline.stall_report t.kernel ~stages:t.stages)

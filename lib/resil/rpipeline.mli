@@ -1,0 +1,69 @@
+(** Assembling, supervising and chaos-testing resumable pipelines.
+
+    The resilient mirror of {!Eden_transput.Pipeline}: the same three
+    disciplines, built from {!Rstage} stages wired with seq-stamped
+    protocol, per-stage checkpoints and retried invocations.  A shared
+    {!Retry.meter} accounts every attempt across the pipeline, and each
+    stage derives its jitter PRNG from [seed] plus its position, so a
+    whole chaos run is a deterministic function of its seeds.
+
+    [supervise] registers every stage with a {!Supervisor};
+    [await_timeout] bounds a run in virtual time so chaos sweeps can
+    score completion instead of hanging; [crash_at] arms a crash as a
+    virtual-time event before the run starts. *)
+
+module Value = Eden_kernel.Value
+module Kernel = Eden_kernel.Kernel
+module Uid = Eden_kernel.Uid
+module Pipeline = Eden_transput.Pipeline
+
+type t = {
+  kernel : Kernel.t;
+  discipline : Pipeline.discipline;
+  stages : (string * Uid.t) list;  (** In stream order, labelled. *)
+  source : Uid.t;
+  sink : Uid.t;
+  done_ : unit Eden_sched.Ivar.t;
+  meter : Retry.meter;  (** Shared across every stage's retries. *)
+}
+
+val build :
+  Kernel.t ->
+  ?nodes:Eden_net.Net.node_id list ->
+  ?capacity:int ->
+  ?batch:int ->
+  ?policy:Retry.policy ->
+  seed:int64 ->
+  Pipeline.discipline ->
+  gen:Rstage.gen ->
+  filters:Rstage.spec list ->
+  t
+(** The sink accumulates with {!Rstage.default_absorb}; read it back
+    with [output]. *)
+
+val start : t -> unit
+(** Pokes the pumping stages, exactly as {!Eden_transput.Pipeline.start}
+    does per discipline. *)
+
+val await : t -> unit
+
+val await_timeout : t -> deadline:float -> bool
+(** Waits at most [deadline] virtual time for completion; [false] means
+    the pipeline did not finish (count it as a failed chaos run). *)
+
+val completed : t -> bool
+
+val output : t -> Value.t list option
+(** The sink's accumulated stream, from its latest checkpoint. *)
+
+val supervise : ?ping:bool -> t -> Supervisor.t -> unit
+(** Watches every stage. *)
+
+val crash_at : t -> Uid.t -> float -> unit
+(** Schedules a {!Eden_kernel.Kernel.crash} of one stage at an absolute
+    virtual time; call before running. *)
+
+val diagnose : t -> Pipeline.stall list option
+(** [None] once complete; otherwise the current blocked-fiber
+    attribution against this pipeline's stages (see
+    {!Eden_transput.Pipeline.stall_report}). *)

@@ -1,0 +1,150 @@
+module Value = Eden_kernel.Value
+module Kernel = Eden_kernel.Kernel
+module Waitq = Eden_sched.Waitq
+module Channel = Eden_transput.Channel
+module Proto = Eden_transput.Proto
+
+type chan_state = {
+  chan : Channel.t;
+  capacity : int;
+  mutable base : int; (* seq of the first retained item *)
+  mutable items : Value.t list; (* retained, oldest first *)
+  mutable count : int;
+  mutable target : int; (* demand horizon: highest seq + credit requested *)
+  mutable closed : bool;
+  mutable cursor : int; (* implicit position for legacy Transfers *)
+  readers : Waitq.t; (* parked Transfer handlers *)
+  writers : Waitq.t; (* parked [write] callers *)
+}
+
+type t = { channels : (Channel.t * chan_state) list ref }
+type writer = chan_state
+
+let create () = { channels = ref [] }
+
+let add_channel t ?(capacity = 0) chan =
+  if capacity < 0 then invalid_arg "Rport.add_channel: negative capacity";
+  if List.exists (fun (c, _) -> Channel.equal c chan) !(t.channels) then
+    invalid_arg ("Rport.add_channel: duplicate channel " ^ Channel.to_string chan);
+  let s =
+    {
+      chan;
+      capacity;
+      base = 0;
+      items = [];
+      count = 0;
+      target = 0;
+      closed = false;
+      cursor = 0;
+      readers = Waitq.create ("rport " ^ Channel.to_string chan ^ " readers");
+      writers = Waitq.create ("rport " ^ Channel.to_string chan ^ " writers");
+    }
+  in
+  t.channels := (chan, s) :: !(t.channels);
+  s
+
+let find t chan = List.find_opt (fun (c, _) -> Channel.equal c chan) !(t.channels)
+
+let next_seq s = s.base + s.count
+let base s = s.base
+let is_closed s = s.closed
+
+let encode s =
+  Value.List [ Value.Int s.base; Value.List s.items; Value.Bool s.closed ]
+
+let load s v =
+  match v with
+  | Value.List [ Value.Int b; Value.List items; Value.Bool closed ] ->
+      s.base <- b;
+      s.items <- items;
+      s.count <- List.length items;
+      s.closed <- closed;
+      (* Demand is volatile: it rebuilds from the consumer's retried
+         requests, so restart un-demanded. *)
+      s.target <- b;
+      s.cursor <- b
+  | v -> raise (Value.Protocol_error ("malformed Rport state: " ^ Value.to_string v))
+
+let rec write s item =
+  if s.closed then failwith "Rport.write: channel closed";
+  if next_seq s < s.target + s.capacity then begin
+    s.items <- s.items @ [ item ];
+    s.count <- s.count + 1;
+    ignore (Waitq.wake_all s.readers)
+  end
+  else begin
+    Waitq.park s.writers;
+    write s item
+  end
+
+let rec await_writable s =
+  if (not s.closed) && next_seq s >= s.target + s.capacity then begin
+    Waitq.park s.writers;
+    await_writable s
+  end
+
+let close s =
+  if not s.closed then begin
+    s.closed <- true;
+    ignore (Waitq.wake_all s.readers)
+  end
+
+(* Acknowledge: discard retained items strictly below [upto]. *)
+let prune s upto =
+  while s.count > 0 && s.base < upto do
+    s.items <- List.tl s.items;
+    s.base <- s.base + 1;
+    s.count <- s.count - 1
+  done
+
+let rec take n xs =
+  match (n, xs) with 0, _ | _, [] -> [] | n, x :: rest -> x :: take (n - 1) rest
+
+(* Serve one Transfer for positions [seq, seq + credit).  Runs as an
+   invocation handler inside a worker fiber, so parking blocks only this
+   request — a retried duplicate parks alongside and both are served
+   when items appear. *)
+let serve s ~seq ~credit =
+  if seq < s.base then
+    raise
+      (Kernel.Eden_error
+         (Printf.sprintf "Transfer at %d below acknowledged position %d" seq s.base));
+  s.target <- max s.target (seq + credit);
+  (* New demand may unblock a lazy writer. *)
+  ignore (Waitq.wake_all s.writers);
+  let rec await () =
+    prune s seq;
+    let ready =
+      (s.base = seq && (s.count > 0 || s.closed)) || (s.closed && next_seq s <= seq)
+    in
+    if not ready then begin
+      Waitq.park s.readers;
+      await ()
+    end
+  in
+  await ();
+  let avail = max 0 (s.count - (seq - s.base)) in
+  let k = min credit avail in
+  let items = take k s.items in
+  let eos = s.closed && seq + k >= next_seq s in
+  (items, eos)
+
+let serve_transfer t arg =
+  let chan, credit, seq = Proto.parse_transfer_request_seq arg in
+  match find t chan with
+  | None -> raise (Kernel.Eden_error ("no such channel: " ^ Channel.to_string chan))
+  | Some (_, s) -> (
+      match seq with
+      | Some seq ->
+          let items, eos = serve s ~seq ~credit in
+          Proto.transfer_reply ~base:seq { Proto.eos; items }
+      | None ->
+          (* Legacy request: serve from the cursor and auto-acknowledge,
+             which is exactly the plain Port contract. *)
+          let seq = max s.cursor s.base in
+          let items, eos = serve s ~seq ~credit in
+          s.cursor <- seq + List.length items;
+          prune s s.cursor;
+          Proto.transfer_reply { Proto.eos; items })
+
+let handlers t = [ (Proto.transfer_op, serve_transfer t) ]

@@ -1,0 +1,64 @@
+(** Resumable passive output: a {!Eden_transput.Port} that can replay.
+
+    The plain port hands an item to exactly one [Transfer] and forgets
+    it, so a consumer that crashes between receiving a reply and acting
+    on it loses data, and a producer that crashes loses its buffer.  The
+    resumable port numbers every item with an absolute stream position
+    and changes the contract in three ways:
+
+    - a seq-stamped [Transfer(chan, credit, seq)] asks for items
+      starting {e at} position [seq], and serving it does not discard
+      them;
+    - the [seq] field doubles as a cumulative acknowledgement: items
+      below it are pruned.  A consumer therefore asks for position [n]
+      only once position [n-1] (and everything before it) is safe in its
+      own checkpoint;
+    - the port's whole state — first retained position, retained items,
+      closed flag — [encode]s to a {!Eden_kernel.Value.t} for the owning
+      Eject's checkpoint, and [load] restores it at reactivation.
+
+    A restored port may be {e behind} the consumer (its checkpoint was
+    older): serving then parks until the owner regenerates the gap,
+    which is deterministic replay's job.  Un-stamped legacy [Transfer]s
+    are served from an internal cursor and auto-acknowledge, restoring
+    plain {!Eden_transput.Port} behaviour.
+
+    Demand, capacity and laziness mirror the plain port: a writer parks
+    until the next position is within [capacity] of the demand horizon
+    (the highest [seq + credit] requested), so [capacity = 0] keeps a
+    resumable pipeline demand-driven end to end. *)
+
+module Value = Eden_kernel.Value
+module Kernel = Eden_kernel.Kernel
+module Channel = Eden_transput.Channel
+
+type t
+type writer
+
+val create : unit -> t
+
+val add_channel : t -> ?capacity:int -> Channel.t -> writer
+(** @raise Invalid_argument on negative capacity or duplicates. *)
+
+val load : writer -> Value.t -> unit
+(** Restores an [encode]d state; the demand horizon resets and rebuilds
+    from the consumer's next request. *)
+
+val encode : writer -> Value.t
+
+val write : writer -> Value.t -> unit
+(** Appends at the next position; parks while production would run
+    [capacity] beyond the demand horizon.  Fiber context only. *)
+
+val close : writer -> unit
+val await_writable : writer -> unit
+val is_closed : writer -> bool
+
+val base : writer -> int
+(** First retained (unacknowledged) position. *)
+
+val next_seq : writer -> int
+(** Position the next [write] will occupy. *)
+
+val handlers : t -> (string * Kernel.handler) list
+(** The [Transfer] operation, serving both stamped and legacy forms. *)

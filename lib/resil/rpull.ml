@@ -1,0 +1,59 @@
+module Value = Eden_kernel.Value
+module Kernel = Eden_kernel.Kernel
+module Uid = Eden_kernel.Uid
+module Channel = Eden_transput.Channel
+module Proto = Eden_transput.Proto
+
+type t = {
+  ctx : Kernel.ctx;
+  src : Uid.t;
+  chan : Channel.t;
+  batch : int;
+  policy : Retry.policy;
+  meter : Retry.meter option;
+  prng : Eden_util.Prng.t;
+  mutable next : int; (* position the next Transfer will request *)
+  mutable buf : Value.t list; (* fetched, unread: positions [next - |buf|, next) *)
+  mutable eos : bool;
+  mutable transfers : int;
+}
+
+let connect ctx ?(batch = 1) ?(channel = Channel.output) ?(policy = Retry.default_policy)
+    ?meter ~prng ?(from = 0) src =
+  if batch < 1 then invalid_arg "Rpull.connect: batch must be at least 1";
+  if from < 0 then invalid_arg "Rpull.connect: from must be non-negative";
+  { ctx; src; chan = channel; batch; policy; meter; prng; next = from; buf = []; eos = false;
+    transfers = 0 }
+
+let rec read t =
+  match t.buf with
+  | x :: rest ->
+      t.buf <- rest;
+      Some x
+  | [] ->
+      if t.eos then None
+      else begin
+        let reply =
+          Retry.call ~policy:t.policy ?meter:t.meter ~prng:t.prng t.ctx t.src
+            ~op:Proto.transfer_op
+            (Proto.transfer_request ~seq:t.next t.chan ~credit:t.batch)
+        in
+        t.transfers <- t.transfers + 1;
+        let { Proto.eos; items }, rbase = Proto.parse_transfer_reply_base reply in
+        (match rbase with
+        | Some b when b <> t.next ->
+            raise
+              (Value.Protocol_error
+                 (Printf.sprintf "Transfer reply based at %d, requested %d" b t.next))
+        | _ -> ());
+        t.eos <- eos;
+        t.buf <- items;
+        t.next <- t.next + List.length items;
+        (* A live producer never replies empty without eos, but loop
+           rather than fabricate an end of stream. *)
+        read t
+      end
+
+let pos t = t.next - List.length t.buf
+let buffered t = List.length t.buf
+let transfers_issued t = t.transfers

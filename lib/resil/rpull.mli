@@ -1,0 +1,48 @@
+(** Resumable active input: a {!Eden_transput.Pull} with retry and
+    positions.
+
+    Every [Transfer] is seq-stamped with the position of the next
+    unseen item and issued through {!Retry}, so a lost message, a lost
+    reply or a crashed producer shows up only as elapsed time: the retry
+    re-invokes, reactivating a crashed producer from its checkpoint, and
+    the stamp makes the re-request idempotent.
+
+    [pos] is the consumer's resume point.  A stage checkpoints [pos]
+    only at batch boundaries ([buffered] = 0) {e before} issuing the
+    next request, because that request's stamp cumulatively acknowledges
+    everything below it to the producer — checkpoint-before-acknowledge
+    is what makes recovery exactly-once. *)
+
+module Value = Eden_kernel.Value
+module Kernel = Eden_kernel.Kernel
+module Uid = Eden_kernel.Uid
+module Channel = Eden_transput.Channel
+
+type t
+
+val connect :
+  Kernel.ctx ->
+  ?batch:int ->
+  ?channel:Channel.t ->
+  ?policy:Retry.policy ->
+  ?meter:Retry.meter ->
+  prng:Eden_util.Prng.t ->
+  ?from:int ->
+  Uid.t ->
+  t
+(** [from] is the resume position (default 0, a fresh stream). *)
+
+val read : t -> Value.t option
+(** Next item, [None] at end of stream.  Issues a retried [Transfer]
+    when the buffer is empty; raises {!Retry.Exhausted} if the budget
+    runs out.  Fiber context only. *)
+
+val pos : t -> int
+(** Position of the next item [read] will return. *)
+
+val buffered : t -> int
+(** Items fetched but not yet read; 0 at batch boundaries. *)
+
+val transfers_issued : t -> int
+(** Successful [Transfer] round trips (retries are metered
+    separately). *)

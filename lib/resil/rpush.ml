@@ -1,0 +1,74 @@
+module Value = Eden_kernel.Value
+module Kernel = Eden_kernel.Kernel
+module Uid = Eden_kernel.Uid
+module Channel = Eden_transput.Channel
+module Proto = Eden_transput.Proto
+
+type t = {
+  ctx : Kernel.ctx;
+  dst : Uid.t;
+  chan : Channel.t;
+  batch : int;
+  policy : Retry.policy;
+  meter : Retry.meter option;
+  prng : Eden_util.Prng.t;
+  mutable next : int; (* position of the next [write] *)
+  mutable acked : int; (* consumer's next expected position *)
+  mutable pend : Value.t list; (* oldest first; head at next - |pend| *)
+  mutable closed : bool;
+  mutable deposits : int;
+}
+
+let connect ctx ?(batch = 1) ?(channel = Channel.output) ?(policy = Retry.default_policy)
+    ?meter ~prng ?(from = 0) dst =
+  if batch < 1 then invalid_arg "Rpush.connect: batch must be at least 1";
+  if from < 0 then invalid_arg "Rpush.connect: from must be non-negative";
+  { ctx; dst; chan = channel; batch; policy; meter; prng; next = from; acked = from;
+    pend = []; closed = false; deposits = 0 }
+
+let pstart t = t.next - List.length t.pend
+
+let rec drop n xs = if n <= 0 then xs else match xs with [] -> [] | _ :: r -> drop (n - 1) r
+
+let rec send t ~eos =
+  let reply =
+    Retry.call ~policy:t.policy ?meter:t.meter ~prng:t.prng t.ctx t.dst ~op:Proto.deposit_op
+      (Proto.deposit_request ~seq:(pstart t) t.chan ~eos t.pend)
+  in
+  t.deposits <- t.deposits + 1;
+  (match Proto.parse_deposit_ack reply with
+  | None ->
+      (* Legacy unit acknowledgement: everything was accepted. *)
+      t.acked <- max t.acked t.next;
+      t.pend <- []
+  | Some a ->
+      t.pend <- drop (a - pstart t) t.pend;
+      t.acked <- max t.acked a);
+  (* A consumer restarted from an old checkpoint may acknowledge short;
+     re-deposit the remainder. *)
+  if t.pend <> [] then send t ~eos
+
+let flush t = if t.pend <> [] then send t ~eos:false
+
+let write t item =
+  if t.closed then failwith "Rpush.write: closed";
+  if t.next < t.acked then
+    (* Replay below the acknowledged position: the consumer already has
+       this item; keep positions aligned without re-sending it. *)
+    t.next <- t.next + 1
+  else begin
+    t.pend <- t.pend @ [ item ];
+    t.next <- t.next + 1;
+    if List.length t.pend >= t.batch then flush t
+  end
+
+let close t =
+  if not t.closed then begin
+    send t ~eos:true;
+    t.closed <- true
+  end
+
+let pos t = t.next
+let acked t = t.acked
+let pending t = List.length t.pend
+let deposits_issued t = t.deposits

@@ -1,0 +1,55 @@
+(** Resumable active output: a {!Eden_transput.Push} with retry and
+    positions.
+
+    Deposits are seq-stamped with the position of their first item and
+    issued through {!Retry}.  The consumer deduplicates by position and
+    acknowledges with the position it expects next, so a retried
+    (duplicated) deposit is harmless and a producer restarted from an
+    old checkpoint discovers how far the consumer already got: [write]s
+    below the acknowledged position are silently skipped during replay,
+    keeping positions aligned without re-sending consumed data.
+
+    [close] always sends a final end-of-stream deposit (empty if
+    nothing is pending), and a duplicate of it after a crash is
+    deduplicated like any other. *)
+
+module Value = Eden_kernel.Value
+module Kernel = Eden_kernel.Kernel
+module Uid = Eden_kernel.Uid
+module Channel = Eden_transput.Channel
+
+type t
+
+val connect :
+  Kernel.ctx ->
+  ?batch:int ->
+  ?channel:Channel.t ->
+  ?policy:Retry.policy ->
+  ?meter:Retry.meter ->
+  prng:Eden_util.Prng.t ->
+  ?from:int ->
+  Uid.t ->
+  t
+(** [from] is the resume position: the stream position of the next
+    [write] (default 0). *)
+
+val write : t -> Value.t -> unit
+(** Buffers (or skips, during replay below the acknowledged position)
+    one item; flushes when [batch] items are pending.  May raise
+    {!Retry.Exhausted}.  Fiber context only. *)
+
+val flush : t -> unit
+(** Deposits anything pending and waits for the acknowledgement; no-op
+    when nothing is pending. *)
+
+val close : t -> unit
+(** Flushes with the end-of-stream marker. *)
+
+val pos : t -> int
+(** Position of the next [write]. *)
+
+val acked : t -> int
+(** Position the consumer has acknowledged through. *)
+
+val pending : t -> int
+val deposits_issued : t -> int

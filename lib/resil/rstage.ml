@@ -1,0 +1,369 @@
+module Value = Eden_kernel.Value
+module Kernel = Eden_kernel.Kernel
+module Uid = Eden_kernel.Uid
+module Semaphore = Eden_sched.Semaphore
+module Prng = Eden_util.Prng
+module Channel = Eden_transput.Channel
+module Proto = Eden_transput.Proto
+
+type spec = {
+  init : Value.t;
+  step : Value.t -> Value.t -> Value.t * Value.t list;
+  flush : Value.t -> Value.t list;
+}
+
+let pure_map f = { init = Value.Unit; step = (fun st v -> (st, [ f v ])); flush = (fun _ -> []) }
+
+let pure_filter p =
+  { init = Value.Unit; step = (fun st v -> (st, if p v then [ v ] else [])); flush = (fun _ -> []) }
+
+type gen = int -> Value.t option
+
+let default_absorb st v = Value.List (v :: Value.to_list st)
+
+let custom k ?node ~name behaviour =
+  Kernel.create_eject k ?node ~dispatch:Kernel.Concurrent ~type_name:name behaviour
+
+let ping = ("Ping", fun _ -> Value.Unit)
+
+(* A stage worker that runs out of retry budget (or hits a peer's
+   terminal error) gives up cleanly: the pipeline stalls — visible to
+   the stall detector — instead of tearing the whole simulation down. *)
+let guard body = try body () with Retry.Exhausted _ | Kernel.Eden_error _ -> ()
+
+let rec drop n xs = if n <= 0 then xs else match xs with [] -> [] | _ :: r -> drop (n - 1) r
+
+(* --- Read-only ------------------------------------------------------ *)
+
+let source_ro k ?node ?(name = "rsource") ?(capacity = 0) ?(checkpoint_every = 1) gen =
+  if checkpoint_every < 1 then invalid_arg "Rstage.source_ro: checkpoint_every must be positive";
+  custom k ?node ~name (fun ctx ~passive ->
+      let port = Rport.create () in
+      let w = Rport.add_channel port ~capacity Channel.output in
+      (match passive with Some v -> Rport.load w v | None -> ());
+      Kernel.spawn_worker ctx ~name:(name ^ "/produce") (fun () ->
+          let rec go since =
+            if not (Rport.is_closed w) then begin
+              Rport.await_writable w;
+              if not (Rport.is_closed w) then
+                match gen (Rport.next_seq w) with
+                | Some v ->
+                    Rport.write w v;
+                    if since + 1 >= checkpoint_every then begin
+                      Kernel.checkpoint ctx (Rport.encode w);
+                      go 0
+                    end
+                    else go (since + 1)
+                | None ->
+                    Rport.close w;
+                    Kernel.checkpoint ctx (Rport.encode w)
+            end
+          in
+          go 0);
+      ping :: Rport.handlers port)
+
+let filter_ro k ?node ?(name = "rfilter") ?(capacity = 0) ?(batch = 1) ~upstream ?policy
+    ?meter ~seed spec =
+  custom k ?node ~name (fun ctx ~passive ->
+      let prng = Prng.create seed in
+      let port = Rport.create () in
+      let w = Rport.add_channel port ~capacity Channel.output in
+      let in0, st0 =
+        match passive with
+        | Some (Value.List [ Value.Int i; st; pv ]) ->
+            Rport.load w pv;
+            (i, st)
+        | _ -> (0, spec.init)
+      in
+      Kernel.spawn_worker ctx ~name:(name ^ "/transform") (fun () ->
+          if not (Rport.is_closed w) then
+            guard (fun () ->
+                let pull = Rpull.connect ctx ~batch ?policy ?meter ~prng ~from:in0 upstream in
+                let st = ref st0 in
+                let ckpt () =
+                  Kernel.checkpoint ctx
+                    (Value.List [ Value.Int (Rpull.pos pull); !st; Rport.encode w ])
+                in
+                let rec go () =
+                  if Rpull.buffered pull = 0 then Rport.await_writable w;
+                  match Rpull.read pull with
+                  | Some v ->
+                      let st', outs = spec.step !st v in
+                      st := st';
+                      List.iter (Rport.write w) outs;
+                      (* Batch boundary: persist before the next pull
+                         acknowledges this batch upstream. *)
+                      if Rpull.buffered pull = 0 then ckpt ();
+                      go ()
+                  | None ->
+                      List.iter (Rport.write w) (spec.flush !st);
+                      Rport.close w;
+                      ckpt ()
+                in
+                go ()));
+      ping :: Rport.handlers port)
+
+let sink_done_of = function
+  | Value.List [ Value.Int _; _; Value.Bool d ] -> d
+  | _ -> false
+
+let sink_ro k ?node ?(name = "rsink") ?(batch = 1) ~upstream ?policy ?meter ~seed
+    ?(init = Value.List []) ?(absorb = default_absorb) ?(on_done = fun () -> ()) () =
+  custom k ?node ~name (fun ctx ~passive ->
+      let prng = Prng.create seed in
+      let in0, st0, done0 =
+        match passive with
+        | Some (Value.List [ Value.Int i; st; Value.Bool d ]) -> (i, st, d)
+        | _ -> (0, init, false)
+      in
+      Kernel.spawn_worker ctx ~name:(name ^ "/pump") (fun () ->
+          if done0 then on_done ()
+          else
+            guard (fun () ->
+                let pull = Rpull.connect ctx ~batch ?policy ?meter ~prng ~from:in0 upstream in
+                let st = ref st0 in
+                let ckpt ~done_ =
+                  Kernel.checkpoint ctx
+                    (Value.List [ Value.Int (Rpull.pos pull); !st; Value.Bool done_ ])
+                in
+                let rec go () =
+                  match Rpull.read pull with
+                  | Some v ->
+                      st := absorb !st v;
+                      if Rpull.buffered pull = 0 then ckpt ~done_:false;
+                      go ()
+                  | None ->
+                      ckpt ~done_:true;
+                      on_done ()
+                in
+                go ()));
+      [ ping ])
+
+(* --- Write-only ----------------------------------------------------- *)
+
+let source_wo k ?node ?(name = "rsource") ?(batch = 1) ~downstream ?policy ?meter ~seed gen =
+  custom k ?node ~name (fun ctx ~passive ->
+      let prng = Prng.create seed in
+      let out0, done0 =
+        match passive with
+        | Some (Value.List [ Value.Int o; Value.Bool d ]) -> (o, d)
+        | _ -> (0, false)
+      in
+      Kernel.spawn_worker ctx ~name:(name ^ "/pump") (fun () ->
+          if not done0 then
+            guard (fun () ->
+                let push = Rpush.connect ctx ~batch ?policy ?meter ~prng ~from:out0 downstream in
+                let ckpt ~done_ =
+                  Kernel.checkpoint ctx
+                    (Value.List [ Value.Int (Rpush.pos push); Value.Bool done_ ])
+                in
+                let rec go () =
+                  match gen (Rpush.pos push) with
+                  | Some v ->
+                      Rpush.write push v;
+                      if Rpush.pending push = 0 then ckpt ~done_:false;
+                      go ()
+                  | None ->
+                      Rpush.close push;
+                      ckpt ~done_:true
+                in
+                go ()));
+      [ ping ])
+
+(* Shared Deposit-side machinery: deduplicate a (possibly replayed)
+   deposit against the expected position, process the fresh suffix, and
+   acknowledge with the next expected position.  [finally] runs (under
+   the lock) on the end-of-stream deposit, once. *)
+let deposit_handler ~lock ~in_seq ~finished ~on_items ~on_eos ~ckpt arg =
+  let chan, eos, items, seq = Proto.parse_deposit_request_seq arg in
+  if not (Channel.equal chan Channel.output) then
+    raise (Kernel.Eden_error ("no such channel: " ^ Channel.to_string chan));
+  Semaphore.acquire lock;
+  Fun.protect
+    ~finally:(fun () -> Semaphore.release lock)
+    (fun () ->
+      if !finished then Proto.deposit_ack ~next_seq:!in_seq
+      else begin
+        let seq = match seq with Some s -> s | None -> !in_seq in
+        if seq > !in_seq then
+          raise
+            (Kernel.Eden_error
+               (Printf.sprintf "Deposit gap: at %d, expected %d" seq !in_seq));
+        let fresh = drop (!in_seq - seq) items in
+        on_items fresh;
+        if eos then begin
+          on_eos ();
+          finished := true
+        end;
+        ckpt ();
+        Proto.deposit_ack ~next_seq:!in_seq
+      end)
+
+let filter_wo k ?node ?(name = "rfilter") ?(batch = 1) ~downstream ?policy ?meter ~seed spec =
+  custom k ?node ~name (fun ctx ~passive ->
+      let prng = Prng.create seed in
+      let in0, st0, out0, fin0 =
+        match passive with
+        | Some (Value.List [ Value.Int i; st; Value.Int o; Value.Bool f ]) -> (i, st, o, f)
+        | _ -> (0, spec.init, 0, false)
+      in
+      let in_seq = ref in0 in
+      let st = ref st0 in
+      let finished = ref fin0 in
+      let push = Rpush.connect ctx ~batch ?policy ?meter ~prng ~from:out0 downstream in
+      let lock = Semaphore.create 1 in
+      let ckpt () =
+        Kernel.checkpoint ctx
+          (Value.List
+             [ Value.Int !in_seq; !st; Value.Int (Rpush.pos push); Value.Bool !finished ])
+      in
+      let on_items fresh =
+        List.iter
+          (fun v ->
+            let st', outs = spec.step !st v in
+            st := st';
+            List.iter (Rpush.write push) outs;
+            incr in_seq)
+          fresh;
+        (* Downstream must hold this batch before we acknowledge it
+           upstream, else a double crash could lose it. *)
+        if fresh <> [] then Rpush.flush push
+      in
+      let on_eos () =
+        List.iter (Rpush.write push) (spec.flush !st);
+        Rpush.close push
+      in
+      [
+        (Proto.deposit_op, deposit_handler ~lock ~in_seq ~finished ~on_items ~on_eos ~ckpt);
+        ping;
+      ])
+
+let sink_wo k ?node ?(name = "rsink") ?(init = Value.List []) ?(absorb = default_absorb)
+    ?(on_done = fun () -> ()) () =
+  custom k ?node ~name (fun ctx ~passive ->
+      let in0, st0, done0 =
+        match passive with
+        | Some (Value.List [ Value.Int i; st; Value.Bool d ]) -> (i, st, d)
+        | _ -> (0, init, false)
+      in
+      let in_seq = ref in0 in
+      let st = ref st0 in
+      let finished = ref done0 in
+      let lock = Semaphore.create 1 in
+      let ckpt () =
+        Kernel.checkpoint ctx (Value.List [ Value.Int !in_seq; !st; Value.Bool !finished ])
+      in
+      if done0 then on_done ();
+      let on_items fresh =
+        List.iter
+          (fun v ->
+            st := absorb !st v;
+            incr in_seq)
+          fresh
+      in
+      let on_eos () = on_done () in
+      [
+        (Proto.deposit_op, deposit_handler ~lock ~in_seq ~finished ~on_items ~on_eos ~ckpt);
+        ping;
+      ])
+
+(* --- Conventional --------------------------------------------------- *)
+
+let pipe k ?node ?(name = "rpipe") ?(capacity = 4) () =
+  custom k ?node ~name (fun ctx ~passive ->
+      let port = Rport.create () in
+      let w = Rport.add_channel port ~capacity Channel.output in
+      let in_seq = ref 0 in
+      let finished = ref false in
+      (match passive with
+      | Some (Value.List [ Value.Int i; Value.Bool f; pv ]) ->
+          in_seq := i;
+          finished := f;
+          Rport.load w pv
+      | _ -> ());
+      let lock = Semaphore.create 1 in
+      let ckpt () =
+        Kernel.checkpoint ctx
+          (Value.List [ Value.Int !in_seq; Value.Bool !finished; Rport.encode w ])
+      in
+      let on_items fresh =
+        (* Rport.write parks when the buffer is [capacity] ahead of
+           demand, withholding the acknowledgement — back-pressure. *)
+        List.iter
+          (fun v ->
+            Rport.write w v;
+            incr in_seq)
+          fresh
+      in
+      let on_eos () = Rport.close w in
+      (Proto.deposit_op, deposit_handler ~lock ~in_seq ~finished ~on_items ~on_eos ~ckpt)
+      :: ping
+      :: Rport.handlers port)
+
+let source_active = source_wo
+
+let filter_active k ?node ?(name = "rfilter") ?(batch = 1) ~upstream ~downstream ?policy
+    ?meter ~seed spec =
+  custom k ?node ~name (fun ctx ~passive ->
+      let prng = Prng.create seed in
+      let in0, st0, out0, done0 =
+        match passive with
+        | Some (Value.List [ Value.Int i; st; Value.Int o; Value.Bool d ]) -> (i, st, o, d)
+        | _ -> (0, spec.init, 0, false)
+      in
+      Kernel.spawn_worker ctx ~name:(name ^ "/pump") (fun () ->
+          if not done0 then
+            guard (fun () ->
+                let pull = Rpull.connect ctx ~batch ?policy ?meter ~prng ~from:in0 upstream in
+                let push =
+                  Rpush.connect ctx ~batch ?policy ?meter ~prng:(Prng.split prng)
+                    ~from:out0 downstream
+                in
+                let st = ref st0 in
+                let ckpt ~done_ =
+                  Kernel.checkpoint ctx
+                    (Value.List
+                       [
+                         Value.Int (Rpull.pos pull);
+                         !st;
+                         Value.Int (Rpush.pos push);
+                         Value.Bool done_;
+                       ])
+                in
+                let rec go () =
+                  match Rpull.read pull with
+                  | Some v ->
+                      let st', outs = spec.step !st v in
+                      st := st';
+                      List.iter (Rpush.write push) outs;
+                      if Rpull.buffered pull = 0 then begin
+                        (* Make the batch durable downstream before the
+                           next pull acknowledges it upstream. *)
+                        Rpush.flush push;
+                        ckpt ~done_:false
+                      end;
+                      go ()
+                  | None ->
+                      List.iter (Rpush.write push) (spec.flush !st);
+                      Rpush.close push;
+                      ckpt ~done_:true
+                in
+                go ()));
+      [ ping ])
+
+let sink_active = sink_ro
+
+(* --- Inspecting sink state ------------------------------------------ *)
+
+let sink_state k uid =
+  match Kernel.checkpoints k uid with
+  | (_, Value.List [ Value.Int _; st; Value.Bool _ ]) :: _ -> Some st
+  | _ -> None
+
+let sink_done k uid =
+  match Kernel.checkpoints k uid with (_, v) :: _ -> sink_done_of v | _ -> false
+
+let sink_output k uid =
+  match sink_state k uid with
+  | Some (Value.List items) -> Some (List.rev items)
+  | _ -> None

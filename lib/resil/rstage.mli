@@ -1,0 +1,192 @@
+(** Crash-resumable pipeline stages in every discipline.
+
+    The plain {!Eden_transput.Stage} builders hold a transform's state
+    in fiber-local variables, so a crash loses both the state and the
+    stream position.  The resumable builders externalise both:
+
+    - a transform is a {!spec} — explicit checkpointable state threaded
+      through [step], so the Eject can persist it;
+    - a source generator is {e indexed} ([int -> item option]) and must
+      be pure, so a restarted producer regenerates exactly the items a
+      consumer re-requests;
+    - every stage checkpoints [(input position, state, output state)]
+      at batch boundaries, always {e after} the downstream effect of a
+      batch is durable and {e before} the upstream acknowledgement that
+      lets the producer discard it.  Replay after a restart is therefore
+      exactly-once end to end: duplicated work is deduplicated by
+      position, lost work is regenerated deterministically.
+
+    Crashed {e passive} stages (read-only sources and filters, pipes,
+    write-only filters and sinks) self-heal: the peer's retried
+    invocation reactivates them from the checkpoint.  Crashed {e
+    pumping} stages (read-only sinks, write-only sources, every
+    conventional active stage) receive no invocations and stay down
+    until a {!Supervisor} pokes them — that asymmetry is the paper's
+    pump observation resurfacing as a recovery concern.
+
+    Every resumable stage serves a ["Ping"] operation for supervisor
+    liveness probes.  All builders take a [seed] so retry jitter is
+    deterministic, and reset to it at each activation so a restarted
+    stage replays the same schedule. *)
+
+module Value = Eden_kernel.Value
+module Kernel = Eden_kernel.Kernel
+module Uid = Eden_kernel.Uid
+module Channel = Eden_transput.Channel
+
+(** A transform with explicit, checkpointable state. *)
+type spec = {
+  init : Value.t;
+  step : Value.t -> Value.t -> Value.t * Value.t list;
+      (** [step state item = (state', outputs)]; must be deterministic. *)
+  flush : Value.t -> Value.t list;  (** Tail outputs at end of input. *)
+}
+
+val pure_map : (Value.t -> Value.t) -> spec
+val pure_filter : (Value.t -> bool) -> spec
+
+type gen = int -> Value.t option
+(** Indexed generator: [gen i] is item [i], [None] at end of stream.
+    Must be pure — it is re-evaluated during replay. *)
+
+val default_absorb : Value.t -> Value.t -> Value.t
+(** Sink fold accumulating items as a reversed [Value.List]; decode
+    with {!sink_output}. *)
+
+(** {1 Read-only discipline} *)
+
+val source_ro :
+  Kernel.t ->
+  ?node:Eden_net.Net.node_id ->
+  ?name:string ->
+  ?capacity:int ->
+  ?checkpoint_every:int ->
+  gen ->
+  Uid.t
+
+val filter_ro :
+  Kernel.t ->
+  ?node:Eden_net.Net.node_id ->
+  ?name:string ->
+  ?capacity:int ->
+  ?batch:int ->
+  upstream:Uid.t ->
+  ?policy:Retry.policy ->
+  ?meter:Retry.meter ->
+  seed:int64 ->
+  spec ->
+  Uid.t
+
+val sink_ro :
+  Kernel.t ->
+  ?node:Eden_net.Net.node_id ->
+  ?name:string ->
+  ?batch:int ->
+  upstream:Uid.t ->
+  ?policy:Retry.policy ->
+  ?meter:Retry.meter ->
+  seed:int64 ->
+  ?init:Value.t ->
+  ?absorb:(Value.t -> Value.t -> Value.t) ->
+  ?on_done:(unit -> unit) ->
+  unit ->
+  Uid.t
+(** The pump.  Folds [absorb] (default {!default_absorb}) over the
+    stream, checkpointing the fold state; [on_done] must be idempotent —
+    a sink restarted after completion calls it again. *)
+
+(** {1 Write-only discipline} *)
+
+val source_wo :
+  Kernel.t ->
+  ?node:Eden_net.Net.node_id ->
+  ?name:string ->
+  ?batch:int ->
+  downstream:Uid.t ->
+  ?policy:Retry.policy ->
+  ?meter:Retry.meter ->
+  seed:int64 ->
+  gen ->
+  Uid.t
+(** The pump. *)
+
+val filter_wo :
+  Kernel.t ->
+  ?node:Eden_net.Net.node_id ->
+  ?name:string ->
+  ?batch:int ->
+  downstream:Uid.t ->
+  ?policy:Retry.policy ->
+  ?meter:Retry.meter ->
+  seed:int64 ->
+  spec ->
+  Uid.t
+
+val sink_wo :
+  Kernel.t ->
+  ?node:Eden_net.Net.node_id ->
+  ?name:string ->
+  ?init:Value.t ->
+  ?absorb:(Value.t -> Value.t -> Value.t) ->
+  ?on_done:(unit -> unit) ->
+  unit ->
+  Uid.t
+
+(** {1 Conventional discipline} *)
+
+val pipe :
+  Kernel.t -> ?node:Eden_net.Net.node_id -> ?name:string -> ?capacity:int -> unit -> Uid.t
+(** A resumable passive buffer: deduplicating [Deposit] in, replayable
+    [Transfer] out, whole buffer checkpointed per deposit. *)
+
+val source_active :
+  Kernel.t ->
+  ?node:Eden_net.Net.node_id ->
+  ?name:string ->
+  ?batch:int ->
+  downstream:Uid.t ->
+  ?policy:Retry.policy ->
+  ?meter:Retry.meter ->
+  seed:int64 ->
+  gen ->
+  Uid.t
+
+val filter_active :
+  Kernel.t ->
+  ?node:Eden_net.Net.node_id ->
+  ?name:string ->
+  ?batch:int ->
+  upstream:Uid.t ->
+  downstream:Uid.t ->
+  ?policy:Retry.policy ->
+  ?meter:Retry.meter ->
+  seed:int64 ->
+  spec ->
+  Uid.t
+(** Pump: active on both sides. *)
+
+val sink_active :
+  Kernel.t ->
+  ?node:Eden_net.Net.node_id ->
+  ?name:string ->
+  ?batch:int ->
+  upstream:Uid.t ->
+  ?policy:Retry.policy ->
+  ?meter:Retry.meter ->
+  seed:int64 ->
+  ?init:Value.t ->
+  ?absorb:(Value.t -> Value.t -> Value.t) ->
+  ?on_done:(unit -> unit) ->
+  unit ->
+  Uid.t
+
+(** {1 Inspecting sink state} *)
+
+val sink_state : Kernel.t -> Uid.t -> Value.t option
+(** The fold state in the sink's latest checkpoint, if any. *)
+
+val sink_done : Kernel.t -> Uid.t -> bool
+(** Whether the latest checkpoint marks the stream complete. *)
+
+val sink_output : Kernel.t -> Uid.t -> Value.t list option
+(** Decodes a {!default_absorb} accumulation into stream order. *)

@@ -1,0 +1,161 @@
+module Value = Eden_kernel.Value
+module Kernel = Eden_kernel.Kernel
+module Uid = Eden_kernel.Uid
+module Sched = Eden_sched.Sched
+module Prng = Eden_util.Prng
+
+type policy = {
+  interval : float;
+  max_restarts : int;
+  window : float;
+  restart_backoff : Backoff.t;
+  ping_timeout : float;
+}
+
+let policy ?(interval = 5.0) ?(max_restarts = 5) ?(window = 200.0)
+    ?(restart_backoff = Backoff.make ~base:0.5 ~multiplier:2.0 ~cap:8.0 ~jitter:0.1 ())
+    ?(ping_timeout = 5.0) () =
+  if interval <= 0.0 then invalid_arg "Supervisor.policy: interval must be positive";
+  if max_restarts < 1 then invalid_arg "Supervisor.policy: max_restarts must be at least 1";
+  if window <= 0.0 then invalid_arg "Supervisor.policy: window must be positive";
+  if ping_timeout <= 0.0 then invalid_arg "Supervisor.policy: ping_timeout must be positive";
+  { interval; max_restarts; window; restart_backoff; ping_timeout }
+
+let default_policy = policy ()
+
+type entry = {
+  e_uid : Uid.t;
+  label : string;
+  ping : bool;
+  mutable last_crashes : int;
+  mutable restart_times : float list; (* inside the sliding window, newest first *)
+  mutable consecutive : int;
+  mutable gave_up : bool;
+}
+
+(* Shared between the driver handle and the behaviour closure, so the
+   watch list and counters survive crashes of the supervisor itself. *)
+type ctrl = {
+  kernel : Kernel.t;
+  pol : policy;
+  seed : int64;
+  on_give_up : string -> Uid.t -> unit;
+  mutable watches : entry list; (* oldest first, for deterministic scan order *)
+  mutable stopped : bool;
+  mutable restarts : int;
+}
+
+type t = { s_uid : Uid.t; ctrl : ctrl }
+
+let find ctrl uid = List.find_opt (fun e -> Uid.equal e.e_uid uid) ctrl.watches
+
+let add_watch ctrl ?(ping = false) ~label uid =
+  match find ctrl uid with
+  | Some _ -> ()
+  | None ->
+      let e =
+        {
+          e_uid = uid;
+          label;
+          ping;
+          last_crashes = Kernel.crash_count ctrl.kernel uid;
+          restart_times = [];
+          consecutive = 0;
+          gave_up = false;
+        }
+      in
+      ctrl.watches <- ctrl.watches @ [ e ]
+
+let give_up ctrl e =
+  e.gave_up <- true;
+  ctrl.on_give_up e.label e.e_uid
+
+let restart ctrl prng e ~now =
+  e.restart_times <- now :: List.filter (fun t -> now -. t <= ctrl.pol.window) e.restart_times;
+  if List.length e.restart_times > ctrl.pol.max_restarts then give_up ctrl e
+  else begin
+    e.consecutive <- e.consecutive + 1;
+    let u = Prng.float prng 1.0 in
+    Sched.sleep (Backoff.delay ctrl.pol.restart_backoff ~attempt:e.consecutive ~u ~prev:0.0);
+    ctrl.restarts <- ctrl.restarts + 1;
+    (* Reactivation from the latest checkpoint. *)
+    Kernel.poke ctrl.kernel e.e_uid;
+    e.last_crashes <- Kernel.crash_count ctrl.kernel e.e_uid
+  end
+
+let check ctrl prng ctx e =
+  if not e.gave_up then begin
+    let sched = Kernel.sched ctrl.kernel in
+    let c = Kernel.crash_count ctrl.kernel e.e_uid in
+    if c > e.last_crashes then begin
+      e.last_crashes <- c;
+      restart ctrl prng e ~now:(Sched.now sched)
+    end
+    else begin
+      if Kernel.is_active ctrl.kernel e.e_uid then e.consecutive <- 0;
+      if e.ping then
+        match
+          Kernel.invoke_timeout ctx e.e_uid ~op:"Ping" Value.Unit
+            ~timeout:ctrl.pol.ping_timeout
+        with
+        | Some _ -> ()
+        | None ->
+            (* Wedged: no crash on record, yet unresponsive.  Force the
+               restart path — crash drops the stuck runtime, poke
+               reactivates from the checkpoint. *)
+            Kernel.crash ctrl.kernel e.e_uid;
+            e.last_crashes <- Kernel.crash_count ctrl.kernel e.e_uid;
+            restart ctrl prng e ~now:(Sched.now sched)
+    end
+  end
+
+let behaviour ctrl ctx ~passive:_ =
+  let prng = Prng.create ctrl.seed in
+  Kernel.spawn_worker ctx ~name:"supervisor/monitor" (fun () ->
+      let rec tick () =
+        if not ctrl.stopped then begin
+          Sched.sleep ctrl.pol.interval;
+          if not ctrl.stopped then begin
+            List.iter (check ctrl prng ctx) ctrl.watches;
+            tick ()
+          end
+        end
+      in
+      tick ());
+  [
+    ( "Watch",
+      fun arg ->
+        add_watch ctrl ~label:(Uid.to_string (Value.to_uid arg)) (Value.to_uid arg);
+        Value.Unit );
+    ( "Unwatch",
+      fun arg ->
+        ctrl.watches <-
+          List.filter (fun e -> not (Uid.equal e.e_uid (Value.to_uid arg))) ctrl.watches;
+        Value.Unit );
+    ("Ping", fun _ -> Value.Unit);
+  ]
+
+let create k ?node ?(name = "supervisor") ?(policy = default_policy) ?(seed = 0xC0FFEEL)
+    ?(on_give_up = fun _ _ -> ()) () =
+  let ctrl =
+    { kernel = k; pol = policy; seed; on_give_up; watches = []; stopped = false; restarts = 0 }
+  in
+  let s_uid =
+    Kernel.create_eject k ?node ~dispatch:Kernel.Concurrent ~type_name:name (behaviour ctrl)
+  in
+  { s_uid; ctrl }
+
+let uid t = t.s_uid
+let watch t ?ping ~label u = add_watch t.ctrl ?ping ~label u
+
+let unwatch t u =
+  t.ctrl.watches <- List.filter (fun e -> not (Uid.equal e.e_uid u)) t.ctrl.watches
+
+let start t = Kernel.poke t.ctrl.kernel t.s_uid
+let stop t = t.ctrl.stopped <- true
+let restarts t = t.ctrl.restarts
+
+let gave_up t =
+  List.filter_map (fun e -> if e.gave_up then Some (e.label, e.e_uid) else None) t.ctrl.watches
+
+let watched t = List.map (fun e -> (e.label, e.e_uid)) t.ctrl.watches

@@ -15,6 +15,7 @@ let () =
       ("codec", Test_codec.suite);
       ("flow", Test_flow.suite);
       ("failures", Test_failures.suite);
+      ("resil", Test_resil.suite);
       ("trace", Test_trace.suite);
       ("redirect", Test_redirect.suite);
       ("edenfs", Test_edenfs.suite);

@@ -182,6 +182,42 @@ let test_sink_timeout_detects_dead_producer () =
      legitimate — what matters is the consumer regained control. *)
   Alcotest.(check bool) "consumer regained control" true (!outcome <> `Unknown)
 
+let test_timeout_seals_reply_slot () =
+  (* A timed-out invocation's reply slot is sealed: the late reply is
+     discarded rather than left filling an ivar nobody reads, a
+     subsequent call gets its own fresh reply, and the expiry is
+     metered. *)
+  let k = Kernel.create () in
+  let slow =
+    Kernel.create_eject k ~dispatch:Kernel.Concurrent ~type_name:"slow"
+      (fun _ctx ~passive:_ ->
+        [
+          ( "Nap",
+            fun v ->
+              Eden_sched.Sched.sleep 5.0;
+              v );
+        ])
+  in
+  let late = ref None and second = ref None in
+  Kernel.run_driver k (fun ctx ->
+      late := Some (Kernel.invoke_timeout ctx slow ~op:"Nap" (Value.Int 1) ~timeout:1.0);
+      (* Let the late reply arrive at the sealed slot. *)
+      Eden_sched.Sched.sleep 10.0;
+      second := Some (Kernel.invoke_timeout ctx slow ~op:"Nap" (Value.Int 2) ~timeout:20.0));
+  check Alcotest.int "one timeout metered" 1 (Kernel.timeouts k);
+  (match !late with
+  | Some None -> ()
+  | _ -> Alcotest.fail "first call should time out");
+  (match !second with
+  | Some (Some (Ok (Value.Int 2))) -> ()
+  | _ -> Alcotest.fail "second call should get its own reply, not the stale one");
+  (* No abandoned timeout waiter lingers in the blocked-fiber report. *)
+  Alcotest.(check bool) "no orphaned timeout waiters" true
+    (not
+       (List.exists
+          (fun (_, reason) -> Eden_util.Text.contains_sub ~sub:"timeout" reason)
+          (Eden_sched.Sched.blocked (Kernel.sched k))))
+
 let test_loss_free_run_has_no_drops () =
   (* Sanity for the meters themselves. *)
   let k = Kernel.create () in

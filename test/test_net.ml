@@ -104,15 +104,41 @@ let test_meter_accounting () =
   check Alcotest.int "sent" 2 m.Net.sent;
   check Alcotest.int "delivered" 1 m.Net.delivered;
   check Alcotest.int "dropped" 1 m.Net.dropped;
+  check Alcotest.int "drop charged to partition" 1 m.Net.dropped_partition;
+  check Alcotest.int "no loss drops" 0 m.Net.dropped_loss;
   check Alcotest.int "bytes counts both" 10 m.Net.bytes;
   Net.reset_meter net;
   check Alcotest.int "reset" 0 (Net.meter net).Net.sent
 
+let test_drop_attribution () =
+  (* Loss drops and partition drops are metered separately; the [dropped]
+     sum stays for compatibility. *)
+  let s, net, a, b = make () in
+  Net.set_loss_probability net 1.0;
+  Net.send net ~src:a ~dst:b ~size:1 (fun () -> ());
+  Net.set_loss_probability net 0.0;
+  Net.partition net a b;
+  Net.send net ~src:a ~dst:b ~size:1 (fun () -> ());
+  (* Both causes at once: charged to the partition only. *)
+  Net.set_loss_probability net 1.0;
+  Net.send net ~src:a ~dst:b ~size:1 (fun () -> ());
+  Sched.run s;
+  let m = Net.meter net in
+  check Alcotest.int "loss drops" 1 m.Net.dropped_loss;
+  check Alcotest.int "partition drops" 2 m.Net.dropped_partition;
+  check Alcotest.int "sum" 3 m.Net.dropped
+
 let test_meter_diff () =
-  let a = { Net.sent = 10; delivered = 8; dropped = 2; bytes = 100 } in
-  let b = { Net.sent = 4; delivered = 3; dropped = 1; bytes = 30 } in
+  let a =
+    { Net.sent = 10; delivered = 8; dropped = 2; dropped_loss = 1; dropped_partition = 1; bytes = 100 }
+  in
+  let b =
+    { Net.sent = 4; delivered = 3; dropped = 1; dropped_loss = 1; dropped_partition = 0; bytes = 30 }
+  in
   let d = Net.meter_diff a b in
   check Alcotest.int "sent" 6 d.Net.sent;
+  check Alcotest.int "dropped_loss" 0 d.Net.dropped_loss;
+  check Alcotest.int "dropped_partition" 1 d.Net.dropped_partition;
   check Alcotest.int "bytes" 70 d.Net.bytes
 
 let test_loss_probability_validation () =
@@ -163,6 +189,7 @@ let suite =
     ("partition and heal", `Quick, test_partition_and_heal);
     ("heal_all", `Quick, test_heal_all);
     ("meter accounting", `Quick, test_meter_accounting);
+    ("drop attribution", `Quick, test_drop_attribution);
     ("meter diff", `Quick, test_meter_diff);
     ("loss probability validation", `Quick, test_loss_probability_validation);
     ("node names", `Quick, test_node_names);
