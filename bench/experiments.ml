@@ -28,6 +28,74 @@ let doc n = List.init n (fun i -> Printf.sprintf "line-%03d the quick brown fox"
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
 
+(* --- Observability tables ------------------------------------------- *)
+
+module Obs = Eden_obs.Obs
+
+(* Every histogram the kernel's collector accumulated during the
+   experiment: round-trip latency per op, network delay, message size. *)
+let histogram_table ?(title = "Latency / size histograms (virtual time / bytes)") k =
+  match Obs.histograms (Kernel.obs k) with
+  | [] -> ()
+  | hs ->
+      let tbl =
+        Table.create ~title
+          ~columns:
+            [
+              ("histogram", Table.Left);
+              ("n", Table.Right);
+              ("p50", Table.Right);
+              ("p90", Table.Right);
+              ("p99", Table.Right);
+              ("max", Table.Right);
+            ]
+      in
+      List.iter
+        (fun (name, h) ->
+          Table.add_row tbl
+            [
+              name;
+              Table.cell_int (Obs.Histogram.count h);
+              Table.cell_float ~decimals:3 (Obs.Histogram.percentile h 0.5);
+              Table.cell_float ~decimals:3 (Obs.Histogram.percentile h 0.9);
+              Table.cell_float ~decimals:3 (Obs.Histogram.percentile h 0.99);
+              Table.cell_float ~decimals:3 (Obs.Histogram.max_value h);
+            ])
+        hs;
+      Table.print tbl
+
+let flow_table ?(title = "Per-stage flow meters") flows =
+  match flows with
+  | [] -> ()
+  | flows ->
+      let tbl =
+        Table.create ~title
+          ~columns:
+            [
+              ("stage", Table.Left);
+              ("in", Table.Right);
+              ("out", Table.Right);
+              ("batches", Table.Right);
+              ("max occ", Table.Right);
+              ("stall in", Table.Right);
+              ("stall out", Table.Right);
+            ]
+      in
+      List.iter
+        (fun (label, fl) ->
+          Table.add_row tbl
+            [
+              label;
+              Table.cell_int fl.Obs.Flow.items_in;
+              Table.cell_int fl.Obs.Flow.items_out;
+              Table.cell_int fl.Obs.Flow.batches;
+              Table.cell_int fl.Obs.Flow.max_occupancy;
+              Table.cell_float ~decimals:2 fl.Obs.Flow.stall_in;
+              Table.cell_float ~decimals:2 fl.Obs.Flow.stall_out;
+            ])
+        flows;
+      Table.print tbl
+
 (* Run one full pipeline; return (pipeline, metered diff, makespan,
    consumed count). *)
 let run_pipeline ?(n_items = 64) ?(capacity = 0) ?(batch = 1) ?(latency = 1.0) discipline
@@ -82,6 +150,8 @@ let figure_experiment ~id ~discipline ~caption =
       ];
     ];
   Table.print tbl;
+  histogram_table p.T.Pipeline.kernel;
+  flow_table p.T.Pipeline.flows;
   ignore id
 
 let fig1 () =
@@ -815,7 +885,10 @@ let r1 () =
      pipeline, with crash times scaled to [ref_makespan] so they land
      mid-stream at every loss level. *)
   let run_cell ~loss ~seed ~crashes =
-    let k = Kernel.create ~seed () in
+    (* Stages are spread over three nodes: same-node messages are exempt
+       from simulated loss, so a single-node pipeline would never drop
+       anything. *)
+    let k = Kernel.create ~seed ~nodes:[ "a"; "b"; "c" ] () in
     Net.set_loss_probability (Kernel.net k) loss;
     let policy =
       Retry.policy ~timeout:15.0 ~max_attempts:40
@@ -823,7 +896,8 @@ let r1 () =
         ()
     in
     let p =
-      Rp.build k ~batch ~policy ~seed:(Int64.add seed 7L) T.Pipeline.Read_only ~gen ~filters
+      Rp.build k ~nodes:(Kernel.nodes k) ~batch ~policy ~seed:(Int64.add seed 7L)
+        T.Pipeline.Read_only ~gen ~filters
     in
     let sup = Supervisor.create k ~policy:(Supervisor.policy ~interval:5.0 ()) () in
     Rp.supervise p sup;
@@ -920,17 +994,19 @@ let r1 () =
   (* The contrast row: the plain (non-resilient) pipeline under the same
      faults neither retries nor restarts — it stalls. *)
   let plain ~loss ~crash =
-    let k = Kernel.create ~seed:1L () in
+    let k = Kernel.create ~seed:1L ~nodes:[ "a"; "b"; "c" ] () in
     Net.set_loss_probability (Kernel.net k) loss;
     let consumed = ref 0 in
     let p =
-      T.Pipeline.build k ~batch T.Pipeline.Read_only
+      T.Pipeline.build k ~nodes:(Kernel.nodes k) ~batch T.Pipeline.Read_only
         ~gen:(list_gen (List.init n_items (fun i -> Value.Int i)))
         ~filters:(List.init 3 (fun _ -> T.Transform.identity))
         ~consume:(fun _ -> incr consumed)
     in
+    (* Mid-stream: the fault-free multi-node run takes ~56 virtual
+       seconds, so t=20 lands with items buffered in the filter. *)
     if crash then
-      Sched.timer (Kernel.sched k) 2.0 (fun () -> Kernel.crash k (List.hd p.T.Pipeline.filters));
+      Sched.timer (Kernel.sched k) 20.0 (fun () -> Kernel.crash k (List.hd p.T.Pipeline.filters));
     T.Pipeline.start p;
     Sched.run (Kernel.sched k);
     let done_ = !consumed = n_items in
@@ -962,7 +1038,7 @@ let r1 () =
     [
       ("fault-free", 0.0, false);
       ("10% loss", 0.1, false);
-      ("crash filter-1 at t=2", 0.0, true);
+      ("crash filter-1 at t=20", 0.0, true);
     ];
   Table.print tbl2;
   print_endline
@@ -972,7 +1048,73 @@ let r1 () =
      with output identical to the fault-free run; its makespan overhead is\n\
      the price of the retry timeouts that double as crash detection."
 
+(* ------------------------------------------------------------------ *)
+(* S0: observability smoke (also the CI artifact generator)            *)
+(* ------------------------------------------------------------------ *)
+
+let smoke () =
+  section "S0  Smoke: observability end-to-end (spans, histograms, exports)";
+  print_endline
+    "The Figure-2 read-only pipeline with spans enabled, run under a root\n\
+     user span.  Checks the span tree mirrors the invocation meter, then\n\
+     exports the tree as JSONL and Chrome trace_event JSON to _trace/.";
+  let n_filters = 3 and n_items = 64 in
+  let k = Kernel.create ~latency:(Eden_net.Net.Fixed 1.0) () in
+  let obs = Kernel.obs k in
+  Obs.enable_spans obs;
+  let consumed = ref 0 in
+  let before = Kernel.Meter.snapshot k in
+  let p =
+    T.Pipeline.build k T.Pipeline.Read_only
+      ~gen:(list_gen (vstrs (doc n_items)))
+      ~filters:(List.init n_filters (fun _ -> Cat.trim_trailing))
+      ~consume:(fun _ -> incr consumed)
+  in
+  Kernel.run_driver k (fun ctx ->
+      Kernel.with_span ctx ~name:"smoke-pipeline" (fun () -> T.Pipeline.run p));
+  let d = Kernel.Meter.diff (Kernel.Meter.snapshot k) before in
+  let spans = Obs.spans obs @ Obs.open_spans obs in
+  let invoke_spans = List.filter (fun s -> s.Obs.Span.cat = "invoke") spans in
+  let parented = List.filter (fun s -> s.Obs.Span.parent <> None) invoke_spans in
+  let pred = T.Pipeline.predict T.Pipeline.Read_only ~n_filters in
+  (* Each of the n+1 hops issues one Transfer per datum plus one that
+     returns end of stream. *)
+  let predicted_total = pred.T.Pipeline.invocations_per_datum * (n_items + 1) in
+  let dir = "_trace" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let jsonl_path = Filename.concat dir "smoke.trace.jsonl" in
+  let chrome_path = Filename.concat dir "smoke.chrome.json" in
+  Obs.Export.to_file ~path:jsonl_path (Obs.Export.spans_jsonl obs);
+  Obs.Export.to_file ~path:chrome_path (Obs.Export.chrome_trace obs);
+  let ok_items = !consumed = n_items in
+  let ok_spans = List.length invoke_spans = d.Kernel.Meter.invocations in
+  let ok_tree = List.length parented = List.length invoke_spans in
+  let ok_pred = d.Kernel.Meter.invocations = predicted_total in
+  let verdict b = if b then "ok" else "BROKEN" in
+  let tbl =
+    Table.create ~title:"Span tree vs invocation meter vs paper's formula"
+      ~columns:[ ("check", Table.Left); ("value", Table.Right); ("verdict", Table.Left) ]
+  in
+  Table.add_rows tbl
+    [
+      [ "data items end to end"; Table.cell_int !consumed; verdict ok_items ];
+      [ "invocations (meter)"; Table.cell_int d.Kernel.Meter.invocations; "-" ];
+      [ "invoke spans recorded"; Table.cell_int (List.length invoke_spans); verdict ok_spans ];
+      [ "invoke spans with a parent"; Table.cell_int (List.length parented); verdict ok_tree ];
+      [ "predicted (n+1)(items+1)"; Table.cell_int predicted_total; verdict ok_pred ];
+      [ "spans evicted from ring"; Table.cell_int (Obs.dropped_spans obs); verdict (Obs.dropped_spans obs = 0) ];
+    ];
+  Table.print tbl;
+  histogram_table k;
+  flow_table p.T.Pipeline.flows;
+  Printf.printf "wrote %s (%d spans) and %s\n" jsonl_path (List.length spans) chrome_path;
+  if not (ok_items && ok_spans && ok_tree && ok_pred) then begin
+    print_endline "smoke: FAILED";
+    exit 1
+  end
+
 let all () =
+  smoke ();
   fig1 ();
   fig2 ();
   fig3 ();

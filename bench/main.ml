@@ -101,6 +101,7 @@ let () =
       ("table6", Experiments.table6);
       ("ablation", Experiments.ablation);
       ("r1", Experiments.r1);
+      ("smoke", Experiments.smoke);
       ("bechamel", run_bechamel);
     ]
   in

@@ -50,7 +50,42 @@ let print_outcome ~show_meter o =
   if show_meter then
     Printf.printf "[%d invocations, %d ejects]\n" o.Shell.invocations o.Shell.entities
 
+module K = Eden_kernel.Kernel
+module Obs = Eden_obs.Obs
+
+(* `trace`: the kernel's bounded event ring for the last pipeline. *)
+let print_trace kernel =
+  let evs = K.Trace.events kernel in
+  List.iter (fun ev -> Format.printf "  %a@." K.Trace.pp_event ev) evs;
+  Printf.printf "[%d event(s) retained, %d dropped, ring capacity %d]\n" (List.length evs)
+    (K.Trace.dropped kernel) (K.Trace.capacity kernel)
+
+(* `stats`: cumulative meters, histograms, flow meters and span counts
+   for the whole session. *)
+let print_stats kernel =
+  let obs = K.obs kernel in
+  Format.printf "%a@." K.Meter.pp (K.Meter.snapshot kernel);
+  (match K.op_counts kernel with
+  | [] -> ()
+  | ops ->
+      print_endline "ops:";
+      List.iter (fun (op, n) -> Printf.printf "  %-20s %d\n" op n) ops);
+  (match Obs.histograms obs with
+  | [] -> ()
+  | hs ->
+      print_endline "histograms:";
+      List.iter (fun (name, h) -> Format.printf "  %-20s %a@." name Obs.Histogram.pp h) hs);
+  (match Obs.stages obs with
+  | [] -> ()
+  | ss ->
+      print_endline "stages:";
+      List.iter (fun fl -> Format.printf "  %a@." Obs.Flow.pp fl) ss);
+  Printf.printf "spans: %d closed (%d evicted), %d open\n" (Obs.span_count obs)
+    (Obs.dropped_spans obs)
+    (List.length (Obs.open_spans obs))
+
 let run_line env ~discipline ~show_meter line =
+  let kernel = env.Shell.kernel in
   match String.trim line with
   | "" -> true
   | "exit" | "quit" -> false
@@ -59,10 +94,18 @@ let run_line env ~discipline ~show_meter line =
         "pipeline: source | filter ... | sink       (stage 2> window for reports)\n\
          sources:  lines w..., count n [prefix], file /path, date n, random n\n\
          sinks:    terminal [rate], null, out /path, printer [rate]\n\
-         filters:  %s\n"
+         filters:  %s\n\
+         builtins: trace (last run's event ring), stats (session meters)\n"
         (String.concat ", " Eden_filters.Catalog.names);
       true
+  | "trace" ->
+      print_trace kernel;
+      true
+  | "stats" ->
+      print_stats kernel;
+      true
   | line ->
+      K.Trace.clear kernel;
       (match Shell.run env ~discipline line with
       | Ok o -> print_outcome ~show_meter o
       | Error msg -> Printf.printf "error: %s\n" msg);
@@ -100,14 +143,14 @@ let trace_arg =
 let main discipline command script show_meter show_trace =
   let env = make_env () in
   let kernel = env.Shell.kernel in
-  if show_trace then Eden_kernel.Kernel.Trace.enable kernel;
+  (* Tracing and spans are on by default: both live in bounded rings, so
+     an interactive session can always ask `trace`/`stats` after the
+     fact without having opted in up front. *)
+  K.Trace.enable kernel;
+  Obs.enable_spans (K.obs kernel);
   let run_and_trace line =
-    Eden_kernel.Kernel.Trace.clear kernel;
     let keep_going = run_line env ~discipline ~show_meter line in
-    if show_trace then
-      List.iter
-        (fun ev -> Format.printf "  %a@." Eden_kernel.Kernel.Trace.pp_event ev)
-        (Eden_kernel.Kernel.Trace.events kernel);
+    if show_trace then print_trace kernel;
     keep_going
   in
   match command, script with

@@ -3,6 +3,7 @@ module Kernel = Eden_kernel.Kernel
 module Uid = Eden_kernel.Uid
 module Ivar = Eden_sched.Ivar
 module Sched = Eden_sched.Sched
+module Obs = Eden_obs.Obs
 
 type discipline = Read_only | Write_only | Conventional
 
@@ -21,6 +22,7 @@ type t = {
   pipes : Uid.t list;
   sink : Uid.t;
   done_ : unit Ivar.t;
+  flows : (string * Obs.Flow.stage) list;
 }
 
 (* Round-robin stage placement over the requested nodes. *)
@@ -38,21 +40,42 @@ let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) discipline ~gen ~fil
   let done_ = Ivar.create () in
   let on_done () = Ivar.fill done_ () in
   let n = List.length filters in
+  (* Structured stage registration: one flow meter per stage, labelled
+     like [stage_labels], registered in display order. *)
+  let obs = Kernel.obs kernel in
+  let fl_source = Obs.register_stage obs "source" in
+  let fl_filters =
+    List.mapi (fun i _ -> Obs.register_stage obs (Printf.sprintf "filter-%d" (i + 1))) filters
+  in
+  let fl_pipes =
+    match discipline with
+    | Conventional ->
+        List.init (n + 1) (fun i -> Obs.register_stage obs (Printf.sprintf "pipe-%d" (i + 1)))
+    | Read_only | Write_only -> []
+  in
+  let fl_sink = Obs.register_stage obs "sink" in
+  let flows =
+    (("source", fl_source)
+     :: List.mapi (fun i fl -> (Printf.sprintf "filter-%d" (i + 1), fl)) fl_filters)
+    @ List.mapi (fun i fl -> (Printf.sprintf "pipe-%d" (i + 1), fl)) fl_pipes
+    @ [ ("sink", fl_sink) ]
+  in
   match discipline with
   | Read_only ->
-      let source = Stage.source_ro kernel ~node:(next_node ()) ~capacity gen in
+      let source = Stage.source_ro kernel ~node:(next_node ()) ~capacity ~flow:fl_source gen in
       let filter_uids =
         List.fold_left
           (fun ups tr ->
-            let name = Printf.sprintf "filter-%d" (List.length ups + 1) in
+            let i = List.length ups in
+            let name = Printf.sprintf "filter-%d" i in
             Stage.filter_ro kernel ~node:(next_node ()) ~name ~capacity ~batch
-              ~upstream:(List.hd ups) tr
+              ~flow:(List.nth fl_filters (i - 1)) ~upstream:(List.hd ups) tr
             :: ups)
           [ source ] filters
       in
       let sink =
-        Stage.sink_ro kernel ~node:(next_node ()) ~batch ~upstream:(List.hd filter_uids)
-          ~on_done consume
+        Stage.sink_ro kernel ~node:(next_node ()) ~batch ~flow:fl_sink
+          ~upstream:(List.hd filter_uids) ~on_done consume
       in
       {
         kernel;
@@ -62,23 +85,29 @@ let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) discipline ~gen ~fil
         pipes = [];
         sink;
         done_;
+        flows;
       }
   | Write_only ->
       (* Built sink-first: each write-only stage needs its downstream's
          UID, the mirror image of the read-only construction. *)
       let intake_capacity = max 1 capacity in
-      let sink = Stage.sink_wo kernel ~node:(next_node ()) ~capacity:intake_capacity ~on_done consume in
+      let sink =
+        Stage.sink_wo kernel ~node:(next_node ()) ~capacity:intake_capacity ~flow:fl_sink
+          ~on_done consume
+      in
       let filter_uids =
         List.fold_left
           (fun downs tr ->
-            let name = Printf.sprintf "filter-%d" (n - List.length downs + 1) in
+            let i = n - List.length downs + 1 in
+            let name = Printf.sprintf "filter-%d" i in
             Stage.filter_wo kernel ~node:(next_node ()) ~name ~capacity:intake_capacity ~batch
-              ~downstream:(List.hd downs) tr
+              ~flow:(List.nth fl_filters (i - 1)) ~downstream:(List.hd downs) tr
             :: downs)
           [ sink ] (List.rev filters)
       in
       let source =
-        Stage.source_wo kernel ~node:(next_node ()) ~batch ~downstream:(List.hd filter_uids) gen
+        Stage.source_wo kernel ~node:(next_node ()) ~batch ~flow:fl_source
+          ~downstream:(List.hd filter_uids) gen
       in
       {
         kernel;
@@ -88,26 +117,38 @@ let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) discipline ~gen ~fil
         pipes = [];
         sink;
         done_;
+        flows;
       }
   | Conventional ->
       let pipe_capacity = max 1 capacity in
-      let first_pipe = Stage.pipe kernel ~node:(next_node ()) ~capacity:pipe_capacity () in
-      let source = Stage.source_active kernel ~node:(next_node ()) ~batch ~downstream:first_pipe gen in
+      let first_pipe =
+        Stage.pipe kernel ~node:(next_node ()) ~capacity:pipe_capacity
+          ~flow:(List.nth fl_pipes 0) ()
+      in
+      let source =
+        Stage.source_active kernel ~node:(next_node ()) ~batch ~flow:fl_source
+          ~downstream:first_pipe gen
+      in
       let filter_uids, pipe_uids =
         List.fold_left
           (fun (fs, ps) tr ->
-            let name = Printf.sprintf "filter-%d" (List.length fs + 1) in
-            let out_pipe = Stage.pipe kernel ~node:(next_node ()) ~capacity:pipe_capacity () in
+            let i = List.length fs + 1 in
+            let name = Printf.sprintf "filter-%d" i in
+            let out_pipe =
+              Stage.pipe kernel ~node:(next_node ()) ~capacity:pipe_capacity
+                ~flow:(List.nth fl_pipes (List.length ps)) ()
+            in
             let f =
               Stage.filter_active kernel ~node:(next_node ()) ~name ~batch
-                ~upstream:(List.hd ps) ~downstream:out_pipe tr
+                ~flow:(List.nth fl_filters (i - 1)) ~upstream:(List.hd ps) ~downstream:out_pipe
+                tr
             in
             (f :: fs, out_pipe :: ps))
           ([], [ first_pipe ]) filters
       in
       let sink =
-        Stage.sink_active kernel ~node:(next_node ()) ~batch ~upstream:(List.hd pipe_uids)
-          ~on_done consume
+        Stage.sink_active kernel ~node:(next_node ()) ~batch ~flow:fl_sink
+          ~upstream:(List.hd pipe_uids) ~on_done consume
       in
       {
         kernel;
@@ -117,6 +158,7 @@ let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) discipline ~gen ~fil
         pipes = List.rev pipe_uids;
         sink;
         done_;
+        flows;
       }
 
 let start t =
@@ -137,41 +179,24 @@ let run t =
 let entity_count t = 2 + List.length t.filters + List.length t.pipes
 
 (* Stall diagnosis: turn the scheduler's raw blocked-fiber report into
-   per-stage attribution.  Fiber names carry either the stage's type
-   name ("filter-2/transform", "sink(ro)/pump") or its UID
-   ("uid:17/worker", "source(ro)(uid:3)/coord"), so matching on both
-   covers coordinators and workers alike. *)
+   per-stage attribution.  The kernel tracks which Eject owns every
+   live fiber (coordinators and workers alike), so attribution is an
+   exact UID comparison — no fiber-name string matching. *)
 
 type stall = { fiber : string; reason : string; stage : string option }
 type diagnosis = { at : float; stalls : stall list }
 
-let contains_sub ~sub s =
-  let ls = String.length s and lsub = String.length sub in
-  lsub = 0
-  || (lsub <= ls
-     &&
-     let found = ref false in
-     for i = 0 to ls - lsub do
-       if (not !found) && String.sub s i lsub = sub then found := true
-     done;
-     !found)
-
 let stall_report kernel ~stages =
-  let blocked = Sched.blocked (Kernel.sched kernel) in
+  let blocked = Sched.blocked_info (Kernel.sched kernel) in
   List.map
-    (fun (fiber, reason) ->
+    (fun (fid, fiber, reason) ->
       let stage =
-        List.find_map
-          (fun (label, uid) ->
-            let tname =
-              match Kernel.type_name kernel uid with Some n -> n | None -> ""
-            in
-            if
-              (tname <> "" && contains_sub ~sub:tname fiber)
-              || contains_sub ~sub:(Uid.to_string uid) fiber
-            then Some label
-            else None)
-          stages
+        match Kernel.owner_of_fiber kernel fid with
+        | None -> None
+        | Some uid ->
+            List.find_map
+              (fun (label, u) -> if Uid.equal u uid then Some label else None)
+              stages
       in
       { fiber; reason; stage })
     blocked

@@ -25,6 +25,9 @@ type t = {
   pipes : Uid.t list;  (** Empty except under [Conventional]. *)
   sink : Uid.t;
   done_ : unit Eden_sched.Ivar.t;  (** Filled when the sink sees end of stream. *)
+  flows : (string * Eden_obs.Obs.Flow.stage) list;
+      (** One flow meter per stage, labelled like [stage_labels], in
+          display order; registered on the kernel's collector. *)
 }
 
 val build :
@@ -73,9 +76,9 @@ type diagnosis = { at : float;  (** Virtual time of the report. *) stalls : stal
 
 val stall_report : Kernel.t -> stages:(string * Uid.t) list -> stall list
 (** Attributes every currently blocked fiber to one of the labelled
-    stages by matching fiber names against each stage's type name and
-    UID.  Usable outside [Pipeline.t] (e.g. for hand-built stage
-    graphs). *)
+    stages via the kernel's fiber-ownership table (an exact UID
+    match — fiber names are display-only).  Usable outside
+    [Pipeline.t] (e.g. for hand-built stage graphs). *)
 
 val diagnose : t -> diagnosis option
 (** [None] once the pipeline has completed; otherwise the current

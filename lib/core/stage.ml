@@ -1,6 +1,8 @@
 module Value = Eden_kernel.Value
 module Kernel = Eden_kernel.Kernel
 module Uid = Eden_kernel.Uid
+module Obs = Eden_obs.Obs
+module Sched = Eden_sched.Sched
 
 type gen = unit -> Value.t option
 type consume = Value.t -> unit
@@ -8,82 +10,150 @@ type consume = Value.t -> unit
 let custom k ?node ?(dispatch = Kernel.Concurrent) ~name behaviour =
   Kernel.create_eject k ?node ~dispatch ~type_name:name behaviour
 
+(* --- Flow instrumentation ------------------------------------------- *)
+
+(* Every stage constructor takes [?flow]; when given, blocking reads
+   and writes are timed into the stage's wait histogram
+   ("stage.<label>.wait" on the kernel's collector) and items/batches
+   are counted through the flow meter.  With [flow = None] each
+   wrapper is the identity — unmetered stages pay nothing. *)
+
+type meter = { fl : Obs.Flow.stage; hist : Obs.Histogram.t }
+
+let meter_of k flow =
+  Option.map
+    (fun fl ->
+      { fl; hist = Obs.histogram (Kernel.obs k) ("stage." ^ fl.Obs.Flow.label ^ ".wait") })
+    flow
+
+(* Time a blocking operation from inside a worker fiber, charging the
+   elapsed virtual time to the stage's input or output stall. *)
+let timed m dir f =
+  match m with
+  | None -> f ()
+  | Some { fl; hist } ->
+      let t0 = Sched.time () in
+      let r = f () in
+      let d = Sched.time () -. t0 in
+      (match dir with `In -> Obs.Flow.wait_in fl d | `Out -> Obs.Flow.wait_out fl d);
+      Obs.Histogram.add hist d;
+      r
+
+let count_in m r =
+  (match (m, r) with Some { fl; _ }, Some _ -> Obs.Flow.note_in fl | _ -> ());
+  r
+
+let count_out m = match m with Some { fl; _ } -> Obs.Flow.note_out fl | None -> ()
+let note_batches m n = match m with Some { fl; _ } -> Obs.Flow.note_batches fl n | None -> ()
+
 (* --- Read-only ------------------------------------------------------ *)
 
-let source_ro k ?node ?(name = "source") ?(capacity = 0) gen =
+let source_ro k ?node ?(name = "source") ?(capacity = 0) ?flow gen =
   custom k ?node ~name (fun ctx ~passive:_ ->
+      let m = meter_of k flow in
       let port = Port.create () in
       let w = Port.add_channel port ~capacity Channel.output in
       Kernel.spawn_worker ctx ~name:(name ^ "/produce") (fun () ->
           (* Wait for room before generating, so production never runs
              beyond the declared anticipation. *)
           let rec go () =
-            Port.await_writable w;
+            timed m `Out (fun () -> Port.await_writable w);
             match gen () with
             | Some v ->
                 Port.write w v;
+                count_out m;
                 go ()
             | None -> Port.close w
           in
           go ());
       Port.handlers port)
 
-let filter_ro k ?node ?(name = "filter") ?(capacity = 0) ?(batch = 1) ~upstream
+let filter_ro k ?node ?(name = "filter") ?(capacity = 0) ?(batch = 1) ?flow ~upstream
     ?(upstream_channel = Channel.output) transform =
   custom k ?node ~name (fun ctx ~passive:_ ->
+      let m = meter_of k flow in
       let port = Port.create () in
       let w = Port.add_channel port ~capacity Channel.output in
       let pull = Pull.connect ctx ~batch ~channel:upstream_channel upstream in
+      let next () =
+        let r = timed m `In (fun () -> Pull.read pull) in
+        note_batches m (Pull.transfers_issued pull);
+        count_in m r
+      in
+      let emit v =
+        timed m `Out (fun () -> Port.write w v);
+        count_out m
+      in
       Kernel.spawn_worker ctx ~name:(name ^ "/transform") (fun () ->
           if capacity = 0 then Port.await_demand w;
-          transform (fun () -> Pull.read pull) (Port.write w);
+          transform next emit;
           Port.close w);
       Port.handlers port)
 
-let sink_ro k ?node ?(name = "sink") ?(batch = 1) ~upstream ?(upstream_channel = Channel.output)
-    ?(on_done = fun () -> ()) consume =
+let sink_ro k ?node ?(name = "sink") ?(batch = 1) ?flow ~upstream
+    ?(upstream_channel = Channel.output) ?(on_done = fun () -> ()) consume =
   custom k ?node ~name (fun ctx ~passive:_ ->
+      let m = meter_of k flow in
       let pull = Pull.connect ctx ~batch ~channel:upstream_channel upstream in
       Kernel.spawn_worker ctx ~name:(name ^ "/pump") (fun () ->
-          Pull.iter consume pull;
-          on_done ());
+          let rec go () =
+            let r = timed m `In (fun () -> Pull.read pull) in
+            note_batches m (Pull.transfers_issued pull);
+            match count_in m r with
+            | Some v ->
+                consume v;
+                go ()
+            | None -> on_done ()
+          in
+          go ());
       [])
 
 (* --- Write-only ----------------------------------------------------- *)
 
-let source_wo k ?node ?(name = "source") ?(batch = 1) ~downstream
+let source_wo k ?node ?(name = "source") ?(batch = 1) ?flow ~downstream
     ?(downstream_channel = Channel.output) gen =
   custom k ?node ~name (fun ctx ~passive:_ ->
+      let m = meter_of k flow in
       let push = Push.connect ctx ~batch ~channel:downstream_channel downstream in
       Kernel.spawn_worker ctx ~name:(name ^ "/pump") (fun () ->
           let rec go () =
             match gen () with
             | Some v ->
-                Push.write push v;
+                timed m `Out (fun () -> Push.write push v);
+                note_batches m (Push.deposits_issued push);
+                count_out m;
                 go ()
             | None -> Push.close push
           in
           go ());
       [])
 
-let filter_wo k ?node ?(name = "filter") ?(capacity = 1) ?(batch = 1) ~downstream
+let filter_wo k ?node ?(name = "filter") ?(capacity = 1) ?(batch = 1) ?flow ~downstream
     ?(downstream_channel = Channel.output) transform =
   custom k ?node ~name (fun ctx ~passive:_ ->
+      let m = meter_of k flow in
       let intake = Intake.create () in
       let r = Intake.add_channel intake ~capacity Channel.output in
       let push = Push.connect ctx ~batch ~channel:downstream_channel downstream in
+      let next () = count_in m (timed m `In (fun () -> Intake.read r)) in
+      let emit v =
+        timed m `Out (fun () -> Push.write push v);
+        note_batches m (Push.deposits_issued push);
+        count_out m
+      in
       Kernel.spawn_worker ctx ~name:(name ^ "/transform") (fun () ->
-          transform (fun () -> Intake.read r) (Push.write push);
+          transform next emit;
           Push.close push);
       Intake.handlers intake)
 
-let sink_wo k ?node ?(name = "sink") ?(capacity = 1) ?(on_done = fun () -> ()) consume =
+let sink_wo k ?node ?(name = "sink") ?(capacity = 1) ?flow ?(on_done = fun () -> ()) consume =
   custom k ?node ~name (fun ctx ~passive:_ ->
+      let m = meter_of k flow in
       let intake = Intake.create () in
       let r = Intake.add_channel intake ~capacity Channel.output in
       Kernel.spawn_worker ctx ~name:(name ^ "/consume") (fun () ->
           let rec go () =
-            match Intake.read r with
+            match count_in m (timed m `In (fun () -> Intake.read r)) with
             | Some v ->
                 consume v;
                 go ()
@@ -94,8 +164,9 @@ let sink_wo k ?node ?(name = "sink") ?(capacity = 1) ?(on_done = fun () -> ()) c
 
 (* --- Conventional --------------------------------------------------- *)
 
-let pipe k ?node ?(name = "pipe") ?(capacity = 4) () =
+let pipe k ?node ?(name = "pipe") ?(capacity = 4) ?flow () =
   custom k ?node ~name (fun ctx ~passive:_ ->
+      let m = meter_of k flow in
       let intake = Intake.create () in
       let r = Intake.add_channel intake ~capacity Channel.output in
       let port = Port.create () in
@@ -104,26 +175,40 @@ let pipe k ?node ?(name = "pipe") ?(capacity = 4) () =
          pipe is one Eject with one buffer, observed from both sides. *)
       Kernel.spawn_worker ctx ~name:(name ^ "/buffer") (fun () ->
           let rec go () =
-            match Intake.read r with
+            match count_in m (timed m `In (fun () -> Intake.read r)) with
             | Some v ->
-                Port.write w v;
+                timed m `Out (fun () -> Port.write w v);
+                count_out m;
                 go ()
             | None -> Port.close w
           in
           go ());
       Intake.handlers intake @ Port.handlers port)
 
-let source_active k ?node ?(name = "source") ?batch ~downstream gen =
-  source_wo k ?node ~name ?batch ~downstream gen
+let source_active k ?node ?(name = "source") ?batch ?flow ~downstream gen =
+  source_wo k ?node ~name ?batch ?flow ~downstream gen
 
-let filter_active k ?node ?(name = "filter") ?(batch = 1) ~upstream ~downstream transform =
+let filter_active k ?node ?(name = "filter") ?(batch = 1) ?flow ~upstream ~downstream transform =
   custom k ?node ~name (fun ctx ~passive:_ ->
+      let m = meter_of k flow in
       let pull = Pull.connect ctx ~batch upstream in
       let push = Push.connect ctx ~batch downstream in
+      (* Batches here are whole protocol exchanges on either side. *)
+      let batches () = Pull.transfers_issued pull + Push.deposits_issued push in
+      let next () =
+        let r = timed m `In (fun () -> Pull.read pull) in
+        note_batches m (batches ());
+        count_in m r
+      in
+      let emit v =
+        timed m `Out (fun () -> Push.write push v);
+        note_batches m (batches ());
+        count_out m
+      in
       Kernel.spawn_worker ctx ~name:(name ^ "/pump") (fun () ->
-          transform (fun () -> Pull.read pull) (Push.write push);
+          transform next emit;
           Push.close push);
       [])
 
-let sink_active k ?node ?name ?batch ~upstream ?on_done consume =
-  sink_ro k ?node ?name ?batch ~upstream ?on_done consume
+let sink_active k ?node ?name ?batch ?flow ~upstream ?on_done consume =
+  sink_ro k ?node ?name ?batch ?flow ~upstream ?on_done consume

@@ -32,6 +32,14 @@ type gen = unit -> Value.t option
 type consume = Value.t -> unit
 (** Item consumer for sinks; runs inside the sink Eject. *)
 
+(** Every constructor takes [?flow]: a {!Eden_obs.Obs.Flow.stage}
+    (from [Obs.register_stage]) that the stage feeds with items
+    in/out, protocol batches, occupancy, and virtual-time stall on its
+    blocking reads and writes; wait times also land in the
+    ["stage.<label>.wait"] histogram of the kernel's collector.
+    Omitted, a stage is entirely unmetered.  {!Pipeline.build}
+    registers one flow per stage automatically. *)
+
 (** {1 Read-only discipline} *)
 
 val source_ro :
@@ -39,6 +47,7 @@ val source_ro :
   ?node:Eden_net.Net.node_id ->
   ?name:string ->
   ?capacity:int ->
+  ?flow:Eden_obs.Obs.Flow.stage ->
   gen ->
   Uid.t
 (** Passive output on {!Channel.output}; produces nothing until asked
@@ -50,6 +59,7 @@ val filter_ro :
   ?name:string ->
   ?capacity:int ->
   ?batch:int ->
+  ?flow:Eden_obs.Obs.Flow.stage ->
   upstream:Uid.t ->
   ?upstream_channel:Channel.t ->
   Transform.t ->
@@ -61,6 +71,7 @@ val sink_ro :
   ?node:Eden_net.Net.node_id ->
   ?name:string ->
   ?batch:int ->
+  ?flow:Eden_obs.Obs.Flow.stage ->
   upstream:Uid.t ->
   ?upstream_channel:Channel.t ->
   ?on_done:(unit -> unit) ->
@@ -76,6 +87,7 @@ val source_wo :
   ?node:Eden_net.Net.node_id ->
   ?name:string ->
   ?batch:int ->
+  ?flow:Eden_obs.Obs.Flow.stage ->
   downstream:Uid.t ->
   ?downstream_channel:Channel.t ->
   gen ->
@@ -89,6 +101,7 @@ val filter_wo :
   ?name:string ->
   ?capacity:int ->
   ?batch:int ->
+  ?flow:Eden_obs.Obs.Flow.stage ->
   downstream:Uid.t ->
   ?downstream_channel:Channel.t ->
   Transform.t ->
@@ -101,6 +114,7 @@ val sink_wo :
   ?node:Eden_net.Net.node_id ->
   ?name:string ->
   ?capacity:int ->
+  ?flow:Eden_obs.Obs.Flow.stage ->
   ?on_done:(unit -> unit) ->
   consume ->
   Uid.t
@@ -108,7 +122,14 @@ val sink_wo :
 
 (** {1 Conventional discipline} *)
 
-val pipe : Kernel.t -> ?node:Eden_net.Net.node_id -> ?name:string -> ?capacity:int -> unit -> Uid.t
+val pipe :
+  Kernel.t ->
+  ?node:Eden_net.Net.node_id ->
+  ?name:string ->
+  ?capacity:int ->
+  ?flow:Eden_obs.Obs.Flow.stage ->
+  unit ->
+  Uid.t
 (** A passive buffer (Unix pipe): accepts [Deposit] and serves
     [Transfer] on {!Channel.output}.  [capacity] defaults to 4. *)
 
@@ -117,6 +138,7 @@ val source_active :
   ?node:Eden_net.Net.node_id ->
   ?name:string ->
   ?batch:int ->
+  ?flow:Eden_obs.Obs.Flow.stage ->
   downstream:Uid.t ->
   gen ->
   Uid.t
@@ -128,6 +150,7 @@ val filter_active :
   ?node:Eden_net.Net.node_id ->
   ?name:string ->
   ?batch:int ->
+  ?flow:Eden_obs.Obs.Flow.stage ->
   upstream:Uid.t ->
   downstream:Uid.t ->
   Transform.t ->
@@ -140,6 +163,7 @@ val sink_active :
   ?node:Eden_net.Net.node_id ->
   ?name:string ->
   ?batch:int ->
+  ?flow:Eden_obs.Obs.Flow.stage ->
   upstream:Uid.t ->
   ?on_done:(unit -> unit) ->
   consume ->

@@ -2,6 +2,8 @@ module Sched = Eden_sched.Sched
 module Ivar = Eden_sched.Ivar
 module Mailbox = Eden_sched.Mailbox
 module Net = Eden_net.Net
+module Obs = Eden_obs.Obs
+module Ring = Eden_util.Ring
 
 exception Eden_error of string
 
@@ -12,9 +14,11 @@ type handler = Value.t -> Value.t
 type dispatch = Serial | Concurrent
 
 (* A message in an Eject's coordinator mailbox.  [Stop] is the internal
-   poison pill used by deactivate/destroy to unblock the coordinator. *)
+   poison pill used by deactivate/destroy to unblock the coordinator.
+   [span] is the observability span opened by the invoking side; the
+   handler runs with it bound so nested invocations become children. *)
 type message =
-  | Invoke of { op : string; arg : Value.t; reply_to : reply -> unit }
+  | Invoke of { op : string; arg : Value.t; span : int option; reply_to : reply -> unit }
   | Stop
 
 type runtime = {
@@ -53,7 +57,20 @@ and t = {
   mutable crashes : int;
   mutable timeouts : int;
   mutable tracing : bool;
-  mutable trace_log : trace_event list; (* newest first *)
+  mutable trace_log : trace_event Ring.t;
+  mutable trace_dropped : int;
+  obs : Obs.t;
+  (* Which Eject a fiber belongs to (coordinator and workers), and the
+     span currently bound to a fiber (for span parentage).  Entries are
+     removed by the scheduler finish hook. *)
+  fiber_owner : (Sched.fiber_id, Uid.t) Hashtbl.t;
+  fiber_spans : (Sched.fiber_id, int) Hashtbl.t;
+  (* While a behaviour is being installed: the span of the invocation
+     (or poking fiber) that triggered the activation, inherited by
+     workers spawned during installation.  Activation often happens in
+     a delivery thunk where no fiber is current, so the fiber-binding
+     table alone cannot carry this edge of the causal tree. *)
+  mutable activation_span : int option;
 }
 
 and trace_event =
@@ -68,35 +85,73 @@ and ctx = { k : t; self_uid : Uid.t option; src_node : Net.node_id }
 
 and behaviour = ctx -> passive:Value.t option -> (string * handler) list
 
-let create ?(seed = 0xEDE0L) ?(latency = Net.Fixed 1.0) ?(nodes = [ "node-0" ]) () =
+(* When a fiber finishes, forget its span binding and prune it from its
+   Eject's worker list: [worker_fids] otherwise only ever grows (one
+   entry per Concurrent invocation), and deactivate/destroy would
+   re-cancel long-dead fibers. *)
+let on_fiber_finish t fid =
+  Hashtbl.remove t.fiber_spans fid;
+  match Hashtbl.find_opt t.fiber_owner fid with
+  | None -> ()
+  | Some uid -> (
+      Hashtbl.remove t.fiber_owner fid;
+      match Uid.Tbl.find_opt t.ejects uid with
+      | Some { state = Active rt; _ } ->
+          rt.worker_fids <- List.filter (fun f -> f <> fid) rt.worker_fids
+      | Some _ | None -> ())
+
+let create ?(seed = 0xEDE0L) ?(latency = Net.Fixed 1.0) ?(nodes = [ "node-0" ])
+    ?(trace_capacity = 4096) ?span_capacity () =
   let sched = Sched.create () in
   let prng = Eden_util.Prng.create seed in
   let net = Net.create ~seed:(Eden_util.Prng.next_int64 prng) ~sched ~latency () in
   let nodes = if nodes = [] then [ "node-0" ] else nodes in
   let node_ids = List.map (Net.add_node net) nodes in
-  {
-    sched;
-    net;
-    uid_gen = Uid.generator ~seed:(Eden_util.Prng.next_int64 prng);
-    ejects = Uid.Tbl.create 64;
-    node_ids;
-    per_op = Hashtbl.create 32;
-    invocations = 0;
-    replies = 0;
-    activations = 0;
-    ejects_created = 0;
-    ejects_destroyed = 0;
-    crashes = 0;
-    timeouts = 0;
-    tracing = false;
-    trace_log = [];
-  }
+  let obs = Obs.create ?span_capacity () in
+  Net.set_obs net obs;
+  let t =
+    {
+      sched;
+      net;
+      uid_gen = Uid.generator ~seed:(Eden_util.Prng.next_int64 prng);
+      ejects = Uid.Tbl.create 64;
+      node_ids;
+      per_op = Hashtbl.create 32;
+      invocations = 0;
+      replies = 0;
+      activations = 0;
+      ejects_created = 0;
+      ejects_destroyed = 0;
+      crashes = 0;
+      timeouts = 0;
+      tracing = false;
+      trace_log = Ring.create ~capacity:trace_capacity;
+      trace_dropped = 0;
+      obs;
+      fiber_owner = Hashtbl.create 64;
+      fiber_spans = Hashtbl.create 64;
+      activation_span = None;
+    }
+  in
+  Sched.set_finish_hook sched (on_fiber_finish t);
+  t
 
-let trace t ev = if t.tracing then t.trace_log <- ev :: t.trace_log
+let trace t ev =
+  if t.tracing then
+    if Option.is_some (Ring.push_force t.trace_log ev) then
+      t.trace_dropped <- t.trace_dropped + 1
 
 let sched t = t.sched
 let net t = t.net
 let nodes t = t.node_ids
+let obs t = t.obs
+
+(* Lifecycle events double as observability instants so span exports
+   show activations/crashes interleaved with the invocation tree. *)
+let lifecycle t name uid =
+  Obs.instant t.obs ~name ~cat:"lifecycle"
+    ~attrs:[ ("uid", Uid.to_string uid) ]
+    ~at:(Sched.now t.sched) ()
 
 let run t =
   Sched.run t.sched;
@@ -143,46 +198,85 @@ let checkpoints t uid =
 let crash_count t uid =
   match Uid.Tbl.find_opt t.ejects uid with Some e -> e.crash_count | None -> 0
 
+let received t uid =
+  match Uid.Tbl.find_opt t.ejects uid with Some e -> e.received | None -> 0
+
+let worker_count t uid =
+  match Uid.Tbl.find_opt t.ejects uid with
+  | Some { state = Active rt; _ } -> List.length rt.worker_fids
+  | Some _ | None -> 0
+
+let owner_of_fiber t fid = Hashtbl.find_opt t.fiber_owner fid
+
 let timeouts t = t.timeouts
 
 (* --- Eject runtime ------------------------------------------------- *)
 
-let run_handler e msg =
+let run_handler t e msg =
   match msg with
   | Stop -> ()
-  | Invoke { op; arg; reply_to } -> (
+  | Invoke { op; arg; span; reply_to } -> (
       let rt = match e.state with Active rt -> rt | Passive | Destroyed -> assert false in
+      (* Bind the invocation's span to the executing fiber for the
+         duration of the handler so nested invokes become children. *)
+      let bound =
+        match (span, Sched.current_fid t.sched) with
+        | Some s, Some fid ->
+            let saved = Hashtbl.find_opt t.fiber_spans fid in
+            Hashtbl.replace t.fiber_spans fid s;
+            Some (fid, saved)
+        | _ -> None
+      in
+      let unbind () =
+        match bound with
+        | None -> ()
+        | Some (fid, Some prev) -> Hashtbl.replace t.fiber_spans fid prev
+        | Some (fid, None) -> Hashtbl.remove t.fiber_spans fid
+      in
       match Hashtbl.find_opt rt.handlers op with
-      | None -> reply_to (Error (Printf.sprintf "no such operation: %s" op))
+      | None ->
+          unbind ();
+          reply_to (Error (Printf.sprintf "no such operation: %s" op))
       | Some h -> (
           match h arg with
-          | v -> reply_to (Ok v)
-          | exception Eden_error m -> reply_to (Error m)
-          | exception Value.Protocol_error m -> reply_to (Error ("protocol error: " ^ m))
-          | exception Sched.Cancelled -> raise Sched.Cancelled))
+          | v ->
+              unbind ();
+              reply_to (Ok v)
+          | exception Eden_error m ->
+              unbind ();
+              reply_to (Error m)
+          | exception Value.Protocol_error m ->
+              unbind ();
+              reply_to (Error ("protocol error: " ^ m))
+          | exception Sched.Cancelled ->
+              unbind ();
+              raise Sched.Cancelled))
 
 let rec coordinator t e rt () =
   let msg = Mailbox.receive rt.mailbox in
   (match e.state with
   | Active _ when not rt.stopping -> (
-      e.received <- e.received + 1;
       match msg with
       | Stop -> ()
       | Invoke _ as m -> (
+          (* Only genuine invocations count as received: the [Stop]
+             poison pill is kernel bookkeeping, not traffic. *)
+          e.received <- e.received + 1;
           match e.dispatch with
-          | Serial -> run_handler e m
+          | Serial -> run_handler t e m
           | Concurrent ->
               let fid =
                 Sched.spawn_inside ~name:(Uid.to_string e.uid ^ "/worker") (fun () ->
-                    run_handler e m)
+                    run_handler t e m)
               in
+              Hashtbl.replace t.fiber_owner fid e.uid;
               rt.worker_fids <- fid :: rt.worker_fids))
   | Active _ | Passive | Destroyed -> ());
   match e.state with
   | Active rt' when rt' == rt && not rt.stopping -> coordinator t e rt ()
   | Active _ | Passive | Destroyed -> ()
 
-and activate t e =
+and activate ?span t e =
   match e.state with
   | Active rt -> rt
   | Destroyed -> invalid_arg "Kernel.activate: destroyed eject"
@@ -198,15 +292,34 @@ and activate t e =
       e.state <- Active rt;
       t.activations <- t.activations + 1;
       trace t (Activated { uid = e.uid; etype = e.etype; at = Sched.now t.sched });
+      lifecycle t "activate" e.uid;
       let ctx = { k = t; self_uid = Some e.uid; src_node = e.node } in
       let passive = match e.versions with (_, data) :: _ -> Some data | [] -> None in
-      let table = e.behaviour ctx ~passive in
+      (* The activation's causal parent: the invocation that woke the
+         Eject, or — for [poke] — whatever span the poking fiber is
+         bound to.  Workers spawned by the behaviour inherit it. *)
+      let span =
+        match span with
+        | Some _ as s -> s
+        | None -> (
+            match Sched.current_fid t.sched with
+            | Some fid -> Hashtbl.find_opt t.fiber_spans fid
+            | None -> None)
+      in
+      let saved = t.activation_span in
+      t.activation_span <- span;
+      let table =
+        Fun.protect
+          ~finally:(fun () -> t.activation_span <- saved)
+          (fun () -> e.behaviour ctx ~passive)
+      in
       List.iter (fun (op, h) -> Hashtbl.replace rt.handlers op h) table;
       let fid =
         Sched.spawn t.sched
           ~name:(Printf.sprintf "%s(%s)/coord" e.etype (Uid.to_string e.uid))
           (coordinator t e rt)
       in
+      Hashtbl.replace t.fiber_owner fid e.uid;
       rt.worker_fids <- fid :: rt.worker_fids;
       rt
 
@@ -218,13 +331,40 @@ let bump_op t op =
 let invoke_from t ~src_node dst ~op arg =
   t.invocations <- t.invocations + 1;
   bump_op t op;
-  trace t (Invoked { op; dst; at = Sched.now t.sched });
+  let t0 = Sched.now t.sched in
+  trace t (Invoked { op; dst; at = t0 });
+  let span =
+    if Obs.spans_enabled t.obs then
+      let parent =
+        match Sched.current_fid t.sched with
+        | Some fid -> Hashtbl.find_opt t.fiber_spans fid
+        | None -> None
+      in
+      Some
+        (Obs.span_begin t.obs ?parent ~name:op ~cat:"invoke"
+           ~attrs:[ ("dst", Uid.to_string dst) ]
+           ~at:t0 ())
+    else None
+  in
   let ivar = Ivar.create () in
+  (* Every resolution path funnels through [settle]: it fills the reply
+     slot, feeds the round-trip histogram, and closes the span.  A
+     reply that arrives after an [invoke_timeout] sealed the slot still
+     closes the span (marked not-ok); an invocation whose reply was
+     dropped by the network leaves its span open — visible in exports
+     as an incomplete invocation. *)
+  let settle r =
+    let first = Ivar.try_fill ivar r in
+    let now = Sched.now t.sched in
+    if first then Obs.Histogram.add (Obs.histogram t.obs ("rtt." ^ op)) (now -. t0);
+    match span with
+    | Some id -> Obs.span_end t.obs id ~at:now ~ok:(first && Result.is_ok r)
+    | None -> ()
+  in
   let fail_local msg =
     (* The kernel detects a dangling UID at the source; model the check
        as a local hop so even errors cost simulated time. *)
-    Net.send t.net ~src:src_node ~dst:src_node ~size:16 (fun () ->
-        ignore (Ivar.try_fill ivar (Error msg)))
+    Net.send t.net ~src:src_node ~dst:src_node ~size:16 (fun () -> settle (Error msg))
   in
   (match Uid.Tbl.find_opt t.ejects dst with
   | None | Some { state = Destroyed; _ } -> fail_local "no such eject"
@@ -232,9 +372,9 @@ let invoke_from t ~src_node dst ~op arg =
       let size = Value.size arg + String.length op + 16 in
       Net.send t.net ~src:src_node ~dst:e.node ~size (fun () ->
           match e.state with
-          | Destroyed -> ignore (Ivar.try_fill ivar (Error "no such eject"))
+          | Destroyed -> settle (Error "no such eject")
           | Passive | Active _ ->
-              let rt = activate t e in
+              let rt = activate ?span t e in
               let reply_to r =
                 t.replies <- t.replies + 1;
                 trace t
@@ -243,10 +383,9 @@ let invoke_from t ~src_node dst ~op arg =
                 let rsize =
                   match r with Ok v -> Value.size v + 16 | Error m -> String.length m + 16
                 in
-                Net.send t.net ~src:e.node ~dst:src_node ~size:rsize (fun () ->
-                    ignore (Ivar.try_fill ivar r))
+                Net.send t.net ~src:e.node ~dst:src_node ~size:rsize (fun () -> settle r)
               in
-              Mailbox.send rt.mailbox (Invoke { op; arg; reply_to })));
+              Mailbox.send rt.mailbox (Invoke { op; arg; span; reply_to })));
   ivar
 
 let invoke_async ctx dst ~op arg = invoke_from ctx.k ~src_node:ctx.src_node dst ~op arg
@@ -268,6 +407,34 @@ let invoke_timeout ctx dst ~op arg ~timeout =
 
 let call ctx dst ~op arg =
   match invoke ctx dst ~op arg with Ok v -> v | Error m -> raise (Eden_error m)
+
+(* A user-level span bound to the current fiber: invocations issued by
+   [f] become its children.  Used by drivers to root the invocation
+   tree of one pipeline run. *)
+let with_span ctx ?(cat = "user") ~name f =
+  let t = ctx.k in
+  if not (Obs.spans_enabled t.obs) then f ()
+  else
+    match Sched.current_fid t.sched with
+    | None -> f ()
+    | Some fid -> (
+        let parent = Hashtbl.find_opt t.fiber_spans fid in
+        let id = Obs.span_begin t.obs ?parent ~name ~cat ~at:(Sched.now t.sched) () in
+        Hashtbl.replace t.fiber_spans fid id;
+        let restore () =
+          match parent with
+          | Some p -> Hashtbl.replace t.fiber_spans fid p
+          | None -> Hashtbl.remove t.fiber_spans fid
+        in
+        match f () with
+        | v ->
+            restore ();
+            Obs.span_end t.obs id ~at:(Sched.now t.sched) ~ok:true;
+            v
+        | exception exn ->
+            restore ();
+            Obs.span_end t.obs id ~at:(Sched.now t.sched) ~ok:false;
+            raise exn)
 
 (* --- Self-operations ----------------------------------------------- *)
 
@@ -294,13 +461,25 @@ let spawn_worker ctx ?name body =
         match name with Some n -> n | None -> Uid.to_string e.uid ^ "/worker"
       in
       let fid = Sched.spawn ctx.k.sched ~name body in
+      Hashtbl.replace ctx.k.fiber_owner fid e.uid;
+      (* Inherit the spawner's span: the current fiber's binding, or the
+         activation parent when spawned during behaviour installation
+         (which usually runs in a delivery thunk, outside any fiber). *)
+      (match
+         match Sched.current_fid ctx.k.sched with
+         | Some f -> Hashtbl.find_opt ctx.k.fiber_spans f
+         | None -> ctx.k.activation_span
+       with
+      | Some s -> Hashtbl.replace ctx.k.fiber_spans fid s
+      | None -> ());
       rt.worker_fids <- fid :: rt.worker_fids
   | Passive | Destroyed -> invalid_arg "Kernel.spawn_worker: eject not active"
 
 let checkpoint ctx data =
   let e = my_eject ctx in
   e.versions <- (Sched.now ctx.k.sched, data) :: e.versions;
-  trace ctx.k (Checkpointed { uid = e.uid; at = Sched.now ctx.k.sched })
+  trace ctx.k (Checkpointed { uid = e.uid; at = Sched.now ctx.k.sched });
+  lifecycle ctx.k "checkpoint" e.uid
 
 let mint ctx = Uid.fresh ctx.k.uid_gen
 
@@ -354,7 +533,8 @@ let destroy ctx =
   if e.state <> Destroyed then begin
     e.state <- Destroyed;
     ctx.k.ejects_destroyed <- ctx.k.ejects_destroyed + 1;
-    trace ctx.k (Destroyed { uid = e.uid; at = Sched.now ctx.k.sched })
+    trace ctx.k (Destroyed { uid = e.uid; at = Sched.now ctx.k.sched });
+    lifecycle ctx.k "destroy" e.uid
   end
 
 let poke t uid =
@@ -369,6 +549,7 @@ let crash t uid =
       t.crashes <- t.crashes + 1;
       e.crash_count <- e.crash_count + 1;
       trace t (Crashed { uid = e.uid; at = Sched.now t.sched });
+      lifecycle t "crash" e.uid;
       stop_runtime t e ~drop_mailbox:true
 
 (* --- Drivers -------------------------------------------------------- *)
@@ -388,6 +569,7 @@ module Meter = struct
     ejects_created : int;
     ejects_live : int;
     crashes : int;
+    timeouts : int;
     net : Net.meter;
   }
 
@@ -399,6 +581,7 @@ module Meter = struct
       ejects_created = k.ejects_created;
       ejects_live = live_ejects k;
       crashes = k.crashes;
+      timeouts = k.timeouts;
       net = Net.meter k.net;
     }
 
@@ -410,13 +593,15 @@ module Meter = struct
       ejects_created = later.ejects_created - earlier.ejects_created;
       ejects_live = later.ejects_live;
       crashes = later.crashes - earlier.crashes;
+      timeouts = later.timeouts - earlier.timeouts;
       net = Net.meter_diff later.net earlier.net;
     }
 
   let pp ppf s =
-    Format.fprintf ppf "invocations=%d replies=%d activations=%d ejects=%d live=%d crashes=%d %a"
-      s.invocations s.replies s.activations s.ejects_created s.ejects_live s.crashes Net.pp_meter
-      s.net
+    Format.fprintf ppf
+      "invocations=%d replies=%d activations=%d ejects=%d live=%d crashes=%d timeouts=%d %a"
+      s.invocations s.replies s.activations s.ejects_created s.ejects_live s.crashes s.timeouts
+      Net.pp_meter s.net
 end
 
 let op_counts t =
@@ -434,8 +619,23 @@ module Trace = struct
 
   let enable t = t.tracing <- true
   let disable t = t.tracing <- false
-  let clear t = t.trace_log <- []
-  let events t = List.rev t.trace_log
+
+  let clear t =
+    Ring.clear t.trace_log;
+    t.trace_dropped <- 0
+
+  let events t = Ring.to_list t.trace_log
+  let dropped t = t.trace_dropped
+  let capacity t = Ring.capacity t.trace_log
+
+  let set_capacity t n =
+    let old = Ring.to_list t.trace_log in
+    let r = Ring.create ~capacity:n in
+    List.iter
+      (fun ev ->
+        if Option.is_some (Ring.push_force r ev) then t.trace_dropped <- t.trace_dropped + 1)
+      old;
+    t.trace_log <- r
 
   let pp_event ppf = function
     | Invoked { op; dst; at } -> Format.fprintf ppf "%8.3f invoke %s -> %a" at op Uid.pp dst

@@ -49,14 +49,28 @@ type dispatch = Serial | Concurrent
 
 (** {1 Kernel lifecycle} *)
 
-val create : ?seed:int64 -> ?latency:Eden_net.Net.latency -> ?nodes:string list -> unit -> t
-(** A kernel with its own scheduler and network.  [nodes] (default one
-    node ["node-0"]) are created in order; node 0 also hosts external
-    drivers. *)
+val create :
+  ?seed:int64 ->
+  ?latency:Eden_net.Net.latency ->
+  ?nodes:string list ->
+  ?trace_capacity:int ->
+  ?span_capacity:int ->
+  unit ->
+  t
+(** A kernel with its own scheduler, network and observability
+    collector.  [nodes] (default one node ["node-0"]) are created in
+    order; node 0 also hosts external drivers.  [trace_capacity]
+    (default 4096) bounds the {!Trace} ring buffer; [span_capacity]
+    bounds completed-span storage (see {!Eden_obs.Obs.create}). *)
 
 val sched : t -> Eden_sched.Sched.t
 val net : t -> Eden_net.Net.t
 val nodes : t -> Eden_net.Net.node_id list
+
+val obs : t -> Eden_obs.Obs.t
+(** The kernel's observability collector: histograms are always fed
+    (round-trip latency per op as ["rtt.<op>"], network delay/size);
+    spans are recorded only after [Obs.enable_spans]. *)
 
 val run : t -> unit
 (** Drives the simulation to quiescence and re-raises the first fiber
@@ -108,6 +122,21 @@ val crash_count : t -> Uid.t -> int
     invoking it (and so without reactivating it) — a supervisor's
     crash-detection probe.  0 for unknown UIDs. *)
 
+val received : t -> Uid.t -> int
+(** Invocations the Eject's coordinator has dispatched ([Invoke]
+    messages only — internal stop signals are not traffic).  0 for
+    unknown UIDs. *)
+
+val worker_count : t -> Uid.t -> int
+(** Live fibers (coordinator + workers) currently owned by the Eject;
+    0 when passive, destroyed or unknown.  Finished workers are pruned
+    eagerly. *)
+
+val owner_of_fiber : t -> Eden_sched.Sched.fiber_id -> Uid.t option
+(** Which Eject a live fiber belongs to; [None] for driver fibers and
+    fibers that have finished.  The structured replacement for
+    matching fiber names against Eject types. *)
+
 (** {1 Invoking (from Eject code or drivers)} *)
 
 val invoke : ctx -> Uid.t -> op:string -> Value.t -> reply
@@ -131,6 +160,12 @@ val timeouts : t -> int
 val call : ctx -> Uid.t -> op:string -> Value.t -> Value.t
 (** [invoke] that raises {!Eden_error} on an [Error] reply.  The usual
     form inside protocol code. *)
+
+val with_span : ctx -> ?cat:string -> name:string -> (unit -> 'a) -> 'a
+(** Runs [f] under a user-level span bound to the current fiber, so
+    invocations issued inside become its children in the exported
+    invocation tree.  A no-op (beyond calling [f]) when spans are
+    disabled or outside a fiber.  [cat] defaults to ["user"]. *)
 
 (** {1 Eject self-operations (inside handlers / workers)} *)
 
@@ -171,6 +206,7 @@ module Meter : sig
     ejects_created : int;
     ejects_live : int;
     crashes : int;
+    timeouts : int;  (** [invoke_timeout] expiries *)
     net : Eden_net.Net.meter;
   }
 
@@ -188,7 +224,9 @@ val op_counts : t -> (string * int) list
 (** {1 Tracing}
 
     An optional in-kernel event log for debugging and for tests that
-    assert interaction sequences.  Disabled (and free) by default. *)
+    assert interaction sequences.  Disabled (and free) by default.
+    Storage is a bounded ring: once full, the oldest events are
+    evicted and counted in [dropped]. *)
 
 module Trace : sig
   type event =
@@ -201,10 +239,22 @@ module Trace : sig
 
   val enable : t -> unit
   val disable : t -> unit
+
   val clear : t -> unit
+  (** Empties the ring and resets [dropped]. *)
 
   val events : t -> event list
-  (** Oldest first. *)
+  (** Oldest retained first. *)
+
+  val dropped : t -> int
+  (** Events evicted from the ring since creation / last [clear]. *)
+
+  val capacity : t -> int
+
+  val set_capacity : t -> int -> unit
+  (** Re-sizes the ring, keeping the newest events that fit (evictions
+      count into [dropped]).  @raise Invalid_argument on non-positive
+      capacity. *)
 
   val pp_event : Format.formatter -> event -> unit
 

@@ -1,5 +1,6 @@
 module Sched = Eden_sched.Sched
 module Prng = Eden_util.Prng
+module Obs = Eden_obs.Obs
 
 type node_id = int
 
@@ -31,6 +32,9 @@ type t = {
   partitions : (int * int, unit) Hashtbl.t;
   mutable loss_probability : float;
   mutable m : meter;
+  (* Cached histogram handles; set once via [set_obs]. *)
+  mutable h_delay : Obs.Histogram.t option;
+  mutable h_size : Obs.Histogram.t option;
 }
 
 let mean_of = function
@@ -50,9 +54,15 @@ let create ?(seed = 0x5EEDL) ~sched ~latency () =
     partitions = Hashtbl.create 8;
     loss_probability = 0.0;
     m = empty_meter;
+    h_delay = None;
+    h_size = None;
   }
 
 let sched t = t.sched
+
+let set_obs t obs =
+  t.h_delay <- Some (Obs.histogram obs "net.delay");
+  t.h_size <- Some (Obs.histogram ~lo:1.0 obs "net.size")
 
 let add_node t name =
   t.nodes <- Array.append t.nodes [| name |];
@@ -99,7 +109,13 @@ let latency_for t ~src ~dst ~size =
 let send t ~src ~dst ~size deliver =
   t.m <- { t.m with sent = t.m.sent + 1; bytes = t.m.bytes + size };
   let partitioned = src <> dst && Hashtbl.mem t.partitions (link_key src dst) in
-  let lost = t.loss_probability > 0.0 && Prng.float t.prng 1.0 < t.loss_probability in
+  (* Same-node hops never traverse the lossy medium: like partitions,
+     loss only applies when [src <> dst].  Without this exemption a
+     local error reply (e.g. "no such eject") could be dropped and the
+     invoker would block forever. *)
+  let lost =
+    src <> dst && t.loss_probability > 0.0 && Prng.float t.prng 1.0 < t.loss_probability
+  in
   (* A message crossing a partitioned link is charged to the partition
      even when the loss coin also came up: the link would have eaten it
      regardless. *)
@@ -110,6 +126,8 @@ let send t ~src ~dst ~size deliver =
     t.m <- { t.m with dropped = t.m.dropped + 1; dropped_loss = t.m.dropped_loss + 1 }
   else begin
     let delay = latency_for t ~src ~dst ~size in
+    (match t.h_delay with Some h -> Obs.Histogram.add h delay | None -> ());
+    (match t.h_size with Some h -> Obs.Histogram.add h (float_of_int size) | None -> ());
     Sched.timer t.sched delay (fun () ->
         t.m <- { t.m with delivered = t.m.delivered + 1 };
         deliver ())

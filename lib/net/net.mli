@@ -29,6 +29,11 @@ val create : ?seed:int64 -> sched:Eden_sched.Sched.t -> latency:latency -> unit 
 
 val sched : t -> Eden_sched.Sched.t
 
+val set_obs : t -> Eden_obs.Obs.t -> unit
+(** Attach an observability collector: every delivered message records
+    its drawn delay into the ["net.delay"] histogram and its size into
+    ["net.size"].  Called once by the kernel at creation. *)
+
 (** {1 Topology} *)
 
 val add_node : t -> string -> node_id
@@ -47,8 +52,9 @@ val set_link_latency : t -> node_id -> node_id -> latency -> unit
 (** {1 Failure injection} *)
 
 val set_loss_probability : t -> float -> unit
-(** Independent drop probability per message.
-    @raise Invalid_argument outside [0,1]. *)
+(** Independent drop probability per inter-node message.  Same-node
+    hops are exempt (like partitions): they never traverse the lossy
+    medium. @raise Invalid_argument outside [0,1]. *)
 
 val partition : t -> node_id -> node_id -> unit
 (** Drops all traffic between the two nodes (symmetric) until [heal]. *)

@@ -3,6 +3,7 @@ module Kernel = Eden_kernel.Kernel
 module Uid = Eden_kernel.Uid
 module Sched = Eden_sched.Sched
 module Prng = Eden_util.Prng
+module Obs = Eden_obs.Obs
 
 type policy = {
   interval : float;
@@ -66,8 +67,18 @@ let add_watch ctrl ?(ping = false) ~label uid =
       in
       ctrl.watches <- ctrl.watches @ [ e ]
 
+(* Supervisor decisions are span-annotated events on the kernel's
+   collector, so restarts and give-ups appear interleaved with the
+   invocation tree in exported traces. *)
+let annotate ctrl name e =
+  Obs.instant (Kernel.obs ctrl.kernel) ~name ~cat:"resil"
+    ~attrs:[ ("stage", e.label); ("uid", Uid.to_string e.e_uid) ]
+    ~at:(Sched.now (Kernel.sched ctrl.kernel))
+    ()
+
 let give_up ctrl e =
   e.gave_up <- true;
+  annotate ctrl "supervisor.give_up" e;
   ctrl.on_give_up e.label e.e_uid
 
 let restart ctrl prng e ~now =
@@ -80,7 +91,8 @@ let restart ctrl prng e ~now =
     ctrl.restarts <- ctrl.restarts + 1;
     (* Reactivation from the latest checkpoint. *)
     Kernel.poke ctrl.kernel e.e_uid;
-    e.last_crashes <- Kernel.crash_count ctrl.kernel e.e_uid
+    e.last_crashes <- Kernel.crash_count ctrl.kernel e.e_uid;
+    annotate ctrl "supervisor.restart" e
   end
 
 let check ctrl prng ctx e =

@@ -36,6 +36,7 @@ type t = {
   mutable failures : (string * exn) list;
   mutable current : fiber option;
   mutable live : int;
+  mutable finish_hook : fiber_id -> unit;
 }
 
 type _ Effect.t +=
@@ -56,7 +57,10 @@ let create () =
     failures = [];
     current = None;
     live = 0;
+    finish_hook = ignore;
   }
+
+let set_finish_hook t hook = t.finish_hook <- hook
 
 let now t = t.clock
 
@@ -64,10 +68,15 @@ let timer t delay thunk =
   let delay = if delay < 0.0 then 0.0 else delay in
   t.timers <- Timer_heap.insert (t.clock +. delay) thunk t.timers
 
+(* Finished fibers are removed from the table immediately: keeping
+   them made [t.fibers] (and every [blocked]/[cancel] scan over it)
+   grow without bound over long runs. *)
 let finish t fiber outcome =
   fiber.fstate <- Finished;
   fiber.fwake <- None;
   t.live <- t.live - 1;
+  Hashtbl.remove t.fibers fiber.fid;
+  t.finish_hook fiber.fid;
   match outcome with
   | None -> ()
   | Some exn -> t.failures <- (fiber.fname, exn) :: t.failures
@@ -226,10 +235,20 @@ let run_until t limit =
   go ()
 
 let live_count t = t.live
+let tracked_count t = Hashtbl.length t.fibers
+let is_live t fid = Hashtbl.mem t.fibers fid
+let current_fid t = Option.map (fun f -> f.fid) t.current
 
 let blocked t =
   Hashtbl.fold
     (fun _ f acc -> match f.fstate with Blocked reason -> (f.fname, reason) :: acc | _ -> acc)
+    t.fibers []
+  |> List.sort compare
+
+let blocked_info t =
+  Hashtbl.fold
+    (fun _ f acc ->
+      match f.fstate with Blocked reason -> (f.fid, f.fname, reason) :: acc | _ -> acc)
     t.fibers []
   |> List.sort compare
 

@@ -45,8 +45,30 @@ val now : t -> float
 val live_count : t -> int
 (** Fibers spawned and not yet finished. *)
 
+val tracked_count : t -> int
+(** Fibers currently held in the scheduler table.  Finished fibers are
+    removed eagerly, so after [run] this counts only live (typically
+    blocked) fibers. *)
+
+val is_live : t -> fiber_id -> bool
+(** Whether the fiber exists and has not finished. *)
+
+val current_fid : t -> fiber_id option
+(** The id of the fiber currently executing, if any.  [None] between
+    fibers and inside raw [timer] thunks. *)
+
+val set_finish_hook : t -> (fiber_id -> unit) -> unit
+(** Installs a callback invoked (synchronously, after table removal)
+    each time a fiber finishes, successfully or not.  One hook per
+    scheduler; setting replaces the previous one.  Used by the kernel
+    to drop fiber-to-Eject bookkeeping. *)
+
 val blocked : t -> (string * string) list
 (** [(fiber name, reason)] for every currently blocked fiber. *)
+
+val blocked_info : t -> (fiber_id * string * string) list
+(** [(fiber id, fiber name, reason)] for every currently blocked
+    fiber, sorted by id. *)
 
 val failures : t -> (string * exn) list
 (** Fibers that terminated with an uncaught exception (most recent

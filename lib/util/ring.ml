@@ -24,6 +24,18 @@ let push t x =
 
 let push_exn t x = if not (push t x) then failwith "Ring.push_exn: full"
 
+let push_force t x =
+  if not (is_full t) then begin
+    ignore (push t x);
+    None
+  end
+  else begin
+    let evicted = t.buf.(t.head) in
+    t.buf.(t.head) <- Some x;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    evicted
+  end
+
 let pop t =
   if t.len = 0 then None
   else begin

@@ -20,6 +20,11 @@ val push : 'a t -> 'a -> bool
 val push_exn : 'a t -> 'a -> unit
 (** @raise Failure when full. *)
 
+val push_force : 'a t -> 'a -> 'a option
+(** [push_force t x] appends [x], evicting and returning the oldest
+    element when the buffer is full.  Returns [None] when no eviction
+    was needed. *)
+
 val pop : 'a t -> 'a option
 (** Removes and returns the oldest element. *)
 

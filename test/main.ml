@@ -17,6 +17,7 @@ let () =
       ("failures", Test_failures.suite);
       ("resil", Test_resil.suite);
       ("trace", Test_trace.suite);
+      ("obs", Test_obs.suite);
       ("redirect", Test_redirect.suite);
       ("edenfs", Test_edenfs.suite);
       ("sed", Test_sed.suite);

@@ -11,10 +11,13 @@ let check = Alcotest.check
 let test_loss_with_retry () =
   (* Invocation is at-most-once: under 30% message loss a plain invoke
      may never complete, but an idempotent operation retried on timeout
-     always gets through eventually. *)
-  let k = Kernel.create ~seed:77L () in
+     always gets through eventually.  The echo Eject lives on a remote
+     node: only inter-node hops traverse the lossy medium. *)
+  let k = Kernel.create ~seed:77L ~nodes:[ "a"; "b" ] () in
+  let nb = List.nth (Kernel.nodes k) 1 in
   let echo =
-    Kernel.create_eject k ~type_name:"echo" (fun _ctx ~passive:_ -> [ ("Echo", Fun.id) ])
+    Kernel.create_eject k ~node:nb ~type_name:"echo" (fun _ctx ~passive:_ ->
+        [ ("Echo", Fun.id) ])
   in
   Net.set_loss_probability (Kernel.net k) 0.3;
   let attempts = ref 0 and successes = ref 0 in
@@ -229,9 +232,43 @@ let test_loss_free_run_has_no_drops () =
   check Alcotest.int "no drops" 0 m.Net.dropped;
   check Alcotest.int "sent = delivered" m.Net.sent m.Net.delivered
 
+let test_dangling_uid_under_total_loss () =
+  (* Regression: the kernel's local "no such eject" error is modelled as
+     a same-node network hop.  Same-node messages must be exempt from
+     simulated loss, or invoking a dangling UID on a lossy network hangs
+     forever instead of returning an error. *)
+  let k = Kernel.create ~nodes:[ "a"; "b" ] () in
+  Net.set_loss_probability (Kernel.net k) 1.0;
+  let answered = ref None in
+  Kernel.run_driver k (fun ctx ->
+      let dangling = Kernel.mint ctx in
+      answered := Some (Kernel.invoke ctx dangling ~op:"Echo" Value.Unit));
+  match !answered with
+  | Some (Error _) -> ()
+  | Some (Ok _) -> Alcotest.fail "a dangling UID cannot succeed"
+  | None -> Alcotest.fail "invocation hung under total loss"
+
+let test_same_node_exempt_from_loss () =
+  (* The loss coin is only tossed for inter-node messages: a node does
+     not lose messages to itself. *)
+  let k = Kernel.create ~nodes:[ "a"; "b" ] () in
+  Net.set_loss_probability (Kernel.net k) 1.0;
+  let echo =
+    Kernel.create_eject k ~type_name:"echo" (fun _ctx ~passive:_ -> [ ("Echo", Fun.id) ])
+  in
+  let got = ref false in
+  Kernel.run_driver k (fun ctx ->
+      match Kernel.invoke ctx echo ~op:"Echo" (Value.Int 7) with
+      | Ok (Value.Int 7) -> got := true
+      | Ok _ | Error _ -> ());
+  Alcotest.(check bool) "same-node invocation delivered" true !got;
+  check Alcotest.int "nothing dropped" 0 (Net.meter (Kernel.net k)).Net.dropped
+
 let suite =
   [
     ("loss + retry on idempotent op", `Quick, test_loss_with_retry);
+    ("dangling UID errors under total loss", `Quick, test_dangling_uid_under_total_loss);
+    ("same-node messages exempt from loss", `Quick, test_same_node_exempt_from_loss);
     ("crashed filter stalls visibly", `Quick, test_crashed_filter_stalls_pipeline_visibly);
     ("partition stalls, drops counted", `Quick, test_partition_stalls_then_drops_counted);
     ("checkpointed source resumes", `Quick, test_checkpointed_source_resumes_after_crash);

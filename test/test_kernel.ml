@@ -430,9 +430,74 @@ let test_mint_is_fresh () =
   (* Minted tokens name no Eject. *)
   List.iter (fun u -> Alcotest.(check bool) "not an eject" false (Kernel.exists k u)) !minted
 
+let test_received_counts_only_invocations () =
+  (* Regression: the coordinator's [Stop] poison pill (sent on
+     deactivate/crash/destroy) is kernel bookkeeping, not traffic, and
+     must not inflate the per-Eject received counter. *)
+  let k = Kernel.create () in
+  let uid =
+    Kernel.create_eject k ~type_name:"counted" (fun ctx ~passive:_ ->
+        [
+          ("Echo", Fun.id);
+          ( "Deactivate",
+            fun _ ->
+              Kernel.deactivate ctx;
+              Value.Unit );
+        ])
+  in
+  Kernel.run_driver k (fun ctx ->
+      ignore (Kernel.call ctx uid ~op:"Echo" Value.Unit);
+      ignore (Kernel.call ctx uid ~op:"Echo" Value.Unit);
+      ignore (Kernel.call ctx uid ~op:"Deactivate" Value.Unit);
+      (* Reactivates; the Stop that ended the previous incarnation must
+         not have counted. *)
+      ignore (Kernel.call ctx uid ~op:"Echo" Value.Unit));
+  check Alcotest.int "4 invocations dispatched" 4 (Kernel.received k uid)
+
+let test_concurrent_workers_pruned () =
+  (* Regression: each Concurrent invocation spawns a worker fiber; the
+     finish hook must prune it from the owner's worker list (and the
+     scheduler's fiber table), or both grow without bound. *)
+  let k = Kernel.create () in
+  let uid =
+    Kernel.create_eject k ~dispatch:Kernel.Concurrent ~type_name:"conc"
+      (fun _ctx ~passive:_ -> [ ("Echo", Fun.id) ])
+  in
+  Kernel.run_driver k (fun ctx ->
+      for _ = 1 to 20 do
+        ignore (Kernel.call ctx uid ~op:"Echo" Value.Unit)
+      done);
+  check Alcotest.int "only the coordinator remains" 1 (Kernel.worker_count k uid)
+
+let test_meter_counts_timeouts () =
+  let k = Kernel.create () in
+  let uid =
+    Kernel.create_eject k ~type_name:"slow" (fun _ctx ~passive:_ ->
+        [
+          ( "Slow",
+            fun v ->
+              Eden_sched.Sched.sleep 50.0;
+              v );
+        ])
+  in
+  Kernel.run_driver k (fun ctx ->
+      match Kernel.invoke_timeout ctx uid ~op:"Slow" Value.Unit ~timeout:1.0 with
+      | None -> ()
+      | Some _ -> Alcotest.fail "expected a timeout");
+  let snap = Kernel.Meter.snapshot k in
+  check Alcotest.int "snapshot counts timeouts" 1 snap.Kernel.Meter.timeouts;
+  check Alcotest.int "diff subtracts timeouts" 0
+    (Kernel.Meter.diff snap snap).Kernel.Meter.timeouts;
+  Alcotest.(check bool) "pp renders timeouts" true
+    (Eden_util.Text.contains_sub ~sub:"timeouts=1"
+       (Format.asprintf "%a" Kernel.Meter.pp snap))
+
 let suite =
   [
     ("invoke echo", `Quick, test_invoke_echo);
+    ("received counts only invocations", `Quick, test_received_counts_only_invocations);
+    ("concurrent workers pruned", `Quick, test_concurrent_workers_pruned);
+    ("meter counts timeouts", `Quick, test_meter_counts_timeouts);
     ("error reply", `Quick, test_invoke_error_reply);
     ("unknown op", `Quick, test_invoke_unknown_op);
     ("no such eject", `Quick, test_invoke_no_such_eject);

@@ -56,9 +56,12 @@ let test_backoff_known_schedule () =
 (* --- Retry ---------------------------------------------------------- *)
 
 let test_retry_reaches_through_loss () =
-  let k = Kernel.create ~seed:11L () in
+  (* The echo Eject is remote: loss only applies to inter-node hops. *)
+  let k = Kernel.create ~seed:11L ~nodes:[ "a"; "b" ] () in
+  let nb = List.nth (Kernel.nodes k) 1 in
   let echo =
-    Kernel.create_eject k ~type_name:"echo" (fun _ctx ~passive:_ -> [ ("Echo", Fun.id) ])
+    Kernel.create_eject k ~node:nb ~type_name:"echo" (fun _ctx ~passive:_ ->
+        [ ("Echo", Fun.id) ])
   in
   Net.set_loss_probability (Kernel.net k) 0.3;
   let meter = Retry.create_meter () in
@@ -96,14 +99,19 @@ let expected n =
    pipeline. *)
 let run_chaos ?(loss = 0.0) ?(crashes = fun _ -> []) ?(supervised = true) ?(n = 30)
     ?(batch = 2) ?(deadline = 5000.0) discipline =
-  let k = Kernel.create ~seed:5L () in
+  (* Stages are spread over three nodes so injected loss actually
+     applies: same-node hops are exempt from the loss coin. *)
+  let k = Kernel.create ~seed:5L ~nodes:[ "a"; "b"; "c" ] () in
   Net.set_loss_probability (Kernel.net k) loss;
   let policy =
     Retry.policy ~timeout:15.0 ~max_attempts:30
       ~backoff:(Backoff.make ~base:1.0 ~cap:10.0 ())
       ()
   in
-  let p = Rpipeline.build k ~batch ~policy ~seed:99L discipline ~gen:(gen n) ~filters:specs in
+  let p =
+    Rpipeline.build k ~nodes:(Kernel.nodes k) ~batch ~policy ~seed:99L discipline ~gen:(gen n)
+      ~filters:specs
+  in
   let sup = Supervisor.create k ~policy:(Supervisor.policy ~interval:4.0 ()) () in
   if supervised then begin
     Rpipeline.supervise p sup;

@@ -152,6 +152,35 @@ let test_blocked_listing () =
     [ ("waiter", "lonely") ]
     (Sched.blocked t)
 
+let test_finished_fibers_untracked () =
+  (* Regression: finished fibers used to linger in the scheduler's fiber
+     table forever; they must be dropped the moment they finish. *)
+  let t = Sched.create () in
+  let fids =
+    List.init 3 (fun i -> Sched.spawn t (fun () -> Sched.sleep (float_of_int i)))
+  in
+  List.iter
+    (fun fid -> Alcotest.(check bool) "tracked before run" true (Sched.is_live t fid))
+    fids;
+  run_ok t;
+  check Alcotest.int "no finished fibers retained" 0 (Sched.tracked_count t);
+  List.iter
+    (fun fid -> Alcotest.(check bool) "untracked once finished" false (Sched.is_live t fid))
+    fids
+
+let test_blocked_info_ids_match () =
+  let t = Sched.create () in
+  let mb : int Mailbox.t = Mailbox.create ~label:"lonely" () in
+  let fid = Sched.spawn t ~name:"waiter" (fun () -> ignore (Mailbox.receive mb)) in
+  Sched.run t;
+  match Sched.blocked_info t with
+  | [ (id, name, reason) ] ->
+      check Alcotest.int "fiber id" fid id;
+      check Alcotest.string "name" "waiter" name;
+      check Alcotest.string "reason" "lonely" reason;
+      Alcotest.(check bool) "blocked fiber still tracked" true (Sched.is_live t fid)
+  | l -> Alcotest.failf "expected 1 blocked fiber, got %d" (List.length l)
+
 let test_cancel_blocked_fiber () =
   let t = Sched.create () in
   let mb : int Mailbox.t = Mailbox.create () in
@@ -470,6 +499,8 @@ let suite =
     ("run_until stops clock", `Quick, test_run_until_stops_clock);
     ("step granularity", `Quick, test_step_granularity);
     ("blocked listing", `Quick, test_blocked_listing);
+    ("finished fibers untracked", `Quick, test_finished_fibers_untracked);
+    ("blocked_info ids match", `Quick, test_blocked_info_ids_match);
     ("cancel blocked fiber", `Quick, test_cancel_blocked_fiber);
     ("cancel before first run", `Quick, test_cancel_before_first_run);
     ("cancel finished is noop", `Quick, test_cancel_finished_noop);

@@ -140,9 +140,34 @@ let test_pipeline_op_mix () =
   check Alcotest.(list string) "conventional uses both" [ "Deposit"; "Transfer" ]
     (run Pipeline.Conventional)
 
+let test_ring_overflow_and_resize () =
+  (* The trace log is a bounded ring: overflow evicts the oldest events
+     and counts them, rather than growing without limit. *)
+  let k = Kernel.create ~trace_capacity:4 () in
+  Kernel.Trace.enable k;
+  let uid = Kernel.create_eject k ~type_name:"echo" echo_behaviour in
+  Kernel.run_driver k (fun ctx ->
+      for _ = 1 to 4 do
+        ignore (Kernel.invoke ctx uid ~op:"Echo" Value.Unit)
+      done);
+  (* 4 invocations log 9 events (invoke+reply each, one activation);
+     only the newest 4 fit. *)
+  check Alcotest.int "capacity" 4 (Kernel.Trace.capacity k);
+  check Alcotest.int "ring holds capacity" 4 (List.length (Kernel.Trace.events k));
+  check Alcotest.int "evictions counted" 5 (Kernel.Trace.dropped k);
+  let before = Kernel.Trace.events k in
+  Kernel.Trace.set_capacity k 2;
+  check Alcotest.int "resized" 2 (Kernel.Trace.capacity k);
+  Alcotest.(check bool) "newest survive the resize" true
+    (Kernel.Trace.events k = [ List.nth before 2; List.nth before 3 ]);
+  check Alcotest.int "resize evictions counted" 7 (Kernel.Trace.dropped k);
+  Kernel.Trace.clear k;
+  check Alcotest.int "clear resets drop count" 0 (Kernel.Trace.dropped k)
+
 let suite =
   [
     ("disabled by default", `Quick, test_disabled_by_default);
+    ("ring overflow and resize", `Quick, test_ring_overflow_and_resize);
     ("invocation sequence", `Quick, test_invocation_sequence);
     ("timestamps monotone", `Quick, test_timestamps_monotone);
     ("lifecycle events", `Quick, test_lifecycle_events);
