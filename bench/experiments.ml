@@ -1113,6 +1113,115 @@ let smoke () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* P1: parallel runtime scaling                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Par = Eden_par
+
+let p1 () =
+  section "P1  Parallel runtime: wide fan-in wall-clock scaling across domains";
+  let spec = Par.Fanin.default in
+  Printf.printf
+    "Fan-in of %d read-only branches (%d work filters each, %d items/branch,\n\
+     %d LCG rounds per item per filter).  Producing stages shard over domains\n\
+     1..n-1; every sink lives on domain 0 and pulls through a cross-domain\n\
+     proxy.  The deterministic mode at the same shard count is the oracle:\n\
+     the parallel run must reproduce its invocation counts exactly.\n\n"
+    spec.Par.Fanin.branches spec.Par.Fanin.filters spec.Par.Fanin.items
+    spec.Par.Fanin.work;
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "host cores available: %d\n" cores;
+  if cores < 4 then
+    print_endline
+      "WARNING: fewer than 4 cores — wall-clock speedup beyond 1 domain is\n\
+       not physically possible on this host; the correctness cross-checks\n\
+       below still hold.";
+  print_newline ();
+  let timed_parallel domains =
+    (* Best of 3: domain spawn/join noise dominates small runs. *)
+    let best = ref infinity and out = ref None in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let o = Par.Fanin.run Parallel ~domains spec in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      out := Some o
+    done;
+    (Option.get !out, !best)
+  in
+  let tbl =
+    Table.create ~title:"Wall-clock scaling (best of 3) vs deterministic oracle"
+      ~columns:
+        [
+          ("domains", Table.Right);
+          ("wall s", Table.Right);
+          ("speedup", Table.Right);
+          ("invocations (par)", Table.Right);
+          ("invocations (det)", Table.Right);
+          ("counts match", Table.Right);
+          ("cross msgs", Table.Right);
+        ]
+  in
+  let base = ref 0.0 in
+  let all_match = ref true in
+  let last = ref None in
+  List.iter
+    (fun domains ->
+      let par, wall = timed_parallel domains in
+      let det = Par.Fanin.run Deterministic ~domains spec in
+      if domains = 1 then base := wall;
+      let ok =
+        par.Par.Fanin.meter.Kernel.Meter.invocations
+        = det.Par.Fanin.meter.Kernel.Meter.invocations
+        && par.Par.Fanin.op_counts = det.Par.Fanin.op_counts
+        && par.Par.Fanin.consumed = det.Par.Fanin.consumed
+        && par.Par.Fanin.eos_clean && det.Par.Fanin.eos_clean
+      in
+      if not ok then all_match := false;
+      if domains > 1 then last := Some par;
+      Table.add_row tbl
+        [
+          Table.cell_int domains;
+          Printf.sprintf "%.3f" wall;
+          Printf.sprintf "%.2fx" (!base /. wall);
+          Table.cell_int par.Par.Fanin.meter.Kernel.Meter.invocations;
+          Table.cell_int det.Par.Fanin.meter.Kernel.Meter.invocations;
+          (if ok then "yes" else "NO");
+          Table.cell_int par.Par.Fanin.cross_messages;
+        ])
+    [ 1; 2; 4; 8 ];
+  Table.print tbl;
+  (match !last with
+  | Some o ->
+      let mtbl =
+        Table.create ~title:"Histograms merged across shards (Histogram.merge)"
+          ~columns:
+            [
+              ("histogram", Table.Left);
+              ("samples", Table.Right);
+              ("mean", Table.Right);
+              ("p99", Table.Right);
+            ]
+      in
+      List.iter
+        (fun (name, h) ->
+          if name = "net.delay" || String.length name >= 4 && String.sub name 0 4 = "rtt." then
+            Table.add_row mtbl
+              [
+                name;
+                Table.cell_int (Obs.Histogram.count h);
+                Table.cell_float (Obs.Histogram.mean h);
+                Table.cell_float (Obs.Histogram.percentile h 0.99);
+              ])
+        o.Par.Fanin.histograms;
+      Table.print mtbl
+  | None -> ());
+  if not !all_match then begin
+    print_endline "p1: FAILED (parallel counts diverge from deterministic oracle)";
+    exit 1
+  end
+
 let all () =
   smoke ();
   fig1 ();

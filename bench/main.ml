@@ -102,6 +102,7 @@ let () =
       ("ablation", Experiments.ablation);
       ("r1", Experiments.r1);
       ("smoke", Experiments.smoke);
+      ("p1", Experiments.p1);
       ("bechamel", run_bechamel);
     ]
   in

@@ -554,9 +554,12 @@ let crash t uid =
 
 (* --- Drivers -------------------------------------------------------- *)
 
-let run_driver t f =
+let spawn_driver t ?(name = "driver") f =
   let ctx = { k = t; self_uid = None; src_node = List.hd t.node_ids } in
-  ignore (Sched.spawn t.sched ~name:"driver" (fun () -> f ctx));
+  ignore (Sched.spawn t.sched ~name (fun () -> f ctx))
+
+let run_driver t f =
+  spawn_driver t f;
   run t
 
 (* --- Metering ------------------------------------------------------- *)
@@ -595,6 +598,33 @@ module Meter = struct
       crashes = later.crashes - earlier.crashes;
       timeouts = later.timeouts - earlier.timeouts;
       net = Net.meter_diff later.net earlier.net;
+    }
+
+  let zero =
+    {
+      invocations = 0;
+      replies = 0;
+      activations = 0;
+      ejects_created = 0;
+      ejects_live = 0;
+      crashes = 0;
+      timeouts = 0;
+      net = Net.empty_meter;
+    }
+
+  (* Counter-wise sum over disjoint kernels (the parallel runtime's
+     per-domain shards); [ejects_live] sums too since the kernels share
+     no Ejects. *)
+  let add a b =
+    {
+      invocations = a.invocations + b.invocations;
+      replies = a.replies + b.replies;
+      activations = a.activations + b.activations;
+      ejects_created = a.ejects_created + b.ejects_created;
+      ejects_live = a.ejects_live + b.ejects_live;
+      crashes = a.crashes + b.crashes;
+      timeouts = a.timeouts + b.timeouts;
+      net = Net.meter_add a.net b.net;
     }
 
   let pp ppf s =

@@ -81,6 +81,12 @@ val run_driver : t -> (ctx -> unit) -> unit
     then {!run}s to quiescence.  The standard way to execute an
     experiment. *)
 
+val spawn_driver : t -> ?name:string -> (ctx -> unit) -> unit
+(** Registers [f] as a driver fiber without running the scheduler —
+    the building block behind {!run_driver}, for callers that drive the
+    scheduler themselves (several drivers, interleaved [step]s, or the
+    parallel runtime's per-shard pump loop). *)
+
 (** {1 Ejects} *)
 
 val create_eject :
@@ -214,6 +220,13 @@ module Meter : sig
   val diff : snapshot -> snapshot -> snapshot
   (** Counter-wise subtraction (for [ejects_live], the later value is
       kept: it is a gauge, not a counter). *)
+
+  val zero : snapshot
+
+  val add : snapshot -> snapshot -> snapshot
+  (** Counter-wise sum, for aggregating the meters of disjoint kernels
+      (e.g. the parallel runtime's per-domain shards).  [ejects_live]
+      sums too: the kernels share no Ejects. *)
 
   val pp : Format.formatter -> snapshot -> unit
 end

@@ -1,13 +1,19 @@
 type t = { tag : int64; serial : int }
 
-type gen = { prng : Eden_util.Prng.t; mutable next : int }
+(* The generator is shared by everything that mints UIDs against one
+   kernel; under the parallel runtime a kernel's domain and the spawning
+   domain may both reach it, so [fresh] is serialised by a mutex.  The
+   lock is uncontended in the single-domain simulator and costs a few
+   nanoseconds. *)
+type gen = { mu : Mutex.t; prng : Eden_util.Prng.t; mutable next : int }
 
-let generator ~seed = { prng = Eden_util.Prng.create seed; next = 0 }
+let generator ~seed = { mu = Mutex.create (); prng = Eden_util.Prng.create seed; next = 0 }
 
 let fresh g =
-  let serial = g.next in
-  g.next <- serial + 1;
-  { tag = Eden_util.Prng.next_int64 g.prng; serial }
+  Mutex.protect g.mu (fun () ->
+      let serial = g.next in
+      g.next <- serial + 1;
+      { tag = Eden_util.Prng.next_int64 g.prng; serial })
 
 let equal a b = a.serial = b.serial && Int64.equal a.tag b.tag
 let compare a b =

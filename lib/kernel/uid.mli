@@ -11,7 +11,11 @@ type t
 type gen
 
 val generator : seed:int64 -> gen
+
 val fresh : gen -> t
+(** Mint the next UID.  Domain-safe: the generator serialises minting
+    internally, so a kernel's owning domain and the topology-building
+    domain may share one [gen]. *)
 
 val equal : t -> t -> bool
 val compare : t -> t -> int

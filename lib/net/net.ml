@@ -146,6 +146,16 @@ let meter_diff later earlier =
     bytes = later.bytes - earlier.bytes;
   }
 
+let meter_add a b =
+  {
+    sent = a.sent + b.sent;
+    delivered = a.delivered + b.delivered;
+    dropped = a.dropped + b.dropped;
+    dropped_loss = a.dropped_loss + b.dropped_loss;
+    dropped_partition = a.dropped_partition + b.dropped_partition;
+    bytes = a.bytes + b.bytes;
+  }
+
 let pp_meter ppf m =
   Format.fprintf ppf "sent=%d delivered=%d dropped=%d (loss=%d partition=%d) bytes=%d" m.sent
     m.delivered m.dropped m.dropped_loss m.dropped_partition m.bytes

@@ -85,4 +85,11 @@ type meter = {
 val meter : t -> meter
 val reset_meter : t -> unit
 val meter_diff : meter -> meter -> meter
+
+val empty_meter : meter
+
+val meter_add : meter -> meter -> meter
+(** Counter-wise sum, for aggregating the networks of disjoint kernels
+    (the parallel runtime's per-domain shards). *)
+
 val pp_meter : Format.formatter -> meter -> unit

@@ -64,6 +64,19 @@ module Histogram = struct
     if v < t.minv then t.minv <- v;
     if v > t.maxv then t.maxv <- v
 
+  (* Fold [src] into [into].  Bucket-exact when the two histograms share
+     bucket geometry; geometry mismatch is a caller error.  Used to
+     aggregate per-domain histograms after a parallel run joins. *)
+  let merge ~into src =
+    if into.lo <> src.lo || into.growth <> src.growth then
+      invalid_arg "Obs.Histogram.merge: bucket geometry differs";
+    ensure into (Array.length src.counts - 1);
+    Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+    into.n <- into.n + src.n;
+    into.sum <- into.sum +. src.sum;
+    if src.minv < into.minv then into.minv <- src.minv;
+    if src.maxv > into.maxv then into.maxv <- src.maxv
+
   let count t = t.n
   let total t = t.sum
   let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n

@@ -27,6 +27,14 @@ module Histogram : sig
       [growth <= 1]. *)
 
   val add : t -> float -> unit
+
+  val merge : into:t -> t -> unit
+  (** [merge ~into src] folds [src]'s samples into [into] (bucket-exact;
+      min/max/mean preserved).  The way per-domain histograms are
+      aggregated after a parallel run joins.  @raise Invalid_argument
+      when the two histograms were created with different [lo]/[growth]
+      geometry. *)
+
   val count : t -> int
   val total : t -> float
   val mean : t -> float

@@ -1,0 +1,224 @@
+module Kernel = Eden_kernel.Kernel
+module Uid = Eden_kernel.Uid
+module Value = Eden_kernel.Value
+module Sched = Eden_sched.Sched
+module Ivar = Eden_sched.Ivar
+module Prng = Eden_util.Prng
+
+type mode = Deterministic | Parallel
+
+type msg =
+  | Request of {
+      req_id : int;
+      from_shard : int;
+      target : Uid.t;
+      op : string;
+      arg : Value.t;
+    }
+  | Reply of { req_id : int; reply : Kernel.reply }
+
+type shard = {
+  index : int;
+  kernel : Kernel.t;
+  inbox : msg Dqueue.t;
+  (* Both tables below are touched only by the shard's own domain:
+     [forward] runs in a fiber of this shard, [inject] in its pump
+     loop. *)
+  pending : (int, Kernel.reply Ivar.t) Hashtbl.t;
+  mutable next_req : int;
+  mutable ctx : Kernel.ctx option;
+}
+
+type t = {
+  cluster_mode : mode;
+  shards : shard array;
+  in_flight : int Atomic.t;
+  idle : int Atomic.t;
+  carried : int Atomic.t;
+  mutable ran : bool;
+}
+
+let mode t = t.cluster_mode
+let shard_count t = Array.length t.shards
+let kernel t i = t.shards.(i).kernel
+let cross_messages t = Atomic.get t.carried
+
+let create ?(seed = 0xEDE0L) ?latency cluster_mode ~shards:n () =
+  if n <= 0 then invalid_arg "Cluster.create: shards must be positive";
+  let root = Prng.create seed in
+  let streams = Prng.split_n root n in
+  let shards =
+    Array.init n (fun index ->
+        let kernel =
+          Kernel.create ~seed:(Prng.next_int64 streams.(index)) ?latency ()
+        in
+        {
+          index;
+          kernel;
+          inbox = Dqueue.create ~label:(Printf.sprintf "shard-%d" index) ();
+          pending = Hashtbl.create 16;
+          next_req = 0;
+          ctx = None;
+        })
+  in
+  let t =
+    {
+      cluster_mode;
+      shards;
+      in_flight = Atomic.make 0;
+      idle = Atomic.make 0;
+      carried = Atomic.make 0;
+      ran = false;
+    }
+  in
+  (* Capture a driver context per shard: proxy handlers and injected
+     requests invoke through it.  The stashing fiber runs and finishes
+     here, before any user code. *)
+  Array.iter
+    (fun sh ->
+      Kernel.spawn_driver sh.kernel ~name:"par-ctx" (fun ctx ->
+          sh.ctx <- Some ctx);
+      Sched.run (Kernel.sched sh.kernel))
+    shards;
+  t
+
+let driver t i f = Kernel.spawn_driver t.shards.(i).kernel ~name:"par-driver" f
+
+let post t ~dst m =
+  (* in_flight covers the message from before it is visible to the
+     receiver until after the receiver has left the idle count — the
+     invariant the termination check relies on. *)
+  Atomic.incr t.in_flight;
+  Atomic.incr t.carried;
+  if not (Dqueue.push t.shards.(dst).inbox m) then begin
+    Atomic.decr t.in_flight;
+    invalid_arg "Cluster: message posted after shutdown"
+  end
+
+let forward t sh ~target ~op arg =
+  let req_id = sh.next_req in
+  sh.next_req <- req_id + 1;
+  let slot = Ivar.create () in
+  Hashtbl.replace sh.pending req_id slot;
+  (match target with
+  | tshard, tuid ->
+      post t ~dst:tshard
+        (Request { req_id; from_shard = sh.index; target = tuid; op; arg }));
+  match Ivar.read slot with
+  | Ok v -> v
+  | Error m -> raise (Kernel.Eden_error m)
+
+let proxy t ~shard ~ops ~target:(tshard, tuid) =
+  let sh = t.shards.(shard) in
+  if tshard = shard then tuid
+  else
+    Kernel.create_eject sh.kernel ~dispatch:Kernel.Serial
+      ~type_name:"par-proxy" (fun _ctx ~passive:_ ->
+        List.map
+          (fun op -> (op, fun arg -> forward t sh ~target:(tshard, tuid) ~op arg))
+          ops)
+
+let inject t sh = function
+  | Request { req_id; from_shard; target; op; arg } ->
+      let ctx =
+        match sh.ctx with
+        | Some c -> c
+        | None -> assert false
+      in
+      ignore
+        (Sched.spawn (Kernel.sched sh.kernel) ~name:"par-inject" (fun () ->
+             let reply = Kernel.invoke ctx target ~op arg in
+             post t ~dst:from_shard (Reply { req_id; reply })))
+  | Reply { req_id; reply } -> (
+      match Hashtbl.find_opt sh.pending req_id with
+      | Some slot ->
+          Hashtbl.remove sh.pending req_id;
+          Ivar.fill slot reply
+      | None -> assert false)
+
+let close_all t = Array.iter (fun sh -> Dqueue.close sh.inbox) t.shards
+
+(* Parallel pump loop: run the shard's scheduler to quiescence, then
+   look for cross-shard messages.  A shard only joins the idle count
+   when both its scheduler and its inbox are drained, and leaves it
+   before touching a newly popped message. *)
+let shard_loop t sh =
+  let n = Array.length t.shards in
+  let rec go () =
+    Sched.run (Kernel.sched sh.kernel);
+    match Dqueue.try_pop sh.inbox with
+    | Some m ->
+        Atomic.decr t.in_flight;
+        inject t sh m;
+        go ()
+    | None -> (
+        let idle_now = 1 + Atomic.fetch_and_add t.idle 1 in
+        (* When idle = n no fiber is running anywhere, so in_flight
+           cannot rise concurrently: reading 0 here proves global
+           quiescence. *)
+        if idle_now = n && Atomic.get t.in_flight = 0 then close_all t;
+        match Dqueue.pop sh.inbox with
+        | None -> ()
+        | Some m ->
+            Atomic.decr t.idle;
+            Atomic.decr t.in_flight;
+            inject t sh m;
+            go ())
+  in
+  go ()
+
+(* Deterministic pump: fixed shard order, each scheduler run to
+   quiescence before its inbox is drained; repeat until a full pass
+   moves no message and none is in flight.  The in_flight check matters:
+   a shard late in the pass order can post into an inbox that was
+   already drained this pass. *)
+let det_loop t =
+  let progressed = ref true in
+  while !progressed || Atomic.get t.in_flight > 0 do
+    progressed := false;
+    Array.iter
+      (fun sh ->
+        Sched.run (Kernel.sched sh.kernel);
+        let rec drain () =
+          match Dqueue.try_pop sh.inbox with
+          | Some m ->
+              Atomic.decr t.in_flight;
+              inject t sh m;
+              progressed := true;
+              drain ()
+          | None -> ()
+        in
+        drain ())
+      t.shards
+  done;
+  close_all t
+
+let run t =
+  if t.ran then invalid_arg "Cluster.run: already run";
+  t.ran <- true;
+  (match t.cluster_mode with
+  | Deterministic -> det_loop t
+  | Parallel ->
+      let domains =
+        Array.map (fun sh -> Domain.spawn (fun () -> shard_loop t sh)) t.shards
+      in
+      Array.iter Domain.join domains);
+  Array.iter (fun sh -> Sched.check_failures (Kernel.sched sh.kernel)) t.shards
+
+let meter t =
+  Array.fold_left
+    (fun acc sh -> Kernel.Meter.add acc (Kernel.Meter.snapshot sh.kernel))
+    Kernel.Meter.zero t.shards
+
+let op_counts t =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun sh ->
+      List.iter
+        (fun (op, n) ->
+          Hashtbl.replace tbl op
+            (n + Option.value ~default:0 (Hashtbl.find_opt tbl op)))
+        (Kernel.op_counts sh.kernel))
+    t.shards;
+  Hashtbl.fold (fun op n acc -> (op, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,84 @@
+(** Parallel runtime: one simulated Eden cluster sharded over OCaml
+    domains.
+
+    Each {e shard} is a complete, self-contained {!Eden_kernel.Kernel}
+    — its own scheduler, network, observability collector and PRNG
+    stream (split from the cluster seed, see {!Eden_util.Prng.split}).
+    In [Parallel] mode every shard runs on its own domain; in
+    [Deterministic] mode one thread pumps the shards round-robin in a
+    fixed order, giving a bit-reproducible schedule that serves as the
+    oracle for equivalence tests.
+
+    Ejects on different shards interact through {e proxies}: a proxy is
+    a local Eject whose handlers forward the invocation as a
+    request/reply message pair over the target shard's {!Dqueue} inbox
+    and block the calling fiber on an {!Eden_sched.Ivar} until the reply
+    comes back.  Same-shard targets take the fast path — {!proxy}
+    returns the target UID itself and no message crosses a domain
+    boundary.
+
+    Termination in parallel mode is detected with an [idle]/[in_flight]
+    counter pair: a message is counted in flight {e before} it is
+    pushed, and a shard leaves the idle count {e before} it processes a
+    popped message, so "all shards idle and nothing in flight" can only
+    be observed when the whole cluster is quiescent.  The shard that
+    makes that observation closes every inbox, releasing the others from
+    their blocking pops. *)
+
+type mode = Deterministic | Parallel
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?latency:Eden_net.Net.latency ->
+  mode ->
+  shards:int ->
+  unit ->
+  t
+(** [shards] complete kernels.  Shard seeds are derived by splitting the
+    cluster seed, so shard [i]'s randomness is the same in both modes
+    and for any shard count.
+    @raise Invalid_argument on non-positive [shards]. *)
+
+val mode : t -> mode
+val shard_count : t -> int
+
+val kernel : t -> int -> Eden_kernel.Kernel.t
+(** The shard's kernel, e.g. to create Ejects on it before {!run}.
+    After {!run} has been called, treat it as read-only from the
+    calling domain. *)
+
+val driver : t -> int -> (Eden_kernel.Kernel.ctx -> unit) -> unit
+(** Registers a driver fiber on the shard (see
+    {!Eden_kernel.Kernel.spawn_driver}); it executes during {!run}. *)
+
+val proxy :
+  t ->
+  shard:int ->
+  ops:string list ->
+  target:int * Eden_kernel.Uid.t ->
+  Eden_kernel.Uid.t
+(** A UID that Ejects on [shard] can invoke to reach [target] on
+    another shard.  Only the listed [ops] are forwarded.  When the
+    target lives on [shard] itself, the target UID is returned
+    unchanged (no proxy Eject, no cross-domain message).  Must be
+    called before {!run}. *)
+
+val run : t -> unit
+(** Drives the whole cluster to quiescence — round-robin on the calling
+    domain in [Deterministic] mode, one [Domain.spawn] per shard in
+    [Parallel] mode — then re-raises the first fiber failure of any
+    shard.  May be called once. *)
+
+val meter : t -> Eden_kernel.Kernel.Meter.snapshot
+(** Counter-wise sum over all shards. *)
+
+val op_counts : t -> (string * int) list
+(** Per-operation invocation counts summed over all shards, sorted by
+    name.  Proxy forwarding re-issues the operation on the target
+    shard, so a cross-shard invocation counts twice (once per side) in
+    both modes — equivalence tests compare like with like. *)
+
+val cross_messages : t -> int
+(** Messages that crossed a shard boundary (requests + replies). *)

@@ -1,0 +1,69 @@
+type 'a t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  nonfull : Condition.t;
+  q : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+  label : string;
+}
+
+let create ~capacity ?(label = "dchan") () =
+  if capacity <= 0 then invalid_arg "Dchan.create: capacity must be positive";
+  {
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+    nonfull = Condition.create ();
+    q = Queue.create ();
+    capacity;
+    closed = false;
+    label;
+  }
+
+let send t x =
+  Mutex.protect t.mu (fun () ->
+      while Queue.length t.q >= t.capacity && not t.closed do
+        Condition.wait t.nonfull t.mu
+      done;
+      if t.closed then false
+      else begin
+        Queue.push x t.q;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let try_send t x =
+  Mutex.protect t.mu (fun () ->
+      if t.closed || Queue.length t.q >= t.capacity then false
+      else begin
+        Queue.push x t.q;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let recv t =
+  Mutex.protect t.mu (fun () ->
+      while Queue.is_empty t.q && not t.closed do
+        Condition.wait t.nonempty t.mu
+      done;
+      let x = Queue.take_opt t.q in
+      if x <> None then Condition.signal t.nonfull;
+      x)
+
+let try_recv t =
+  Mutex.protect t.mu (fun () ->
+      let x = Queue.take_opt t.q in
+      if x <> None then Condition.signal t.nonfull;
+      x)
+
+let close t =
+  Mutex.protect t.mu (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Condition.broadcast t.nonempty;
+        Condition.broadcast t.nonfull
+      end)
+
+let is_closed t = Mutex.protect t.mu (fun () -> t.closed)
+let capacity t = t.capacity
+let length t = Mutex.protect t.mu (fun () -> Queue.length t.q)

@@ -1,0 +1,38 @@
+(** Bounded blocking channel with backpressure, safe across OCaml
+    domains.
+
+    The flow-controlled sibling of {!Dqueue}: {!send} blocks the
+    calling domain while the channel is full, so a fast producer domain
+    cannot run arbitrarily far ahead of a slow consumer — the
+    cross-domain analogue of the simulator's anticipation buffers
+    ({!Eden_transput.Port}).  Multi-producer, multi-consumer.
+
+    Shutdown: {!close} wakes all blocked senders (their sends fail) and
+    all blocked receivers (they drain the backlog, then get [None]). *)
+
+type 'a t
+
+val create : capacity:int -> ?label:string -> unit -> 'a t
+(** @raise Invalid_argument on non-positive capacity. *)
+
+val send : 'a t -> 'a -> bool
+(** Enqueue, blocking while the channel is full and open.  [false]
+    (and no enqueue) when the channel is (or becomes, while blocked)
+    closed. *)
+
+val try_send : 'a t -> 'a -> bool
+(** [false] when full or closed; never blocks. *)
+
+val recv : 'a t -> 'a option
+(** Dequeue, blocking while the channel is empty and open.  [None] only
+    when closed and drained. *)
+
+val try_recv : 'a t -> 'a option
+
+val close : 'a t -> unit
+(** Idempotent; wakes every blocked sender and receiver. *)
+
+val is_closed : 'a t -> bool
+val capacity : 'a t -> int
+val length : 'a t -> int
+(** Instantaneous size; advisory under concurrency. *)

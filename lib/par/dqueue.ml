@@ -1,0 +1,39 @@
+type 'a t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  q : 'a Queue.t;
+  mutable closed : bool;
+  label : string;
+}
+
+let create ?(label = "dqueue") () =
+  { mu = Mutex.create (); nonempty = Condition.create (); q = Queue.create (); closed = false; label }
+
+let push t x =
+  Mutex.protect t.mu (fun () ->
+      if t.closed then false
+      else begin
+        Queue.push x t.q;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let pop t =
+  Mutex.protect t.mu (fun () ->
+      while Queue.is_empty t.q && not t.closed do
+        Condition.wait t.nonempty t.mu
+      done;
+      Queue.take_opt t.q)
+
+let try_pop t = Mutex.protect t.mu (fun () -> Queue.take_opt t.q)
+
+let close t =
+  Mutex.protect t.mu (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Condition.broadcast t.nonempty
+      end)
+
+let is_closed t = Mutex.protect t.mu (fun () -> t.closed)
+let length t = Mutex.protect t.mu (fun () -> Queue.length t.q)
+let label t = t.label

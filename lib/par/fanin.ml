@@ -1,0 +1,146 @@
+module Kernel = Eden_kernel.Kernel
+module Value = Eden_kernel.Value
+module Sched = Eden_sched.Sched
+module Obs = Eden_obs.Obs
+module Stage = Eden_transput.Stage
+module Proto = Eden_transput.Proto
+module Transform = Eden_transput.Transform
+
+type spec = {
+  branches : int;
+  filters : int;
+  items : int;
+  batch : int;
+  capacity : int;
+  work : int;
+}
+
+let default =
+  { branches = 8; filters = 2; items = 64; batch = 4; capacity = 4; work = 20_000 }
+
+let item ~branch i = Value.Int ((branch * 1_000_003) + i)
+
+let burn rounds seed =
+  let h = ref seed in
+  for _ = 1 to rounds do
+    h := ((!h * 1103515245) + 12345) land 0x3FFFFFFF
+  done;
+  !h
+
+let branch_shard ~domains b = if domains = 1 then 0 else 1 + (b mod (domains - 1))
+
+type outcome = {
+  consumed : int;
+  per_branch : Value.t list array;
+  eos_clean : bool;
+  meter : Kernel.Meter.snapshot;
+  op_counts : (string * int) list;
+  flows : (string * int * int) list;
+  histograms : (string * Obs.Histogram.t) list;
+  cross_messages : int;
+  makespans : float array;
+}
+
+let run mode ?seed ~domains spec =
+  if spec.branches <= 0 then invalid_arg "Fanin.run: branches must be positive";
+  if spec.items <= 0 then invalid_arg "Fanin.run: items must be positive";
+  if spec.batch <= 0 then invalid_arg "Fanin.run: batch must be positive";
+  if domains <= 0 then invalid_arg "Fanin.run: domains must be positive";
+  let c = Cluster.create ?seed mode ~shards:domains () in
+  let acc = Array.make spec.branches [] in
+  let counts = Array.make spec.branches 0 in
+  let done_times = Array.make spec.branches 0 in
+  let done_count = Array.make spec.branches (-1) in
+  let work_fn v = Value.Int (burn spec.work (Value.to_int v)) in
+  for b = 0 to spec.branches - 1 do
+    let pshard = branch_shard ~domains b in
+    let pk = Cluster.kernel c pshard in
+    let pobs = Kernel.obs pk in
+    let src_flow = Obs.register_stage pobs (Printf.sprintf "b%02d.source" b) in
+    let next = ref 0 in
+    let gen () =
+      if !next >= spec.items then None
+      else begin
+        let v = item ~branch:b !next in
+        incr next;
+        Some v
+      end
+    in
+    let src =
+      Stage.source_ro pk
+        ~name:(Printf.sprintf "b%02d.source" b)
+        ~capacity:spec.capacity ~flow:src_flow gen
+    in
+    let up = ref src in
+    for j = 0 to spec.filters - 1 do
+      let flow =
+        Obs.register_stage pobs (Printf.sprintf "b%02d.filter%d" b j)
+      in
+      up :=
+        Stage.filter_ro pk
+          ~name:(Printf.sprintf "b%02d.filter%d" b j)
+          ~capacity:spec.capacity ~batch:spec.batch ~flow ~upstream:!up
+          (Transform.map work_fn)
+    done;
+    let sink_up =
+      Cluster.proxy c ~shard:0 ~ops:[ Proto.transfer_op ]
+        ~target:(pshard, !up)
+    in
+    let k0 = Cluster.kernel c 0 in
+    let sink_flow =
+      Obs.register_stage (Kernel.obs k0) (Printf.sprintf "b%02d.sink" b)
+    in
+    let sink =
+      Stage.sink_ro k0
+        ~name:(Printf.sprintf "b%02d.sink" b)
+        ~batch:spec.batch ~flow:sink_flow ~upstream:sink_up
+        ~on_done:(fun () ->
+          done_times.(b) <- done_times.(b) + 1;
+          done_count.(b) <- counts.(b))
+        (fun v ->
+          counts.(b) <- counts.(b) + 1;
+          acc.(b) <- v :: acc.(b))
+    in
+    Kernel.poke k0 sink
+  done;
+  Cluster.run c;
+  let eos_clean = ref true in
+  for b = 0 to spec.branches - 1 do
+    if done_times.(b) <> 1 || done_count.(b) <> counts.(b) then
+      eos_clean := false
+  done;
+  let flows =
+    let all = ref [] in
+    for i = 0 to domains - 1 do
+      List.iter
+        (fun (s : Obs.Flow.stage) ->
+          all := (s.label, s.items_in, s.items_out) :: !all)
+        (Obs.stages (Kernel.obs (Cluster.kernel c i)))
+    done;
+    List.sort compare !all
+  in
+  let histograms =
+    let tbl = Hashtbl.create 16 in
+    for i = 0 to domains - 1 do
+      List.iter
+        (fun (name, h) ->
+          match Hashtbl.find_opt tbl name with
+          | None -> Hashtbl.add tbl name h
+          | Some into -> Obs.Histogram.merge ~into h)
+        (Obs.histograms (Kernel.obs (Cluster.kernel c i)))
+    done;
+    Hashtbl.fold (fun name h acc -> (name, h) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  {
+    consumed = Array.fold_left ( + ) 0 counts;
+    per_branch = Array.map List.rev acc;
+    eos_clean = !eos_clean;
+    meter = Cluster.meter c;
+    op_counts = Cluster.op_counts c;
+    flows;
+    histograms;
+    cross_messages = Cluster.cross_messages c;
+    makespans =
+      Array.init domains (fun i -> Sched.now (Kernel.sched (Cluster.kernel c i)));
+  }

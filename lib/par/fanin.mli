@@ -1,0 +1,61 @@
+(** The wide fan-in workload behind experiment P1 and the
+    parallel-vs-deterministic equivalence tests.
+
+    [branches] independent read-only pipelines — source, [filters] CPU
+    work filters, sink — all fan in to shard 0, which hosts every sink.
+    With more than one domain the producing stages of branch [b] live on
+    shard [1 + b mod (domains - 1)], so the per-item [work] (a pure
+    spin, see {!burn}) runs off the sink shard and the only cross-domain
+    traffic is the sinks' [Transfer] pull through a {!Cluster.proxy}.
+
+    The topology, seeds and item values are a function of the spec and
+    [domains] alone — never of the mode — so a [Deterministic] run is
+    the exact oracle for a [Parallel] one: items consumed, per-branch
+    item sequences, EOS-last-per-channel, operation counts and total
+    invocations must all agree; only timing artifacts may differ. *)
+
+type spec = {
+  branches : int;
+  filters : int;  (** work filters per branch (may be 0) *)
+  items : int;  (** items per branch *)
+  batch : int;  (** sink/filter transfer credit *)
+  capacity : int;  (** anticipation buffer per producing stage *)
+  work : int;  (** {!burn} rounds per item per filter *)
+}
+
+val default : spec
+
+val item : branch:int -> int -> Eden_kernel.Value.t
+(** The [i]th item of a branch; distinct across branches. *)
+
+val burn : int -> int -> int
+(** [burn rounds seed]: a pure integer spin (LCG) standing in for
+    per-item CPU work; deterministic in both arguments. *)
+
+val branch_shard : domains:int -> int -> int
+(** Which shard hosts branch [b]'s producing stages; always 0 when
+    [domains = 1], never 0 otherwise. *)
+
+type outcome = {
+  consumed : int;  (** items across all sinks *)
+  per_branch : Eden_kernel.Value.t list array;  (** arrival order per branch *)
+  eos_clean : bool;  (** every sink saw EOS exactly once, after all its items *)
+  meter : Eden_kernel.Kernel.Meter.snapshot;  (** summed over shards *)
+  op_counts : (string * int) list;  (** summed over shards *)
+  flows : (string * int * int) list;
+      (** (label, items_in, items_out) per stage, label-sorted *)
+  histograms : (string * Eden_obs.Obs.Histogram.t) list;
+      (** kernel histograms (rtt, net delay/size, stage waits) merged
+          across shards with {!Eden_obs.Obs.Histogram.merge},
+          name-sorted.  Timing-dependent: not part of the equivalence
+          contract. *)
+  cross_messages : int;
+  makespans : float array;  (** final virtual time per shard *)
+}
+
+val run :
+  Cluster.mode -> ?seed:int64 -> domains:int -> spec -> outcome
+(** Builds the topology on a fresh {!Cluster} of [domains] shards and
+    drives it to quiescence.
+    @raise Invalid_argument on a non-positive [branches], [items],
+    [batch] or [domains]. *)

@@ -41,6 +41,10 @@ let split t =
   let g = next_raw t in
   { state = mix64 s; gamma = mix_gamma g }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Prng.split_n: negative count";
+  Array.init n (fun _ -> split t)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* Mask to 62 bits so Int64.to_int cannot land in OCaml's sign bit.

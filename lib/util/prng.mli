@@ -16,7 +16,19 @@ val copy : t -> t
 
 val split : t -> t
 (** [split t] advances [t] and returns a statistically independent child
-    generator.  Used to give sub-components their own streams. *)
+    generator.  Used to give sub-components their own streams.
+
+    A generator itself is {e not} domain-safe: callers that need
+    randomness on several domains must [split] (or {!split_n}) {e
+    before} spawning and hand each domain its own child.  The SplitMix64
+    construction guarantees child streams do not correlate with each
+    other or with the parent's subsequent draws. *)
+
+val split_n : t -> int -> t array
+(** [split_n t n] is [n] independent child generators, split off in
+    order.  The per-domain idiom: split once on the spawning domain,
+    move one child into each [Domain.spawn].
+    @raise Invalid_argument on negative [n]. *)
 
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)

@@ -25,4 +25,6 @@ let () =
       ("port-intake", Test_port_intake.suite);
       ("integration", Test_integration.suite);
       ("properties", Test_properties.suite);
+      ("determinism", Test_determinism.suite);
+      ("par", Test_par.suite);
     ]

@@ -1,0 +1,301 @@
+(* Parallel runtime: cross-domain primitives under real Domain.spawn
+   contention, the cluster's proxy/termination machinery in both modes,
+   and the parallel-vs-deterministic equivalence contract. *)
+
+open Eden_par
+module Kernel = Eden_kernel.Kernel
+module Value = Eden_kernel.Value
+module Uid = Eden_kernel.Uid
+
+let prop name ?(count = 15) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+(* --- Dqueue ---------------------------------------------------------- *)
+
+let test_dqueue_fifo () =
+  let q = Dqueue.create () in
+  for i = 0 to 9 do
+    Alcotest.(check bool) "push accepted" true (Dqueue.push q i)
+  done;
+  Alcotest.(check int) "length" 10 (Dqueue.length q);
+  for i = 0 to 9 do
+    Alcotest.(check (option int)) "fifo" (Some i) (Dqueue.try_pop q)
+  done;
+  Alcotest.(check (option int)) "empty" None (Dqueue.try_pop q)
+
+let test_dqueue_close () =
+  let q = Dqueue.create () in
+  ignore (Dqueue.push q 1);
+  ignore (Dqueue.push q 2);
+  Dqueue.close q;
+  Dqueue.close q (* idempotent *);
+  Alcotest.(check bool) "closed" true (Dqueue.is_closed q);
+  Alcotest.(check bool) "push refused" false (Dqueue.push q 3);
+  Alcotest.(check (option int)) "backlog drains" (Some 1) (Dqueue.pop q);
+  Alcotest.(check (option int)) "backlog drains" (Some 2) (Dqueue.pop q);
+  Alcotest.(check (option int)) "then None" None (Dqueue.pop q)
+
+(* Readers blocked in [pop] must be released by [close], not hang. *)
+let test_dqueue_close_wakes_reader () =
+  let q = Dqueue.create () in
+  let readers =
+    List.init 2 (fun _ -> Domain.spawn (fun () -> Dqueue.pop q))
+  in
+  for _ = 1 to 10_000 do
+    Domain.cpu_relax ()
+  done;
+  Dqueue.close q;
+  List.iter
+    (fun d -> Alcotest.(check (option int)) "released with None" None (Domain.join d))
+    readers
+
+(* The multiset of consumed items equals the multiset produced, and
+   within any single consumer each producer's items appear in order. *)
+let check_stress ~producers ~per_producer got =
+  let all = List.concat got in
+  let expected =
+    List.concat_map
+      (fun p -> List.init per_producer (fun i -> (p, i)))
+      (List.init producers Fun.id)
+  in
+  List.sort compare all = expected
+  && List.for_all
+       (fun one_consumer ->
+         List.for_all
+           (fun p ->
+             let mine = List.filter (fun (p', _) -> p' = p) one_consumer in
+             let sorted = List.sort compare mine in
+             mine = sorted)
+           (List.init producers Fun.id))
+       got
+
+let prop_dqueue_stress =
+  prop "dqueue: no loss/duplication under domain contention"
+    QCheck2.Gen.(tup3 (int_range 1 3) (int_range 1 3) (int_range 0 50))
+    (fun (producers, consumers, per_producer) ->
+      let q = Dqueue.create () in
+      let prods =
+        List.init producers (fun p ->
+            Domain.spawn (fun () ->
+                for i = 0 to per_producer - 1 do
+                  ignore (Dqueue.push q (p, i))
+                done))
+      in
+      let cons =
+        List.init consumers (fun _ ->
+            Domain.spawn (fun () ->
+                let rec loop acc =
+                  match Dqueue.pop q with
+                  | Some x -> loop (x :: acc)
+                  | None -> List.rev acc
+                in
+                loop []))
+      in
+      List.iter Domain.join prods;
+      Dqueue.close q;
+      let got = List.map Domain.join cons in
+      check_stress ~producers ~per_producer got)
+
+(* --- Dchan ----------------------------------------------------------- *)
+
+let test_dchan_basics () =
+  let ch = Dchan.create ~capacity:2 () in
+  Alcotest.(check int) "capacity" 2 (Dchan.capacity ch);
+  Alcotest.(check bool) "send" true (Dchan.send ch 1);
+  Alcotest.(check bool) "send" true (Dchan.send ch 2);
+  Alcotest.(check bool) "try_send full" false (Dchan.try_send ch 3);
+  Alcotest.(check (option int)) "recv fifo" (Some 1) (Dchan.recv ch);
+  Alcotest.(check bool) "room again" true (Dchan.try_send ch 3);
+  Alcotest.(check (option int)) "recv" (Some 2) (Dchan.recv ch);
+  Alcotest.(check (option int)) "recv" (Some 3) (Dchan.try_recv ch);
+  Alcotest.(check (option int)) "empty" None (Dchan.try_recv ch);
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Dchan.create: capacity must be positive") (fun () ->
+      ignore (Dchan.create ~capacity:0 ()))
+
+(* A sender blocked on a full channel must be released (send = false)
+   by [close]; the backlog stays readable. *)
+let test_dchan_close_releases_sender () =
+  let ch = Dchan.create ~capacity:2 () in
+  ignore (Dchan.send ch 1);
+  ignore (Dchan.send ch 2);
+  let sender = Domain.spawn (fun () -> Dchan.send ch 3) in
+  for _ = 1 to 10_000 do
+    Domain.cpu_relax ()
+  done;
+  Dchan.close ch;
+  Alcotest.(check bool) "blocked send refused" false (Domain.join sender);
+  Alcotest.(check (option int)) "backlog" (Some 1) (Dchan.recv ch);
+  Alcotest.(check (option int)) "backlog" (Some 2) (Dchan.recv ch);
+  Alcotest.(check (option int)) "then None" None (Dchan.recv ch)
+
+let prop_dchan_stress =
+  prop "dchan: no loss/duplication under backpressure"
+    QCheck2.Gen.(
+      tup4 (int_range 1 3) (int_range 1 3) (int_range 0 50) (int_range 1 3))
+    (fun (producers, consumers, per_producer, capacity) ->
+      let ch = Dchan.create ~capacity () in
+      let prods =
+        List.init producers (fun p ->
+            Domain.spawn (fun () ->
+                for i = 0 to per_producer - 1 do
+                  ignore (Dchan.send ch (p, i))
+                done))
+      in
+      let cons =
+        List.init consumers (fun _ ->
+            Domain.spawn (fun () ->
+                let rec loop acc =
+                  match Dchan.recv ch with
+                  | Some x -> loop (x :: acc)
+                  | None -> List.rev acc
+                in
+                loop []))
+      in
+      List.iter Domain.join prods;
+      Dchan.close ch;
+      let got = List.map Domain.join cons in
+      check_stress ~producers ~per_producer got)
+
+(* --- Cluster --------------------------------------------------------- *)
+
+let echo_cluster mode =
+  let c = Cluster.create mode ~shards:2 () in
+  let k1 = Cluster.kernel c 1 in
+  let echo =
+    Kernel.create_eject k1 ~type_name:"echo" (fun _ctx ~passive:_ ->
+        [
+          ("echo", fun v -> v);
+          ("fail", fun _ -> raise (Kernel.Eden_error "boom"));
+        ])
+  in
+  let p = Cluster.proxy c ~shard:0 ~ops:[ "echo"; "fail" ] ~target:(1, echo) in
+  (c, p)
+
+let test_cluster_echo mode () =
+  let c, p = echo_cluster mode in
+  let got = ref None in
+  Cluster.driver c 0 (fun ctx ->
+      got := Some (Kernel.invoke ctx p ~op:"echo" (Value.Int 42)));
+  Cluster.run c;
+  (match !got with
+  | Some (Ok (Value.Int 42)) -> ()
+  | _ -> Alcotest.fail "echo did not round-trip");
+  let m = Cluster.meter c in
+  Alcotest.(check int) "one invocation per side" 2 m.Kernel.Meter.invocations;
+  Alcotest.(check int) "request + reply crossed" 2 (Cluster.cross_messages c);
+  Alcotest.(check (list (pair string int)))
+    "op_counts sum both sides"
+    [ ("echo", 2) ]
+    (Cluster.op_counts c)
+
+let test_cluster_error mode () =
+  let c, p = echo_cluster mode in
+  let got = ref None in
+  Cluster.driver c 0 (fun ctx ->
+      got := Some (Kernel.invoke ctx p ~op:"fail" Value.Unit));
+  Cluster.run c;
+  match !got with
+  | Some (Error "boom") -> ()
+  | _ -> Alcotest.fail "Eden_error did not propagate through the proxy"
+
+let test_cluster_fast_path () =
+  let c = Cluster.create Deterministic ~shards:2 () in
+  let k1 = Cluster.kernel c 1 in
+  let echo =
+    Kernel.create_eject k1 ~type_name:"echo" (fun _ctx ~passive:_ ->
+        [ ("echo", fun v -> v) ])
+  in
+  let p = Cluster.proxy c ~shard:1 ~ops:[ "echo" ] ~target:(1, echo) in
+  Alcotest.(check bool) "same-shard proxy is the target itself" true (p = echo);
+  let got = ref None in
+  Cluster.driver c 1 (fun ctx ->
+      got := Some (Kernel.invoke ctx p ~op:"echo" (Value.Int 7)));
+  Cluster.run c;
+  (match !got with
+  | Some (Ok (Value.Int 7)) -> ()
+  | _ -> Alcotest.fail "local invoke failed");
+  Alcotest.(check int) "nothing crossed a domain" 0 (Cluster.cross_messages c)
+
+let test_cluster_run_once () =
+  let c = Cluster.create Deterministic ~shards:1 () in
+  Cluster.run c;
+  Alcotest.check_raises "second run refused"
+    (Invalid_argument "Cluster.run: already run") (fun () -> Cluster.run c)
+
+(* --- Fan-in workload: smoke + equivalence ---------------------------- *)
+
+let small_spec = { Fanin.default with branches = 4; items = 30; batch = 3; work = 50 }
+
+let test_parallel_smoke () =
+  let o = Fanin.run Parallel ~domains:3 small_spec in
+  Alcotest.(check int) "all items consumed" (4 * 30) o.Fanin.consumed;
+  Alcotest.(check bool) "EOS last on every channel" true o.Fanin.eos_clean;
+  Alcotest.(check bool) "traffic crossed domains" true (o.Fanin.cross_messages > 0)
+
+let test_parallel_single_domain () =
+  let o = Fanin.run Parallel ~domains:1 small_spec in
+  Alcotest.(check int) "all items consumed" (4 * 30) o.Fanin.consumed;
+  Alcotest.(check int) "no cross-domain traffic" 0 o.Fanin.cross_messages
+
+(* Satellite 2: a parallel run must agree with the deterministic oracle
+   on everything schedule-independent — items in/out per stage, item
+   order per branch, EOS placement, operation and invocation totals.
+   Timing artifacts (occupancy, stalls, makespans) are exempt. *)
+let test_equivalence () =
+  let det = Fanin.run Deterministic ~domains:3 small_spec in
+  let par = Fanin.run Parallel ~domains:3 small_spec in
+  Alcotest.(check int) "consumed" det.Fanin.consumed par.Fanin.consumed;
+  Alcotest.(check bool) "det EOS clean" true det.Fanin.eos_clean;
+  Alcotest.(check bool) "par EOS clean" true par.Fanin.eos_clean;
+  Array.iteri
+    (fun b det_items ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "branch %d item sequence" b)
+        (List.map (Format.asprintf "%a" Value.pp) det_items)
+        (List.map (Format.asprintf "%a" Value.pp) par.Fanin.per_branch.(b)))
+    det.Fanin.per_branch;
+  Alcotest.(check (list (pair string int)))
+    "op counts (Transfer/Deposit)" det.Fanin.op_counts par.Fanin.op_counts;
+  Alcotest.(check int) "total invocations"
+    det.Fanin.meter.Kernel.Meter.invocations
+    par.Fanin.meter.Kernel.Meter.invocations;
+  Alcotest.(check int) "total replies"
+    det.Fanin.meter.Kernel.Meter.replies par.Fanin.meter.Kernel.Meter.replies;
+  Alcotest.(check int) "cross-domain messages"
+    det.Fanin.cross_messages par.Fanin.cross_messages;
+  let show_flows = List.map (fun (l, i, o) -> Printf.sprintf "%s:%d:%d" l i o) in
+  Alcotest.(check (list string))
+    "per-stage items in/out"
+    (show_flows det.Fanin.flows)
+    (show_flows par.Fanin.flows)
+
+let test_det_repeatable () =
+  let a = Fanin.run Deterministic ~domains:3 small_spec in
+  let b = Fanin.run Deterministic ~domains:3 small_spec in
+  Alcotest.(check bool) "identical outcomes" true
+    (a.Fanin.per_branch = b.Fanin.per_branch
+    && a.Fanin.op_counts = b.Fanin.op_counts
+    && a.Fanin.cross_messages = b.Fanin.cross_messages
+    && a.Fanin.makespans = b.Fanin.makespans)
+
+let suite =
+  [
+    ("dqueue fifo", `Quick, test_dqueue_fifo);
+    ("dqueue close", `Quick, test_dqueue_close);
+    ("dqueue close wakes blocked readers", `Quick, test_dqueue_close_wakes_reader);
+    prop_dqueue_stress;
+    ("dchan basics", `Quick, test_dchan_basics);
+    ("dchan close releases blocked sender", `Quick, test_dchan_close_releases_sender);
+    prop_dchan_stress;
+    ("cluster echo (deterministic)", `Quick, test_cluster_echo Cluster.Deterministic);
+    ("cluster echo (parallel)", `Quick, test_cluster_echo Cluster.Parallel);
+    ("cluster error propagation (deterministic)", `Quick, test_cluster_error Cluster.Deterministic);
+    ("cluster error propagation (parallel)", `Quick, test_cluster_error Cluster.Parallel);
+    ("cluster same-shard fast path", `Quick, test_cluster_fast_path);
+    ("cluster run-once guard", `Quick, test_cluster_run_once);
+    ("parallel smoke", `Quick, test_parallel_smoke);
+    ("parallel single domain", `Quick, test_parallel_single_domain);
+    ("parallel-vs-deterministic equivalence", `Quick, test_equivalence);
+    ("deterministic mode repeatable", `Quick, test_det_repeatable);
+  ]

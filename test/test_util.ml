@@ -34,6 +34,64 @@ let test_prng_split_independent () =
   done;
   Alcotest.(check bool) "streams diverge" true (!same < 4)
 
+let test_prng_split_n () =
+  let a = Prng.create 9L and b = Prng.create 9L in
+  let kids = Prng.split_n a 4 in
+  Alcotest.(check int) "count" 4 (Array.length kids);
+  (* split_n is just n splits in order: same seed, same children. *)
+  Array.iter
+    (fun kid ->
+      let kid' = Prng.split b in
+      for _ = 1 to 16 do
+        check Alcotest.int64 "split_n = repeated split" (Prng.next_int64 kid')
+          (Prng.next_int64 kid)
+      done)
+    kids;
+  Alcotest.(check (array (list Alcotest.int64))) "zero children" [||]
+    (Array.map (fun _ -> []) (Prng.split_n a 0));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Prng.split_n: negative count") (fun () ->
+      ignore (Prng.split_n a (-1)))
+
+(* Sibling streams must not correlate: distinct pairwise, and no
+   pairwise-equal draws beyond chance.  This is what makes
+   split-per-domain sound — each domain's randomness is its own. *)
+let test_prng_split_n_uncorrelated () =
+  let kids = Prng.split_n (Prng.create 2024L) 8 in
+  let draws = Array.map (fun g -> Array.init 64 (fun _ -> Prng.next_int64 g)) kids in
+  Array.iteri
+    (fun i di ->
+      Array.iteri
+        (fun j dj ->
+          if i < j then begin
+            Alcotest.(check bool)
+              (Printf.sprintf "streams %d,%d differ" i j)
+              false (di = dj);
+            let coincidences = ref 0 in
+            Array.iteri
+              (fun k x -> if Int64.equal x dj.(k) then incr coincidences)
+              di;
+            Alcotest.(check bool)
+              (Printf.sprintf "streams %d,%d share no draws" i j)
+              true (!coincidences = 0)
+          end)
+        draws)
+    draws
+
+(* Splitting must not disturb the parent's own stream relative to a
+   parent that split a different number of children — each child is
+   exactly one parent draw. *)
+let test_prng_split_advances_parent_once () =
+  let a = Prng.create 77L and b = Prng.create 77L in
+  ignore (Prng.split_n a 3);
+  ignore (Prng.split b);
+  ignore (Prng.split b);
+  ignore (Prng.split b);
+  for _ = 1 to 32 do
+    check Alcotest.int64 "parent stream agrees" (Prng.next_int64 a)
+      (Prng.next_int64 b)
+  done
+
 let test_prng_int_bounds () =
   let g = Prng.create 99L in
   for _ = 1 to 1000 do
@@ -351,6 +409,9 @@ let suite =
     ("prng deterministic", `Quick, test_prng_deterministic);
     ("prng copy", `Quick, test_prng_copy);
     ("prng split independent", `Quick, test_prng_split_independent);
+    ("prng split_n = repeated split", `Quick, test_prng_split_n);
+    ("prng split_n siblings uncorrelated", `Quick, test_prng_split_n_uncorrelated);
+    ("prng split advances parent once", `Quick, test_prng_split_advances_parent_once);
     ("prng int bounds", `Quick, test_prng_int_bounds);
     ("prng int_in bounds", `Quick, test_prng_int_in);
     ("prng float bounds", `Quick, test_prng_float_bounds);
