@@ -1222,6 +1222,171 @@ let p1 () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* B1: flow control and adaptive batching                              *)
+(* ------------------------------------------------------------------ *)
+
+module Fc = Eden_flowctl.Flowctl
+module Fcredit = Eden_flowctl.Credit
+
+let b1 ?(quick = false) () =
+  section "B1  Flow control: credit windows and adaptive batching on the hot path";
+  print_endline
+    "The Figure-2 read-only pipeline under every combination of batch size\n\
+     (items per Transfer) and credit window (outstanding exchanges).  batch=1,\n\
+     credit=1 is the paper's rendezvous regime and the baseline; 'adaptive'\n\
+     sizes batches with the AIMD controller.  Throughput is items per unit of\n\
+     virtual time; the equivalence property (test suite) guarantees every\n\
+     cell produces bit-identical output.";
+  let n_items = if quick then 32 else 512 in
+  let n_filters = 3 in
+  let run_f2 flowctl =
+    let k = Kernel.create ~latency:(Eden_net.Net.Fixed 1.0) () in
+    let consumed = ref 0 in
+    let before = Kernel.Meter.snapshot k in
+    let p =
+      T.Pipeline.build k ~capacity:16 ?flowctl T.Pipeline.Read_only
+        ~gen:(list_gen (List.init n_items (fun i -> Value.Int i)))
+        ~filters:(List.init n_filters (fun _ -> T.Transform.identity))
+        ~consume:(fun _ -> incr consumed)
+    in
+    Kernel.run_driver k (fun _ -> T.Pipeline.run p);
+    let d = Kernel.Meter.diff (Kernel.Meter.snapshot k) before in
+    let makespan = Sched.now (Kernel.sched k) in
+    (k, d.Kernel.Meter.invocations, makespan, !consumed)
+  in
+  let batches =
+    [ ("1", `Fixed 1); ("8", `Fixed 8); ("64", `Fixed 64); ("adaptive", `Adaptive) ]
+  in
+  let credits =
+    [ ("1", Fcredit.Window 1); ("16", Fcredit.Window 16); ("inf", Fcredit.Unlimited) ]
+  in
+  let flowctl_of b credit =
+    match b with `Fixed n -> Fc.fixed ~credit n | `Adaptive -> Fc.adaptive ~credit ()
+  in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "F2 pipeline (%d items, %d filters, capacity 16, link latency 1.0)" n_items
+           n_filters)
+      ~columns:
+        [
+          ("batch", Table.Right);
+          ("credit", Table.Right);
+          ("invocations", Table.Right);
+          ("inv/item", Table.Right);
+          ("makespan", Table.Right);
+          ("items/vtime", Table.Right);
+          ("speedup", Table.Right);
+        ]
+  in
+  let baseline = ref 0.0 in
+  let speedup_64 = ref 0.0 in
+  let inv_item_1 = ref 0.0 and inv_item_64 = ref 0.0 in
+  let adaptive_kernel = ref None in
+  List.iter
+    (fun (blabel, b) ->
+      List.iter
+        (fun (clabel, credit) ->
+          let k, invocations, makespan, consumed = run_f2 (Some (flowctl_of b credit)) in
+          if consumed <> n_items then begin
+            Printf.printf "b1: FAILED (batch=%s credit=%s consumed %d/%d)\n" blabel clabel
+              consumed n_items;
+            exit 1
+          end;
+          let inv_item = float_of_int invocations /. float_of_int n_items in
+          let throughput = float_of_int consumed /. makespan in
+          if blabel = "1" && clabel = "1" then begin
+            baseline := throughput;
+            inv_item_1 := inv_item
+          end;
+          if blabel = "64" && clabel = "16" then begin
+            speedup_64 := throughput /. !baseline;
+            inv_item_64 := inv_item
+          end;
+          if blabel = "adaptive" && clabel = "inf" then adaptive_kernel := Some k;
+          Table.add_row tbl
+            [
+              blabel;
+              clabel;
+              Table.cell_int invocations;
+              Table.cell_float ~decimals:2 inv_item;
+              Table.cell_float ~decimals:1 makespan;
+              Table.cell_float ~decimals:3 throughput;
+              Printf.sprintf "%.2fx" (throughput /. !baseline);
+            ])
+        credits)
+    batches;
+  Table.print tbl;
+  (match !adaptive_kernel with
+  | Some k ->
+      histogram_table ~title:"Round-trip histograms, adaptive batch x unlimited credit" k
+  | None -> ());
+  (* The Fanin workload under the same configurations.  Deterministic
+     mode: adaptive trajectories depend on scheduling, so the oracle
+     mode is the one where they are reproducible. *)
+  let fanin_spec fc =
+    {
+      Par.Fanin.default with
+      Par.Fanin.items = (if quick then 8 else 64);
+      work = (if quick then 200 else 20_000);
+      flowctl = fc;
+    }
+  in
+  let tbl2 =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Fanin workload, deterministic mode, 2 shards (%d branches x %d items)"
+           Par.Fanin.default.Par.Fanin.branches (fanin_spec None).Par.Fanin.items)
+      ~columns:
+        [
+          ("batch", Table.Right);
+          ("credit", Table.Right);
+          ("consumed", Table.Right);
+          ("invocations", Table.Right);
+          ("inv/item", Table.Right);
+          ("cross msgs", Table.Right);
+          ("eos", Table.Left);
+        ]
+  in
+  List.iter
+    (fun (blabel, b) ->
+      let credit = Fcredit.Window 16 in
+      let spec = fanin_spec (Some (flowctl_of b credit)) in
+      let o = Par.Fanin.run Deterministic ~domains:2 spec in
+      let items = spec.Par.Fanin.branches * spec.Par.Fanin.items in
+      Table.add_row tbl2
+        [
+          blabel;
+          "16";
+          Table.cell_int o.Par.Fanin.consumed;
+          Table.cell_int o.Par.Fanin.meter.Kernel.Meter.invocations;
+          Table.cell_float ~decimals:2
+            (float_of_int o.Par.Fanin.meter.Kernel.Meter.invocations /. float_of_int items);
+          Table.cell_int o.Par.Fanin.cross_messages;
+          (if o.Par.Fanin.eos_clean then "clean" else "BROKEN");
+        ])
+    batches;
+  Table.print tbl2;
+  Printf.printf
+    "batch=64 vs batch=1 at credit=16: %.2fx items/vtime (inv/item %.2f -> %.2f)\n"
+    !speedup_64 !inv_item_1 !inv_item_64;
+  if !speedup_64 < 2.0 then begin
+    print_endline "b1: FAILED (batch=64 did not reach 2x the rendezvous throughput)";
+    exit 1
+  end
+
+(* Tiny-iteration smoke over the figures and B1, cheap enough for
+   `dune runtest`; exercises the full experiment code paths. *)
+let quick () =
+  fig1 ();
+  fig2 ();
+  fig3 ();
+  fig4 ();
+  b1 ~quick:true ()
+
 let all () =
   smoke ();
   fig1 ();
@@ -1235,4 +1400,5 @@ let all () =
   table5 ();
   table6 ();
   ablation ();
-  r1 ()
+  r1 ();
+  b1 ()

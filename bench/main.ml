@@ -101,6 +101,8 @@ let () =
       ("table6", Experiments.table6);
       ("ablation", Experiments.ablation);
       ("r1", Experiments.r1);
+      ("b1", fun () -> Experiments.b1 ());
+      ("quick", Experiments.quick);
       ("smoke", Experiments.smoke);
       ("p1", Experiments.p1);
       ("bechamel", run_bechamel);

@@ -45,6 +45,34 @@ let option a =
       | v -> raise (Value.Protocol_error ("expected an option, got " ^ Value.to_string v)));
   }
 
+let batch ?(max_items = 1024) a =
+  if max_items < 1 then invalid_arg "Codec.batch: max_items must be at least 1";
+  {
+    encode =
+      (fun xs ->
+        let n = List.length xs in
+        if n > max_items then
+          invalid_arg
+            (Printf.sprintf "Codec.batch: %d items exceed the %d-item frame" n max_items);
+        Value.List (Value.Int n :: List.map a.encode xs));
+    decode =
+      (fun v ->
+        match v with
+        | Value.List (Value.Int n :: rest) ->
+            if n < 0 then raise (Value.Protocol_error "batch: negative length");
+            if n > max_items then
+              raise
+                (Value.Protocol_error
+                   (Printf.sprintf "batch: %d items exceed the %d-item frame" n max_items));
+            if List.length rest <> n then
+              raise
+                (Value.Protocol_error
+                   (Printf.sprintf "batch: length %d does not match %d items" n
+                      (List.length rest)));
+            List.map a.decode rest
+        | v -> raise (Value.Protocol_error ("expected a batch, got " ^ Value.to_string v)));
+  }
+
 let map of_a to_a c =
   { encode = (fun b -> c.encode (to_a b)); decode = (fun v -> of_a (c.decode v)) }
 

@@ -33,6 +33,15 @@ val option : 'a t -> 'a option t
 (** [None] as [Unit], [Some x] as a 1-list; unambiguous for every
     payload codec. *)
 
+val batch : ?max_items:int -> 'a t -> 'a list t
+(** A length-framed batch, the payload shape of batched stream
+    invokes: [[n; x1; …; xn]] with [n ≤ max_items] (default 1024).
+    Unlike {!list}, a decoder can reject a truncated, padded or
+    oversized frame {e before} interpreting the elements, so one
+    malformed batch surfaces as a [Value.Protocol_error] (an error
+    reply) instead of desyncing the stream.  @raise Invalid_argument
+    when encoding more than [max_items]. *)
+
 val map : ('a -> 'b) -> ('b -> 'a) -> 'a t -> 'b t
 (** [map of_a to_a c] views a ['b] through ['a]'s wire shape. *)
 

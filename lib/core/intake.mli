@@ -35,6 +35,21 @@ val read : reader -> Value.t option
 val eos_seen : reader -> bool
 val buffered : reader -> int
 
+val expected : reader -> int
+(** Next absolute position for seq-stamped deposits (the number of
+    items accepted through them so far).  Plain deposits do not move
+    it. *)
+
 val handlers : t -> (string * Eden_kernel.Kernel.handler) list
 (** The [Deposit] operation, to splice into the Eject's dispatch
-    table. *)
+    table.
+
+    Plain [Deposit(chan, eos, items)] requests are accepted in arrival
+    order and acknowledged with [Unit].  Seq-stamped [Deposit(chan,
+    eos, items, seq)] requests — issued by windowed {!Push} clients
+    with several deposits in flight — wait at a turnstile until the
+    intake has accepted every earlier position, so network reordering
+    cannot scramble the stream; the ack is [Int next_seq].  A stale
+    (already-accepted) position errors.  The two forms must not be
+    mixed on one channel, and a windowed channel must have a single
+    writer. *)

@@ -35,7 +35,8 @@ let placer kernel nodes =
     incr i;
     n
 
-let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) discipline ~gen ~filters ~consume =
+let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) ?flowctl discipline ~gen ~filters
+    ~consume =
   let next_node = placer kernel nodes in
   let done_ = Ivar.create () in
   let on_done () = Ivar.fill done_ () in
@@ -68,13 +69,13 @@ let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) discipline ~gen ~fil
           (fun ups tr ->
             let i = List.length ups in
             let name = Printf.sprintf "filter-%d" i in
-            Stage.filter_ro kernel ~node:(next_node ()) ~name ~capacity ~batch
+            Stage.filter_ro kernel ~node:(next_node ()) ~name ~capacity ~batch ?flowctl
               ~flow:(List.nth fl_filters (i - 1)) ~upstream:(List.hd ups) tr
             :: ups)
           [ source ] filters
       in
       let sink =
-        Stage.sink_ro kernel ~node:(next_node ()) ~batch ~flow:fl_sink
+        Stage.sink_ro kernel ~node:(next_node ()) ~batch ?flowctl ~flow:fl_sink
           ~upstream:(List.hd filter_uids) ~on_done consume
       in
       {
@@ -101,12 +102,12 @@ let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) discipline ~gen ~fil
             let i = n - List.length downs + 1 in
             let name = Printf.sprintf "filter-%d" i in
             Stage.filter_wo kernel ~node:(next_node ()) ~name ~capacity:intake_capacity ~batch
-              ~flow:(List.nth fl_filters (i - 1)) ~downstream:(List.hd downs) tr
+              ?flowctl ~flow:(List.nth fl_filters (i - 1)) ~downstream:(List.hd downs) tr
             :: downs)
           [ sink ] (List.rev filters)
       in
       let source =
-        Stage.source_wo kernel ~node:(next_node ()) ~batch ~flow:fl_source
+        Stage.source_wo kernel ~node:(next_node ()) ~batch ?flowctl ~flow:fl_source
           ~downstream:(List.hd filter_uids) gen
       in
       {
@@ -126,7 +127,7 @@ let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) discipline ~gen ~fil
           ~flow:(List.nth fl_pipes 0) ()
       in
       let source =
-        Stage.source_active kernel ~node:(next_node ()) ~batch ~flow:fl_source
+        Stage.source_active kernel ~node:(next_node ()) ~batch ?flowctl ~flow:fl_source
           ~downstream:first_pipe gen
       in
       let filter_uids, pipe_uids =
@@ -139,7 +140,7 @@ let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) discipline ~gen ~fil
                 ~flow:(List.nth fl_pipes (List.length ps)) ()
             in
             let f =
-              Stage.filter_active kernel ~node:(next_node ()) ~name ~batch
+              Stage.filter_active kernel ~node:(next_node ()) ~name ~batch ?flowctl
                 ~flow:(List.nth fl_filters (i - 1)) ~upstream:(List.hd ps) ~downstream:out_pipe
                 tr
             in
@@ -147,7 +148,7 @@ let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) discipline ~gen ~fil
           ([], [ first_pipe ]) filters
       in
       let sink =
-        Stage.sink_active kernel ~node:(next_node ()) ~batch ~flow:fl_sink
+        Stage.sink_active kernel ~node:(next_node ()) ~batch ?flowctl ~flow:fl_sink
           ~upstream:(List.hd pipe_uids) ~on_done consume
       in
       {

@@ -35,6 +35,7 @@ val build :
   ?nodes:Eden_net.Net.node_id list ->
   ?capacity:int ->
   ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
   discipline ->
   gen:Stage.gen ->
   filters:Transform.t list ->
@@ -42,7 +43,10 @@ val build :
   t
 (** [nodes] places consecutive stages round-robin (default: everything
     on the kernel's first node).  [capacity] is each stage's
-    anticipation buffer, [batch] the per-invocation item count. *)
+    anticipation buffer, [batch] the per-invocation item count.
+    [flowctl] supersedes [batch] on every active connection with a
+    credit-windowed (and optionally adaptive) configuration — see
+    {!Stage}; passive endpoints need none. *)
 
 val start : t -> unit
 (** Pokes the pumping stages: the sink under [Read_only], the source

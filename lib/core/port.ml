@@ -8,8 +8,11 @@ type chan_state = {
   capacity : int;
   mutable closed : bool;
   mutable demand : int; (* outstanding, unserved Transfer credit *)
+  mutable cursor : int; (* absolute position of the queue head, counting
+                           only items taken by seq-stamped transfers *)
   readers : Waitq.t; (* parked Transfer handlers *)
   writers : Waitq.t; (* parked [write] callers *)
+  turnstile : Waitq.t; (* parked seq-stamped Transfer handlers *)
 }
 
 type t = { channels : (Channel.t * chan_state) list ref }
@@ -29,8 +32,10 @@ let add_channel t ?(capacity = 0) chan =
       capacity;
       closed = false;
       demand = 0;
+      cursor = 0;
       readers = Waitq.create ("port " ^ Channel.to_string chan ^ " readers");
       writers = Waitq.create ("port " ^ Channel.to_string chan ^ " writers");
+      turnstile = Waitq.create ("port " ^ Channel.to_string chan ^ " turnstile");
     }
   in
   t.channels := (chan, s) :: !(t.channels);
@@ -44,7 +49,8 @@ let rec write s item =
   if s.closed then failwith "Port.write: channel closed";
   if Queue.length s.items < s.capacity + s.demand then begin
     Queue.push item s.items;
-    ignore (Waitq.wake_one s.readers)
+    ignore (Waitq.wake_one s.readers);
+    ignore (Waitq.wake_all s.turnstile)
   end
   else begin
     Waitq.park s.writers;
@@ -54,7 +60,8 @@ let rec write s item =
 let close s =
   if not s.closed then begin
     s.closed <- true;
-    ignore (Waitq.wake_all s.readers)
+    ignore (Waitq.wake_all s.readers);
+    ignore (Waitq.wake_all s.turnstile)
   end
 
 let rec await_demand s =
@@ -71,36 +78,87 @@ let rec await_writable s =
 
 let is_closed s = s.closed
 let buffered s = Queue.length s.items
+let cursor s = s.cursor
+
+let rec take_queue q n acc =
+  if n = 0 then List.rev acc
+  else
+    match Queue.take_opt q with
+    | None -> List.rev acc
+    | Some x -> take_queue q (n - 1) (x :: acc)
+
+(* Legacy rendezvous serving: reply as soon as anything is buffered. *)
+let serve_plain s credit =
+  s.demand <- s.demand + credit;
+  (* New demand may unblock a lazy writer. *)
+  ignore (Waitq.wake_all s.writers);
+  let rec await () =
+    if Queue.is_empty s.items && not s.closed then begin
+      Waitq.park s.readers;
+      await ()
+    end
+  in
+  await ();
+  let items = take_queue s.items credit [] in
+  s.demand <- max 0 (s.demand - credit);
+  (* Space freed (and demand gone): let the writer reassess. *)
+  ignore (Waitq.wake_all s.writers);
+  let eos = s.closed && Queue.is_empty s.items in
+  Proto.transfer_reply { Proto.eos; items }
+
+(* Exact-fill serving for windowed (seq-stamped) transfers.
+
+   A pipelining client issues several transfers before seeing any
+   reply, computing each request's start position from the credits it
+   asked for earlier.  Those positions are only contiguous if every
+   non-final reply carries exactly its full credit, so a seq-stamped
+   request waits at the turnstile until it is the request for the
+   current cursor AND either [credit] items are buffered or the stream
+   has closed.  A short reply therefore implies end of stream, and
+   speculative requests landing past the end are released with an
+   empty eos reply.  Requests may also arrive out of order (the
+   network can reorder); the turnstile holds them until the cursor
+   catches up.  Mixing plain and seq-stamped transfers on one channel
+   is a protocol violation (the plain path bypasses the cursor). *)
+let serve_seq s credit seq =
+  s.demand <- s.demand + credit;
+  ignore (Waitq.wake_all s.writers);
+  let fillable () =
+    (s.cursor = seq && (Queue.length s.items >= credit || s.closed))
+    || (s.closed && s.cursor + Queue.length s.items <= seq)
+  in
+  let rec await () =
+    if s.cursor > seq then
+      raise (Kernel.Eden_error (Printf.sprintf "stale Transfer seq %d (cursor %d)" seq s.cursor));
+    if not (fillable ()) then begin
+      Waitq.park s.turnstile;
+      await ()
+    end
+  in
+  await ();
+  if s.cursor + Queue.length s.items <= seq && s.closed && s.cursor <> seq then begin
+    (* Speculative overshoot past end of stream. *)
+    s.demand <- max 0 (s.demand - credit);
+    ignore (Waitq.wake_all s.writers);
+    Proto.transfer_reply ~base:seq { Proto.eos = true; items = [] }
+  end
+  else begin
+    let items = take_queue s.items credit [] in
+    s.cursor <- s.cursor + List.length items;
+    s.demand <- max 0 (s.demand - credit);
+    ignore (Waitq.wake_all s.writers);
+    ignore (Waitq.wake_all s.turnstile);
+    let eos = s.closed && Queue.is_empty s.items in
+    Proto.transfer_reply ~base:seq { Proto.eos; items }
+  end
 
 (* Serve one Transfer request.  Runs as an invocation handler inside a
    worker fiber, so parking here blocks only this request. *)
 let serve_transfer t arg =
-  let chan, credit = Proto.parse_transfer_request arg in
+  let chan, credit, seq = Proto.parse_transfer_request_seq arg in
   match find t chan with
   | None -> raise (Kernel.Eden_error ("no such channel: " ^ Channel.to_string chan))
-  | Some (_, s) ->
-      s.demand <- s.demand + credit;
-      (* New demand may unblock a lazy writer. *)
-      ignore (Waitq.wake_all s.writers);
-      let rec await () =
-        if Queue.is_empty s.items && not s.closed then begin
-          Waitq.park s.readers;
-          await ()
-        end
-      in
-      await ();
-      let rec take n acc =
-        if n = 0 then List.rev acc
-        else
-          match Queue.take_opt s.items with
-          | None -> List.rev acc
-          | Some x -> take (n - 1) (x :: acc)
-      in
-      let items = take credit [] in
-      s.demand <- max 0 (s.demand - credit);
-      (* Space freed (and demand gone): let the writer reassess. *)
-      ignore (Waitq.wake_all s.writers);
-      let eos = s.closed && Queue.is_empty s.items in
-      Proto.transfer_reply { Proto.eos; items }
+  | Some (_, s) -> (
+      match seq with None -> serve_plain s credit | Some seq -> serve_seq s credit seq)
 
 let handlers t = [ (Proto.transfer_op, serve_transfer t) ]

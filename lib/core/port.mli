@@ -62,7 +62,22 @@ val await_writable : writer -> unit
 val is_closed : writer -> bool
 val buffered : writer -> int
 
+val cursor : writer -> int
+(** Absolute stream position of the buffer head, as advanced by
+    seq-stamped transfers (see {!handlers}).  Plain transfers do not
+    move it. *)
+
 val handlers : t -> (string * Eden_kernel.Kernel.handler) list
 (** The [Transfer] operation, to splice into the Eject's dispatch table.
     Requests for unregistered channels are refused — with a capability
-    channel this refusal is what enforces security (T4). *)
+    channel this refusal is what enforces security (T4).
+
+    Plain [Transfer(chan, credit)] requests are served rendezvous-style:
+    the reply carries whatever is buffered (up to [credit]) as soon as
+    anything is.  Seq-stamped [Transfer(chan, credit, seq)] requests —
+    issued by windowed {!Pull} clients that pipeline several transfers —
+    are served {e exact-fill}: the request waits its turn at position
+    [seq] and replies with exactly [credit] items unless the stream has
+    closed, so a pipelining client can compute request positions ahead
+    of any reply and a short reply always means end of stream.  The two
+    forms must not be mixed on one channel. *)

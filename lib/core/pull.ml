@@ -1,41 +1,125 @@
 module Value = Eden_kernel.Value
 module Kernel = Eden_kernel.Kernel
 module Uid = Eden_kernel.Uid
+module Ivar = Eden_sched.Ivar
+module Flowctl = Eden_flowctl.Flowctl
+module Aimd = Eden_flowctl.Aimd
+module Credit = Eden_flowctl.Credit
+
+(* Windowed state: several seq-stamped transfers kept in flight at
+   once.  Each request's start position is computed from the credits
+   asked before it — sound because the port serves seq-stamped
+   requests exact-fill (see Port), so a short reply implies end of
+   stream and every other reply carries exactly what was asked. *)
+type window = {
+  credit : Credit.t;
+  ctrl : Aimd.t option;
+  fixed : int; (* batch per request when not adaptive *)
+  mutable next_seq : int; (* start position of the next request *)
+  outstanding : (int * Kernel.reply Ivar.t) Queue.t; (* (asked, reply) *)
+  mutable stop : bool; (* end of stream requested: stop issuing *)
+  mutable stalls : int; (* reads that had to wait on the network *)
+}
+
+type mode = Sync | Windowed of window
 
 type t = {
   ctx : Kernel.ctx;
   src : Uid.t;
   chan : Channel.t;
   batch : int;
+  mode : mode;
   mutable buf : Value.t list;
   mutable eos : bool;
   mutable transfers : int;
 }
 
-let connect ctx ?(batch = 1) ?(channel = Channel.output) src =
+let connect ctx ?(batch = 1) ?flowctl ?(channel = Channel.output) src =
   if batch < 1 then invalid_arg "Pull.connect: batch must be at least 1";
-  { ctx; src; chan = channel; batch; buf = []; eos = false; transfers = 0 }
+  let mode =
+    match flowctl with
+    | None -> Sync
+    | Some fc when Flowctl.is_legacy fc -> Sync
+    | Some fc ->
+        Windowed
+          {
+            credit = Flowctl.credit fc;
+            ctrl = Flowctl.controller fc;
+            fixed = Flowctl.initial_batch fc;
+            next_seq = 0;
+            outstanding = Queue.create ();
+            stop = false;
+            stalls = 0;
+          }
+  in
+  let batch = match flowctl with None -> batch | Some fc -> Flowctl.initial_batch fc in
+  { ctx; src; chan = channel; batch; mode; buf = []; eos = false; transfers = 0 }
+
+(* Issue transfers until the credit window is full.  Called only from
+   [read] — never at connect time — so a pipeline with no consumer
+   stays completely lazy. *)
+let refill t w =
+  if not w.stop then begin
+    while (not w.stop) && Credit.take w.credit do
+      let asked = match w.ctrl with Some c -> Aimd.current c | None -> w.fixed in
+      t.transfers <- t.transfers + 1;
+      let ivar =
+        Kernel.invoke_async t.ctx t.src ~op:Proto.transfer_op
+          (Proto.transfer_request ~seq:w.next_seq t.chan ~credit:asked)
+      in
+      w.next_seq <- w.next_seq + asked;
+      Queue.push (asked, ivar) w.outstanding
+    done
+  end
 
 let rec read t =
   match t.buf with
   | x :: rest ->
       t.buf <- rest;
       Some x
-  | [] ->
+  | [] -> (
       if t.eos then None
-      else begin
-        t.transfers <- t.transfers + 1;
-        let reply =
-          Kernel.call t.ctx t.src ~op:Proto.transfer_op
-            (Proto.transfer_request t.chan ~credit:t.batch)
-        in
-        let { Proto.eos; items } = Proto.parse_transfer_reply reply in
-        t.eos <- eos;
-        t.buf <- items;
-        (* A live producer never replies empty without eos, but retry
-           defensively rather than fabricate an end of stream. *)
-        read t
-      end
+      else
+        match t.mode with
+        | Sync ->
+            t.transfers <- t.transfers + 1;
+            let reply =
+              Kernel.call t.ctx t.src ~op:Proto.transfer_op
+                (Proto.transfer_request t.chan ~credit:t.batch)
+            in
+            let { Proto.eos; items } = Proto.parse_transfer_reply reply in
+            t.eos <- eos;
+            t.buf <- items;
+            (* A live producer never replies empty without eos, but retry
+               defensively rather than fabricate an end of stream. *)
+            read t
+        | Windowed w -> (
+            refill t w;
+            match Queue.take_opt w.outstanding with
+            | None ->
+                (* Unreachable with a correct window (refill always
+                   issues when nothing is outstanding); treat as eos
+                   rather than spin. *)
+                t.eos <- true;
+                None
+            | Some (asked, ivar) -> (
+                if not (Ivar.is_filled ivar) then w.stalls <- w.stalls + 1;
+                let reply = Ivar.read ivar in
+                Credit.give w.credit;
+                match reply with
+                | Error msg -> raise (Kernel.Eden_error msg)
+                | Ok v ->
+                    let { Proto.eos; items } = Proto.parse_transfer_reply v in
+                    let n = List.length items in
+                    (* Exact-fill contract: short means drained. *)
+                    if eos || n < asked then begin
+                      t.eos <- true;
+                      w.stop <- true
+                    end
+                    else
+                      Option.iter Aimd.on_progress w.ctrl;
+                    t.buf <- items;
+                    read t)))
 
 let iter f t =
   let rec go () =
@@ -50,3 +134,5 @@ let iter f t =
 let source t = t.src
 let channel t = t.chan
 let transfers_issued t = t.transfers
+let controller t = match t.mode with Sync -> None | Windowed w -> w.ctrl
+let stalls t = match t.mode with Sync -> 0 | Windowed w -> w.stalls

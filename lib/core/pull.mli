@@ -12,9 +12,24 @@ module Value = Eden_kernel.Value
 type t
 
 val connect :
-  Eden_kernel.Kernel.ctx -> ?batch:int -> ?channel:Channel.t -> Eden_kernel.Uid.t -> t
+  Eden_kernel.Kernel.ctx ->
+  ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
+  ?channel:Channel.t ->
+  Eden_kernel.Uid.t ->
+  t
 (** [batch] defaults to 1 (one invocation per datum, the paper's
     counting regime); [channel] to {!Channel.output}.
+
+    [flowctl] (when given) supersedes [batch].  A legacy config
+    ({!Eden_flowctl.Flowctl.legacy}) keeps the synchronous one-transfer-
+    at-a-time path; anything else switches the connection to {e
+    windowed} mode: up to the credit window's worth of seq-stamped
+    transfers are kept in flight at once (positions computed from the
+    credits asked, sound under the port's exact-fill serving), and an
+    [Adaptive] config sizes each request with an {!Eden_flowctl.Aimd}
+    controller.  No transfer is issued before the first [read], so
+    laziness is preserved.
     @raise Invalid_argument if [batch < 1]. *)
 
 val read : t -> Value.t option
@@ -31,3 +46,11 @@ val source : t -> Eden_kernel.Uid.t
 val channel : t -> Channel.t
 val transfers_issued : t -> int
 (** Local count of [Transfer] invocations this connection has made. *)
+
+val controller : t -> Eden_flowctl.Aimd.t option
+(** The adaptive controller of a windowed connection, for stages that
+    feed it backpressure signals; [None] in sync or fixed-batch mode. *)
+
+val stalls : t -> int
+(** Windowed mode: reads that found the next reply not yet arrived and
+    had to wait on the network.  0 in sync mode. *)

@@ -1,46 +1,144 @@
 module Value = Eden_kernel.Value
 module Kernel = Eden_kernel.Kernel
 module Uid = Eden_kernel.Uid
+module Ivar = Eden_sched.Ivar
+module Flowctl = Eden_flowctl.Flowctl
+module Aimd = Eden_flowctl.Aimd
+module Credit = Eden_flowctl.Credit
+
+(* Windowed state: several seq-stamped deposits in flight at once.
+   Each batch carries the absolute position of its first item; the
+   intake's turnstile reorders network-scrambled arrivals, and stale
+   positions error (retries are Eden_resil territory).  Requires a
+   single writer per channel. *)
+type window = {
+  credit : Credit.t;
+  ctrl : Aimd.t option;
+  fixed : int;
+  mutable next_seq : int;
+  outstanding : Kernel.reply Ivar.t Queue.t;
+  mutable stalls : int; (* acks that had to be awaited *)
+}
+
+type mode = Sync | Windowed of window
 
 type t = {
   ctx : Kernel.ctx;
   dst : Uid.t;
   chan : Channel.t;
   batch : int;
+  mode : mode;
   mutable pending : Value.t list; (* reversed *)
   mutable closed : bool;
   mutable deposits : int;
 }
 
-let connect ctx ?(batch = 1) ?(channel = Channel.output) dst =
+let connect ctx ?(batch = 1) ?flowctl ?(channel = Channel.output) dst =
   if batch < 1 then invalid_arg "Push.connect: batch must be at least 1";
-  { ctx; dst; chan = channel; batch; pending = []; closed = false; deposits = 0 }
+  let mode =
+    match flowctl with
+    | None -> Sync
+    | Some fc when Flowctl.is_legacy fc -> Sync
+    | Some fc ->
+        Windowed
+          {
+            credit = Flowctl.credit fc;
+            ctrl = Flowctl.controller fc;
+            fixed = Flowctl.initial_batch fc;
+            next_seq = 0;
+            outstanding = Queue.create ();
+            stalls = 0;
+          }
+  in
+  let batch = match flowctl with None -> batch | Some fc -> Flowctl.initial_batch fc in
+  { ctx; dst; chan = channel; batch; mode; pending = []; closed = false; deposits = 0 }
 
 let send t ~eos items =
   t.deposits <- t.deposits + 1;
   ignore
     (Kernel.call t.ctx t.dst ~op:Proto.deposit_op (Proto.deposit_request t.chan ~eos items))
 
+(* Consume the oldest outstanding ack, blocking if it has not arrived;
+   an [Error] ack (stale seq, closed intake) surfaces here. *)
+let reap w =
+  match Queue.take_opt w.outstanding with
+  | None -> ()
+  | Some ivar -> (
+      if not (Ivar.is_filled ivar) then w.stalls <- w.stalls + 1;
+      let reply = Ivar.read ivar in
+      Credit.give w.credit;
+      match reply with
+      | Ok _ -> ()
+      | Error msg -> raise (Kernel.Eden_error ("Push: deposit failed: " ^ msg)))
+
+let send_windowed t w ~eos items =
+  let had_to_wait = ref false in
+  while not (Credit.take w.credit) do
+    (* Window full: draining the oldest ack is the backpressure. *)
+    if
+      not
+        (match Queue.peek_opt w.outstanding with
+        | Some iv -> Ivar.is_filled iv
+        | None -> true)
+    then had_to_wait := true;
+    reap w
+  done;
+  (match w.ctrl with
+  | Some c -> if !had_to_wait then Aimd.on_stall c else Aimd.on_progress c
+  | None -> ());
+  t.deposits <- t.deposits + 1;
+  let ivar =
+    Kernel.invoke_async t.ctx t.dst ~op:Proto.deposit_op
+      (Proto.deposit_request ~seq:w.next_seq t.chan ~eos items)
+  in
+  w.next_seq <- w.next_seq + List.length items;
+  Queue.push ivar w.outstanding;
+  (* Opportunistically reap acks that already arrived, so a long run
+     of writes does not hold a window's worth of filled ivars. *)
+  while
+    match Queue.peek_opt w.outstanding with Some iv -> Ivar.is_filled iv | None -> false
+  do
+    reap w
+  done
+
+let threshold t =
+  match t.mode with
+  | Sync -> t.batch
+  | Windowed w -> ( match w.ctrl with Some c -> Aimd.current c | None -> w.fixed)
+
 let flush t =
   match t.pending with
   | [] -> ()
-  | pending ->
+  | pending -> (
       t.pending <- [];
-      send t ~eos:false (List.rev pending)
+      let items = List.rev pending in
+      match t.mode with
+      | Sync -> send t ~eos:false items
+      | Windowed w -> send_windowed t w ~eos:false items)
 
 let write t item =
   if t.closed then failwith "Push.write: closed";
   t.pending <- item :: t.pending;
-  if List.length t.pending >= t.batch then flush t
+  if List.length t.pending >= threshold t then flush t
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
     let items = List.rev t.pending in
     t.pending <- [];
-    send t ~eos:true items
+    match t.mode with
+    | Sync -> send t ~eos:true items
+    | Windowed w ->
+        send_windowed t w ~eos:true items;
+        (* Drain every ack so a failure cannot vanish with the
+           window and the stream is fully accepted on return. *)
+        while not (Queue.is_empty w.outstanding) do
+          reap w
+        done
   end
 
 let sink t = t.dst
 let channel t = t.chan
 let deposits_issued t = t.deposits
+let controller t = match t.mode with Sync -> None | Windowed w -> w.ctrl
+let stalls t = match t.mode with Sync -> 0 | Windowed w -> w.stalls

@@ -12,8 +12,20 @@ module Value = Eden_kernel.Value
 type t
 
 val connect :
-  Eden_kernel.Kernel.ctx -> ?batch:int -> ?channel:Channel.t -> Eden_kernel.Uid.t -> t
-(** @raise Invalid_argument if [batch < 1]. *)
+  Eden_kernel.Kernel.ctx ->
+  ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
+  ?channel:Channel.t ->
+  Eden_kernel.Uid.t ->
+  t
+(** [flowctl] (when given) supersedes [batch].  A legacy config keeps
+    the synchronous one-deposit-at-a-time path; anything else switches
+    to {e windowed} mode: up to the credit window's worth of
+    seq-stamped deposits are kept in flight (the intake's turnstile
+    reorders scrambled arrivals), and an [Adaptive] config sizes the
+    flush threshold with an {!Eden_flowctl.Aimd} controller.  A
+    windowed channel must have a single writer.
+    @raise Invalid_argument if [batch < 1]. *)
 
 val write : t -> Value.t -> unit
 (** Queue one item, depositing when the batch fills.  The deposit blocks
@@ -24,8 +36,18 @@ val flush : t -> unit
 (** Deposit any pending items immediately. *)
 
 val close : t -> unit
-(** Flush and send end of stream.  Idempotent. *)
+(** Flush and send end of stream (always the final deposit), then — in
+    windowed mode — drain every outstanding ack, so failures surface
+    and the whole stream is known accepted on return.  Idempotent. *)
 
 val sink : t -> Eden_kernel.Uid.t
 val channel : t -> Channel.t
 val deposits_issued : t -> int
+
+val controller : t -> Eden_flowctl.Aimd.t option
+(** The adaptive controller of a windowed connection; [None] in sync
+    or fixed-batch mode. *)
+
+val stalls : t -> int
+(** Windowed mode: deposits that found the window full with the oldest
+    ack still in flight and had to wait.  0 in sync mode. *)

@@ -3,6 +3,7 @@ module Kernel = Eden_kernel.Kernel
 module Uid = Eden_kernel.Uid
 module Obs = Eden_obs.Obs
 module Sched = Eden_sched.Sched
+module Aimd = Eden_flowctl.Aimd
 
 type gen = unit -> Value.t option
 type consume = Value.t -> unit
@@ -46,6 +47,19 @@ let count_in m r =
 let count_out m = match m with Some { fl; _ } -> Obs.Flow.note_out fl | None -> ()
 let note_batches m n = match m with Some { fl; _ } -> Obs.Flow.note_batches fl n | None -> ()
 
+(* Downstream backpressure feeding an upstream adaptive controller:
+   when this stage's emit blocks in virtual time (no demand, full
+   buffer — the same quantity the flow meter records as stall_out),
+   the batches it pulls from upstream shrink. *)
+let feeding_stall ctrl f =
+  match ctrl with
+  | None -> f ()
+  | Some c ->
+      let t0 = Sched.time () in
+      let r = f () in
+      if Sched.time () -. t0 > 0.0 then Aimd.on_stall c;
+      r
+
 (* --- Read-only ------------------------------------------------------ *)
 
 let source_ro k ?node ?(name = "source") ?(capacity = 0) ?flow gen =
@@ -68,20 +82,21 @@ let source_ro k ?node ?(name = "source") ?(capacity = 0) ?flow gen =
           go ());
       Port.handlers port)
 
-let filter_ro k ?node ?(name = "filter") ?(capacity = 0) ?(batch = 1) ?flow ~upstream
-    ?(upstream_channel = Channel.output) transform =
+let filter_ro k ?node ?(name = "filter") ?(capacity = 0) ?(batch = 1) ?flowctl ?flow
+    ~upstream ?(upstream_channel = Channel.output) transform =
   custom k ?node ~name (fun ctx ~passive:_ ->
       let m = meter_of k flow in
       let port = Port.create () in
       let w = Port.add_channel port ~capacity Channel.output in
-      let pull = Pull.connect ctx ~batch ~channel:upstream_channel upstream in
+      let pull = Pull.connect ctx ~batch ?flowctl ~channel:upstream_channel upstream in
+      let ctrl = Pull.controller pull in
       let next () =
         let r = timed m `In (fun () -> Pull.read pull) in
         note_batches m (Pull.transfers_issued pull);
         count_in m r
       in
       let emit v =
-        timed m `Out (fun () -> Port.write w v);
+        feeding_stall ctrl (fun () -> timed m `Out (fun () -> Port.write w v));
         count_out m
       in
       Kernel.spawn_worker ctx ~name:(name ^ "/transform") (fun () ->
@@ -90,11 +105,11 @@ let filter_ro k ?node ?(name = "filter") ?(capacity = 0) ?(batch = 1) ?flow ~ups
           Port.close w);
       Port.handlers port)
 
-let sink_ro k ?node ?(name = "sink") ?(batch = 1) ?flow ~upstream
+let sink_ro k ?node ?(name = "sink") ?(batch = 1) ?flowctl ?flow ~upstream
     ?(upstream_channel = Channel.output) ?(on_done = fun () -> ()) consume =
   custom k ?node ~name (fun ctx ~passive:_ ->
       let m = meter_of k flow in
-      let pull = Pull.connect ctx ~batch ~channel:upstream_channel upstream in
+      let pull = Pull.connect ctx ~batch ?flowctl ~channel:upstream_channel upstream in
       Kernel.spawn_worker ctx ~name:(name ^ "/pump") (fun () ->
           let rec go () =
             let r = timed m `In (fun () -> Pull.read pull) in
@@ -110,11 +125,11 @@ let sink_ro k ?node ?(name = "sink") ?(batch = 1) ?flow ~upstream
 
 (* --- Write-only ----------------------------------------------------- *)
 
-let source_wo k ?node ?(name = "source") ?(batch = 1) ?flow ~downstream
+let source_wo k ?node ?(name = "source") ?(batch = 1) ?flowctl ?flow ~downstream
     ?(downstream_channel = Channel.output) gen =
   custom k ?node ~name (fun ctx ~passive:_ ->
       let m = meter_of k flow in
-      let push = Push.connect ctx ~batch ~channel:downstream_channel downstream in
+      let push = Push.connect ctx ~batch ?flowctl ~channel:downstream_channel downstream in
       Kernel.spawn_worker ctx ~name:(name ^ "/pump") (fun () ->
           let rec go () =
             match gen () with
@@ -128,13 +143,13 @@ let source_wo k ?node ?(name = "source") ?(batch = 1) ?flow ~downstream
           go ());
       [])
 
-let filter_wo k ?node ?(name = "filter") ?(capacity = 1) ?(batch = 1) ?flow ~downstream
-    ?(downstream_channel = Channel.output) transform =
+let filter_wo k ?node ?(name = "filter") ?(capacity = 1) ?(batch = 1) ?flowctl ?flow
+    ~downstream ?(downstream_channel = Channel.output) transform =
   custom k ?node ~name (fun ctx ~passive:_ ->
       let m = meter_of k flow in
       let intake = Intake.create () in
       let r = Intake.add_channel intake ~capacity Channel.output in
-      let push = Push.connect ctx ~batch ~channel:downstream_channel downstream in
+      let push = Push.connect ctx ~batch ?flowctl ~channel:downstream_channel downstream in
       let next () = count_in m (timed m `In (fun () -> Intake.read r)) in
       let emit v =
         timed m `Out (fun () -> Push.write push v);
@@ -185,14 +200,16 @@ let pipe k ?node ?(name = "pipe") ?(capacity = 4) ?flow () =
           go ());
       Intake.handlers intake @ Port.handlers port)
 
-let source_active k ?node ?(name = "source") ?batch ?flow ~downstream gen =
-  source_wo k ?node ~name ?batch ?flow ~downstream gen
+let source_active k ?node ?(name = "source") ?batch ?flowctl ?flow ~downstream gen =
+  source_wo k ?node ~name ?batch ?flowctl ?flow ~downstream gen
 
-let filter_active k ?node ?(name = "filter") ?(batch = 1) ?flow ~upstream ~downstream transform =
+let filter_active k ?node ?(name = "filter") ?(batch = 1) ?flowctl ?flow ~upstream ~downstream
+    transform =
   custom k ?node ~name (fun ctx ~passive:_ ->
       let m = meter_of k flow in
-      let pull = Pull.connect ctx ~batch upstream in
-      let push = Push.connect ctx ~batch downstream in
+      let pull = Pull.connect ctx ~batch ?flowctl upstream in
+      let push = Push.connect ctx ~batch ?flowctl downstream in
+      let ctrl = Pull.controller pull in
       (* Batches here are whole protocol exchanges on either side. *)
       let batches () = Pull.transfers_issued pull + Push.deposits_issued push in
       let next () =
@@ -201,7 +218,7 @@ let filter_active k ?node ?(name = "filter") ?(batch = 1) ?flow ~upstream ~downs
         count_in m r
       in
       let emit v =
-        timed m `Out (fun () -> Push.write push v);
+        feeding_stall ctrl (fun () -> timed m `Out (fun () -> Push.write push v));
         note_batches m (batches ());
         count_out m
       in
@@ -210,5 +227,5 @@ let filter_active k ?node ?(name = "filter") ?(batch = 1) ?flow ~upstream ~downs
           Push.close push);
       [])
 
-let sink_active k ?node ?name ?batch ?flow ~upstream ?on_done consume =
-  sink_ro k ?node ?name ?batch ?flow ~upstream ?on_done consume
+let sink_active k ?node ?name ?batch ?flowctl ?flow ~upstream ?on_done consume =
+  sink_ro k ?node ?name ?batch ?flowctl ?flow ~upstream ?on_done consume

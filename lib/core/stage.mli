@@ -20,7 +20,15 @@
     [capacity] is the per-stage anticipation buffer (see {!Port});
     [batch] the per-invocation item count (see {!Pull}/{!Push}).  Both
     default to the paper's counting regime: fully lazy, one datum per
-    invocation. *)
+    invocation.
+
+    [flowctl] (on stages with an active connection) supersedes [batch]
+    with a full {!Eden_flowctl.Flowctl} configuration: credit-windowed
+    pipelined exchanges and, under [Adaptive], AIMD-sized batches.
+    Stages with adaptive pulls also feed the controller a backpressure
+    signal — virtual time spent blocked emitting downstream shrinks the
+    upstream batch.  Passive endpoints (ports, intakes, pipes) need no
+    configuration: they serve whatever form the client sends. *)
 
 module Value = Eden_kernel.Value
 module Kernel = Eden_kernel.Kernel
@@ -59,6 +67,7 @@ val filter_ro :
   ?name:string ->
   ?capacity:int ->
   ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
   ?flow:Eden_obs.Obs.Flow.stage ->
   upstream:Uid.t ->
   ?upstream_channel:Channel.t ->
@@ -71,6 +80,7 @@ val sink_ro :
   ?node:Eden_net.Net.node_id ->
   ?name:string ->
   ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
   ?flow:Eden_obs.Obs.Flow.stage ->
   upstream:Uid.t ->
   ?upstream_channel:Channel.t ->
@@ -87,6 +97,7 @@ val source_wo :
   ?node:Eden_net.Net.node_id ->
   ?name:string ->
   ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
   ?flow:Eden_obs.Obs.Flow.stage ->
   downstream:Uid.t ->
   ?downstream_channel:Channel.t ->
@@ -101,6 +112,7 @@ val filter_wo :
   ?name:string ->
   ?capacity:int ->
   ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
   ?flow:Eden_obs.Obs.Flow.stage ->
   downstream:Uid.t ->
   ?downstream_channel:Channel.t ->
@@ -138,6 +150,7 @@ val source_active :
   ?node:Eden_net.Net.node_id ->
   ?name:string ->
   ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
   ?flow:Eden_obs.Obs.Flow.stage ->
   downstream:Uid.t ->
   gen ->
@@ -150,6 +163,7 @@ val filter_active :
   ?node:Eden_net.Net.node_id ->
   ?name:string ->
   ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
   ?flow:Eden_obs.Obs.Flow.stage ->
   upstream:Uid.t ->
   downstream:Uid.t ->
@@ -163,6 +177,7 @@ val sink_active :
   ?node:Eden_net.Net.node_id ->
   ?name:string ->
   ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
   ?flow:Eden_obs.Obs.Flow.stage ->
   upstream:Uid.t ->
   ?on_done:(unit -> unit) ->

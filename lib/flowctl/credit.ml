@@ -1,0 +1,32 @@
+type limit = Window of int | Unlimited
+
+let pp_limit ppf = function
+  | Window n -> Format.fprintf ppf "window=%d" n
+  | Unlimited -> Format.pp_print_string ppf "window=inf"
+
+let limit_to_string l = Format.asprintf "%a" pp_limit l
+let unlimited_depth = 64
+
+let cap = function
+  | Window n ->
+      if n < 1 then invalid_arg "Credit.cap: window must be at least 1";
+      n
+  | Unlimited -> unlimited_depth
+
+type t = { limit : limit; capacity : int; mutable in_flight : int }
+
+let create limit = { limit; capacity = cap limit; in_flight = 0 }
+let limit t = t.limit
+let available t = t.capacity - t.in_flight
+let in_flight t = t.in_flight
+
+let take t =
+  if t.in_flight >= t.capacity then false
+  else begin
+    t.in_flight <- t.in_flight + 1;
+    true
+  end
+
+let give t =
+  if t.in_flight <= 0 then invalid_arg "Credit.give: no exchange in flight";
+  t.in_flight <- t.in_flight - 1

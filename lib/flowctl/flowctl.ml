@@ -1,0 +1,36 @@
+type batching = Fixed of int | Adaptive of Aimd.params
+type t = { batching : batching; credit : Credit.limit }
+
+let legacy = { batching = Fixed 1; credit = Window 1 }
+
+let fixed ?(credit = Credit.Window 1) n =
+  if n < 1 then invalid_arg "Flowctl.fixed: batch must be at least 1";
+  ignore (Credit.cap credit);
+  { batching = Fixed n; credit }
+
+let adaptive ?(credit = Credit.Window 1) ?(params = Aimd.default_params) () =
+  ignore (Credit.cap credit);
+  { batching = Adaptive params; credit }
+
+let initial_batch t =
+  match t.batching with Fixed n -> n | Adaptive p -> p.Aimd.min_batch
+
+let max_batch t = match t.batching with Fixed n -> n | Adaptive p -> p.Aimd.max_batch
+
+let controller t =
+  match t.batching with
+  | Fixed _ -> None
+  | Adaptive p -> Some (Aimd.create p)
+
+let credit t = Credit.create t.credit
+
+let is_legacy t =
+  match (t.batching, t.credit) with Fixed 1, Window 1 -> true | _ -> false
+
+let pp ppf t =
+  (match t.batching with
+  | Fixed n -> Format.fprintf ppf "batch=%d" n
+  | Adaptive p -> Format.fprintf ppf "batch=adaptive(%d..%d)" p.Aimd.min_batch p.Aimd.max_batch);
+  Format.fprintf ppf " %a" Credit.pp_limit t.credit
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,50 @@
+(** Flow-control configuration for a stream endpoint.
+
+    A {!t} bundles the two orthogonal knobs swept by bench experiment
+    B1:
+
+    - {b batching} — how many items one [Invoke] carries.  [Fixed n]
+      pins the batch; [Adaptive p] lets an {!Aimd} controller move it
+      between [p.min_batch] and [p.max_batch] in response to
+      backpressure.
+    - {b credit} — how many exchanges may be outstanding at once
+      ({!Credit.limit}).
+
+    [legacy] ([Fixed 1] × [Window 1]) is the paper's one-item
+    rendezvous and the behavioural baseline every other configuration
+    must be observationally equivalent to. *)
+
+type batching = Fixed of int | Adaptive of Aimd.params
+
+type t = { batching : batching; credit : Credit.limit }
+
+val legacy : t
+(** [Fixed 1] × [Window 1]: one item per invocation, strict rendezvous
+    — the unbatched baseline. *)
+
+val fixed : ?credit:Credit.limit -> int -> t
+(** [fixed n] is [Fixed n] batching (default credit [Window 1]).
+    @raise Invalid_argument when [n < 1]. *)
+
+val adaptive : ?credit:Credit.limit -> ?params:Aimd.params -> unit -> t
+(** AIMD-controlled batching (default params {!Aimd.default_params},
+    default credit [Window 1]). *)
+
+val initial_batch : t -> int
+(** The batch the first exchange uses. *)
+
+val max_batch : t -> int
+(** Upper bound on any batch this config can produce. *)
+
+val controller : t -> Aimd.t option
+(** A fresh controller for [Adaptive], [None] for [Fixed]. *)
+
+val credit : t -> Credit.t
+(** A fresh credit window for this config. *)
+
+val is_legacy : t -> bool
+(** [true] iff the config is exactly one item per rendezvous with no
+    pipelining — endpoints use this to stay on the seed code path. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -32,6 +32,25 @@ let send t x =
         true
       end)
 
+let send_many t xs =
+  Mutex.protect t.mu (fun () ->
+      let sent = ref 0 in
+      let rec go = function
+        | [] -> ()
+        | x :: rest ->
+            while Queue.length t.q >= t.capacity && not t.closed do
+              Condition.wait t.nonfull t.mu
+            done;
+            if not t.closed then begin
+              Queue.push x t.q;
+              incr sent;
+              Condition.signal t.nonempty;
+              go rest
+            end
+      in
+      go xs;
+      !sent)
+
 let try_send t x =
   Mutex.protect t.mu (fun () ->
       if t.closed || Queue.length t.q >= t.capacity then false
@@ -49,6 +68,23 @@ let recv t =
       let x = Queue.take_opt t.q in
       if x <> None then Condition.signal t.nonfull;
       x)
+
+let recv_many t ~max =
+  if max < 1 then invalid_arg "Dchan.recv_many: max must be positive";
+  Mutex.protect t.mu (fun () ->
+      while Queue.is_empty t.q && not t.closed do
+        Condition.wait t.nonempty t.mu
+      done;
+      let rec take n acc =
+        if n >= max then acc
+        else
+          match Queue.take_opt t.q with
+          | None -> acc
+          | Some x ->
+              Condition.signal t.nonfull;
+              take (n + 1) (x :: acc)
+      in
+      List.rev (take 0 []))
 
 let try_recv t =
   Mutex.protect t.mu (fun () ->

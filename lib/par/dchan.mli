@@ -20,12 +20,28 @@ val send : 'a t -> 'a -> bool
     (and no enqueue) when the channel is (or becomes, while blocked)
     closed. *)
 
+val send_many : 'a t -> 'a list -> int
+(** Enqueue a whole batch under one lock acquisition, in order,
+    blocking whenever the channel is full.  Returns how many items were
+    accepted: [List.length xs] normally, fewer if the channel is closed
+    mid-batch (the accepted prefix stays queued).  With a single
+    producer the batch is contiguous in the queue; concurrent producers
+    may interleave batches only at capacity boundaries. *)
+
 val try_send : 'a t -> 'a -> bool
 (** [false] when full or closed; never blocks. *)
 
 val recv : 'a t -> 'a option
 (** Dequeue, blocking while the channel is empty and open.  [None] only
     when closed and drained. *)
+
+val recv_many : 'a t -> max:int -> 'a list
+(** Dequeue up to [max] items under one lock acquisition, blocking
+    while the channel is empty and open.  Returns at least one item
+    unless the channel is closed and drained ([[]], the batched [None]).
+    Never blocks waiting to fill the batch: whatever is queued when the
+    receiver wakes is the batch.
+    @raise Invalid_argument on non-positive [max]. *)
 
 val try_recv : 'a t -> 'a option
 

@@ -13,10 +13,19 @@ type spec = {
   batch : int;
   capacity : int;
   work : int;
+  flowctl : Eden_flowctl.Flowctl.t option;
 }
 
 let default =
-  { branches = 8; filters = 2; items = 64; batch = 4; capacity = 4; work = 20_000 }
+  {
+    branches = 8;
+    filters = 2;
+    items = 64;
+    batch = 4;
+    capacity = 4;
+    work = 20_000;
+    flowctl = None;
+  }
 
 let item ~branch i = Value.Int ((branch * 1_000_003) + i)
 
@@ -79,8 +88,8 @@ let run mode ?seed ~domains spec =
       up :=
         Stage.filter_ro pk
           ~name:(Printf.sprintf "b%02d.filter%d" b j)
-          ~capacity:spec.capacity ~batch:spec.batch ~flow ~upstream:!up
-          (Transform.map work_fn)
+          ~capacity:spec.capacity ~batch:spec.batch ?flowctl:spec.flowctl ~flow
+          ~upstream:!up (Transform.map work_fn)
     done;
     let sink_up =
       Cluster.proxy c ~shard:0 ~ops:[ Proto.transfer_op ]
@@ -93,7 +102,7 @@ let run mode ?seed ~domains spec =
     let sink =
       Stage.sink_ro k0
         ~name:(Printf.sprintf "b%02d.sink" b)
-        ~batch:spec.batch ~flow:sink_flow ~upstream:sink_up
+        ~batch:spec.batch ?flowctl:spec.flowctl ~flow:sink_flow ~upstream:sink_up
         ~on_done:(fun () ->
           done_times.(b) <- done_times.(b) + 1;
           done_count.(b) <- counts.(b))

@@ -21,6 +21,14 @@ type spec = {
   batch : int;  (** sink/filter transfer credit *)
   capacity : int;  (** anticipation buffer per producing stage *)
   work : int;  (** {!burn} rounds per item per filter *)
+  flowctl : Eden_flowctl.Flowctl.t option;
+      (** Supersedes [batch] on every filter and sink connection:
+          credit-windowed, optionally adaptive exchanges — credits flow
+          across the {!Cluster.proxy} shard boundary like any other
+          invocation.  Each stage gets its own controller.  Adaptive
+          trajectories depend on scheduling, so equivalence tests
+          restrict [Adaptive] to [Deterministic] mode; [Fixed] configs
+          keep the full parallel-vs-deterministic contract. *)
 }
 
 val default : spec

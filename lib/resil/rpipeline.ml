@@ -24,8 +24,8 @@ let placer kernel nodes =
     incr i;
     n
 
-let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) ?policy ~seed discipline ~gen
-    ~filters =
+let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) ?flowctl ?policy ~seed discipline
+    ~gen ~filters =
   let next_node = placer kernel nodes in
   let meter = Retry.create_meter () in
   let done_ = Ivar.create () in
@@ -41,13 +41,14 @@ let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) ?policy ~seed discip
           (fun ups spec ->
             let i = List.length ups in
             Rstage.filter_ro kernel ~node:(next_node ()) ~name:(flabel i) ~capacity ~batch
-              ~upstream:(List.hd ups) ?policy ~meter ~seed:(stage_seed i) spec
+              ?flowctl ~upstream:(List.hd ups) ?policy ~meter ~seed:(stage_seed i) spec
             :: ups)
           [ source ] filters
       in
       let sink =
-        Rstage.sink_ro kernel ~node:(next_node ()) ~batch ~upstream:(List.hd filter_uids)
-          ?policy ~meter ~seed:(stage_seed (n + 1)) ~on_done ()
+        Rstage.sink_ro kernel ~node:(next_node ()) ~batch ?flowctl
+          ~upstream:(List.hd filter_uids) ?policy ~meter ~seed:(stage_seed (n + 1)) ~on_done
+          ()
       in
       let filters_in_order = List.rev (List.filteri (fun i _ -> i < n) filter_uids) in
       {
@@ -68,13 +69,13 @@ let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) ?policy ~seed discip
         List.fold_left
           (fun downs spec ->
             let i = n - List.length downs + 1 in
-            Rstage.filter_wo kernel ~node:(next_node ()) ~name:(flabel i) ~batch
+            Rstage.filter_wo kernel ~node:(next_node ()) ~name:(flabel i) ~batch ?flowctl
               ~downstream:(List.hd downs) ?policy ~meter ~seed:(stage_seed i) spec
             :: downs)
           [ sink ] (List.rev filters)
       in
       let source =
-        Rstage.source_wo kernel ~node:(next_node ()) ~batch
+        Rstage.source_wo kernel ~node:(next_node ()) ~batch ?flowctl
           ~downstream:(List.hd filter_uids) ?policy ~meter ~seed:(stage_seed 0) gen
       in
       let filters_in_order = List.filteri (fun i _ -> i < n) filter_uids in
@@ -95,7 +96,7 @@ let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) ?policy ~seed discip
         Rstage.pipe kernel ~node:(next_node ()) ~name:"pipe-1" ~capacity:pipe_capacity ()
       in
       let source =
-        Rstage.source_active kernel ~node:(next_node ()) ~batch ~downstream:first_pipe
+        Rstage.source_active kernel ~node:(next_node ()) ~batch ?flowctl ~downstream:first_pipe
           ?policy ~meter ~seed:(stage_seed 0) gen
       in
       let filter_uids, pipe_uids =
@@ -108,7 +109,7 @@ let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) ?policy ~seed discip
                 ~capacity:pipe_capacity ()
             in
             let f =
-              Rstage.filter_active kernel ~node:(next_node ()) ~name:(flabel i) ~batch
+              Rstage.filter_active kernel ~node:(next_node ()) ~name:(flabel i) ~batch ?flowctl
                 ~upstream:(List.hd ps) ~downstream:out_pipe ?policy ~meter
                 ~seed:(stage_seed i) spec
             in
@@ -116,8 +117,9 @@ let build kernel ?(nodes = []) ?(capacity = 0) ?(batch = 1) ?policy ~seed discip
           ([], [ first_pipe ]) filters
       in
       let sink =
-        Rstage.sink_active kernel ~node:(next_node ()) ~batch ~upstream:(List.hd pipe_uids)
-          ?policy ~meter ~seed:(stage_seed (n + 1)) ~on_done ()
+        Rstage.sink_active kernel ~node:(next_node ()) ~batch ?flowctl
+          ~upstream:(List.hd pipe_uids) ?policy ~meter ~seed:(stage_seed (n + 1)) ~on_done
+          ()
       in
       let filters_in_order = List.rev filter_uids in
       let pipes_in_order = List.rev pipe_uids in

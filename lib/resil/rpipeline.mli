@@ -32,6 +32,7 @@ val build :
   ?nodes:Eden_net.Net.node_id list ->
   ?capacity:int ->
   ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
   ?policy:Retry.policy ->
   seed:int64 ->
   Pipeline.discipline ->
@@ -39,7 +40,8 @@ val build :
   filters:Rstage.spec list ->
   t
 (** The sink accumulates with {!Rstage.default_absorb}; read it back
-    with [output]. *)
+    with [output].  [flowctl] sizes every stage's per-exchange batch
+    (see {!Rstage}); each adaptive stage gets its own controller. *)
 
 val start : t -> unit
 (** Pokes the pumping stages, exactly as {!Eden_transput.Pipeline.start}

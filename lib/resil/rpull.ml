@@ -3,12 +3,15 @@ module Kernel = Eden_kernel.Kernel
 module Uid = Eden_kernel.Uid
 module Channel = Eden_transput.Channel
 module Proto = Eden_transput.Proto
+module Aimd = Eden_flowctl.Aimd
+module Flowctl = Eden_flowctl.Flowctl
 
 type t = {
   ctx : Kernel.ctx;
   src : Uid.t;
   chan : Channel.t;
   batch : int;
+  ctrl : Aimd.t option; (* adaptive credit sizing; [batch] when absent *)
   policy : Retry.policy;
   meter : Retry.meter option;
   prng : Eden_util.Prng.t;
@@ -18,12 +21,16 @@ type t = {
   mutable transfers : int;
 }
 
-let connect ctx ?(batch = 1) ?(channel = Channel.output) ?(policy = Retry.default_policy)
-    ?meter ~prng ?(from = 0) src =
+let connect ctx ?(batch = 1) ?flowctl ?(channel = Channel.output)
+    ?(policy = Retry.default_policy) ?meter ~prng ?(from = 0) src =
   if batch < 1 then invalid_arg "Rpull.connect: batch must be at least 1";
   if from < 0 then invalid_arg "Rpull.connect: from must be non-negative";
-  { ctx; src; chan = channel; batch; policy; meter; prng; next = from; buf = []; eos = false;
-    transfers = 0 }
+  let batch = match flowctl with Some f -> Flowctl.initial_batch f | None -> batch in
+  let ctrl = Option.join (Option.map Flowctl.controller flowctl) in
+  { ctx; src; chan = channel; batch; ctrl; policy; meter; prng; next = from; buf = [];
+    eos = false; transfers = 0 }
+
+let credit t = match t.ctrl with Some c -> Aimd.current c | None -> t.batch
 
 let rec read t =
   match t.buf with
@@ -33,10 +40,11 @@ let rec read t =
   | [] ->
       if t.eos then None
       else begin
+        let asked = credit t in
         let reply =
           Retry.call ~policy:t.policy ?meter:t.meter ~prng:t.prng t.ctx t.src
             ~op:Proto.transfer_op
-            (Proto.transfer_request ~seq:t.next t.chan ~credit:t.batch)
+            (Proto.transfer_request ~seq:t.next t.chan ~credit:asked)
         in
         t.transfers <- t.transfers + 1;
         let { Proto.eos; items }, rbase = Proto.parse_transfer_reply_base reply in
@@ -49,6 +57,12 @@ let rec read t =
         t.eos <- eos;
         t.buf <- items;
         t.next <- t.next + List.length items;
+        (* A full reply means the producer keeps pace: widen the next
+           request.  (The exact-fill contract makes short replies imply
+           eos, so there is no shrink signal on this synchronous path;
+           recovery shrinks via {!Retry} backoff instead.) *)
+        if (not eos) && List.length items >= asked then
+          Option.iter Aimd.on_progress t.ctrl;
         (* A live producer never replies empty without eos, but loop
            rather than fabricate an end of stream. *)
         read t
@@ -57,3 +71,4 @@ let rec read t =
 let pos t = t.next - List.length t.buf
 let buffered t = List.length t.buf
 let transfers_issued t = t.transfers
+let controller t = t.ctrl

@@ -23,6 +23,7 @@ type t
 val connect :
   Kernel.ctx ->
   ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
   ?channel:Channel.t ->
   ?policy:Retry.policy ->
   ?meter:Retry.meter ->
@@ -30,7 +31,15 @@ val connect :
   ?from:int ->
   Uid.t ->
   t
-(** [from] is the resume position (default 0, a fresh stream). *)
+(** [from] is the resume position (default 0, a fresh stream).
+
+    [flowctl] supersedes [batch]: under [Fixed n] every Transfer asks
+    for [n] items; under [Adaptive] the per-request credit follows an
+    AIMD controller that widens on every full reply.  The resilient
+    path stays synchronous — one outstanding exchange, whatever the
+    configuration's credit window says — because checkpoint-before-
+    acknowledge needs each batch durable before the next request
+    cumulatively acknowledges it. *)
 
 val read : t -> Value.t option
 (** Next item, [None] at end of stream.  Issues a retried [Transfer]
@@ -46,3 +55,7 @@ val buffered : t -> int
 val transfers_issued : t -> int
 (** Successful [Transfer] round trips (retries are metered
     separately). *)
+
+val controller : t -> Eden_flowctl.Aimd.t option
+(** The adaptive controller, when connected with an [Adaptive]
+    [flowctl]. *)

@@ -3,12 +3,15 @@ module Kernel = Eden_kernel.Kernel
 module Uid = Eden_kernel.Uid
 module Channel = Eden_transput.Channel
 module Proto = Eden_transput.Proto
+module Aimd = Eden_flowctl.Aimd
+module Flowctl = Eden_flowctl.Flowctl
 
 type t = {
   ctx : Kernel.ctx;
   dst : Uid.t;
   chan : Channel.t;
   batch : int;
+  ctrl : Aimd.t option; (* adaptive flush threshold; [batch] when absent *)
   policy : Retry.policy;
   meter : Retry.meter option;
   prng : Eden_util.Prng.t;
@@ -19,12 +22,16 @@ type t = {
   mutable deposits : int;
 }
 
-let connect ctx ?(batch = 1) ?(channel = Channel.output) ?(policy = Retry.default_policy)
-    ?meter ~prng ?(from = 0) dst =
+let connect ctx ?(batch = 1) ?flowctl ?(channel = Channel.output)
+    ?(policy = Retry.default_policy) ?meter ~prng ?(from = 0) dst =
   if batch < 1 then invalid_arg "Rpush.connect: batch must be at least 1";
   if from < 0 then invalid_arg "Rpush.connect: from must be non-negative";
-  { ctx; dst; chan = channel; batch; policy; meter; prng; next = from; acked = from;
+  let batch = match flowctl with Some f -> Flowctl.initial_batch f | None -> batch in
+  let ctrl = Option.join (Option.map Flowctl.controller flowctl) in
+  { ctx; dst; chan = channel; batch; ctrl; policy; meter; prng; next = from; acked = from;
     pend = []; closed = false; deposits = 0 }
+
+let threshold t = match t.ctrl with Some c -> Aimd.current c | None -> t.batch
 
 let pstart t = t.next - List.length t.pend
 
@@ -45,7 +52,12 @@ let rec send t ~eos =
       t.pend <- drop (a - pstart t) t.pend;
       t.acked <- max t.acked a);
   (* A consumer restarted from an old checkpoint may acknowledge short;
-     re-deposit the remainder. *)
+     re-deposit the remainder.  A short acknowledgement also means
+     recovery is replaying: shrink the batch so the restarted consumer
+     checkpoints at finer granularity while it catches up. *)
+  (match t.ctrl with
+  | Some c -> if t.pend <> [] then Aimd.on_stall c else Aimd.on_progress c
+  | None -> ());
   if t.pend <> [] then send t ~eos
 
 let flush t = if t.pend <> [] then send t ~eos:false
@@ -59,7 +71,7 @@ let write t item =
   else begin
     t.pend <- t.pend @ [ item ];
     t.next <- t.next + 1;
-    if List.length t.pend >= t.batch then flush t
+    if List.length t.pend >= threshold t then flush t
   end
 
 let close t =
@@ -72,3 +84,4 @@ let pos t = t.next
 let acked t = t.acked
 let pending t = List.length t.pend
 let deposits_issued t = t.deposits
+let controller t = t.ctrl

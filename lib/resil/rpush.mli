@@ -23,6 +23,7 @@ type t
 val connect :
   Kernel.ctx ->
   ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
   ?channel:Channel.t ->
   ?policy:Retry.policy ->
   ?meter:Retry.meter ->
@@ -31,7 +32,15 @@ val connect :
   Uid.t ->
   t
 (** [from] is the resume position: the stream position of the next
-    [write] (default 0). *)
+    [write] (default 0).
+
+    [flowctl] supersedes [batch]: under [Fixed n] the flush threshold
+    is [n]; under [Adaptive] it follows an AIMD controller — fully
+    acknowledged deposits widen it, short acknowledgements (a consumer
+    replaying after a crash) shrink it so recovery checkpoints at finer
+    granularity.  One exchange stays outstanding at a time regardless
+    of the credit window: deduplication-by-position needs deposits
+    acknowledged in order. *)
 
 val write : t -> Value.t -> unit
 (** Buffers (or skips, during replay below the acknowledged position)
@@ -53,3 +62,7 @@ val acked : t -> int
 
 val pending : t -> int
 val deposits_issued : t -> int
+
+val controller : t -> Eden_flowctl.Aimd.t option
+(** The adaptive controller, when connected with an [Adaptive]
+    [flowctl]. *)

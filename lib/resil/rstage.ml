@@ -62,8 +62,8 @@ let source_ro k ?node ?(name = "rsource") ?(capacity = 0) ?(checkpoint_every = 1
           go 0);
       ping :: Rport.handlers port)
 
-let filter_ro k ?node ?(name = "rfilter") ?(capacity = 0) ?(batch = 1) ~upstream ?policy
-    ?meter ~seed spec =
+let filter_ro k ?node ?(name = "rfilter") ?(capacity = 0) ?(batch = 1) ?flowctl ~upstream
+    ?policy ?meter ~seed spec =
   custom k ?node ~name (fun ctx ~passive ->
       let prng = Prng.create seed in
       let port = Rport.create () in
@@ -78,7 +78,9 @@ let filter_ro k ?node ?(name = "rfilter") ?(capacity = 0) ?(batch = 1) ~upstream
       Kernel.spawn_worker ctx ~name:(name ^ "/transform") (fun () ->
           if not (Rport.is_closed w) then
             guard (fun () ->
-                let pull = Rpull.connect ctx ~batch ?policy ?meter ~prng ~from:in0 upstream in
+                let pull =
+                  Rpull.connect ctx ~batch ?flowctl ?policy ?meter ~prng ~from:in0 upstream
+                in
                 let st = ref st0 in
                 let ckpt () =
                   Kernel.checkpoint ctx
@@ -107,7 +109,7 @@ let sink_done_of = function
   | Value.List [ Value.Int _; _; Value.Bool d ] -> d
   | _ -> false
 
-let sink_ro k ?node ?(name = "rsink") ?(batch = 1) ~upstream ?policy ?meter ~seed
+let sink_ro k ?node ?(name = "rsink") ?(batch = 1) ?flowctl ~upstream ?policy ?meter ~seed
     ?(init = Value.List []) ?(absorb = default_absorb) ?(on_done = fun () -> ()) () =
   custom k ?node ~name (fun ctx ~passive ->
       let prng = Prng.create seed in
@@ -120,7 +122,9 @@ let sink_ro k ?node ?(name = "rsink") ?(batch = 1) ~upstream ?policy ?meter ~see
           if done0 then on_done ()
           else
             guard (fun () ->
-                let pull = Rpull.connect ctx ~batch ?policy ?meter ~prng ~from:in0 upstream in
+                let pull =
+                  Rpull.connect ctx ~batch ?flowctl ?policy ?meter ~prng ~from:in0 upstream
+                in
                 let st = ref st0 in
                 let ckpt ~done_ =
                   Kernel.checkpoint ctx
@@ -141,7 +145,8 @@ let sink_ro k ?node ?(name = "rsink") ?(batch = 1) ~upstream ?policy ?meter ~see
 
 (* --- Write-only ----------------------------------------------------- *)
 
-let source_wo k ?node ?(name = "rsource") ?(batch = 1) ~downstream ?policy ?meter ~seed gen =
+let source_wo k ?node ?(name = "rsource") ?(batch = 1) ?flowctl ~downstream ?policy ?meter
+    ~seed gen =
   custom k ?node ~name (fun ctx ~passive ->
       let prng = Prng.create seed in
       let out0, done0 =
@@ -152,7 +157,9 @@ let source_wo k ?node ?(name = "rsource") ?(batch = 1) ~downstream ?policy ?mete
       Kernel.spawn_worker ctx ~name:(name ^ "/pump") (fun () ->
           if not done0 then
             guard (fun () ->
-                let push = Rpush.connect ctx ~batch ?policy ?meter ~prng ~from:out0 downstream in
+                let push =
+                  Rpush.connect ctx ~batch ?flowctl ?policy ?meter ~prng ~from:out0 downstream
+                in
                 let ckpt ~done_ =
                   Kernel.checkpoint ctx
                     (Value.List [ Value.Int (Rpush.pos push); Value.Bool done_ ])
@@ -199,7 +206,8 @@ let deposit_handler ~lock ~in_seq ~finished ~on_items ~on_eos ~ckpt arg =
         Proto.deposit_ack ~next_seq:!in_seq
       end)
 
-let filter_wo k ?node ?(name = "rfilter") ?(batch = 1) ~downstream ?policy ?meter ~seed spec =
+let filter_wo k ?node ?(name = "rfilter") ?(batch = 1) ?flowctl ~downstream ?policy ?meter
+    ~seed spec =
   custom k ?node ~name (fun ctx ~passive ->
       let prng = Prng.create seed in
       let in0, st0, out0, fin0 =
@@ -210,7 +218,9 @@ let filter_wo k ?node ?(name = "rfilter") ?(batch = 1) ~downstream ?policy ?mete
       let in_seq = ref in0 in
       let st = ref st0 in
       let finished = ref fin0 in
-      let push = Rpush.connect ctx ~batch ?policy ?meter ~prng ~from:out0 downstream in
+      let push =
+        Rpush.connect ctx ~batch ?flowctl ?policy ?meter ~prng ~from:out0 downstream
+      in
       let lock = Semaphore.create 1 in
       let ckpt () =
         Kernel.checkpoint ctx
@@ -302,8 +312,8 @@ let pipe k ?node ?(name = "rpipe") ?(capacity = 4) () =
 
 let source_active = source_wo
 
-let filter_active k ?node ?(name = "rfilter") ?(batch = 1) ~upstream ~downstream ?policy
-    ?meter ~seed spec =
+let filter_active k ?node ?(name = "rfilter") ?(batch = 1) ?flowctl ~upstream ~downstream
+    ?policy ?meter ~seed spec =
   custom k ?node ~name (fun ctx ~passive ->
       let prng = Prng.create seed in
       let in0, st0, out0, done0 =
@@ -314,9 +324,11 @@ let filter_active k ?node ?(name = "rfilter") ?(batch = 1) ~upstream ~downstream
       Kernel.spawn_worker ctx ~name:(name ^ "/pump") (fun () ->
           if not done0 then
             guard (fun () ->
-                let pull = Rpull.connect ctx ~batch ?policy ?meter ~prng ~from:in0 upstream in
+                let pull =
+                  Rpull.connect ctx ~batch ?flowctl ?policy ?meter ~prng ~from:in0 upstream
+                in
                 let push =
-                  Rpush.connect ctx ~batch ?policy ?meter ~prng:(Prng.split prng)
+                  Rpush.connect ctx ~batch ?flowctl ?policy ?meter ~prng:(Prng.split prng)
                     ~from:out0 downstream
                 in
                 let st = ref st0 in

@@ -27,7 +27,11 @@
     Every resumable stage serves a ["Ping"] operation for supervisor
     liveness probes.  All builders take a [seed] so retry jitter is
     deterministic, and reset to it at each activation so a restarted
-    stage replays the same schedule. *)
+    stage replays the same schedule.
+
+    [flowctl] sizes the per-exchange batch (see {!Rpull.connect} and
+    {!Rpush.connect}); checkpoints stay at batch boundaries, so
+    exactly-once holds at whatever granularity the controller picks. *)
 
 module Value = Eden_kernel.Value
 module Kernel = Eden_kernel.Kernel
@@ -70,6 +74,7 @@ val filter_ro :
   ?name:string ->
   ?capacity:int ->
   ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
   upstream:Uid.t ->
   ?policy:Retry.policy ->
   ?meter:Retry.meter ->
@@ -82,6 +87,7 @@ val sink_ro :
   ?node:Eden_net.Net.node_id ->
   ?name:string ->
   ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
   upstream:Uid.t ->
   ?policy:Retry.policy ->
   ?meter:Retry.meter ->
@@ -102,6 +108,7 @@ val source_wo :
   ?node:Eden_net.Net.node_id ->
   ?name:string ->
   ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
   downstream:Uid.t ->
   ?policy:Retry.policy ->
   ?meter:Retry.meter ->
@@ -115,6 +122,7 @@ val filter_wo :
   ?node:Eden_net.Net.node_id ->
   ?name:string ->
   ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
   downstream:Uid.t ->
   ?policy:Retry.policy ->
   ?meter:Retry.meter ->
@@ -144,6 +152,7 @@ val source_active :
   ?node:Eden_net.Net.node_id ->
   ?name:string ->
   ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
   downstream:Uid.t ->
   ?policy:Retry.policy ->
   ?meter:Retry.meter ->
@@ -156,6 +165,7 @@ val filter_active :
   ?node:Eden_net.Net.node_id ->
   ?name:string ->
   ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
   upstream:Uid.t ->
   downstream:Uid.t ->
   ?policy:Retry.policy ->
@@ -170,6 +180,7 @@ val sink_active :
   ?node:Eden_net.Net.node_id ->
   ?name:string ->
   ?batch:int ->
+  ?flowctl:Eden_flowctl.Flowctl.t ->
   upstream:Uid.t ->
   ?policy:Retry.policy ->
   ?meter:Retry.meter ->

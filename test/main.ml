@@ -14,6 +14,7 @@ let () =
       ("stdio", Test_stdio.suite);
       ("codec", Test_codec.suite);
       ("flow", Test_flow.suite);
+      ("flowctl", Test_flowctl.suite);
       ("failures", Test_failures.suite);
       ("resil", Test_resil.suite);
       ("trace", Test_trace.suite);

@@ -6,6 +6,8 @@ open Eden_par
 module Kernel = Eden_kernel.Kernel
 module Value = Eden_kernel.Value
 module Uid = Eden_kernel.Uid
+module Flowctl = Eden_flowctl.Flowctl
+module Credit = Eden_flowctl.Credit
 
 let prop name ?(count = 15) gen f =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
@@ -157,6 +159,67 @@ let prop_dchan_stress =
       let got = List.map Domain.join cons in
       check_stress ~producers ~per_producer got)
 
+(* --- Dchan batch operations ------------------------------------------ *)
+
+let test_dchan_send_many_basics () =
+  let ch = Dchan.create ~capacity:4 () in
+  Alcotest.(check int) "all accepted" 3 (Dchan.send_many ch [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "one batched recv" [ 1; 2; 3 ] (Dchan.recv_many ch ~max:8);
+  Alcotest.(check int) "empty batch is a no-op" 0 (Dchan.send_many ch []);
+  ignore (Dchan.send_many ch [ 4; 5 ]);
+  Alcotest.(check (list int)) "max bounds the batch" [ 4 ] (Dchan.recv_many ch ~max:1);
+  Dchan.close ch;
+  Alcotest.(check (list int)) "backlog drains" [ 5 ] (Dchan.recv_many ch ~max:8);
+  Alcotest.(check (list int)) "closed + drained = []" [] (Dchan.recv_many ch ~max:8);
+  Alcotest.(check int) "send_many refused when closed" 0 (Dchan.send_many ch [ 9 ]);
+  Alcotest.check_raises "bad max"
+    (Invalid_argument "Dchan.recv_many: max must be positive") (fun () ->
+      ignore (Dchan.recv_many ch ~max:0))
+
+(* A batch larger than capacity blocks mid-batch; close releases the
+   sender with a partial count, and the accepted prefix stays
+   readable. *)
+let test_dchan_send_many_close_mid_batch () =
+  let ch = Dchan.create ~capacity:2 () in
+  let sender = Domain.spawn (fun () -> Dchan.send_many ch [ 1; 2; 3; 4; 5 ]) in
+  (* Wait until the sender has filled the channel and is blocked on
+     item 3 before closing — a fixed spin races on a loaded host. *)
+  while Dchan.length ch < 2 do
+    Domain.cpu_relax ()
+  done;
+  Dchan.close ch;
+  Alcotest.(check int) "capacity-bounded prefix accepted" 2 (Domain.join sender);
+  Alcotest.(check (list int)) "prefix readable" [ 1; 2 ] (Dchan.recv_many ch ~max:8)
+
+let prop_dchan_batch_stress =
+  prop "dchan: batched send/recv, no loss/duplication"
+    QCheck2.Gen.(tup4 (int_range 1 3) (int_range 1 3) (int_range 0 12) (int_range 1 4))
+    (fun (producers, consumers, batches, capacity) ->
+      let ch = Dchan.create ~capacity () in
+      let per_producer = batches * 4 in
+      let prods =
+        List.init producers (fun p ->
+            Domain.spawn (fun () ->
+                for b = 0 to batches - 1 do
+                  ignore
+                    (Dchan.send_many ch (List.init 4 (fun i -> (p, (b * 4) + i))))
+                done))
+      in
+      let cons =
+        List.init consumers (fun _ ->
+            Domain.spawn (fun () ->
+                let rec loop acc =
+                  match Dchan.recv_many ch ~max:3 with
+                  | [] -> List.rev acc
+                  | xs -> loop (List.rev_append xs acc)
+                in
+                loop []))
+      in
+      List.iter Domain.join prods;
+      Dchan.close ch;
+      let got = List.map Domain.join cons in
+      check_stress ~producers ~per_producer got)
+
 (* --- Cluster --------------------------------------------------------- *)
 
 let echo_cluster mode =
@@ -270,6 +333,52 @@ let test_equivalence () =
     (show_flows det.Fanin.flows)
     (show_flows par.Fanin.flows)
 
+(* A fixed windowed configuration keeps the full parallel-vs-
+   deterministic contract: credits are just pipelined exchanges, and a
+   fixed batch makes their count schedule-independent. *)
+let test_equivalence_windowed () =
+  let spec =
+    { small_spec with Fanin.flowctl = Some (Flowctl.fixed ~credit:(Credit.Window 4) 3) }
+  in
+  let det = Fanin.run Deterministic ~domains:3 spec in
+  let par = Fanin.run Parallel ~domains:3 spec in
+  Alcotest.(check int) "consumed" det.Fanin.consumed par.Fanin.consumed;
+  Alcotest.(check int) "everything arrived" (4 * 30) par.Fanin.consumed;
+  Alcotest.(check bool) "det EOS clean" true det.Fanin.eos_clean;
+  Alcotest.(check bool) "par EOS clean" true par.Fanin.eos_clean;
+  Array.iteri
+    (fun b det_items ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "branch %d item sequence" b)
+        (List.map (Format.asprintf "%a" Value.pp) det_items)
+        (List.map (Format.asprintf "%a" Value.pp) par.Fanin.per_branch.(b)))
+    det.Fanin.per_branch;
+  Alcotest.(check (list (pair string int)))
+    "op counts" det.Fanin.op_counts par.Fanin.op_counts;
+  Alcotest.(check int) "total invocations"
+    det.Fanin.meter.Kernel.Meter.invocations par.Fanin.meter.Kernel.Meter.invocations
+
+(* Adaptive trajectories react to occupancy and are therefore
+   scheduling-dependent; the contract they keep is within the
+   deterministic mode, where the whole run is a pure function of the
+   spec. *)
+let test_adaptive_det_repeatable () =
+  let spec =
+    {
+      small_spec with
+      Fanin.flowctl = Some (Flowctl.adaptive ~credit:(Credit.Window 4) ());
+    }
+  in
+  let a = Fanin.run Deterministic ~domains:3 spec in
+  let b = Fanin.run Deterministic ~domains:3 spec in
+  Alcotest.(check int) "everything arrived" (4 * 30) a.Fanin.consumed;
+  Alcotest.(check bool) "EOS clean" true a.Fanin.eos_clean;
+  Alcotest.(check bool) "identical outcomes" true
+    (a.Fanin.per_branch = b.Fanin.per_branch
+    && a.Fanin.op_counts = b.Fanin.op_counts
+    && a.Fanin.cross_messages = b.Fanin.cross_messages
+    && a.Fanin.makespans = b.Fanin.makespans)
+
 let test_det_repeatable () =
   let a = Fanin.run Deterministic ~domains:3 small_spec in
   let b = Fanin.run Deterministic ~domains:3 small_spec in
@@ -288,6 +397,9 @@ let suite =
     ("dchan basics", `Quick, test_dchan_basics);
     ("dchan close releases blocked sender", `Quick, test_dchan_close_releases_sender);
     prop_dchan_stress;
+    ("dchan send_many/recv_many basics", `Quick, test_dchan_send_many_basics);
+    ("dchan send_many closed mid-batch", `Quick, test_dchan_send_many_close_mid_batch);
+    prop_dchan_batch_stress;
     ("cluster echo (deterministic)", `Quick, test_cluster_echo Cluster.Deterministic);
     ("cluster echo (parallel)", `Quick, test_cluster_echo Cluster.Parallel);
     ("cluster error propagation (deterministic)", `Quick, test_cluster_error Cluster.Deterministic);
@@ -297,5 +409,7 @@ let suite =
     ("parallel smoke", `Quick, test_parallel_smoke);
     ("parallel single domain", `Quick, test_parallel_single_domain);
     ("parallel-vs-deterministic equivalence", `Quick, test_equivalence);
+    ("windowed fan-in equivalence", `Quick, test_equivalence_windowed);
+    ("adaptive fan-in deterministic repeatable", `Quick, test_adaptive_det_repeatable);
     ("deterministic mode repeatable", `Quick, test_det_repeatable);
   ]

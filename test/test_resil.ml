@@ -13,6 +13,7 @@ module Retry = Eden_resil.Retry
 module Rstage = Eden_resil.Rstage
 module Rpipeline = Eden_resil.Rpipeline
 module Supervisor = Eden_resil.Supervisor
+module Flowctl = Eden_flowctl.Flowctl
 
 let check = Alcotest.check
 let value = Alcotest.testable Value.pp Value.equal
@@ -98,7 +99,7 @@ let expected n =
    deadline.  [crashes] picks (stage, time) pairs off the built
    pipeline. *)
 let run_chaos ?(loss = 0.0) ?(crashes = fun _ -> []) ?(supervised = true) ?(n = 30)
-    ?(batch = 2) ?(deadline = 5000.0) discipline =
+    ?(batch = 2) ?flowctl ?(deadline = 5000.0) discipline =
   (* Stages are spread over three nodes so injected loss actually
      applies: same-node hops are exempt from the loss coin. *)
   let k = Kernel.create ~seed:5L ~nodes:[ "a"; "b"; "c" ] () in
@@ -109,8 +110,8 @@ let run_chaos ?(loss = 0.0) ?(crashes = fun _ -> []) ?(supervised = true) ?(n = 
       ()
   in
   let p =
-    Rpipeline.build k ~nodes:(Kernel.nodes k) ~batch ~policy ~seed:99L discipline ~gen:(gen n)
-      ~filters:specs
+    Rpipeline.build k ~nodes:(Kernel.nodes k) ~batch ?flowctl ~policy ~seed:99L discipline
+      ~gen:(gen n) ~filters:specs
   in
   let sup = Supervisor.create k ~policy:(Supervisor.policy ~interval:4.0 ()) () in
   if supervised then begin
@@ -237,6 +238,45 @@ let test_supervisor_gives_up_on_crash_loop () =
     (List.exists (fun (label, _) -> label = "sink") (Supervisor.gave_up sup));
   check Alcotest.int "restarts granted before giving up" 2 (Supervisor.restarts sup)
 
+(* --- Batched chaos regression ---------------------------------------- *)
+
+(* The R1 storm schedule (two filters and the sink crashed, staggered,
+   under 10% loss) replayed over the flow-controlled pipeline:
+   exactly-once must hold at every batch size, fixed or adaptive.
+   Checkpoints sit at batch boundaries, so a bigger batch only coarsens
+   replay granularity — never the output. *)
+let storm p =
+  [
+    (List.assoc "filter-1" p.Rpipeline.stages, 2.0);
+    (List.assoc "sink" p.Rpipeline.stages, 5.0);
+    (List.assoc "filter-3" p.Rpipeline.stages, 8.0);
+  ]
+
+let test_batched_chaos flowctl () =
+  let ok, out, _, _ = run_chaos ~loss:0.1 ~crashes:storm ~flowctl Pipeline.Read_only in
+  Alcotest.(check bool) "completes despite storm + loss" true ok;
+  check
+    (Alcotest.option (Alcotest.list value))
+    "output exactly-once" (Some (expected 30)) out
+
+(* The write-only dual with an adaptive batch: a restarted sink
+   acknowledges short, which is exactly the controller's shrink signal —
+   replay must stay exactly-once while the batch resizes mid-stream. *)
+let test_batched_chaos_wo () =
+  let crashes p =
+    [
+      (List.assoc "source" p.Rpipeline.stages, 3.0);
+      (List.assoc "filter-1" p.Rpipeline.stages, 7.0);
+    ]
+  in
+  let ok, out, _, _ =
+    run_chaos ~loss:0.1 ~crashes ~flowctl:(Flowctl.adaptive ()) Pipeline.Write_only
+  in
+  Alcotest.(check bool) "completes" true ok;
+  check
+    (Alcotest.option (Alcotest.list value))
+    "output exactly-once" (Some (expected 30)) out
+
 (* --- Stall detector -------------------------------------------------- *)
 
 let test_stall_detector_attributes_stage () =
@@ -292,6 +332,12 @@ let suite =
     ("conventional: crash + loss", `Quick, test_conventional_crash_and_loss);
     ("duality with resilience enabled", `Quick, test_duality_with_resilience);
     ("supervisor gives up on crash loop", `Quick, test_supervisor_gives_up_on_crash_loop);
+    ("storm chaos, batch=1", `Quick, test_batched_chaos (Flowctl.fixed 1));
+    ("storm chaos, batch=4", `Quick, test_batched_chaos (Flowctl.fixed 4));
+    ("storm chaos, batch=8", `Quick, test_batched_chaos (Flowctl.fixed 8));
+    ("storm chaos, batch=64", `Quick, test_batched_chaos (Flowctl.fixed 64));
+    ("storm chaos, adaptive batch", `Quick, test_batched_chaos (Flowctl.adaptive ()));
+    ("WO chaos, adaptive batch", `Quick, test_batched_chaos_wo);
     ("stall detector attributes stage", `Quick, test_stall_detector_attributes_stage);
     ("legacy pull reads resumable source", `Quick, test_legacy_pull_reads_resumable_source);
   ]
