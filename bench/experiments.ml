@@ -1378,6 +1378,80 @@ let b1 ?(quick = false) () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* C1: schedule exploration                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Check = Eden_check.Check
+module Cpolicy = Eden_check.Policy
+module Ctrace = Eden_check.Trace
+module Workloads = Eden_check.Workloads
+
+(* How many schedules each policy needs to expose each seeded mutant,
+   and how small the minimized replay comes out.  Every mutant passes
+   plain FIFO — the explorer's entire value is the gap between the
+   "fifo" row (0 found) and the others (3/3 within budget). *)
+let c1 ?(budget = 100) () =
+  section "C1  Schedule exploration: schedules-to-bug per policy, minimized replay size";
+  let seed = Check.default_seed () in
+  let policies = Cpolicy.Fifo :: Cpolicy.quick_matrix in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf "budget=%d schedules per (policy, mutant), seed=0x%Lx" budget seed)
+      ~columns:
+        [
+          ("policy", Table.Left);
+          ("mutant", Table.Left);
+          ("found", Table.Left);
+          ("schedules", Table.Right);
+          ("shrink runs", Table.Right);
+          ("minimized picks", Table.Right);
+        ]
+  in
+  let missed = ref [] in
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun (mname, workload) ->
+          let name = Printf.sprintf "c1.%s.%s" (Cpolicy.to_string policy) mname in
+          let prop = workload ~mutant:true in
+          match Check.explore ~budget ~policy ~seed ~name prop with
+          | Check.Failed f ->
+              Table.add_row tbl
+                [
+                  Cpolicy.to_string policy;
+                  mname;
+                  "yes";
+                  Table.cell_int f.Check.schedule;
+                  Table.cell_int f.Check.shrink_runs;
+                  Table.cell_int (Ctrace.nonzero_picks f.Check.trace);
+                ]
+          | Check.Passed { schedules } ->
+              if policy <> Cpolicy.Fifo then missed := (policy, mname) :: !missed;
+              Table.add_row tbl
+                [
+                  Cpolicy.to_string policy;
+                  mname;
+                  (if policy = Cpolicy.Fifo then "no (expected)" else "NO");
+                  Table.cell_int schedules;
+                  "-";
+                  "-";
+                ])
+        Workloads.mutants)
+    policies;
+  Table.print tbl;
+  let total = List.length Cpolicy.quick_matrix * List.length Workloads.mutants in
+  Printf.printf "mutation score: %d/%d across %d exploring policies\n" (total - List.length !missed)
+    total
+    (List.length Cpolicy.quick_matrix);
+  if !missed <> [] then begin
+    List.iter
+      (fun (p, m) -> Printf.printf "c1: MISSED %s under %s\n" m (Cpolicy.to_string p))
+      (List.rev !missed);
+    exit 1
+  end
+
 (* Tiny-iteration smoke over the figures and B1, cheap enough for
    `dune runtest`; exercises the full experiment code paths. *)
 let quick () =
@@ -1385,7 +1459,8 @@ let quick () =
   fig2 ();
   fig3 ();
   fig4 ();
-  b1 ~quick:true ()
+  b1 ~quick:true ();
+  c1 ()
 
 let all () =
   smoke ();
@@ -1401,4 +1476,5 @@ let all () =
   table6 ();
   ablation ();
   r1 ();
-  b1 ()
+  b1 ();
+  c1 ()

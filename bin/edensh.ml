@@ -54,35 +54,11 @@ module K = Eden_kernel.Kernel
 module Obs = Eden_obs.Obs
 
 (* `trace`: the kernel's bounded event ring for the last pipeline. *)
-let print_trace kernel =
-  let evs = K.Trace.events kernel in
-  List.iter (fun ev -> Format.printf "  %a@." K.Trace.pp_event ev) evs;
-  Printf.printf "[%d event(s) retained, %d dropped, ring capacity %d]\n" (List.length evs)
-    (K.Trace.dropped kernel) (K.Trace.capacity kernel)
+let print_trace kernel = List.iter print_endline (Shell.render_trace kernel)
 
 (* `stats`: cumulative meters, histograms, flow meters and span counts
    for the whole session. *)
-let print_stats kernel =
-  let obs = K.obs kernel in
-  Format.printf "%a@." K.Meter.pp (K.Meter.snapshot kernel);
-  (match K.op_counts kernel with
-  | [] -> ()
-  | ops ->
-      print_endline "ops:";
-      List.iter (fun (op, n) -> Printf.printf "  %-20s %d\n" op n) ops);
-  (match Obs.histograms obs with
-  | [] -> ()
-  | hs ->
-      print_endline "histograms:";
-      List.iter (fun (name, h) -> Format.printf "  %-20s %a@." name Obs.Histogram.pp h) hs);
-  (match Obs.stages obs with
-  | [] -> ()
-  | ss ->
-      print_endline "stages:";
-      List.iter (fun fl -> Format.printf "  %a@." Obs.Flow.pp fl) ss);
-  Printf.printf "spans: %d closed (%d evicted), %d open\n" (Obs.span_count obs)
-    (Obs.dropped_spans obs)
-    (List.length (Obs.open_spans obs))
+let print_stats kernel = List.iter print_endline (Shell.render_stats kernel)
 
 let run_line env ~discipline ~show_meter line =
   let kernel = env.Shell.kernel in

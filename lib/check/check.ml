@@ -1,0 +1,361 @@
+module Sched = Eden_sched.Sched
+module Prng = Eden_util.Prng
+
+(* --- Decision routing ----------------------------------------------- *)
+
+type cmode =
+  | Drive of (kind:string -> ids:int array -> int)
+  | Replaying of { rpicks : int array; mutable cursor : int }
+
+type ctl = { mutable entries_rev : Trace.entry list; mutable nsteps : int; cmode : cmode }
+
+let make_ctl cmode = { entries_rev = []; nsteps = 0; cmode }
+let trace ctl = List.rev ctl.entries_rev
+let record ctl e = ctl.entries_rev <- e :: ctl.entries_rev
+
+(* Out-of-range answers fall back to 0 (the FIFO default) rather than
+   raise: replay files survive shrinking and property edits, and a
+   clamped pick is recorded as what actually happened. *)
+let choose ctl ~kind ~ids =
+  let n = Array.length ids in
+  let chosen =
+    match ctl.cmode with
+    | Drive f ->
+        let i = f ~kind ~ids in
+        if i < 0 || i >= n then 0 else i
+    | Replaying r ->
+        if r.cursor >= Array.length r.rpicks then 0
+        else begin
+          let v = r.rpicks.(r.cursor) in
+          r.cursor <- r.cursor + 1;
+          if v < 0 || v >= n then 0 else v
+        end
+  in
+  record ctl (Trace.Pick { kind; n; chosen });
+  ctl.nsteps <- ctl.nsteps + 1;
+  chosen
+
+let decide ctl ~kind ~n =
+  if n <= 0 then invalid_arg "Check.decide: n must be positive";
+  if n = 1 then 0 else choose ctl ~kind ~ids:(Array.init n Fun.id)
+
+let attach ctl sched =
+  Sched.set_chooser sched (Some (fun ~kind ~ids -> choose ctl ~kind ~ids));
+  Sched.set_note_hook sched
+    (Some (fun ~kind ~arg -> record ctl (Trace.Note { kind; arg })))
+
+(* --- Policies as schedule generators -------------------------------- *)
+
+let zero_drive ~kind:_ ~ids:_ = 0
+
+(* [next] yields the drive function for schedule [k >= 1] (schedule 0
+   is always the FIFO baseline), or [None] when the policy's search
+   space is exhausted.  [after] feeds each passing schedule's trace
+   back (PCT calibrates its run-length estimate, DFS advances). *)
+type gen = {
+  next : int -> (kind:string -> ids:int array -> int) option;
+  after : Trace.t -> unit;
+}
+
+let gen_fifo = { next = (fun _ -> None); after = ignore }
+
+let gen_random seed =
+  let root = Prng.create seed in
+  {
+    next =
+      (fun _ ->
+        let p = Prng.split root in
+        Some (fun ~kind:_ ~ids -> Prng.int p (Array.length ids)));
+    after = ignore;
+  }
+
+let gen_pct seed depth =
+  let root = Prng.create seed in
+  let est_len = ref 64 in
+  {
+    next =
+      (fun _ ->
+        let p = Prng.split root in
+        (* Fresh priorities per schedule, positive so every demotion
+           (negative, strictly decreasing) ranks below all of them. *)
+        let prios : (int, float) Hashtbl.t = Hashtbl.create 32 in
+        let demote = ref 0.0 in
+        let change_at =
+          ref
+            (List.sort_uniq compare
+               (List.init (max 0 (depth - 1)) (fun _ -> 1 + Prng.int p (max 1 !est_len))))
+        in
+        let step = ref 0 in
+        Some
+          (fun ~kind ~ids ->
+            let n = Array.length ids in
+            if not (String.equal kind "sched.run") then Prng.int p n
+            else begin
+              incr step;
+              Array.iter
+                (fun id ->
+                  if not (Hashtbl.mem prios id) then
+                    Hashtbl.add prios id (1.0 +. Prng.float p 1.0))
+                ids;
+              let prio id = Hashtbl.find prios id in
+              let best () =
+                let bi = ref 0 in
+                Array.iteri (fun i id -> if prio id > prio ids.(!bi) then bi := i) ids;
+                !bi
+              in
+              let b = best () in
+              match !change_at with
+              | c :: rest when !step >= c ->
+                  change_at := rest;
+                  demote := !demote -. 1.0;
+                  Hashtbl.replace prios ids.(b) !demote;
+                  best ()
+              | _ -> b
+            end));
+    after = (fun tr -> est_len := max 1 (Trace.pick_count tr));
+  }
+
+let gen_dfs ~max_branch ~max_steps =
+  (* [plan] is the (cap, chosen) prefix to replay on the next schedule;
+     advancing increments the deepest incrementable position and
+     truncates below it — plain depth-first order over the bounded
+     tree. *)
+  let plan = ref [||] in
+  let exhausted = ref false in
+  {
+    next =
+      (fun _ ->
+        if !exhausted then None
+        else
+          let p = !plan in
+          let pos = ref 0 in
+          Some
+            (fun ~kind:_ ~ids ->
+              let n = Array.length ids in
+              let d = !pos in
+              incr pos;
+              if d < Array.length p then (
+                let _, c = p.(d) in
+                if c < n then c else 0)
+              else 0));
+    after =
+      (fun tr ->
+        let recorded =
+          Trace.pick_entries tr
+          |> List.filteri (fun i _ -> i < max_steps)
+          |> List.map (fun (_, n, c) -> (min n max_branch, c))
+          |> Array.of_list
+        in
+        let adv = ref None in
+        Array.iteri (fun i (cap, c) -> if c + 1 < cap then adv := Some i) recorded;
+        match !adv with
+        | None -> exhausted := true
+        | Some i ->
+            let next = Array.sub recorded 0 (i + 1) in
+            let cap, c = next.(i) in
+            next.(i) <- (cap, c + 1);
+            plan := next);
+  }
+
+let make_gen policy seed =
+  match (policy : Policy.t) with
+  | Fifo -> gen_fifo
+  | Random -> gen_random seed
+  | Pct depth -> gen_pct seed depth
+  | Dfs { max_branch; max_steps } -> gen_dfs ~max_branch ~max_steps
+
+(* --- Exploring ------------------------------------------------------ *)
+
+type failure = {
+  prop : string;
+  policy : Policy.t;
+  seed : int64;
+  schedule : int;
+  schedules : int;
+  shrink_runs : int;
+  error : string;
+  trace : Trace.t;
+  replay_path : string option;
+}
+
+type outcome = Passed of { schedules : int } | Failed of failure
+
+let default_seed () =
+  match Sys.getenv_opt "EDEN_SEED" with
+  | None | Some "" -> 0x5EEDL
+  | Some s -> (
+      try Int64.of_string s
+      with _ -> invalid_arg (Printf.sprintf "EDEN_SEED: not an integer: %S" s))
+
+let run_prop prop cmode =
+  let ctl = make_ctl cmode in
+  let err =
+    match prop ctl with
+    | () -> None
+    | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+    | exception exn -> Some (Printexc.to_string exn)
+  in
+  (ctl, err)
+
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c | _ -> '-')
+    s
+
+let first_line s =
+  match String.index_opt s '\n' with Some i -> String.sub s 0 i | None -> s
+
+let write_replay ~replay_dir ~name ~policy ~seed ~schedule ~error tr =
+  try
+    if not (Sys.file_exists replay_dir) then Sys.mkdir replay_dir 0o755;
+    let path =
+      Filename.concat replay_dir
+        (Printf.sprintf "%s-%s-0x%Lx.replay" (sanitize name)
+           (sanitize (Policy.to_string policy))
+           seed)
+    in
+    let oc = open_out path in
+    Printf.fprintf oc "eden-check replay v1\n";
+    Printf.fprintf oc "prop: %s\n" name;
+    Printf.fprintf oc "policy: %s\n" (Policy.to_string policy);
+    Printf.fprintf oc "seed: 0x%Lx\n" seed;
+    Printf.fprintf oc "schedule: %d\n" schedule;
+    Printf.fprintf oc "error: %s\n\n" (first_line error);
+    List.iter
+      (fun e ->
+        output_string oc (Trace.line_of_entry e);
+        output_char oc '\n')
+      tr;
+    close_out oc;
+    Some path
+  with Sys_error _ -> None
+
+let explore ?(budget = 100) ?policy ?seed ?(replay_dir = "_check") ~name prop =
+  if budget < 1 then invalid_arg "Check.explore: budget must be positive";
+  let policy = match policy with Some p -> p | None -> Policy.of_env () in
+  let seed = match seed with Some s -> s | None -> default_seed () in
+  let gen = make_gen policy seed in
+  let failed = ref None in
+  let k = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !k < budget && !failed = None do
+    let drive = if !k = 0 then Some zero_drive else gen.next !k in
+    match drive with
+    | None -> continue_ := false
+    | Some drive ->
+        let ctl, err = run_prop prop (Drive drive) in
+        (match err with
+        | None -> gen.after (trace ctl)
+        | Some error -> failed := Some (!k, trace ctl, error));
+        incr k
+  done;
+  match !failed with
+  | None -> Passed { schedules = !k }
+  | Some (schedule, tr, error0) ->
+      let oracle cand =
+        let _, err = run_prop prop (Replaying { rpicks = Array.of_list cand; cursor = 0 }) in
+        err <> None
+      in
+      let minimized, shrink_runs = Shrink.minimize ~run:oracle (Trace.picks tr) in
+      (* Authoritative run of the minimized schedule: its trace (picks
+         and notes) and error are what the replay file must reproduce. *)
+      let fctl, ferr =
+        run_prop prop (Replaying { rpicks = Array.of_list minimized; cursor = 0 })
+      in
+      let ftrace = trace fctl in
+      let error = match ferr with Some e -> e | None -> error0 in
+      let replay_path = write_replay ~replay_dir ~name ~policy ~seed ~schedule ~error ftrace in
+      Failed
+        {
+          prop = name;
+          policy;
+          seed;
+          schedule;
+          schedules = !k;
+          shrink_runs;
+          error;
+          trace = ftrace;
+          replay_path;
+        }
+
+let fail_message f =
+  Printf.sprintf
+    "[eden-check] prop=%s policy=%s seed=0x%Lx: failing schedule %d of %d\n\
+    \  error: %s\n\
+    \  minimized: %d picks (%d non-zero) after %d shrink runs\n\
+    \  replay file: %s\n\
+    \  rerun: EDEN_SEED=0x%Lx EDEN_CHECK_POLICY=%s dune runtest"
+    f.prop
+    (Policy.to_string f.policy)
+    f.seed f.schedule f.schedules (first_line f.error) (Trace.pick_count f.trace)
+    (Trace.nonzero_picks f.trace) f.shrink_runs
+    (match f.replay_path with Some p -> p | None -> "<write failed>")
+    f.seed
+    (Policy.to_string f.policy)
+
+let run_or_fail ?budget ?policy ?seed ?replay_dir ~name prop =
+  match explore ?budget ?policy ?seed ?replay_dir ~name prop with
+  | Passed { schedules } -> schedules
+  | Failed f -> failwith (fail_message f)
+
+let find_bug ?budget ?policy ?seed ?replay_dir ~name prop =
+  match explore ?budget ?policy ?seed ?replay_dir ~name prop with
+  | Failed f -> f
+  | Passed { schedules } ->
+      failwith
+        (Printf.sprintf
+           "[eden-check] prop=%s: no failure in %d schedules — seeded mutant not detected"
+           name schedules)
+
+let fifo_passes prop =
+  let _, err = run_prop prop (Drive zero_drive) in
+  err = None
+
+(* --- Replay --------------------------------------------------------- *)
+
+type replay_result = {
+  reproduced : bool;
+  bit_identical : bool;
+  replay_error : string option;
+}
+
+let load_replay ~path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  match List.rev !lines with
+  | magic :: rest when String.trim magic = "eden-check replay v1" ->
+      let rec split_header acc = function
+        | "" :: body -> (List.rev acc, body)
+        | line :: body -> (
+            match String.index_opt line ':' with
+            | Some i ->
+                let k = String.trim (String.sub line 0 i) in
+                let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+                split_header ((k, v) :: acc) body
+            | None -> (List.rev acc, line :: body))
+        | [] -> (List.rev acc, [])
+      in
+      let header, body = split_header [] rest in
+      let tr =
+        List.filter_map Trace.entry_of_line
+          (List.filter (fun l -> String.trim l <> "") body)
+      in
+      (header, tr)
+  | _ -> failwith (path ^ ": not an eden-check replay file")
+
+let replay ~path prop =
+  let _header, stored = load_replay ~path in
+  let rpicks = Array.of_list (Trace.picks stored) in
+  let ctl, err = run_prop prop (Replaying { rpicks; cursor = 0 }) in
+  {
+    reproduced = err <> None;
+    bit_identical = Trace.equal (trace ctl) stored;
+    replay_error = err;
+  }

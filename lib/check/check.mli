@@ -1,0 +1,125 @@
+(** Systematic concurrency checker: explore many legal schedules of a
+    property, record every nondeterministic decision, shrink failures
+    to minimal replayable schedules.
+
+    A {e property} is a function [ctl -> unit] that builds a fresh
+    world (scheduler, kernel, cluster, …), calls {!attach} on every
+    scheduler it creates, runs it, and raises on any violation.  It
+    must be deterministic given the answers it receives through the
+    chooser and {!decide} — build everything from fixed seeds.
+
+    {!explore} runs the property under up to [budget] schedules chosen
+    by a {!Policy.t}.  Schedule 0 is always the FIFO baseline.  On the
+    first failure the decision trace is ddmin-shrunk ({!Shrink}) to a
+    minimal schedule, re-run to record the authoritative minimized
+    trace, and written as a replay file under [replay_dir].
+
+    Replay a CI failure locally with {!replay}, or by pinning
+    [EDEN_SEED] / [EDEN_CHECK_POLICY] and re-running the test. *)
+
+type ctl
+(** One schedule's decision router: answers choosers, records the
+    trace.  Fresh per explored schedule; valid only inside the property
+    invocation it was passed to. *)
+
+val attach : ctl -> Eden_sched.Sched.t -> unit
+(** Routes the scheduler's decision points (run-queue picks, timer
+    tie-breaks) through [ctl] and records its [Sched.note] events.
+    Call once per scheduler the property creates. *)
+
+val decide : ctl -> kind:string -> n:int -> int
+(** A harness-level decision point: returns a policy-chosen index in
+    [\[0, n)] and records it.  [n = 1] returns 0 without recording
+    (matching the scheduler's one-way rule), so conditional decision
+    points do not bloat the DFS tree.
+    @raise Invalid_argument when [n <= 0]. *)
+
+val trace : ctl -> Trace.t
+(** The trace recorded so far, in execution order. *)
+
+val default_seed : unit -> int64
+(** The seed {!explore} uses when none is passed: [EDEN_SEED] from the
+    environment when set ([Int64.of_string] syntax, so [0x...] works),
+    else [0x5EED].
+    @raise Invalid_argument when [EDEN_SEED] is set but unparsable. *)
+
+(** {1 Exploring} *)
+
+type failure = {
+  prop : string;
+  policy : Policy.t;
+  seed : int64;
+  schedule : int;  (** index of the first failing schedule *)
+  schedules : int;  (** schedules executed, including the failing one *)
+  shrink_runs : int;
+  error : string;  (** [Printexc.to_string] of the violation *)
+  trace : Trace.t;  (** minimized, as re-recorded on the final run *)
+  replay_path : string option;  (** [None] only if the file write failed *)
+}
+
+type outcome = Passed of { schedules : int } | Failed of failure
+
+val explore :
+  ?budget:int ->
+  ?policy:Policy.t ->
+  ?seed:int64 ->
+  ?replay_dir:string ->
+  name:string ->
+  (ctl -> unit) ->
+  outcome
+(** [budget] defaults to 100 schedules; [policy] to {!Policy.of_env};
+    [seed] to [EDEN_SEED] (default [0x5EED]); [replay_dir] to
+    ["_check"].  DFS stops early when its bounded tree is exhausted;
+    [Fifo] runs exactly one schedule. *)
+
+val fail_message : failure -> string
+(** Human-readable failure report: property, policy, seed, schedule
+    index, minimized-trace size, replay-file path, and the exact
+    environment pinning to rerun it locally. *)
+
+val run_or_fail :
+  ?budget:int ->
+  ?policy:Policy.t ->
+  ?seed:int64 ->
+  ?replay_dir:string ->
+  name:string ->
+  (ctl -> unit) ->
+  int
+(** {!explore}, raising [Failure] with {!fail_message} on a failing
+    schedule; returns the number of schedules run.  The Alcotest-facing
+    entry point. *)
+
+val find_bug :
+  ?budget:int ->
+  ?policy:Policy.t ->
+  ?seed:int64 ->
+  ?replay_dir:string ->
+  name:string ->
+  (ctl -> unit) ->
+  failure
+(** Inverse of {!run_or_fail}, for the mutation suite: the property is
+    {e expected} to fail within budget.  Raises [Failure] if every
+    explored schedule passes (the explorer missed a seeded mutant). *)
+
+val fifo_passes : (ctl -> unit) -> bool
+(** Runs the property once under the pure FIFO schedule (all picks 0);
+    [true] when it does not raise.  Mutants must pass this — a mutant
+    FIFO already catches needs no explorer. *)
+
+(** {1 Replay} *)
+
+type replay_result = {
+  reproduced : bool;  (** the property failed again *)
+  bit_identical : bool;  (** re-recorded trace equals the file's trace *)
+  replay_error : string option;
+}
+
+val replay : path:string -> (ctl -> unit) -> replay_result
+(** Re-executes the property under the pick sequence stored in a replay
+    file and compares the re-recorded trace (picks {e and} notes)
+    against the stored one.
+    @raise Sys_error / Failure on unreadable or malformed files. *)
+
+val load_replay : path:string -> (string * string) list * Trace.t
+(** The header fields ([prop], [policy], [seed], [schedule], [error])
+    and stored trace of a replay file. *)

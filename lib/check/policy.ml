@@ -1,0 +1,41 @@
+type t =
+  | Fifo
+  | Random
+  | Pct of int
+  | Dfs of { max_branch : int; max_steps : int }
+
+let to_string = function
+  | Fifo -> "fifo"
+  | Random -> "random"
+  | Pct d -> Printf.sprintf "pct:%d" d
+  | Dfs { max_branch; max_steps } -> Printf.sprintf "dfs:%dx%d" max_branch max_steps
+
+let of_string s =
+  let s = String.trim (String.lowercase_ascii s) in
+  match String.split_on_char ':' s with
+  | [ "fifo" ] -> Ok Fifo
+  | [ "random" ] -> Ok Random
+  | [ "pct" ] -> Ok (Pct 3)
+  | [ "pct"; d ] -> (
+      match int_of_string_opt d with
+      | Some d when d >= 1 -> Ok (Pct d)
+      | _ -> Error (Printf.sprintf "bad PCT depth %S" d))
+  | [ "dfs" ] -> Ok (Dfs { max_branch = 4; max_steps = 32 })
+  | [ "dfs"; spec ] -> (
+      match String.split_on_char 'x' spec with
+      | [ b; s ] -> (
+          match (int_of_string_opt b, int_of_string_opt s) with
+          | Some b, Some s when b >= 1 && s >= 1 -> Ok (Dfs { max_branch = b; max_steps = s })
+          | _ -> Error (Printf.sprintf "bad DFS bounds %S" spec))
+      | _ -> Error (Printf.sprintf "bad DFS bounds %S (want <branch>x<steps>)" spec))
+  | _ -> Error (Printf.sprintf "unknown policy %S" s)
+
+let of_env () =
+  match Sys.getenv_opt "EDEN_CHECK_POLICY" with
+  | None | Some "" -> Random
+  | Some s -> (
+      match of_string s with
+      | Ok p -> p
+      | Error e -> invalid_arg ("EDEN_CHECK_POLICY: " ^ e))
+
+let quick_matrix = [ Random; Pct 3; Dfs { max_branch = 4; max_steps = 24 } ]

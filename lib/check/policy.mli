@@ -1,0 +1,43 @@
+(** Scheduling policies for systematic schedule exploration.
+
+    A policy decides, at each decision point with [n >= 2] legal
+    alternatives, which one to take.  All four policies answer within
+    the scheduler's ordering contract (see [Sched]): they only reorder
+    within the legal candidate sets.
+
+    - [Fifo]: always answer 0 — the bit-identical production schedule.
+      Exploring under [Fifo] runs exactly one schedule.
+    - [Random]: each schedule draws every decision uniformly from a
+      seeded PRNG stream.  Schedule 0 is always the FIFO baseline.
+    - [Pct depth]: PCT-style priority scheduling.  Run-queue picks
+      follow random per-fiber priorities, with [depth - 1] priority
+      change points per schedule (at change points the running fiber is
+      demoted below all others); other decision kinds draw uniformly.
+      Finds bugs of bug-depth [<= depth] with known probability bounds.
+    - [Dfs { max_branch; max_steps }]: bounded exhaustive enumeration
+      in depth-first order.  Each decision explores at most
+      [max_branch] of its alternatives, and only the first [max_steps]
+      decisions of a schedule branch at all (later ones answer 0).
+      Exploration stops early once the bounded tree is exhausted. *)
+
+type t =
+  | Fifo
+  | Random
+  | Pct of int  (** bug depth, [>= 1] *)
+  | Dfs of { max_branch : int; max_steps : int }
+
+val to_string : t -> string
+(** ["fifo"], ["random"], ["pct:<depth>"], ["dfs:<branch>x<steps>"]. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; bare ["pct"] and ["dfs"] take defaults
+    ([Pct 3], [Dfs {max_branch = 4; max_steps = 32}]). *)
+
+val of_env : unit -> t
+(** The policy named by [EDEN_CHECK_POLICY], or [Random] when the
+    variable is unset.  An unparsable value raises [Invalid_argument]
+    (a silent fallback would un-pin a CI matrix entry). *)
+
+val quick_matrix : t list
+(** The three non-trivial policies at quick-budget settings, as run by
+    the CI [check] job: [Random], [Pct 3], and a small [Dfs]. *)

@@ -1,0 +1,66 @@
+(* Zdeller/Hildebrandt ddmin over the set of non-zero pick positions.
+   The oracle rebuilds a candidate pick list with everything outside
+   the kept set zeroed; trace alignment survives because replay answers
+   0 for any pick it does not have. *)
+
+let minimize ~run picks =
+  let picks = Array.of_list picks in
+  let len = Array.length picks in
+  let runs = ref 0 in
+  let fails keep =
+    let cand = Array.make len 0 in
+    List.iter (fun i -> cand.(i) <- picks.(i)) keep;
+    incr runs;
+    run (Array.to_list cand)
+  in
+  let nonzero =
+    List.filter (fun i -> picks.(i) <> 0) (List.init len Fun.id)
+  in
+  (* Partition [l] into [n] contiguous chunks, all non-empty. *)
+  let partition l n =
+    let len = List.length l in
+    let base = len / n and extra = len mod n in
+    let rec go l i =
+      if l = [] then []
+      else
+        let take = base + if i < extra then 1 else 0 in
+        let rec split k acc = function
+          | rest when k = 0 -> (List.rev acc, rest)
+          | x :: rest -> split (k - 1) (x :: acc) rest
+          | [] -> (List.rev acc, [])
+        in
+        let chunk, rest = split take [] l in
+        chunk :: go rest (i + 1)
+    in
+    go l 0
+  in
+  let diff l sub = List.filter (fun x -> not (List.mem x sub)) l in
+  let rec ddmin active n =
+    if List.length active < 2 then active
+    else
+      let chunks = partition active n in
+      match List.find_opt fails chunks with
+      | Some chunk -> ddmin chunk 2
+      | None -> (
+          let complements = List.map (fun c -> diff active c) chunks in
+          match List.find_opt (fun c -> c <> [] && fails c) complements with
+          | Some comp -> ddmin comp (max (n - 1) 2)
+          | None ->
+              if n < List.length active then ddmin active (min (List.length active) (2 * n))
+              else active)
+  in
+  let minimal =
+    match nonzero with
+    | [] -> []
+    | _ ->
+        (* The empty deviation set (pure FIFO) might already fail; ddmin
+           never tests it, so try it once up front. *)
+        if fails [] then [] else ddmin nonzero 2
+  in
+  let cand = Array.make len 0 in
+  List.iter (fun i -> cand.(i) <- picks.(i)) minimal;
+  (* Drop the all-zero tail: replay supplies 0 beyond the list's end. *)
+  let last = ref (-1) in
+  Array.iteri (fun i v -> if v <> 0 then last := i) cand;
+  let trimmed = Array.to_list (Array.sub cand 0 (!last + 1)) in
+  (trimmed, !runs)

@@ -1,0 +1,15 @@
+(** Delta-debugging shrinker for failing schedules.
+
+    A schedule is its list of picked indices; [0] is the FIFO default
+    at every decision point, so "simplifying" a pick means zeroing it
+    (removing entries would desynchronise replay).  [minimize] runs
+    ddmin over the set of non-zero picks — repeatedly re-executing the
+    property with candidate subsets zeroed — to find a 1-minimal set of
+    deviations that still fails, then drops the all-zero tail (replay
+    treats picks beyond the end of the list as [0]). *)
+
+val minimize : run:(int list -> bool) -> int list -> int list * int
+(** [minimize ~run picks] where [run candidate] re-executes the failing
+    property under [candidate] and returns [true] when it {e still
+    fails}.  [picks] must itself fail.  Returns the minimized picks and
+    the number of oracle executions spent shrinking. *)

@@ -1,0 +1,137 @@
+module Sched = Eden_sched.Sched
+module Credit = Eden_flowctl.Credit
+
+(* Ack-checked retransmission.  The link is one virtual-time hop whose
+   loss is a harness decision (so FIFO = all-zero picks = no loss); the
+   correct sender retransmits until the ack flag flips, the mutant
+   advances regardless.  Loss is capped so the correct variant always
+   terminates. *)
+let lossy_ack ~mutant ctl =
+  let sched = Sched.create () in
+  Check.attach ctl sched;
+  let total = 4 in
+  let received = ref [] in
+  let losses = ref 0 in
+  let max_losses = 3 in
+  let deliver seq acked =
+    let lost = !losses < max_losses && Check.decide ctl ~kind:"net.loss" ~n:2 = 1 in
+    if lost then begin
+      incr losses;
+      Sched.note sched ~kind:"net.loss" ~arg:1
+    end
+    else
+      Sched.timer sched 1.0 (fun () ->
+          received := seq :: !received;
+          acked := true)
+  in
+  ignore
+    (Sched.spawn sched ~name:"sender" (fun () ->
+         for seq = 0 to total - 1 do
+           let acked = ref false in
+           deliver seq acked;
+           Sched.sleep 2.0;
+           if not mutant then
+             while not !acked do
+               deliver seq acked;
+               Sched.sleep 2.0
+             done
+         done));
+  Sched.run sched;
+  Sched.check_failures sched;
+  let got = List.rev !received in
+  if got <> List.init total Fun.id then
+    failwith
+      (Printf.sprintf "lossy_ack: received [%s], want [0;1;2;3]"
+         (String.concat ";" (List.map string_of_int got)))
+
+(* Credit-window conservation.  Two fibers share a Window 1 credit; the
+   correct variant loops on [Credit.take] (claim is atomic within a
+   slice), the mutant checks [available], optionally loses the race at
+   a decide-controlled yield, then sends while ignoring the result of
+   its late [take]. *)
+let credit_race ~mutant ctl =
+  let sched = Sched.create () in
+  Check.attach ctl sched;
+  let w = Credit.create (Credit.Window 1) in
+  let inflight = ref 0 in
+  let peak = ref 0 in
+  let took = ref 0 in
+  let worker name =
+    ignore
+      (Sched.spawn sched ~name (fun () ->
+           for _ = 1 to 2 do
+             if mutant then begin
+               while Credit.available w = 0 do
+                 Sched.sleep 0.5
+               done;
+               if Check.decide ctl ~kind:"flowctl.prep" ~n:2 = 1 then Sched.yield ();
+               if Credit.take w then incr took
+             end
+             else begin
+               while not (Credit.take w) do
+                 Sched.sleep 0.5
+               done;
+               incr took
+             end;
+             incr inflight;
+             if !inflight > !peak then peak := !inflight;
+             Sched.note sched ~kind:"credit.take" ~arg:!inflight;
+             Sched.sleep 1.0;
+             decr inflight;
+             Sched.note sched ~kind:"credit.give" ~arg:!inflight;
+             if !took > 0 then begin
+               decr took;
+               Credit.give w
+             end
+           done))
+  in
+  worker "sender-a";
+  worker "sender-b";
+  Sched.run sched;
+  Sched.check_failures sched;
+  if !peak > 1 then
+    failwith (Printf.sprintf "credit_race: peak in-flight %d exceeds Window 1" !peak)
+
+(* Exactly-once delivery across a crash.  The crash point is a harness
+   decision (0 = no crash, the FIFO pick); the correct producer
+   checkpoints after every delivery and reincarnates from the
+   checkpoint, the mutant reincarnates from 0 and re-delivers. *)
+let checkpoint_replay ~mutant ctl =
+  let sched = Sched.create () in
+  Check.attach ctl sched;
+  let total = 3 in
+  let delivered = Array.make total 0 in
+  let ckpt = ref 0 in
+  let crash_at = Check.decide ctl ~kind:"crash.at" ~n:(total + 1) in
+  let deliveries = ref 0 in
+  let rec incarnation start =
+    let seq = ref start in
+    let crashed = ref false in
+    while (not !crashed) && !seq < total do
+      delivered.(!seq) <- delivered.(!seq) + 1;
+      incr deliveries;
+      if not mutant then ckpt := !seq + 1;
+      Sched.yield ();
+      if crash_at > 0 && !deliveries = crash_at then begin
+        Sched.note sched ~kind:"kernel.crash" ~arg:!deliveries;
+        crashed := true
+      end;
+      incr seq
+    done;
+    if !crashed then incarnation !ckpt
+  in
+  ignore (Sched.spawn sched ~name:"producer" (fun () -> incarnation 0));
+  Sched.run sched;
+  Sched.check_failures sched;
+  Array.iteri
+    (fun i c ->
+      if c <> 1 then
+        failwith (Printf.sprintf "checkpoint_replay: seq %d delivered %d times" i c))
+    delivered
+
+let mutants =
+  [
+    ("lossy_ack", lossy_ack);
+    ("credit_race", credit_race);
+    ("checkpoint_replay", checkpoint_replay);
+  ]

@@ -2,6 +2,7 @@ module Value = Eden_kernel.Value
 module Kernel = Eden_kernel.Kernel
 module Uid = Eden_kernel.Uid
 module Ivar = Eden_sched.Ivar
+module Sched = Eden_sched.Sched
 module Flowctl = Eden_flowctl.Flowctl
 module Aimd = Eden_flowctl.Aimd
 module Credit = Eden_flowctl.Credit
@@ -12,6 +13,7 @@ module Credit = Eden_flowctl.Credit
    requests exact-fill (see Port), so a short reply implies end of
    stream and every other reply carries exactly what was asked. *)
 type window = {
+  wsched : Sched.t; (* for credit take/give decision notes *)
   credit : Credit.t;
   ctrl : Aimd.t option;
   fixed : int; (* batch per request when not adaptive *)
@@ -43,6 +45,7 @@ let connect ctx ?(batch = 1) ?flowctl ?(channel = Channel.output) src =
     | Some fc ->
         Windowed
           {
+            wsched = Kernel.sched (Kernel.kernel ctx);
             credit = Flowctl.credit fc;
             ctrl = Flowctl.controller fc;
             fixed = Flowctl.initial_batch fc;
@@ -61,6 +64,7 @@ let connect ctx ?(batch = 1) ?flowctl ?(channel = Channel.output) src =
 let refill t w =
   if not w.stop then begin
     while (not w.stop) && Credit.take w.credit do
+      Sched.note w.wsched ~kind:"credit.take" ~arg:(Credit.in_flight w.credit);
       let asked = match w.ctrl with Some c -> Aimd.current c | None -> w.fixed in
       t.transfers <- t.transfers + 1;
       let ivar =
@@ -106,6 +110,7 @@ let rec read t =
                 if not (Ivar.is_filled ivar) then w.stalls <- w.stalls + 1;
                 let reply = Ivar.read ivar in
                 Credit.give w.credit;
+                Sched.note w.wsched ~kind:"credit.give" ~arg:(Credit.in_flight w.credit);
                 match reply with
                 | Error msg -> raise (Kernel.Eden_error msg)
                 | Ok v ->

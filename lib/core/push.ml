@@ -2,6 +2,7 @@ module Value = Eden_kernel.Value
 module Kernel = Eden_kernel.Kernel
 module Uid = Eden_kernel.Uid
 module Ivar = Eden_sched.Ivar
+module Sched = Eden_sched.Sched
 module Flowctl = Eden_flowctl.Flowctl
 module Aimd = Eden_flowctl.Aimd
 module Credit = Eden_flowctl.Credit
@@ -12,6 +13,7 @@ module Credit = Eden_flowctl.Credit
    positions error (retries are Eden_resil territory).  Requires a
    single writer per channel. *)
 type window = {
+  wsched : Sched.t; (* for credit take/give decision notes *)
   credit : Credit.t;
   ctrl : Aimd.t option;
   fixed : int;
@@ -42,6 +44,7 @@ let connect ctx ?(batch = 1) ?flowctl ?(channel = Channel.output) dst =
     | Some fc ->
         Windowed
           {
+            wsched = Kernel.sched (Kernel.kernel ctx);
             credit = Flowctl.credit fc;
             ctrl = Flowctl.controller fc;
             fixed = Flowctl.initial_batch fc;
@@ -67,6 +70,7 @@ let reap w =
       if not (Ivar.is_filled ivar) then w.stalls <- w.stalls + 1;
       let reply = Ivar.read ivar in
       Credit.give w.credit;
+      Sched.note w.wsched ~kind:"credit.give" ~arg:(Credit.in_flight w.credit);
       match reply with
       | Ok _ -> ()
       | Error msg -> raise (Kernel.Eden_error ("Push: deposit failed: " ^ msg)))
@@ -83,6 +87,7 @@ let send_windowed t w ~eos items =
     then had_to_wait := true;
     reap w
   done;
+  Sched.note w.wsched ~kind:"credit.take" ~arg:(Credit.in_flight w.credit);
   (match w.ctrl with
   | Some c -> if !had_to_wait then Aimd.on_stall c else Aimd.on_progress c
   | None -> ());

@@ -548,6 +548,7 @@ let crash t uid =
   | Some e ->
       t.crashes <- t.crashes + 1;
       e.crash_count <- e.crash_count + 1;
+      Sched.note t.sched ~kind:"kernel.crash" ~arg:(Uid.hash e.uid);
       trace t (Crashed { uid = e.uid; at = Sched.now t.sched });
       lifecycle t "crash" e.uid;
       stop_runtime t e ~drop_mailbox:true

@@ -116,6 +116,12 @@ let send t ~src ~dst ~size deliver =
   let lost =
     src <> dst && t.loss_probability > 0.0 && Prng.float t.prng 1.0 < t.loss_probability
   in
+  (* Surface every nondeterministic draw to the schedule-exploration
+     trace: the loss coin whenever it was actually flipped, and any
+     partition drop. *)
+  if src <> dst && t.loss_probability > 0.0 then
+    Sched.note t.sched ~kind:"net.loss" ~arg:(if lost then 1 else 0);
+  if partitioned then Sched.note t.sched ~kind:"net.partition" ~arg:1;
   (* A message crossing a partitioned link is charged to the partition
      even when the loss coin also came up: the link would have eaten it
      regardless. *)

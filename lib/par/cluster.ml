@@ -36,9 +36,13 @@ type t = {
   idle : int Atomic.t;
   carried : int Atomic.t;
   mutable ran : bool;
+  (* Deterministic-mode shard-order policy; [None] is the fixed
+     round-robin baseline. *)
+  mutable det_pick : (n:int -> int) option;
 }
 
 let mode t = t.cluster_mode
+let set_det_pick t p = t.det_pick <- p
 let shard_count t = Array.length t.shards
 let kernel t i = t.shards.(i).kernel
 let cross_messages t = Atomic.get t.carried
@@ -69,6 +73,7 @@ let create ?(seed = 0xEDE0L) ?latency cluster_mode ~shards:n () =
       idle = Atomic.make 0;
       carried = Atomic.make 0;
       ran = false;
+      det_pick = None;
     }
   in
   (* Capture a driver context per shard: proxy handlers and injected
@@ -173,23 +178,46 @@ let shard_loop t sh =
    a shard late in the pass order can post into an inbox that was
    already drained this pass. *)
 let det_loop t =
+  let n = Array.length t.shards in
+  let pump sh =
+    Sched.run (Kernel.sched sh.kernel);
+    let rec drain progressed =
+      match Dqueue.try_pop sh.inbox with
+      | Some m ->
+          Atomic.decr t.in_flight;
+          inject t sh m;
+          drain true
+      | None -> progressed
+    in
+    drain false
+  in
+  (* One pass visits every shard exactly once.  With no policy the
+     visit order is ascending shard index (the historical round-robin);
+     a policy repeatedly picks among the shards not yet visited this
+     pass, so exploration can reorder cross-shard message handling
+     without ever skipping or double-pumping a shard. *)
+  let pass () =
+    let progressed = ref false in
+    match t.det_pick with
+    | None -> Array.iter (fun sh -> if pump sh then progressed := true) t.shards;
+        !progressed
+    | Some pick ->
+        let remaining = ref (List.init n Fun.id) in
+        while !remaining <> [] do
+          let m = List.length !remaining in
+          let i = if m = 1 then 0 else pick ~n:m in
+          if i < 0 || i >= m then
+            invalid_arg
+              (Printf.sprintf "Cluster: det_pick returned %d for %d-way pick" i m);
+          let shard_idx = List.nth !remaining i in
+          remaining := List.filteri (fun j _ -> j <> i) !remaining;
+          if pump t.shards.(shard_idx) then progressed := true
+        done;
+        !progressed
+  in
   let progressed = ref true in
   while !progressed || Atomic.get t.in_flight > 0 do
-    progressed := false;
-    Array.iter
-      (fun sh ->
-        Sched.run (Kernel.sched sh.kernel);
-        let rec drain () =
-          match Dqueue.try_pop sh.inbox with
-          | Some m ->
-              Atomic.decr t.in_flight;
-              inject t sh m;
-              progressed := true;
-              drain ()
-          | None -> ()
-        in
-        drain ())
-      t.shards
+    progressed := pass ()
   done;
   close_all t
 

@@ -65,6 +65,18 @@ val proxy :
     unchanged (no proxy Eject, no cross-domain message).  Must be
     called before {!run}. *)
 
+val set_det_pick : t -> (n:int -> int) option -> unit
+(** Installs (or clears) a shard-order policy for [Deterministic] mode
+    (ignored by [Parallel] mode).  Each pump pass visits every shard
+    exactly once; with a policy installed, the next shard to pump is
+    chosen by calling it with [n] = the number of shards not yet
+    visited this pass, and taking the returned index (0-based) into the
+    not-yet-visited shards in ascending shard order.  Always answering
+    [0] — or installing no policy — reproduces the fixed round-robin
+    order bit-identically.  Out-of-range answers raise
+    [Invalid_argument].  Used by Eden_check to explore cross-shard
+    message orderings. *)
+
 val run : t -> unit
 (** Drives the whole cluster to quiescence — round-robin on the calling
     domain in [Deterministic] mode, one [Domain.spawn] per shard in

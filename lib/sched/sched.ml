@@ -27,8 +27,12 @@ type fiber = {
   mutable fcancelled : bool;
 }
 
+(* A run-queue slice remembers which fiber it will resume so a
+   scheduling policy can choose between runnable fibers by id. *)
+type slice = { sfid : fiber_id; thunk : unit -> unit }
+
 type t = {
-  runq : (unit -> unit) Queue.t;
+  runq : slice Queue.t;
   mutable timers : (unit -> unit) Timer_heap.t;
   mutable clock : float;
   fibers : (fiber_id, fiber) Hashtbl.t;
@@ -37,6 +41,10 @@ type t = {
   mutable current : fiber option;
   mutable live : int;
   mutable finish_hook : fiber_id -> unit;
+  (* Schedule-exploration hooks.  [chooser = None] is the bit-identical
+     FIFO default; [note_hook = None] makes [note] free. *)
+  mutable chooser : (kind:string -> ids:int array -> int) option;
+  mutable note_hook : (kind:string -> arg:int -> unit) option;
 }
 
 type _ Effect.t +=
@@ -58,9 +66,15 @@ let create () =
     current = None;
     live = 0;
     finish_hook = ignore;
+    chooser = None;
+    note_hook = None;
   }
 
 let set_finish_hook t hook = t.finish_hook <- hook
+let set_chooser t c = t.chooser <- c
+let set_note_hook t h = t.note_hook <- h
+
+let note t ~kind ~arg = match t.note_hook with None -> () | Some f -> f ~kind ~arg
 
 let now t = t.clock
 
@@ -92,11 +106,15 @@ let park t fiber reason (k : (unit, unit) Effect.Deep.continuation) register =
       fiber.fwake <- None;
       fiber.fstate <- Ready;
       Queue.push
-        (fun () ->
-          t.current <- Some fiber;
-          fiber.fstate <- Running;
-          if fiber.fcancelled then Effect.Deep.discontinue k Cancelled
-          else Effect.Deep.continue k ())
+        {
+          sfid = fiber.fid;
+          thunk =
+            (fun () ->
+              t.current <- Some fiber;
+              fiber.fstate <- Running;
+              if fiber.fcancelled then Effect.Deep.discontinue k Cancelled
+              else Effect.Deep.continue k ());
+        }
         t.runq
     end
   in
@@ -106,10 +124,14 @@ let park t fiber reason (k : (unit, unit) Effect.Deep.continuation) register =
       fiber.fwake <- None;
       fiber.fstate <- Ready;
       Queue.push
-        (fun () ->
-          t.current <- Some fiber;
-          fiber.fstate <- Running;
-          Effect.Deep.discontinue k Cancelled)
+        {
+          sfid = fiber.fid;
+          thunk =
+            (fun () ->
+              t.current <- Some fiber;
+              fiber.fstate <- Running;
+              Effect.Deep.discontinue k Cancelled);
+        }
         t.runq
     end
   in
@@ -139,11 +161,15 @@ let rec spawn t ?name body =
                   else begin
                     fiber.fstate <- Ready;
                     Queue.push
-                      (fun () ->
-                        t.current <- Some fiber;
-                        fiber.fstate <- Running;
-                        if fiber.fcancelled then Effect.Deep.discontinue k Cancelled
-                        else Effect.Deep.continue k ())
+                      {
+                        sfid = fiber.fid;
+                        thunk =
+                          (fun () ->
+                            t.current <- Some fiber;
+                            fiber.fstate <- Running;
+                            if fiber.fcancelled then Effect.Deep.discontinue k Cancelled
+                            else Effect.Deep.continue k ());
+                      }
                       t.runq
                   end)
           | Sleep d ->
@@ -178,7 +204,7 @@ let rec spawn t ?name body =
       Effect.Deep.match_with body () handler
     end
   in
-  Queue.push thunk t.runq;
+  Queue.push { sfid = fid; thunk } t.runq;
   fid
 
 (* Indirection so the Spawn_inside handler (defined inside [spawn]) can
@@ -196,22 +222,80 @@ let cancel t fid =
           fiber.fcancelled <- true;
           match fiber.fwake with Some w -> w.cancel_hook () | None -> ()))
 
+(* Ask the chooser (when installed, and only when there is an actual
+   choice) which index to take; out-of-range answers are a policy bug. *)
+let consult t ~kind ~ids =
+  match t.chooser with
+  | None -> 0
+  | Some choose ->
+      let n = Array.length ids in
+      if n <= 1 then 0
+      else begin
+        let i = choose ~kind ~ids in
+        if i < 0 || i >= n then
+          invalid_arg
+            (Printf.sprintf "Sched: chooser returned %d for %d-way %s pick" i n kind);
+        i
+      end
+
+(* Dequeue the next runnable slice.  FIFO (head of queue) unless a
+   chooser picks otherwise; the relative order of unchosen slices is
+   preserved either way. *)
+let pop_slice t =
+  match t.chooser with
+  | None -> Queue.pop t.runq
+  | Some _ ->
+      let n = Queue.length t.runq in
+      if n = 1 then Queue.pop t.runq
+      else begin
+        let ids = Array.make n 0 in
+        let j = ref 0 in
+        Queue.iter
+          (fun s ->
+            ids.(!j) <- s.sfid;
+            incr j)
+          t.runq;
+        let i = consult t ~kind:"sched.run" ~ids in
+        (* Rotate through the queue once: pop each slice, re-enqueue all
+           but the chosen one.  O(n), but only on explored schedules. *)
+        let chosen = ref None in
+        for idx = 0 to n - 1 do
+          let s = Queue.pop t.runq in
+          if idx = i then chosen := Some s else Queue.push s t.runq
+        done;
+        match !chosen with Some s -> s | None -> assert false
+      end
+
+(* Fire one pending timer.  Strictly earliest-deadline-first; a chooser
+   may only break ties between timers due at the same instant. *)
+let fire_timer t =
+  let pick =
+    match t.chooser with
+    | None -> Timer_heap.delete_min t.timers
+    | Some _ ->
+        let m = Timer_heap.min_tie_count t.timers in
+        if m <= 1 then Timer_heap.delete_min t.timers
+        else
+          let i = consult t ~kind:"sched.timer" ~ids:(Array.init m (fun i -> i)) in
+          Timer_heap.delete_nth_min t.timers i
+  in
+  match pick with
+  | None -> false
+  | Some (time, thunk, rest) ->
+      t.timers <- rest;
+      if time > t.clock then t.clock <- time;
+      thunk ();
+      t.current <- None;
+      true
+
 let step t =
   if not (Queue.is_empty t.runq) then begin
-    let thunk = Queue.pop t.runq in
-    thunk ();
+    let s = pop_slice t in
+    s.thunk ();
     t.current <- None;
     true
   end
-  else
-    match Timer_heap.delete_min t.timers with
-    | None -> false
-    | Some (time, thunk, rest) ->
-        t.timers <- rest;
-        if time > t.clock then t.clock <- time;
-        thunk ();
-        t.current <- None;
-        true
+  else fire_timer t
 
 let run t =
   let rec go () = if step t then go () else () in
@@ -220,15 +304,15 @@ let run t =
 let run_until t limit =
   let rec go () =
     if not (Queue.is_empty t.runq) then begin
-      let thunk = Queue.pop t.runq in
-      thunk ();
+      let s = pop_slice t in
+      s.thunk ();
       t.current <- None;
       go ()
     end
     else
       match Timer_heap.find_min t.timers with
       | Some (time, _) when time <= limit ->
-          ignore (step t);
+          ignore (fire_timer t);
           go ()
       | Some _ | None -> if t.clock < limit then t.clock <- limit
   in

@@ -7,6 +7,34 @@
     queue drains, jumping to the earliest pending timer — the usual
     discrete-event rule.
 
+    {2 Ordering contract}
+
+    The exact contract — which {!step}, {!run} and {!run_until} all
+    implement, and which every exploration policy (see {!set_chooser})
+    must preserve — is:
+
+    + {b Runnable before timers.}  While any fiber is runnable, no
+      timer fires and virtual time does not advance.  A timer thunk
+      only runs at run-queue quiescence.
+    + {b Timers strictly by deadline.}  Pending timers fire in
+      ascending deadline order.  Two timers due at the same instant
+      fire in insertion order (the heap is stable).  The clock jumps to
+      each fired timer's deadline; it never moves backwards.
+    + {b FIFO among runnable fibers.}  With no chooser installed, the
+      run queue is strictly FIFO: fibers run in the order they became
+      runnable (spawn order for new fibers, wake order for resumed
+      ones); {!yield} re-queues behind every currently runnable fiber.
+    + {b Policy freedom is bounded.}  A chooser may reorder only
+      {e within} the legal sets: which runnable fiber runs next, and
+      which of several timers {e tied at the same deadline} fires
+      first.  It can never run a later-deadline timer early, fire a
+      timer while a fiber is runnable, or resurrect ordering between
+      non-tied timers.
+    + {b [run_until] boundary.}  [run_until t limit] fires every timer
+      with deadline [<= limit] — a timer due {e exactly} at [limit]
+      does fire — and then advances the clock to exactly [limit] if it
+      is still behind.  Timers with deadline [> limit] stay pending.
+
     Blocking operations ([yield], [sleep], [suspend] and everything in
     {!Waitq}, {!Ivar}, {!Mailbox}, {!Chan}, {!Semaphore}, {!Waitgroup})
     may only be called from inside a fiber; calling them elsewhere
@@ -32,12 +60,16 @@ val run : t -> unit
     inspect them with [blocked]. *)
 
 val run_until : t -> float -> unit
-(** Like [run] but stops once virtual time would exceed the given
-    instant; timers after it stay pending. *)
+(** Like [run] but bounded by virtual time: fires every timer due at or
+    before the given instant (the boundary is {e inclusive}: a timer due
+    exactly at [limit] fires), then stops with the clock set to exactly
+    [limit].  Timers due strictly after [limit] stay pending.  See the
+    ordering contract above. *)
 
 val step : t -> bool
-(** Executes one runnable fiber slice or one timer; [false] when
-    quiescent.  Useful for tests that interleave assertions. *)
+(** Executes one runnable fiber slice, or — only when no fiber is
+    runnable — one timer; [false] when quiescent.  Useful for tests
+    that interleave assertions.  See the ordering contract above. *)
 
 val now : t -> float
 (** Current virtual time. *)
@@ -62,6 +94,37 @@ val set_finish_hook : t -> (fiber_id -> unit) -> unit
     each time a fiber finishes, successfully or not.  One hook per
     scheduler; setting replaces the previous one.  Used by the kernel
     to drop fiber-to-Eject bookkeeping. *)
+
+(** {1 Schedule exploration hooks}
+
+    The systematic concurrency checker (Eden_check) drives these.  With
+    no chooser installed the scheduler is the bit-identical FIFO
+    baseline and [note] is free, so production runs are unaffected. *)
+
+val set_chooser : t -> (kind:string -> ids:int array -> int) option -> unit
+(** Installs (or clears) a scheduling policy.  At each decision point
+    with more than one legal alternative the chooser is called with the
+    decision [kind] and the candidates, and must return an index into
+    [ids]:
+
+    - ["sched.run"]: [ids] are the ids of the runnable fibers in FIFO
+      order; the chosen fiber runs next.  Unchosen fibers keep their
+      relative order.
+    - ["sched.timer"]: [ids] is [[|0 .. m-1|]] for [m] timers tied at
+      the earliest deadline, in insertion order; the chosen one fires.
+
+    Decision points with exactly one alternative are not reported.  An
+    out-of-range answer raises [Invalid_argument].  Policies can only
+    reorder within the legal sets of the ordering contract above. *)
+
+val set_note_hook : t -> (kind:string -> arg:int -> unit) option -> unit
+(** Installs (or clears) a recorder for {!note} events. *)
+
+val note : t -> kind:string -> arg:int -> unit
+(** Records an externally-made nondeterministic decision (a network
+    loss draw, a crash firing, a credit grant) into the installed note
+    hook, so the decision trace captures every source of
+    nondeterminism.  A no-op when no hook is installed. *)
 
 val blocked : t -> (string * string) list
 (** [(fiber name, reason)] for every currently blocked fiber. *)

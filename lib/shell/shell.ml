@@ -357,6 +357,50 @@ let run_conventional env _ctx (source, middle, sink) =
 
 (* --- Driver ----------------------------------------------------------- *)
 
+(* Builtin renderings (`trace`, `stats`).  These live here rather than
+   in the edensh binary so the exact lines a session prints are
+   testable: the binary just [List.iter print_endline]s them. *)
+
+module Obs = Eden_obs.Obs
+
+let render_trace kernel =
+  let evs = Kernel.Trace.events kernel in
+  List.map (fun ev -> Format.asprintf "  %a" Kernel.Trace.pp_event ev) evs
+  @ [
+      Printf.sprintf "[%d event(s) retained, %d dropped, ring capacity %d]" (List.length evs)
+        (Kernel.Trace.dropped kernel) (Kernel.Trace.capacity kernel);
+    ]
+
+let render_stats kernel =
+  let obs = Kernel.obs kernel in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "%a@." Kernel.Meter.pp (Kernel.Meter.snapshot kernel);
+  (match Kernel.op_counts kernel with
+  | [] -> ()
+  | ops ->
+      Format.fprintf ppf "ops:@.";
+      List.iter (fun (op, n) -> Format.fprintf ppf "  %-20s %d@." op n) ops);
+  (match Obs.histograms obs with
+  | [] -> ()
+  | hs ->
+      Format.fprintf ppf "histograms:@.";
+      List.iter (fun (name, h) -> Format.fprintf ppf "  %-20s %a@." name Obs.Histogram.pp h) hs);
+  (match Obs.stages obs with
+  | [] -> ()
+  | ss ->
+      Format.fprintf ppf "stages:@.";
+      List.iter (fun fl -> Format.fprintf ppf "  %a@." Obs.Flow.pp fl) ss);
+  Format.fprintf ppf "spans: %d closed (%d evicted), %d open@." (Obs.span_count obs)
+    (Obs.dropped_spans obs)
+    (List.length (Obs.open_spans obs));
+  Format.pp_print_flush ppf ();
+  (* Split the formatted block into lines; drop the trailing empty
+     fragment the final newline leaves behind. *)
+  match List.rev (String.split_on_char '\n' (Buffer.contents buf)) with
+  | "" :: rest -> List.rev rest
+  | all -> List.rev all
+
 let run env ?(discipline = T.Pipeline.Read_only) line =
   match parse line with
   | Error _ as e -> e |> Result.map (fun _ -> assert false)

@@ -62,3 +62,19 @@ val run :
 (** Parse, elaborate (default discipline: read-only), drive to
     completion.  All scheduling happens inside; the caller needs no
     fiber context. *)
+
+(** {1 Session builtins}
+
+    The [trace] and [stats] builtins of edensh render through these, so
+    the exact lines a session prints are testable without spawning the
+    binary. *)
+
+val render_trace : Kernel.t -> string list
+(** The kernel's bounded event ring for the last pipeline: one indented
+    line per retained event, then a
+    ["[N event(s) retained, D dropped, ring capacity C]"] footer. *)
+
+val render_stats : Kernel.t -> string list
+(** Cumulative session counters: the kernel meter snapshot, then — when
+    non-empty — [ops:], [histograms:] and [stages:] sections, then a
+    ["spans: ..."] footer. *)

@@ -53,6 +53,51 @@ module Make (Ord : ORDERED) = struct
     | Leaf -> None
     | Node n -> Some (n.key, n.value, { t with tree = merge n.left n.right; size = t.size - 1 })
 
+  (* Every entry tied with the minimum sits in a connected subtree at
+     the root: an equal-min node's ancestors all carry keys <= min, hence
+     equal to it.  Both functions below walk only that subtree. *)
+  let min_tie_count t =
+    match t.tree with
+    | Leaf -> 0
+    | Node root ->
+        let k = root.key in
+        let rec count = function
+          | Leaf -> 0
+          | Node n -> if Ord.compare n.key k = 0 then 1 + count n.left + count n.right else 0
+        in
+        count t.tree
+
+  let delete_nth_min t i =
+    if i < 0 then invalid_arg "Heap.delete_nth_min: negative index";
+    match t.tree with
+    | Leaf -> None
+    | Node root ->
+        let min_key = root.key in
+        (* Stable pops deliver ties in insertion order; collect the
+           first [i] of them, keep the [i]-th, and merge the collected
+           ones back as singletons with their original sequence numbers
+           so stability is fully preserved. *)
+        let rec take k acc tree size =
+          match tree with
+          | Node n when Ord.compare n.key min_key = 0 ->
+              let rest = merge n.left n.right in
+              if k = 0 then Some (n, acc, rest, size - 1)
+              else take (k - 1) (n :: acc) rest (size - 1)
+          | Leaf | Node _ -> None
+        in
+        (match take i [] t.tree t.size with
+        | None -> invalid_arg "Heap.delete_nth_min: index beyond tie count"
+        | Some (chosen, popped, rest, size) ->
+            let tree =
+              List.fold_left
+                (fun tr n -> merge tr (Node { n with left = Leaf; right = Leaf; rank = 1 }))
+                rest popped
+            in
+            Some
+              ( chosen.key,
+                chosen.value,
+                { tree; size = size + List.length popped; next_seq = t.next_seq } ))
+
   let of_list kvs = List.fold_left (fun t (k, v) -> insert k v t) empty kvs
 
   let to_sorted_list t =

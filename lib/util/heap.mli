@@ -20,6 +20,21 @@ module Make (Ord : ORDERED) : sig
   (** Smallest key, with insertion order breaking ties (stable). *)
 
   val delete_min : 'a t -> (Ord.t * 'a * 'a t) option
+
+  val min_tie_count : 'a t -> int
+  (** How many entries share the minimal key ([0] on an empty heap).
+      These are exactly the entries a schedule-exploration policy may
+      legally choose between: anything with a larger key must wait. *)
+
+  val delete_nth_min : 'a t -> int -> (Ord.t * 'a * 'a t) option
+  (** [delete_nth_min t i] removes the [i]-th entry (0-based, in
+      insertion order) among those tied with the minimal key.  Every
+      other entry keeps its insertion rank, so repeated stable pops see
+      the untouched order — [delete_nth_min t 0] behaves exactly like
+      {!delete_min}.  [None] on an empty heap.
+      @raise Invalid_argument if [i] is negative or at least
+      {!min_tie_count}. *)
+
   val of_list : (Ord.t * 'a) list -> 'a t
   val to_sorted_list : 'a t -> (Ord.t * 'a) list
 end

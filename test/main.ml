@@ -1,4 +1,5 @@
 let () =
+  Seed.banner ();
   Alcotest.run "eden"
     [
       ("util", Test_util.suite);
@@ -28,4 +29,5 @@ let () =
       ("properties", Test_properties.suite);
       ("determinism", Test_determinism.suite);
       ("par", Test_par.suite);
+      ("check", Test_check.suite);
     ]

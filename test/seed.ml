@@ -1,0 +1,31 @@
+(* Unified test-seed plumbing: one EDEN_SEED environment variable feeds
+   the QCheck properties, the determinism seed matrix and the schedule
+   explorer (Eden_check reads it itself).  Unset, everything keeps its
+   historical default — QCheck self-initialises (or honours its own
+   QCHECK_SEED) and the matrix starts at 0x5EED. *)
+
+let env_seed () =
+  match Sys.getenv_opt "EDEN_SEED" with
+  | None | Some "" -> None
+  | Some s -> (
+      match Int64.of_string_opt s with
+      | Some v -> Some v
+      | None -> invalid_arg (Printf.sprintf "EDEN_SEED: not an integer: %S" s))
+
+let pinned = env_seed () <> None
+let base = match env_seed () with Some s -> s | None -> 0x5EEDL
+
+let to_alcotest test =
+  match env_seed () with
+  | None -> QCheck_alcotest.to_alcotest test
+  | Some s ->
+      QCheck_alcotest.to_alcotest
+        ~rand:(Random.State.make [| Int64.to_int s; Int64.to_int (Int64.shift_right s 32) |])
+        test
+
+let banner () =
+  match Sys.getenv_opt "EDEN_SEED" with
+  | Some s when s <> "" ->
+      Printf.printf
+        "[eden] EDEN_SEED=%s pinned (QCheck, determinism matrix, schedule explorer)\n%!" s
+  | _ -> ()

@@ -1,0 +1,367 @@
+(* Schedule exploration: the checker's own machinery (policies, traces,
+   shrinking, replay files), the mutation suite that validates it can
+   actually find bugs, and exploration of the real stack's equivalence
+   properties — pipeline output order, exactly-once through loss,
+   credit conservation, cluster shard-order independence. *)
+
+module Check = Eden_check.Check
+module Policy = Eden_check.Policy
+module Trace = Eden_check.Trace
+module Shrink = Eden_check.Shrink
+module Workloads = Eden_check.Workloads
+module Sched = Eden_sched.Sched
+module Kernel = Eden_kernel.Kernel
+module Value = Eden_kernel.Value
+module Net = Eden_net.Net
+module Stage = Eden_transput.Stage
+module Pull = Eden_transput.Pull
+module Flowctl = Eden_flowctl.Flowctl
+module Credit = Eden_flowctl.Credit
+module Retry = Eden_resil.Retry
+module Cluster = Eden_par.Cluster
+module Prng = Eden_util.Prng
+
+let check = Alcotest.check
+
+(* Keep the suite's replay artifacts in the directory CI uploads. *)
+let replay_dir = "_check"
+
+(* --- Policy parsing -------------------------------------------------- *)
+
+let test_policy_roundtrip () =
+  List.iter
+    (fun p ->
+      match Policy.of_string (Policy.to_string p) with
+      | Ok p' ->
+          check Alcotest.string "roundtrip" (Policy.to_string p) (Policy.to_string p')
+      | Error e -> Alcotest.failf "%s did not parse back: %s" (Policy.to_string p) e)
+    (Policy.Fifo :: Policy.Pct 1 :: Policy.Dfs { max_branch = 2; max_steps = 7 }
+    :: Policy.quick_matrix);
+  (match Policy.of_string "pct" with
+  | Ok (Policy.Pct 3) -> ()
+  | _ -> Alcotest.fail "bare pct should default to depth 3");
+  match Policy.of_string "warp:9" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown policy accepted"
+
+(* --- Trace round-trip ------------------------------------------------ *)
+
+let test_trace_lines_roundtrip () =
+  let tr =
+    [
+      Trace.Pick { kind = "sched.run"; n = 3; chosen = 1 };
+      Trace.Note { kind = "net.loss"; arg = 1 };
+      Trace.Pick { kind = "sched.timer"; n = 2; chosen = 0 };
+      Trace.Note { kind = "credit.take"; arg = 4 };
+    ]
+  in
+  let back = List.filter_map Trace.entry_of_line (List.map Trace.line_of_entry tr) in
+  Alcotest.(check bool) "entries survive the line format" true (Trace.equal tr back);
+  check Alcotest.int "picks" 2 (Trace.pick_count tr);
+  check Alcotest.int "nonzero picks" 1 (Trace.nonzero_picks tr);
+  Alcotest.(check bool) "garbage rejected" true (Trace.entry_of_line "pick only-two" = None)
+
+(* --- Shrinker -------------------------------------------------------- *)
+
+let test_shrink_isolates_failure_picks () =
+  (* Failure iff picks 3 and 7 are both non-zero; everything else is
+     noise ddmin must strip. *)
+  let fails cand =
+    let a = Array.of_list cand in
+    let get i = if i < Array.length a then a.(i) else 0 in
+    get 3 <> 0 && get 7 <> 0
+  in
+  let noisy = [ 1; 0; 2; 1; 3; 1; 0; 2; 1; 1 ] in
+  assert (fails noisy);
+  let minimized, runs = Shrink.minimize ~run:fails noisy in
+  Alcotest.(check bool) "still fails" true (fails minimized);
+  check Alcotest.int "exactly the two relevant picks survive" 2
+    (List.length (List.filter (fun v -> v <> 0) minimized));
+  check Alcotest.int "trailing zeros trimmed" 8 (List.length minimized);
+  Alcotest.(check bool) "spent a sane number of runs" true (runs > 0 && runs < 100)
+
+let test_shrink_all_zero_failure () =
+  let fails _ = true in
+  let minimized, _ = Shrink.minimize ~run:fails [ 2; 1; 1 ] in
+  check Alcotest.int "FIFO-failing schedule shrinks to empty" 0 (List.length minimized)
+
+(* --- Mutation suite -------------------------------------------------- *)
+
+let test_mutants_pass_fifo () =
+  List.iter
+    (fun (name, wl) ->
+      Alcotest.(check bool)
+        (name ^ " correct passes FIFO") true
+        (Check.fifo_passes (wl ~mutant:false));
+      Alcotest.(check bool)
+        (name ^ " mutant hides under FIFO") true
+        (Check.fifo_passes (wl ~mutant:true)))
+    Workloads.mutants
+
+let quick_budget = 100
+
+let test_mutant_found (mname, wl) policy () =
+  let f =
+    Check.find_bug ~budget:quick_budget ~policy ~seed:Seed.base ~replay_dir
+      ~name:(Printf.sprintf "%s-%s" mname (Policy.to_string policy))
+      (wl ~mutant:true)
+  in
+  Alcotest.(check bool)
+    "found within quick budget" true
+    (f.Check.schedules <= quick_budget);
+  (* The minimized schedule must deviate from FIFO somewhere (FIFO
+     passes), but only barely: all three mutants are depth-1 bugs. *)
+  Alcotest.(check bool) "minimized deviates" true (Trace.nonzero_picks f.Check.trace >= 1);
+  Alcotest.(check bool)
+    "minimized is small" true
+    (Trace.nonzero_picks f.Check.trace <= 3);
+  match f.Check.replay_path with
+  | None -> Alcotest.fail "no replay file written"
+  | Some path ->
+      let r = Check.replay ~path (wl ~mutant:true) in
+      Alcotest.(check bool) "replay reproduces the failure" true r.Check.reproduced;
+      Alcotest.(check bool) "replay is bit-identical" true r.Check.bit_identical;
+      (* A fresh correct build under the same schedule passes: the
+         schedule pins the bug, not a broken harness. *)
+      let ok = Check.replay ~path (wl ~mutant:false) in
+      Alcotest.(check bool) "correct variant survives the schedule" true
+        (not ok.Check.reproduced)
+
+let test_correct_passes_exploration (mname, wl) policy () =
+  let n =
+    Check.run_or_fail ~budget:60 ~policy ~seed:Seed.base ~replay_dir
+      ~name:(Printf.sprintf "%s-ok-%s" mname (Policy.to_string policy))
+      (wl ~mutant:false)
+  in
+  Alcotest.(check bool) "explored at least the baseline" true (n >= 1)
+
+let test_failure_message_names_seed_and_replay () =
+  let name, wl = List.hd Workloads.mutants in
+  let f =
+    Check.find_bug ~budget:quick_budget ~policy:Policy.Random ~seed:Seed.base ~replay_dir
+      ~name:(name ^ "-msg") (wl ~mutant:true)
+  in
+  let msg = Check.fail_message f in
+  let contains needle =
+    let nl = String.length needle and ml = String.length msg in
+    let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "names the seed" true
+    (contains (Printf.sprintf "seed=0x%Lx" Seed.base));
+  Alcotest.(check bool) "names EDEN_SEED for rerun" true (contains "EDEN_SEED=");
+  Alcotest.(check bool) "points at the replay file" true (contains replay_dir)
+
+(* --- the CI matrix axis ----------------------------------------------- *)
+
+let test_env_policy_mutation_suite () =
+  (* CI pins EDEN_CHECK_POLICY per matrix entry; whatever exploring
+     policy it names must still find every mutant within the quick
+     budget.  Unset, this runs the default ([Random]).  [Fifo] is the
+     one policy that by design finds nothing, so it is skipped. *)
+  match Policy.of_env () with
+  | Policy.Fifo -> ()
+  | policy ->
+      List.iter
+        (fun (mname, wl) ->
+          let f =
+            Check.find_bug ~budget:quick_budget ~policy ~seed:Seed.base ~replay_dir
+              ~name:(Printf.sprintf "env-%s-%s" mname (Policy.to_string policy))
+              (wl ~mutant:true)
+          in
+          Alcotest.(check bool)
+            (mname ^ " found under env policy") true
+            (f.Check.schedules <= quick_budget))
+        Workloads.mutants
+
+(* --- DFS exhaustion --------------------------------------------------- *)
+
+let test_dfs_exhausts_small_tree () =
+  (* Two decision points of width 2 => a bounded tree of 4 schedules;
+     DFS must stop there, well under budget. *)
+  let prop ctl =
+    ignore (Check.decide ctl ~kind:"a" ~n:2);
+    ignore (Check.decide ctl ~kind:"b" ~n:2)
+  in
+  match
+    Check.explore ~budget:1000 ~policy:(Policy.Dfs { max_branch = 2; max_steps = 8 })
+      ~seed:Seed.base ~replay_dir ~name:"dfs-exhaust" prop
+  with
+  | Check.Failed _ -> Alcotest.fail "trivial prop failed"
+  | Check.Passed { schedules } -> check Alcotest.int "4 schedules then exhausted" 4 schedules
+
+(* --- Exploring the real stack ---------------------------------------- *)
+
+let items n = List.init n (fun i -> Value.Str (Printf.sprintf "item-%03d" i))
+
+let list_gen l =
+  let rest = ref l in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | x :: tl ->
+        rest := tl;
+        Some x
+
+(* Windowed pull pipeline: output order and EOS-last must hold under
+   every explored schedule, and the credit notes wired through
+   Pull/Push must balance and respect the window. *)
+let pipeline_prop ?(window = 3) ?(batch = 4) ~n ctl =
+  let k = Kernel.create ~seed:Seed.base () in
+  Check.attach ctl (Kernel.sched k);
+  let expected = items n in
+  let src = Stage.source_ro k ~capacity:0 (list_gen expected) in
+  let got = ref [] in
+  Kernel.run_driver k (fun ctx ->
+      let pull =
+        Pull.connect ctx ~flowctl:(Flowctl.fixed ~credit:(Credit.Window window) batch) src
+      in
+      Pull.iter (fun v -> got := v :: !got) pull);
+  Sched.check_failures (Kernel.sched k);
+  if List.rev !got <> expected then failwith "pipeline output diverged";
+  (* Credit-note wiring: every take reports in-flight <= window and the
+     takes/gives balance out. *)
+  let takes = ref 0 and gives = ref 0 in
+  List.iter
+    (function
+      | Trace.Note { kind = "credit.take"; arg } ->
+          incr takes;
+          if arg > window then failwith (Printf.sprintf "credit.take with in-flight %d" arg)
+      | Trace.Note { kind = "credit.give"; arg } ->
+          incr gives;
+          if arg < 0 then failwith "negative in-flight"
+      | _ -> ())
+    (Check.trace ctl);
+  if !takes = 0 then failwith "no credit.take notes: wiring broken";
+  (* At EOS the pull window abandons its still-outstanding speculative
+     transfers, so up to [window] takes go unreturned — never more, and
+     never the other way around. *)
+  if !gives > !takes || !takes - !gives > window then
+    failwith (Printf.sprintf "credit imbalance: %d takes vs %d gives" !takes !gives)
+
+let test_pipeline_under_exploration () =
+  ignore
+    (Check.run_or_fail ~budget:25 ~policy:Policy.Random ~seed:Seed.base ~replay_dir
+       ~name:"pipeline-order" (pipeline_prop ~n:17))
+
+let test_pipeline_under_pct () =
+  ignore
+    (Check.run_or_fail ~budget:15 ~policy:(Policy.Pct 3) ~seed:Seed.base ~replay_dir
+       ~name:"pipeline-order-pct" (pipeline_prop ~n:11))
+
+(* Retries through a lossy link: every call still succeeds on every
+   explored schedule, and the loss draws show up as net.loss notes. *)
+let retry_prop ctl =
+  let k = Kernel.create ~seed:Seed.base ~nodes:[ "a"; "b" ] () in
+  Check.attach ctl (Kernel.sched k);
+  let nb = List.nth (Kernel.nodes k) 1 in
+  let echo =
+    Kernel.create_eject k ~node:nb ~type_name:"echo" (fun _ctx ~passive:_ ->
+        [ ("Echo", Fun.id) ])
+  in
+  Net.set_loss_probability (Kernel.net k) 0.25;
+  let got = ref 0 in
+  Kernel.run_driver k (fun ctx ->
+      let prng = Prng.create 42L in
+      let policy = Retry.policy ~timeout:5.0 ~max_attempts:50 () in
+      for i = 1 to 6 do
+        match Retry.call ~policy ~prng ctx echo ~op:"Echo" (Value.Int i) with
+        | Value.Int j when j = i -> incr got
+        | _ -> ()
+      done);
+  if !got <> 6 then failwith (Printf.sprintf "only %d/6 calls succeeded" !got);
+  let losses =
+    List.exists
+      (function Trace.Note { kind = "net.loss"; _ } -> true | _ -> false)
+      (Check.trace ctl)
+  in
+  if not losses then failwith "no net.loss notes recorded under 25% loss"
+
+let test_retry_exactly_once_under_exploration () =
+  ignore
+    (Check.run_or_fail ~budget:10 ~policy:Policy.Random ~seed:Seed.base ~replay_dir
+       ~name:"retry-loss" retry_prop)
+
+(* Deterministic cluster: the result and op accounting must not depend
+   on the shard pump order, which the policy scrambles via the
+   [set_det_pick] hook. *)
+let cluster_prop ctl =
+  let c = Cluster.create Cluster.Deterministic ~shards:3 () in
+  Cluster.set_det_pick c (Some (fun ~n -> Check.decide ctl ~kind:"par.shard" ~n));
+  for i = 0 to 2 do
+    Check.attach ctl (Kernel.sched (Cluster.kernel c i))
+  done;
+  let k1 = Cluster.kernel c 1 in
+  let echo =
+    Kernel.create_eject k1 ~type_name:"echo" (fun _ctx ~passive:_ ->
+        [ ("echo", fun v -> v) ])
+  in
+  let p = Cluster.proxy c ~shard:0 ~ops:[ "echo" ] ~target:(1, echo) in
+  let p2 = Cluster.proxy c ~shard:2 ~ops:[ "echo" ] ~target:(1, echo) in
+  let got = ref [] in
+  Cluster.driver c 0 (fun ctx ->
+      let r = Kernel.invoke ctx p ~op:"echo" (Value.Int 1) in
+      got := r :: !got);
+  Cluster.driver c 2 (fun ctx ->
+      let r = Kernel.invoke ctx p2 ~op:"echo" (Value.Int 2) in
+      got := r :: !got);
+  Cluster.run c;
+  let ok = function Ok (Value.Int _) -> true | _ -> false in
+  if List.length !got <> 2 || not (List.for_all ok !got) then
+    failwith "cluster echo lost under shard reordering";
+  if Cluster.op_counts c <> [ ("echo", 4) ] then failwith "op accounting diverged";
+  if Cluster.cross_messages c <> 4 then failwith "cross-message count diverged"
+
+let test_cluster_under_exploration () =
+  ignore
+    (Check.run_or_fail ~budget:20 ~policy:Policy.Random ~seed:Seed.base ~replay_dir
+       ~name:"cluster-shard-order" cluster_prop)
+
+let test_cluster_under_dfs () =
+  ignore
+    (Check.run_or_fail ~budget:40 ~policy:(Policy.Dfs { max_branch = 3; max_steps = 6 })
+       ~seed:Seed.base ~replay_dir ~name:"cluster-shard-order-dfs" cluster_prop)
+
+(* --- Suite ------------------------------------------------------------ *)
+
+let mutation_tests =
+  List.concat_map
+    (fun ((mname, _) as m) ->
+      List.map
+        (fun policy ->
+          ( Printf.sprintf "mutant %s found by %s, replay bit-identical" mname
+              (Policy.to_string policy),
+            `Quick,
+            test_mutant_found m policy ))
+        Policy.quick_matrix)
+    Workloads.mutants
+
+let correct_tests =
+  List.concat_map
+    (fun ((mname, _) as m) ->
+      List.map
+        (fun policy ->
+          ( Printf.sprintf "correct %s passes %s exploration" mname
+              (Policy.to_string policy),
+            `Quick,
+            test_correct_passes_exploration m policy ))
+        Policy.quick_matrix)
+    Workloads.mutants
+
+let suite =
+  [
+    ("policy strings round-trip", `Quick, test_policy_roundtrip);
+    ("trace line format round-trips", `Quick, test_trace_lines_roundtrip);
+    ("shrinker isolates the failing picks", `Quick, test_shrink_isolates_failure_picks);
+    ("shrinker handles FIFO-level failures", `Quick, test_shrink_all_zero_failure);
+    ("every mutant hides under FIFO", `Quick, test_mutants_pass_fifo);
+    ("failure message pins seed and replay", `Quick, test_failure_message_names_seed_and_replay);
+    ("DFS exhausts a small tree early", `Quick, test_dfs_exhausts_small_tree);
+    ("mutation suite passes under EDEN_CHECK_POLICY", `Quick, test_env_policy_mutation_suite);
+    ("pipeline order + credit notes under random schedules", `Quick, test_pipeline_under_exploration);
+    ("pipeline order under PCT schedules", `Quick, test_pipeline_under_pct);
+    ("retry stays exactly-once under explored loss", `Quick, test_retry_exactly_once_under_exploration);
+    ("cluster is shard-order independent (random)", `Quick, test_cluster_under_exploration);
+    ("cluster is shard-order independent (DFS)", `Quick, test_cluster_under_dfs);
+  ]
+  @ mutation_tests @ correct_tests

@@ -6,7 +6,7 @@ module Dev = Eden_devices.Devices
 
 let check = Alcotest.check
 let prop name ?(count = 150) gen f =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+  Seed.to_alcotest (QCheck2.Test.make ~name ~count gen f)
 
 let roundtrip c x = c.Codec.decode (c.Codec.encode x)
 

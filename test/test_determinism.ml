@@ -105,7 +105,10 @@ let f4 seed =
   ^ "\n"
   ^ String.concat "|" (window.Dev.lines ())
 
-let seeds = List.init 10 (fun i -> Int64.of_int (0x5EED + (7919 * i)))
+(* The matrix base comes from the unified EDEN_SEED plumbing: unset it
+   is the historical 0x5EED, so the F1–F4 fingerprints stay
+   bit-identical to the seed runs. *)
+let seeds = List.init 10 (fun i -> Int64.add Seed.base (Int64.of_int (7919 * i)))
 
 let seed_matrix name topology () =
   List.iter

@@ -11,7 +11,7 @@ open Eden_flowctl
 let check = Alcotest.check
 
 let prop name ?(count = 40) gen f =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+  Seed.to_alcotest (QCheck2.Test.make ~name ~count gen f)
 
 let list_gen items =
   let rest = ref items in

@@ -7,7 +7,7 @@ module T = Eden_transput
 
 let check = Alcotest.check
 let prop name ?(count = 100) gen f =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+  Seed.to_alcotest (QCheck2.Test.make ~name ~count gen f)
 
 (* ------------------------------------------------------------------ *)
 (* Plain file system                                                  *)

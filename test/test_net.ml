@@ -6,7 +6,7 @@ module Sched = Eden_sched.Sched
 
 let check = Alcotest.check
 let prop name ?(count = 100) gen f =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+  Seed.to_alcotest (QCheck2.Test.make ~name ~count gen f)
 
 let make ?(latency = Net.Fixed 1.0) () =
   let s = Sched.create () in

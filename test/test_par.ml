@@ -10,7 +10,7 @@ module Flowctl = Eden_flowctl.Flowctl
 module Credit = Eden_flowctl.Credit
 
 let prop name ?(count = 15) gen f =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+  Seed.to_alcotest (QCheck2.Test.make ~name ~count gen f)
 
 (* --- Dqueue ---------------------------------------------------------- *)
 

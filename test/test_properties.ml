@@ -7,7 +7,7 @@ open Eden_transput
 module Dev = Eden_devices.Devices
 
 let prop name ?(count = 40) gen f =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+  Seed.to_alcotest (QCheck2.Test.make ~name ~count gen f)
 
 let line_gen = QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 0 8))
 

@@ -19,7 +19,7 @@ let check = Alcotest.check
 let value = Alcotest.testable Value.pp Value.equal
 
 let prop name ?(count = 100) gen f =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+  Seed.to_alcotest (QCheck2.Test.make ~name ~count gen f)
 
 (* --- Backoff -------------------------------------------------------- *)
 

@@ -6,7 +6,7 @@ open Eden_sched
 
 let check = Alcotest.check
 let prop name ?(count = 100) gen f =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+  Seed.to_alcotest (QCheck2.Test.make ~name ~count gen f)
 
 let run_ok t =
   Sched.run t;
@@ -136,6 +136,153 @@ let test_step_granularity () =
   check Alcotest.int "one fiber ran" 1 !count;
   Alcotest.(check bool) "second step" true (Sched.step t);
   Alcotest.(check bool) "quiescent" false (Sched.step t)
+
+(* ------------------------------------------------------------------ *)
+(* Ordering contract (see the sched.mli header)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Rule 5: the [run_until] boundary is inclusive — a timer due exactly
+   at the limit fires, and the clock ends at exactly the limit either
+   way. *)
+let test_run_until_boundary_inclusive () =
+  let t = Sched.create () in
+  let log = ref [] in
+  Sched.timer t 5.0 (fun () -> log := "at" :: !log);
+  Sched.timer t 5.0 (fun () -> log := "at2" :: !log);
+  Sched.timer t 5.000001 (fun () -> log := "after" :: !log);
+  Sched.run_until t 5.0;
+  check
+    Alcotest.(list string)
+    "timers due exactly at the limit fired, in insertion order" [ "at"; "at2" ]
+    (List.rev !log);
+  check (Alcotest.float 1e-12) "clock is exactly the limit" 5.0 (Sched.now t);
+  Sched.run t;
+  check Alcotest.(list string) "later timer still fired" [ "at"; "at2"; "after" ]
+    (List.rev !log)
+
+(* Rule 2: tied timers fire in insertion order, interleaved correctly
+   with non-tied ones. *)
+let test_timer_tie_insertion_order () =
+  let t = Sched.create () in
+  let log = ref [] in
+  Sched.timer t 2.0 (fun () -> log := "b1" :: !log);
+  Sched.timer t 1.0 (fun () -> log := "a" :: !log);
+  Sched.timer t 2.0 (fun () -> log := "b2" :: !log);
+  Sched.timer t 2.0 (fun () -> log := "b3" :: !log);
+  Sched.run t;
+  check Alcotest.(list string) "deadline order, ties by insertion" [ "a"; "b1"; "b2"; "b3" ]
+    (List.rev !log)
+
+(* Rule 1: while a fiber is runnable no timer fires, even one already
+   due. *)
+let test_runnable_before_timers () =
+  let t = Sched.create () in
+  let log = ref [] in
+  Sched.timer t 0.0 (fun () -> log := "timer" :: !log);
+  ignore (Sched.spawn t (fun () -> log := "fiber1" :: !log));
+  ignore (Sched.spawn t (fun () -> log := "fiber2" :: !log));
+  Alcotest.(check bool) "step 1 runs a fiber" true (Sched.step t);
+  Alcotest.(check bool) "step 2 runs a fiber" true (Sched.step t);
+  check Alcotest.(list string) "both fibers before the due timer" [ "fiber1"; "fiber2" ]
+    (List.rev !log);
+  Alcotest.(check bool) "step 3 fires the timer" true (Sched.step t);
+  check Alcotest.(list string) "timer last" [ "fiber1"; "fiber2"; "timer" ] (List.rev !log)
+
+(* Rules 3/4: a chooser that always answers 0 is indistinguishable from
+   no chooser at all — the FIFO baseline is the all-zero schedule. *)
+let contract_scenario chooser =
+  let t = Sched.create () in
+  Sched.set_chooser t chooser;
+  let log = ref [] in
+  for i = 1 to 3 do
+    ignore
+      (Sched.spawn t (fun () ->
+           log := Printf.sprintf "start%d" i :: !log;
+           Sched.yield ();
+           log := Printf.sprintf "mid%d" i :: !log;
+           Sched.sleep (float_of_int (4 - i));
+           log := Printf.sprintf "end%d" i :: !log))
+  done;
+  Sched.timer t 2.0 (fun () -> log := "tick" :: !log);
+  Sched.run t;
+  Sched.check_failures t;
+  List.rev !log
+
+let test_zero_chooser_is_fifo () =
+  let baseline = contract_scenario None in
+  let zeroed = contract_scenario (Some (fun ~kind:_ ~ids:_ -> 0)) in
+  check Alcotest.(list string) "all-zero chooser = FIFO baseline" baseline zeroed
+
+(* A chooser is only consulted at real decision points (n >= 2), and an
+   out-of-range answer is rejected. *)
+let test_chooser_consultation_and_range () =
+  let picks = ref [] in
+  let chooser = Some (fun ~kind ~ids ->
+      picks := (kind, Array.length ids) :: !picks;
+      0)
+  in
+  ignore (contract_scenario chooser);
+  Alcotest.(check bool) "only multi-way picks reported" true
+    (List.for_all (fun (_, n) -> n >= 2) !picks);
+  Alcotest.(check bool) "run-queue picks seen" true
+    (List.exists (fun (k, _) -> k = "sched.run") !picks);
+  let t = Sched.create () in
+  Sched.set_chooser t (Some (fun ~kind:_ ~ids -> Array.length ids));
+  ignore (Sched.spawn t ignore);
+  ignore (Sched.spawn t ignore);
+  match Sched.run t with
+  | () -> Alcotest.fail "out-of-range pick accepted"
+  | exception Invalid_argument _ -> ()
+
+(* A chooser can reverse the run queue: the legal reordering is real,
+   and unchosen fibers keep their relative order. *)
+let test_chooser_reverses_runq () =
+  let t = Sched.create () in
+  Sched.set_chooser t (Some (fun ~kind ~ids ->
+      match kind with "sched.run" -> Array.length ids - 1 | _ -> 0));
+  let log = ref [] in
+  for i = 1 to 3 do
+    ignore (Sched.spawn t (fun () -> log := i :: !log))
+  done;
+  Sched.run t;
+  check Alcotest.(list int) "last-spawned runs first" [ 3; 2; 1 ] (List.rev !log)
+
+(* Timer ties are a decision point too: picking index 1 fires the
+   second-inserted tied timer first, and only tied timers are offered. *)
+let test_chooser_timer_ties () =
+  let t = Sched.create () in
+  let offered = ref [] in
+  Sched.set_chooser t (Some (fun ~kind ~ids ->
+      if kind = "sched.timer" then begin
+        offered := Array.length ids :: !offered;
+        1
+      end
+      else 0));
+  let log = ref [] in
+  Sched.timer t 1.0 (fun () -> log := "t1" :: !log);
+  Sched.timer t 1.0 (fun () -> log := "t2" :: !log);
+  Sched.timer t 2.0 (fun () -> log := "t3" :: !log);
+  Sched.run t;
+  check Alcotest.(list int) "one 2-way tie offered" [ 2 ] !offered;
+  check Alcotest.(list string) "tie broken towards insertion index 1" [ "t2"; "t1"; "t3" ]
+    (List.rev !log)
+
+(* Note hooks: notes flow to the installed hook and are free without
+   one. *)
+let test_note_hook () =
+  let t = Sched.create () in
+  Sched.note t ~kind:"free" ~arg:0;
+  let seen = ref [] in
+  Sched.set_note_hook t (Some (fun ~kind ~arg -> seen := (kind, arg) :: !seen));
+  Sched.note t ~kind:"net.loss" ~arg:1;
+  Sched.note t ~kind:"credit.take" ~arg:3;
+  Sched.set_note_hook t None;
+  Sched.note t ~kind:"late" ~arg:9;
+  check
+    Alcotest.(list (pair string int))
+    "hook saw exactly the hooked notes"
+    [ ("net.loss", 1); ("credit.take", 3) ]
+    (List.rev !seen)
 
 (* ------------------------------------------------------------------ *)
 (* Blocking & deadlock reporting                                      *)
@@ -498,6 +645,14 @@ let suite =
     ("spawn inside", `Quick, test_spawn_inside);
     ("run_until stops clock", `Quick, test_run_until_stops_clock);
     ("step granularity", `Quick, test_step_granularity);
+    ("contract: run_until boundary inclusive", `Quick, test_run_until_boundary_inclusive);
+    ("contract: timer ties by insertion", `Quick, test_timer_tie_insertion_order);
+    ("contract: runnable before timers", `Quick, test_runnable_before_timers);
+    ("contract: zero chooser is FIFO", `Quick, test_zero_chooser_is_fifo);
+    ("contract: chooser consultation + range", `Quick, test_chooser_consultation_and_range);
+    ("contract: chooser reverses run queue", `Quick, test_chooser_reverses_runq);
+    ("contract: chooser breaks timer ties", `Quick, test_chooser_timer_ties);
+    ("contract: note hook", `Quick, test_note_hook);
     ("blocked listing", `Quick, test_blocked_listing);
     ("finished fibers untracked", `Quick, test_finished_fibers_untracked);
     ("blocked_info ids match", `Quick, test_blocked_info_ids_match);

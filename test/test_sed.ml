@@ -114,7 +114,7 @@ let test_two_input_stage_bad_script_fails_loudly () =
 
 (* A property: substitution with an identity replacement is identity. *)
 let prop_identity_substitution =
-  QCheck_alcotest.to_alcotest
+  Seed.to_alcotest
     (QCheck2.Test.make ~name:"s/x/x/g is the identity" ~count:100
        QCheck2.Gen.(small_list (string_size ~gen:(char_range 'a' 'z') (int_range 0 8)))
        (fun lines -> run [ "s/x/x/g" ] lines = lines))
@@ -145,7 +145,7 @@ let test_lcs_length () =
   check Alcotest.int "disjoint" 0 (Cmp.lcs_length [ "a" ] [ "b" ])
 
 let prop_diff_empty_iff_equal =
-  QCheck_alcotest.to_alcotest
+  Seed.to_alcotest
     (QCheck2.Test.make ~name:"diff = [] iff inputs equal" ~count:100
        QCheck2.Gen.(
          pair
@@ -154,7 +154,7 @@ let prop_diff_empty_iff_equal =
        (fun (a, b) -> Cmp.diff a b = [] = (a = b)))
 
 let prop_lcs_bounds =
-  QCheck_alcotest.to_alcotest
+  Seed.to_alcotest
     (QCheck2.Test.make ~name:"0 <= lcs <= min length" ~count:100
        QCheck2.Gen.(
          pair

@@ -186,6 +186,61 @@ let test_random_source_in_shell () =
         (Eden_util.Text.is_prefix ~prefix:"4 " summary)
   | _ -> Alcotest.fail "expected one wc summary line"
 
+(* --- session builtins (`trace`, `stats`) ---------------------------- *)
+
+module Kernel = Eden_kernel.Kernel
+module Obs = Eden_obs.Obs
+
+let test_trace_builtin_renders_ring () =
+  let env = Shell.make_env () in
+  Kernel.Trace.enable env.Shell.kernel;
+  ignore (ok (Shell.run env "count 3 | upcase | terminal"));
+  let lines = Shell.render_trace env.Shell.kernel in
+  let n = List.length lines in
+  Alcotest.(check bool) "events retained" true (n > 1);
+  List.iteri
+    (fun i l ->
+      if i < n - 1 then
+        Alcotest.(check bool) "event lines indented" true (Eden_util.Text.is_prefix ~prefix:"  " l))
+    lines;
+  let footer = List.nth lines (n - 1) in
+  Alcotest.(check bool) "footer counts retained events" true
+    (Eden_util.Text.is_prefix ~prefix:(Printf.sprintf "[%d event(s) retained" (n - 1)) footer);
+  Alcotest.(check bool) "footer names ring capacity" true
+    (Eden_util.Text.contains_sub ~sub:"ring capacity" footer)
+
+let test_trace_builtin_after_clear () =
+  let env = Shell.make_env () in
+  Kernel.Trace.enable env.Shell.kernel;
+  ignore (ok (Shell.run env "count 2 | null"));
+  Kernel.Trace.clear env.Shell.kernel;
+  match Shell.render_trace env.Shell.kernel with
+  | [ footer ] ->
+      Alcotest.(check bool) "empty ring footer" true
+        (Eden_util.Text.is_prefix ~prefix:"[0 event(s) retained" footer)
+  | lines -> Alcotest.failf "expected footer only, got %d lines" (List.length lines)
+
+let test_stats_builtin_sections () =
+  let env = Shell.make_env () in
+  Obs.enable_spans (Kernel.obs env.Shell.kernel);
+  ignore (ok (Shell.run env "count 5 | upcase | terminal"));
+  let lines = Shell.render_stats env.Shell.kernel in
+  Alcotest.(check bool) "meter block present" true (List.length lines >= 2);
+  let footer = List.nth lines (List.length lines - 1) in
+  Alcotest.(check bool) "spans footer last" true
+    (Eden_util.Text.is_prefix ~prefix:"spans:" footer);
+  Alcotest.(check bool) "spans closed after a run" true
+    (not (Eden_util.Text.is_prefix ~prefix:"spans: 0 closed" footer))
+
+let test_stats_builtin_stable_between_runs () =
+  (* `stats` is a pure rendering of session state: asking twice without
+     running anything in between is bit-identical. *)
+  let env = Shell.make_env () in
+  ignore (ok (Shell.run env "lines a b | terminal"));
+  check lines_t "stats idempotent"
+    (Shell.render_stats env.Shell.kernel)
+    (Shell.render_stats env.Shell.kernel)
+
 let test_env_reuse () =
   (* One env, several pipelines: files persist between runs. *)
   let env = Shell.make_env () in
@@ -217,5 +272,9 @@ let suite =
     ("fold filter", `Quick, test_run_fold_filter);
     ("conventional out", `Quick, test_run_conventional_out);
     ("random source", `Quick, test_random_source_in_shell);
+    ("trace builtin renders ring", `Quick, test_trace_builtin_renders_ring);
+    ("trace builtin after clear", `Quick, test_trace_builtin_after_clear);
+    ("stats builtin sections", `Quick, test_stats_builtin_sections);
+    ("stats builtin stable", `Quick, test_stats_builtin_stable_between_runs);
     ("env reuse", `Quick, test_env_reuse);
   ]

@@ -7,7 +7,7 @@ open Eden_transput
 
 let check = Alcotest.check
 let prop name ?(count = 60) gen f =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+  Seed.to_alcotest (QCheck2.Test.make ~name ~count gen f)
 
 let vstrs = List.map (fun s -> Value.Str s)
 let unstrs = List.map Value.to_str

@@ -4,7 +4,7 @@ open Eden_util
 
 let check = Alcotest.check
 let prop name ?(count = 200) gen f =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+  Seed.to_alcotest (QCheck2.Test.make ~name ~count gen f)
 
 (* ------------------------------------------------------------------ *)
 (* Prng                                                               *)
@@ -259,6 +259,75 @@ let test_heap_empty () =
   Alcotest.(check bool) "delete_min none" true (Iheap.delete_min Iheap.empty = None);
   check Alcotest.int "size 0" 0 (Iheap.size Iheap.empty)
 
+let test_heap_min_tie_count () =
+  check Alcotest.int "empty" 0 (Iheap.min_tie_count Iheap.empty);
+  let h = Iheap.of_list [ (2, "x"); (1, "a"); (1, "b"); (3, "y"); (1, "c") ] in
+  check Alcotest.int "three tied at the min" 3 (Iheap.min_tie_count h);
+  match Iheap.delete_min h with
+  | Some (_, _, h') -> check Alcotest.int "two after one pop" 2 (Iheap.min_tie_count h')
+  | None -> Alcotest.fail "heap not empty"
+
+let test_heap_delete_nth_min () =
+  let mk () = Iheap.of_list [ (1, "a"); (2, "x"); (1, "b"); (1, "c") ] in
+  (* index 0 behaves exactly like delete_min *)
+  (match (Iheap.delete_nth_min (mk ()) 0, Iheap.delete_min (mk ())) with
+  | Some (k, v, r0), Some (k', v', r1) ->
+      check Alcotest.int "same key" k' k;
+      check Alcotest.string "same value" v' v;
+      Alcotest.(check bool)
+        "same remaining order" true
+        (Iheap.to_sorted_list r0 = Iheap.to_sorted_list r1)
+  | _ -> Alcotest.fail "unexpected empty");
+  (* extracting a middle tie preserves insertion order of the rest *)
+  (match Iheap.delete_nth_min (mk ()) 1 with
+  | Some (1, "b", rest) ->
+      check
+        Alcotest.(list (pair int string))
+        "others keep insertion order"
+        [ (1, "a"); (1, "c"); (2, "x") ]
+        (Iheap.to_sorted_list rest)
+  | _ -> Alcotest.fail "wrong tie extracted");
+  (match Iheap.delete_nth_min (mk ()) 2 with
+  | Some (1, "c", rest) ->
+      check
+        Alcotest.(list (pair int string))
+        "last tie extracted"
+        [ (1, "a"); (1, "b"); (2, "x") ]
+        (Iheap.to_sorted_list rest)
+  | _ -> Alcotest.fail "wrong tie extracted");
+  Alcotest.(check bool) "empty heap" true (Iheap.delete_nth_min Iheap.empty 0 = None);
+  match Iheap.delete_nth_min (mk ()) 3 with
+  | (_ : (int * string * string Iheap.t) option) ->
+      Alcotest.fail "index beyond tie count accepted"
+  | exception Invalid_argument _ -> ()
+
+let prop_heap_delete_nth_stability =
+  (* Any sequence of tie-indexed deletions observes exactly the stable
+     insertion order of the surviving ties. *)
+  prop "delete_nth_min preserves stability"
+    QCheck2.Gen.(pair (int_range 2 8) (small_list (int_bound 2)))
+    (fun (ties, idxs) ->
+      let h = ref Iheap.empty in
+      for i = 0 to ties - 1 do
+        h := Iheap.insert 1 i !h
+      done;
+      let order = ref [] in
+      List.iter
+        (fun idx ->
+          match Iheap.min_tie_count !h with
+          | 0 -> ()
+          | m -> (
+              match Iheap.delete_nth_min !h (idx mod m) with
+              | Some (_, v, rest) ->
+                  order := v :: !order;
+                  h := rest
+              | None -> ()))
+        idxs;
+      (* The survivors must drain in increasing insertion order. *)
+      let rest = List.map snd (Iheap.to_sorted_list !h) in
+      List.sort compare rest = rest
+      && List.length rest + List.length !order = ties)
+
 let prop_heap_sorted =
   prop "heap sort agrees with List.sort" QCheck2.Gen.(small_list (int_bound 100)) (fun xs ->
       let kvs = List.map (fun x -> (x, ())) xs in
@@ -428,6 +497,9 @@ let suite =
     ("heap sorts", `Quick, test_heap_sorts);
     ("heap stable ties", `Quick, test_heap_stable_ties);
     ("heap empty", `Quick, test_heap_empty);
+    ("heap min_tie_count", `Quick, test_heap_min_tie_count);
+    ("heap delete_nth_min", `Quick, test_heap_delete_nth_min);
+    prop_heap_delete_nth_stability;
     ("stats basic", `Quick, test_stats_basic);
     ("stats percentile", `Quick, test_stats_percentile);
     ("stats empty", `Quick, test_stats_empty);
