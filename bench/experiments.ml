@@ -1452,6 +1452,169 @@ let c1 ?(budget = 100) () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* E1: elastic stage vs fixed fleets                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Elastic = Eden_elastic.Elastic
+module Rpush = Eden_resil.Rpush
+module Prng = Eden_util.Prng
+module Aimd = Eden_flowctl.Aimd
+
+(* A bursty open-loop workload against one keyed stage: short bursts at
+   1000x the idle arrival rate, a trickle item mid-gap so scale-to-zero
+   pays its cold-start cost on camera.  Fixed fleets pin the controller
+   clamp (min = max = N); the elastic row lets it breathe from a floor
+   of zero.  Latency is stamped at arrival (producer side), measured at
+   the sink turnstile, so queueing during scale-up is charged to the
+   configuration that caused it. *)
+let e1 ?(quick = false) () =
+  section "E1  Elastic stage: fixed fleets vs autoscaling under bursty load";
+  let nchan = 24 in
+  let cost = 0.25 in
+  let bursts = if quick then 2 else 6 in
+  let burst_m = if quick then 24 else 48 in
+  let spacing = 0.02 (* peak: one item per 0.02 vtime *)
+  and gap = 20.0 (* idle: one trickle item per 20.0 -- 1000:1 *) in
+  let max_n = 16 in
+  let spec =
+    {
+      Elastic.init = Value.Int 0;
+      step =
+        (fun st v ->
+          Sched.sleep cost;
+          let s = Value.to_int st + Value.to_int v in
+          (Value.Int s, [ Value.Int s ]));
+    }
+  in
+  let classify v = Value.to_int v mod nchan in
+  Printf.printf
+    "%d bursts of %d items (spacing %.2f) + 1 trickle item per %.0f idle gap;\n\
+     %d channels, %.2f vtime service cost per item, fleet ceiling %d.\n\n"
+    bursts burst_m spacing gap nchan cost max_n;
+  let run ctrl =
+    let k = Kernel.create ~seed:11L () in
+    let sched = Kernel.sched k in
+    let sendq = Array.init nchan (fun _ -> Queue.create ()) in
+    let h = Obs.Histogram.create ~lo:0.05 ~growth:1.25 () in
+    let e =
+      Elastic.create k ~classify ~spec
+        ~on_output:(fun chan _ ->
+          let t0 = Queue.pop sendq.(chan) in
+          Obs.Histogram.add h (Sched.now sched -. t0))
+        (Elastic.params ~tick:0.25 ~checkpoint_every:4 ~capacity_per_replica:4 ~ctrl ())
+    in
+    Elastic.start e;
+    let total = ref 0 in
+    Kernel.run_driver k (fun ctx ->
+        let push = Rpush.connect ctx ~batch:8 ~prng:(Prng.create 99L) (Elastic.router e) in
+        let i = ref 0 in
+        let send () =
+          Queue.push (Sched.now sched) sendq.(!i mod nchan);
+          Rpush.write push (Value.Int !i);
+          incr i
+        in
+        for _ = 1 to bursts do
+          for _ = 1 to burst_m do
+            send ();
+            Sched.sleep spacing
+          done;
+          Rpush.flush push;
+          Sched.sleep (gap /. 2.0);
+          send ();
+          Rpush.flush push;
+          Sched.sleep (gap /. 2.0)
+        done;
+        total := !i;
+        Rpush.close push;
+        Elastic.await e);
+    let makespan = Sched.now sched in
+    if List.length (Elastic.outputs e |> List.concat_map snd) <> !total then begin
+      Printf.printf "e1: FAILED (lost items: %d expected)\n" !total;
+      exit 1
+    end;
+    if Elastic.violations e <> [] then begin
+      List.iter (Printf.printf "e1: violation: %s\n") (Elastic.violations e);
+      exit 1
+    end;
+    ( float_of_int !total /. makespan,
+      Obs.Histogram.percentile h 0.5,
+      Obs.Histogram.percentile h 0.99,
+      Obs.Histogram.max_value h,
+      Elastic.replica_seconds e,
+      Elastic.max_live e,
+      Elastic.replicas_spawned e )
+  in
+  let fixed n =
+    Aimd.params ~min_batch:n ~max_batch:n ~increase:1 ~decrease:0.5 ~low_watermark:0.25
+      ~high_watermark:0.75 ()
+  in
+  (* Scale-from-zero must jump, not creep: channels are sticky, so the
+     width the fleet has when a burst's channels first land is the width
+     that serves the burst.  increase = ceiling makes the first reaction
+     tick provision the whole fleet; idle halves it back to zero. *)
+  let elastic_ctrl =
+    Aimd.params ~min_batch:0 ~max_batch:max_n ~increase:max_n ~decrease:0.5
+      ~low_watermark:0.2 ~high_watermark:0.6 ()
+  in
+  let configs =
+    List.map (fun n -> (Printf.sprintf "fixed %d" n, fixed n)) [ 1; 4; 16 ]
+    @ [ ("elastic 0..16", elastic_ctrl) ]
+  in
+  let tbl =
+    Table.create ~title:"Latency vs provisioning cost (virtual time)"
+      ~columns:
+        [
+          ("fleet", Table.Left);
+          ("items/vtime", Table.Right);
+          ("p50 lat", Table.Right);
+          ("p99 lat", Table.Right);
+          ("max lat", Table.Right);
+          ("replica-secs", Table.Right);
+          ("max live", Table.Right);
+          ("spawned", Table.Right);
+        ]
+  in
+  let results =
+    List.map
+      (fun (label, ctrl) ->
+        let (tput, p50, p99, mx, rs, live, spawned) as r = run ctrl in
+        Table.add_row tbl
+          [
+            label;
+            Table.cell_float ~decimals:3 tput;
+            Table.cell_float ~decimals:2 p50;
+            Table.cell_float ~decimals:2 p99;
+            Table.cell_float ~decimals:2 mx;
+            Table.cell_float ~decimals:1 rs;
+            Table.cell_int live;
+            Table.cell_int spawned;
+          ];
+        (label, r))
+      configs
+  in
+  Table.print tbl;
+  (* Acceptance: the elastic fleet must be both nearly as fast as the
+     best fixed fleet (p99 within 2x) and far cheaper (at most half the
+     replica-seconds of that best-p99 fixed fleet). *)
+  let fixed_rows = List.filter (fun (l, _) -> l <> "elastic 0..16") results in
+  let _, (_, _, best_p99, _, best_rs, _, _) =
+    List.fold_left
+      (fun (bl, (bt, b50, b99, bm, brs, bl_, bs)) (l, ((_, _, p99, _, _, _, _) as r)) ->
+        if p99 < b99 then (l, r) else (bl, (bt, b50, b99, bm, brs, bl_, bs)))
+      (List.hd fixed_rows) (List.tl fixed_rows)
+  in
+  let _, (_, _, el_p99, _, el_rs, _, _) =
+    List.find (fun (l, _) -> l = "elastic 0..16") results
+  in
+  Printf.printf
+    "elastic p99 %.2f vs best fixed %.2f (%.2fx); replica-seconds %.1f vs %.1f (%.2fx)\n"
+    el_p99 best_p99 (el_p99 /. best_p99) el_rs best_rs (el_rs /. best_rs);
+  if (not quick) && not (el_p99 <= 2.0 *. best_p99 && el_rs <= 0.5 *. best_rs) then begin
+    print_endline "e1: FAILED (elastic outside the p99<=2x / cost<=0.5x envelope)";
+    exit 1
+  end
+
 (* Tiny-iteration smoke over the figures and B1, cheap enough for
    `dune runtest`; exercises the full experiment code paths. *)
 let quick () =
@@ -1460,6 +1623,7 @@ let quick () =
   fig3 ();
   fig4 ();
   b1 ~quick:true ();
+  e1 ~quick:true ();
   c1 ()
 
 let all () =
@@ -1477,4 +1641,5 @@ let all () =
   ablation ();
   r1 ();
   b1 ();
+  e1 ();
   c1 ()

@@ -102,6 +102,7 @@ let () =
       ("ablation", Experiments.ablation);
       ("r1", Experiments.r1);
       ("b1", fun () -> Experiments.b1 ());
+      ("e1", fun () -> Experiments.e1 ());
       ("c1", fun () -> Experiments.c1 ());
       ("quick", Experiments.quick);
       ("smoke", Experiments.smoke);

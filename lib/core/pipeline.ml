@@ -187,19 +187,26 @@ let entity_count t = 2 + List.length t.filters + List.length t.pipes
 type stall = { fiber : string; reason : string; stage : string option }
 type diagnosis = { at : float; stalls : stall list }
 
-let stall_report kernel ~stages =
+let stall_report ?(include_quiesced = false) kernel ~stages =
   let blocked = Sched.blocked_info (Kernel.sched kernel) in
-  List.map
+  List.filter_map
     (fun (fid, fiber, reason) ->
-      let stage =
-        match Kernel.owner_of_fiber kernel fid with
-        | None -> None
-        | Some uid ->
-            List.find_map
-              (fun (label, u) -> if Uid.equal u uid then Some label else None)
-              stages
-      in
-      { fiber; reason; stage })
+      match Kernel.owner_of_fiber kernel fid with
+      | Some uid when (not include_quiesced) && Kernel.is_quiesced kernel uid ->
+          (* A draining/fenced/parked stage is supposed to sit blocked;
+             reporting it would turn every elastic reconfiguration into
+             a false hang. *)
+          None
+      | owner ->
+          let stage =
+            match owner with
+            | None -> None
+            | Some uid ->
+                List.find_map
+                  (fun (label, u) -> if Uid.equal u uid then Some label else None)
+                  stages
+          in
+          Some { fiber; reason; stage })
     blocked
 
 let stage_labels t =

@@ -78,11 +78,17 @@ type stall = {
 
 type diagnosis = { at : float;  (** Virtual time of the report. *) stalls : stall list }
 
-val stall_report : Kernel.t -> stages:(string * Uid.t) list -> stall list
+val stall_report :
+  ?include_quiesced:bool -> Kernel.t -> stages:(string * Uid.t) list -> stall list
 (** Attributes every currently blocked fiber to one of the labelled
     stages via the kernel's fiber-ownership table (an exact UID
     match — fiber names are display-only).  Usable outside
-    [Pipeline.t] (e.g. for hand-built stage graphs). *)
+    [Pipeline.t] (e.g. for hand-built stage graphs).
+
+    Fibers owned by {!Kernel.set_quiesced} Ejects — stages deliberately
+    idled by an elastic drain or park — are omitted unless
+    [include_quiesced] is [true] (default [false]): a quiesced stage
+    blocking on input is expected behaviour, not a stall. *)
 
 val diagnose : t -> diagnosis option
 (** [None] once the pipeline has completed; otherwise the current

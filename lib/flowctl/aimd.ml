@@ -21,7 +21,7 @@ let params ?(min_batch = default_params.min_batch) ?(max_batch = default_params.
     ?(increase = default_params.increase) ?(decrease = default_params.decrease)
     ?(low_watermark = default_params.low_watermark)
     ?(high_watermark = default_params.high_watermark) () =
-  if min_batch < 1 then invalid_arg "Aimd.params: min_batch must be at least 1";
+  if min_batch < 0 then invalid_arg "Aimd.params: min_batch must be non-negative";
   if max_batch < min_batch then invalid_arg "Aimd.params: max_batch must be at least min_batch";
   if increase < 1 then invalid_arg "Aimd.params: increase must be at least 1";
   if not (decrease > 0.0 && decrease < 1.0) then

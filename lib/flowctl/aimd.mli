@@ -18,10 +18,18 @@
 
     The controller is deliberately deterministic: its trajectory is a
     pure function of the signal sequence, so a simulated run reproduces
-    bit-identically under a fixed seed. *)
+    bit-identically under a fixed seed.
+
+    The clamp bounds are fully parametric, and the floor may be 0: the
+    same additive-increase / multiplicative-decrease shape that sizes
+    batches also sizes {e replica counts} in {!Eden_elastic.Scaler},
+    where [min_batch = 0] means scale-to-zero when idle.  (The field
+    names keep their historical batch-flavoured spelling; read them as
+    generic clamp bounds.)  Batch-sizing users go through
+    {!Flowctl.adaptive}, which insists on a floor of at least 1. *)
 
 type params = {
-  min_batch : int;  (** floor, at least 1 *)
+  min_batch : int;  (** floor, at least 0 (batch users require >= 1) *)
   max_batch : int;  (** ceiling, at least [min_batch] *)
   increase : int;  (** additive widening step, at least 1 *)
   decrease : float;  (** multiplicative shrink factor, in (0, 1) *)
@@ -44,7 +52,7 @@ val params :
   unit ->
   params
 (** Defaults as {!default_params}.  @raise Invalid_argument on a
-    non-positive [min_batch]/[increase], [max_batch < min_batch],
+    negative [min_batch], non-positive [increase], [max_batch < min_batch],
     [decrease] outside (0, 1), watermarks outside [0, 1] or
     [high_watermark <= low_watermark]. *)
 

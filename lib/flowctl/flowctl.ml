@@ -9,6 +9,10 @@ let fixed ?(credit = Credit.Window 1) n =
   { batching = Fixed n; credit }
 
 let adaptive ?(credit = Credit.Window 1) ?(params = Aimd.default_params) () =
+  (* A batch is a request size: the generalized controller's floor may
+     be 0 (replica sizing), but a Transfer for 0 items is meaningless. *)
+  if params.Aimd.min_batch < 1 then
+    invalid_arg "Flowctl.adaptive: min_batch must be at least 1";
   ignore (Credit.cap credit);
   { batching = Adaptive params; credit }
 

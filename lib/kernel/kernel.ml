@@ -39,6 +39,11 @@ type eject = {
   mutable versions : (float * Value.t) list; (* checkpoints, newest first *)
   mutable received : int;
   mutable crash_count : int;
+  (* Deliberately idle (draining, fenced, parked): fibers blocked on
+     behalf of a quiesced Eject are expected, so stall detectors skip
+     them.  Cleared by [crash] — a crashed stage is no longer
+     deliberately anything. *)
+  mutable quiesced : bool;
   behaviour : behaviour;
 }
 
@@ -170,6 +175,7 @@ let create_eject t ?node ?(dispatch = Serial) ~type_name behaviour =
       versions = [];
       received = 0;
       crash_count = 0;
+      quiesced = false;
       behaviour;
     }
   in
@@ -207,6 +213,16 @@ let worker_count t uid =
   | Some _ | None -> 0
 
 let owner_of_fiber t fid = Hashtbl.find_opt t.fiber_owner fid
+
+let set_quiesced t uid q =
+  match Uid.Tbl.find_opt t.ejects uid with
+  | None | Some { state = Destroyed; _ } -> ()
+  | Some e -> e.quiesced <- q
+
+let is_quiesced t uid =
+  match Uid.Tbl.find_opt t.ejects uid with
+  | Some { state = Destroyed; _ } | None -> false
+  | Some e -> e.quiesced
 
 let timeouts t = t.timeouts
 
@@ -548,6 +564,7 @@ let crash t uid =
   | Some e ->
       t.crashes <- t.crashes + 1;
       e.crash_count <- e.crash_count + 1;
+      e.quiesced <- false;
       Sched.note t.sched ~kind:"kernel.crash" ~arg:(Uid.hash e.uid);
       trace t (Crashed { uid = e.uid; at = Sched.now t.sched });
       lifecycle t "crash" e.uid;

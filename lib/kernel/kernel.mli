@@ -143,6 +143,19 @@ val owner_of_fiber : t -> Eden_sched.Sched.fiber_id -> Uid.t option
     fibers that have finished.  The structured replacement for
     matching fiber names against Eject types. *)
 
+val set_quiesced : t -> Uid.t -> bool -> unit
+(** Mark an Eject as deliberately idle — draining, fenced or parked by
+    an elastic reconfiguration.  Stall detectors
+    ({!Eden_core.Pipeline.stall_report}) skip fibers owned by quiesced
+    Ejects, so a stage that is {e supposed} to sit blocked while its
+    channels are handed elsewhere does not read as a hang.  Cleared by
+    {!crash}: a crashed stage is no longer deliberately anything.
+    No-op on unknown/destroyed UIDs. *)
+
+val is_quiesced : t -> Uid.t -> bool
+(** Whether {!set_quiesced} is in effect; [false] for unknown or
+    destroyed UIDs. *)
+
 (** {1 Invoking (from Eject code or drivers)} *)
 
 val invoke : ctx -> Uid.t -> op:string -> Value.t -> reply

@@ -44,6 +44,7 @@ type ctrl = {
   mutable watches : entry list; (* oldest first, for deterministic scan order *)
   mutable stopped : bool;
   mutable restarts : int;
+  mutable give_ups : int;
 }
 
 type t = { s_uid : Uid.t; ctrl : ctrl }
@@ -70,15 +71,21 @@ let add_watch ctrl ?(ping = false) ~label uid =
 (* Supervisor decisions are span-annotated events on the kernel's
    collector, so restarts and give-ups appear interleaved with the
    invocation tree in exported traces. *)
-let annotate ctrl name e =
+let annotate ctrl ?(attrs = []) name e =
   Obs.instant (Kernel.obs ctrl.kernel) ~name ~cat:"resil"
-    ~attrs:[ ("stage", e.label); ("uid", Uid.to_string e.e_uid) ]
+    ~attrs:(("stage", e.label) :: ("uid", Uid.to_string e.e_uid) :: attrs)
     ~at:(Sched.now (Kernel.sched ctrl.kernel))
     ()
 
 let give_up ctrl e =
   e.gave_up <- true;
-  annotate ctrl "supervisor.give_up" e;
+  ctrl.give_ups <- ctrl.give_ups + 1;
+  annotate ctrl "supervisor.give_up" e
+    ~attrs:
+      [
+        ("restarts_in_window", string_of_int (List.length e.restart_times));
+        ("budget", string_of_int ctrl.pol.max_restarts);
+      ];
   ctrl.on_give_up e.label e.e_uid
 
 let restart ctrl prng e ~now =
@@ -150,7 +157,16 @@ let behaviour ctrl ctx ~passive:_ =
 let create k ?node ?(name = "supervisor") ?(policy = default_policy) ?(seed = 0xC0FFEEL)
     ?(on_give_up = fun _ _ -> ()) () =
   let ctrl =
-    { kernel = k; pol = policy; seed; on_give_up; watches = []; stopped = false; restarts = 0 }
+    {
+      kernel = k;
+      pol = policy;
+      seed;
+      on_give_up;
+      watches = [];
+      stopped = false;
+      restarts = 0;
+      give_ups = 0;
+    }
   in
   let s_uid =
     Kernel.create_eject k ?node ~dispatch:Kernel.Concurrent ~type_name:name (behaviour ctrl)
@@ -166,6 +182,7 @@ let unwatch t u =
 let start t = Kernel.poke t.ctrl.kernel t.s_uid
 let stop t = t.ctrl.stopped <- true
 let restarts t = t.ctrl.restarts
+let give_ups t = t.ctrl.give_ups
 
 let gave_up t =
   List.filter_map (fun e -> if e.gave_up then Some (e.label, e.e_uid) else None) t.ctrl.watches

@@ -85,6 +85,14 @@ val stop : t -> unit
 val restarts : t -> int
 (** Total pokes issued. *)
 
+val give_ups : t -> int
+(** Total watches abandoned, mirroring {!restarts}.  Counted on the
+    shared control record (so it survives supervisor crashes) and never
+    decremented — unlike {!gave_up}, it is unaffected by a later
+    [unwatch] of the abandoned entry.  Each give-up is also annotated on
+    the kernel's collector as a ["supervisor.give_up"] instant with the
+    in-window restart count and budget. *)
+
 val gave_up : t -> (string * Uid.t) list
 (** Watches abandoned after exceeding the restart budget. *)
 

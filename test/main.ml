@@ -18,6 +18,7 @@ let () =
       ("flowctl", Test_flowctl.suite);
       ("failures", Test_failures.suite);
       ("resil", Test_resil.suite);
+      ("elastic", Test_elastic.suite);
       ("trace", Test_trace.suite);
       ("obs", Test_obs.suite);
       ("redirect", Test_redirect.suite);

@@ -40,7 +40,7 @@ let test_aimd_params_validation () =
     | (_ : Aimd.params) -> Alcotest.fail "expected Invalid_argument"
     | exception Invalid_argument _ -> ()
   in
-  bad (fun () -> Aimd.params ~min_batch:0 ());
+  bad (fun () -> Aimd.params ~min_batch:(-1) ());
   bad (fun () -> Aimd.params ~min_batch:8 ~max_batch:4 ());
   bad (fun () -> Aimd.params ~increase:0 ());
   bad (fun () -> Aimd.params ~decrease:0.0 ());
@@ -48,7 +48,21 @@ let test_aimd_params_validation () =
   bad (fun () -> Aimd.params ~low_watermark:(-0.1) ());
   bad (fun () -> Aimd.params ~low_watermark:0.8 ~high_watermark:0.4 ());
   let p = Aimd.params ~min_batch:2 ~max_batch:32 ~increase:4 ~decrease:0.25 () in
-  check Alcotest.int "min kept" 2 p.Aimd.min_batch
+  check Alcotest.int "min kept" 2 p.Aimd.min_batch;
+  (* The generalized clamp admits a floor of 0 (replica sizing /
+     scale-to-zero)... *)
+  let z = Aimd.create (Aimd.params ~min_batch:0 ~max_batch:4 ~decrease:0.5 ()) in
+  check Alcotest.int "zero floor honoured" 0 (Aimd.current z);
+  Aimd.on_progress z;
+  check Alcotest.int "grows from zero" 4 (Aimd.current z);
+  Aimd.on_stall z;
+  Aimd.on_stall z;
+  Aimd.on_stall z;
+  check Alcotest.int "halving reaches zero" 0 (Aimd.current z);
+  (* ...but the batch-sizing entry point still refuses it. *)
+  (match Flowctl.adaptive ~params:(Aimd.params ~min_batch:0 ~max_batch:4 ()) () with
+  | (_ : Flowctl.t) -> Alcotest.fail "Flowctl.adaptive accepted min_batch 0"
+  | exception Invalid_argument _ -> ())
 
 let test_aimd_trajectory () =
   let c = Aimd.create (Aimd.params ~min_batch:1 ~max_batch:20 ~increase:8 ~decrease:0.5 ()) in
