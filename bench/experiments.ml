@@ -1615,6 +1615,122 @@ let e1 ?(quick = false) () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* W1: wire transport throughput                                       *)
+(* ------------------------------------------------------------------ *)
+
+let w1 ?(quick = false) () =
+  section "W1  Wire transport: throughput per transport (wall clock)";
+  let domains = 3 in
+  let wire tr =
+    Par.Cluster.Wire { Par.Cluster.wire_transport = tr; wire_faults = None }
+  in
+  let modes =
+    [
+      ("in-process", Par.Cluster.Deterministic);
+      ("unix socket", wire Eden_wire.Transport.Unix_socket);
+      ("tcp loopback", wire Eden_wire.Transport.Tcp);
+    ]
+  in
+  Printf.printf
+    "Each row runs the same topology at %d shards; in-process is the\n\
+     deterministic oracle, the socket rows fork one OS process per leaf\n\
+     shard and move every cross-shard item through the Bin codec and\n\
+     the framed transport.  MB counts the Bin-encoded bytes of the\n\
+     items that reached the sinks; every row's stream must be\n\
+     byte-identical to the oracle's.\n\n"
+    domains;
+  let spec =
+    if quick then
+      { Par.Fanin.default with branches = 4; filters = 1; items = 24; work = 200 }
+    else { Par.Fanin.default with branches = 8; filters = 2; items = 160; work = 2_000 }
+  in
+  let f2_items = if quick then 48 else 400 in
+  let f2_filters = 4 in
+  let tbl =
+    Table.create ~title:"W1: items/s and MB/s per transport (best of 3)"
+      ~columns:
+        [
+          ("workload", Table.Left);
+          ("transport", Table.Left);
+          ("items", Table.Right);
+          ("bytes", Table.Right);
+          ("wall s", Table.Right);
+          ("items/s", Table.Right);
+          ("MB/s", Table.Right);
+          ("stream = oracle", Table.Right);
+        ]
+  in
+  let best_of_3 run =
+    let best = ref infinity and out = ref None in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let o = run () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      out := Some o
+    done;
+    (Option.get !out, !best)
+  in
+  let row ~workload ~transport ~items ~bytes ~dt ~ok =
+    [
+      workload;
+      transport;
+      Table.cell_int items;
+      Table.cell_int bytes;
+      Table.cell_float ~decimals:3 dt;
+      Table.cell_int (int_of_float (float_of_int items /. dt));
+      Table.cell_float ~decimals:2 (float_of_int bytes /. dt /. 1e6);
+      (if ok then "yes" else "NO");
+    ]
+  in
+  let mismatch = ref false in
+  (* Fan-in: wide, many cross-shard edges. *)
+  let fanin_digest (o : Par.Fanin.outcome) =
+    Array.map
+      (fun vs -> String.concat "" (List.map Eden_wire.Bin.encode vs))
+      o.Par.Fanin.per_branch
+  in
+  let fanin_oracle = ref [||] in
+  List.iter
+    (fun (name, mode) ->
+      let o, dt = best_of_3 (fun () -> Par.Fanin.run mode ~domains spec) in
+      let digest = fanin_digest o in
+      if !fanin_oracle = [||] then fanin_oracle := digest;
+      let ok = digest = !fanin_oracle in
+      if not ok then mismatch := true;
+      let bytes = Array.fold_left (fun a s -> a + String.length s) 0 digest in
+      Table.add_row tbl
+        (row ~workload:"fan-in" ~transport:name ~items:o.Par.Fanin.consumed ~bytes ~dt
+           ~ok))
+    modes;
+  (* F2: one deep chain, every edge cross-shard. *)
+  let f2_oracle = ref None in
+  List.iter
+    (fun (name, mode) ->
+      let o, dt =
+        best_of_3 (fun () ->
+            Par.Distpipe.run_f2 mode ~domains ~filters:f2_filters ~items:f2_items ())
+      in
+      let ok =
+        match !f2_oracle with
+        | None ->
+            f2_oracle := Some o.Par.Distpipe.stream;
+            true
+        | Some s -> s = o.Par.Distpipe.stream
+      in
+      if not ok then mismatch := true;
+      Table.add_row tbl
+        (row ~workload:"F2 chain" ~transport:name ~items:o.Par.Distpipe.consumed
+           ~bytes:(String.length o.Par.Distpipe.stream)
+           ~dt ~ok))
+    modes;
+  Table.print tbl;
+  if !mismatch then begin
+    print_endline "w1: FAILED (a transport diverged from the oracle stream)";
+    exit 1
+  end
+
 (* Tiny-iteration smoke over the figures and B1, cheap enough for
    `dune runtest`; exercises the full experiment code paths. *)
 let quick () =
@@ -1624,7 +1740,8 @@ let quick () =
   fig4 ();
   b1 ~quick:true ();
   e1 ~quick:true ();
-  c1 ()
+  c1 ();
+  w1 ~quick:true ()
 
 let all () =
   smoke ();
@@ -1642,4 +1759,5 @@ let all () =
   r1 ();
   b1 ();
   e1 ();
-  c1 ()
+  c1 ();
+  w1 ()

@@ -104,6 +104,7 @@ let () =
       ("b1", fun () -> Experiments.b1 ());
       ("e1", fun () -> Experiments.e1 ());
       ("c1", fun () -> Experiments.c1 ());
+      ("w1", fun () -> Experiments.w1 ());
       ("quick", Experiments.quick);
       ("smoke", Experiments.smoke);
       ("p1", Experiments.p1);

@@ -1,0 +1,108 @@
+(* edenwire: run a workload on the multi-process cluster.
+
+   Runs fanin / f2 / f4 on the chosen transport (one OS process per
+   shard for the socket transports), then re-runs the in-process
+   deterministic oracle and verifies the item streams are
+   byte-identical.  A quick way to watch DESIGN.md §13 from the
+   command line:
+
+     edenwire f2 --transport unix --shards 3 --items 64
+     edenwire fanin --transport tcp
+     edenwire f4 --transport inproc *)
+
+module Cluster = Eden_par.Cluster
+module Fanin = Eden_par.Fanin
+module Distpipe = Eden_par.Distpipe
+module Bin = Eden_wire.Bin
+
+let usage () =
+  prerr_endline
+    "usage: edenwire (fanin | f2 | f4) [--transport inproc|unix|tcp]\n\
+    \                [--shards N] [--items N]";
+  exit 2
+
+let mode_of_string = function
+  | "inproc" -> Cluster.Deterministic
+  | "unix" ->
+      Cluster.Wire
+        { Cluster.wire_transport = Eden_wire.Transport.Unix_socket; wire_faults = None }
+  | "tcp" ->
+      Cluster.Wire
+        { Cluster.wire_transport = Eden_wire.Transport.Tcp; wire_faults = None }
+  | s ->
+      Printf.eprintf "unknown transport %S (inproc | unix | tcp)\n" s;
+      exit 2
+
+let () =
+  let workload = ref "" in
+  let transport = ref "unix" in
+  let shards = ref 3 in
+  let items = ref 32 in
+  let rec parse = function
+    | [] -> ()
+    | "--transport" :: v :: rest ->
+        transport := v;
+        parse rest
+    | "--shards" :: v :: rest ->
+        shards := int_of_string v;
+        parse rest
+    | "--items" :: v :: rest ->
+        items := int_of_string v;
+        parse rest
+    | w :: rest when !workload = "" && w.[0] <> '-' ->
+        workload := w;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !workload = "" then usage ();
+  let mode = mode_of_string !transport in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let report ~consumed ~bytes ~dt ~matches =
+    Printf.printf "%s over %s, %d shards: %d items, %d wire bytes, %.3fs (%d items/s)\n"
+      !workload !transport !shards consumed bytes dt
+      (int_of_float (float_of_int consumed /. dt));
+    if matches then print_endline "stream matches the in-process oracle"
+    else begin
+      print_endline "STREAM DIVERGED from the in-process oracle";
+      exit 1
+    end
+  in
+  match !workload with
+  | "fanin" ->
+      let spec = { Fanin.default with branches = 4; items = !items } in
+      let digest (o : Fanin.outcome) =
+        Array.map (fun vs -> String.concat "" (List.map Bin.encode vs)) o.Fanin.per_branch
+      in
+      let o, dt = timed (fun () -> Fanin.run mode ~domains:!shards spec) in
+      let oracle = Fanin.run Cluster.Deterministic ~domains:!shards spec in
+      report ~consumed:o.Fanin.consumed
+        ~bytes:(Array.fold_left (fun a s -> a + String.length s) 0 (digest o))
+        ~dt
+        ~matches:(digest o = digest oracle)
+  | "f2" ->
+      let run m = Distpipe.run_f2 m ~domains:!shards ~filters:3 ~items:!items () in
+      let o, dt = timed (fun () -> run mode) in
+      let oracle = run Cluster.Deterministic in
+      report ~consumed:o.Distpipe.consumed
+        ~bytes:(String.length o.Distpipe.stream)
+        ~dt
+        ~matches:(o.Distpipe.stream = oracle.Distpipe.stream)
+  | "f4" ->
+      let run m = Distpipe.run_f4 m ~domains:!shards ~items:!items () in
+      let o, dt = timed (fun () -> run mode) in
+      let oracle = run Cluster.Deterministic in
+      List.iter print_endline o.Distpipe.terminal;
+      report
+        ~consumed:(List.length o.Distpipe.terminal)
+        ~bytes:
+          (List.fold_left (fun a l -> a + String.length l) 0 o.Distpipe.terminal)
+        ~dt
+        ~matches:
+          (o.Distpipe.terminal = oracle.Distpipe.terminal
+          && o.Distpipe.reports = oracle.Distpipe.reports)
+  | _ -> usage ()

@@ -11,6 +11,18 @@ let picks t = List.filter_map (function Pick p -> Some p.chosen | Note _ -> None
 let pick_entries t =
   List.filter_map (function Pick p -> Some (p.kind, p.n, p.chosen) | Note _ -> None) t
 
+let keep kind k = match kind with None -> true | Some want -> String.equal want k
+
+let decisions ?kind t =
+  List.filter_map
+    (function Pick p when keep kind p.kind -> Some (p.kind, p.chosen) | _ -> None)
+    t
+
+let notes ?kind t =
+  List.filter_map
+    (function Note n when keep kind n.kind -> Some (n.kind, n.arg) | _ -> None)
+    t
+
 let pick_count t = List.length (picks t)
 let nonzero_picks t = List.length (List.filter (fun c -> c <> 0) (picks t))
 

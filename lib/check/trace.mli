@@ -35,6 +35,17 @@ val picks : t -> int list
 val pick_entries : t -> (string * int * int) list
 (** [(kind, n, chosen)] of every [Pick], in order. *)
 
+val decisions : ?kind:string -> t -> (string * int) list
+(** [(kind, chosen)] of every [Pick], in order, optionally restricted
+    to one kind.  The bridge to fault injection on the real transport:
+    [decisions ~kind:"net.loss"] is exactly the per-frame loss script
+    that [Eden_wire.Faults.of_events] replays at the framing layer. *)
+
+val notes : ?kind:string -> t -> (string * int) list
+(** [(kind, arg)] of every [Note], in order, optionally restricted to
+    one kind — for fault streams the component drew itself (simulated
+    [Net] loss/partition) rather than the explorer picking. *)
+
 val pick_count : t -> int
 val nonzero_picks : t -> int
 (** Picks that deviate from the FIFO default of [0]. *)

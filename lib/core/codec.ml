@@ -42,7 +42,7 @@ let option a =
       (function
       | Value.Unit -> None
       | Value.List [ x ] -> Some (a.decode x)
-      | v -> raise (Value.Protocol_error ("expected an option, got " ^ Value.to_string v)));
+      | v -> raise (Value.Protocol_error ("expected an option, got " ^ Value.preview v)));
   }
 
 let batch ?(max_items = 1024) a =
@@ -70,7 +70,10 @@ let batch ?(max_items = 1024) a =
                    (Printf.sprintf "batch: length %d does not match %d items" n
                       (List.length rest)));
             List.map a.decode rest
-        | v -> raise (Value.Protocol_error ("expected a batch, got " ^ Value.to_string v)));
+        (* The diagnostic previews the offending value with a hard byte
+           bound — a hostile frame must not cost memory in the very
+           message that rejects it. *)
+        | v -> raise (Value.Protocol_error ("expected a batch, got " ^ Value.preview v)));
   }
 
 let map of_a to_a c =
@@ -89,7 +92,8 @@ let tagged cases =
         let tag = Value.to_str tag in
         match List.assoc_opt tag cases with
         | Some c -> (tag, c.decode payload)
-        | None -> raise (Value.Protocol_error ("unknown tag: " ^ tag)));
+        | None ->
+            raise (Value.Protocol_error ("unknown tag: " ^ Value.preview (Value.Str tag))));
   }
 
 let read c pull = Option.map c.decode (Pull.read pull)

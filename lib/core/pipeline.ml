@@ -187,7 +187,7 @@ let entity_count t = 2 + List.length t.filters + List.length t.pipes
 type stall = { fiber : string; reason : string; stage : string option }
 type diagnosis = { at : float; stalls : stall list }
 
-let stall_report ?(include_quiesced = false) kernel ~stages =
+let stall_report ?(include_quiesced = false) ?(include_transport = false) kernel ~stages =
   let blocked = Sched.blocked_info (Kernel.sched kernel) in
   List.filter_map
     (fun (fid, fiber, reason) ->
@@ -196,6 +196,10 @@ let stall_report ?(include_quiesced = false) kernel ~stages =
           (* A draining/fenced/parked stage is supposed to sit blocked;
              reporting it would turn every elastic reconfiguration into
              a false hang. *)
+          None
+      | Some uid when (not include_transport) && Kernel.in_transport_wait kernel uid ->
+          (* A stage waiting on a remote shard's socket round-trip is
+             making progress elsewhere, not stalled. *)
           None
       | owner ->
           let stage =

@@ -79,7 +79,11 @@ type stall = {
 type diagnosis = { at : float;  (** Virtual time of the report. *) stalls : stall list }
 
 val stall_report :
-  ?include_quiesced:bool -> Kernel.t -> stages:(string * Uid.t) list -> stall list
+  ?include_quiesced:bool ->
+  ?include_transport:bool ->
+  Kernel.t ->
+  stages:(string * Uid.t) list ->
+  stall list
 (** Attributes every currently blocked fiber to one of the labelled
     stages via the kernel's fiber-ownership table (an exact UID
     match — fiber names are display-only).  Usable outside
@@ -88,7 +92,11 @@ val stall_report :
     Fibers owned by {!Kernel.set_quiesced} Ejects — stages deliberately
     idled by an elastic drain or park — are omitted unless
     [include_quiesced] is [true] (default [false]): a quiesced stage
-    blocking on input is expected behaviour, not a stall. *)
+    blocking on input is expected behaviour, not a stall.  Likewise,
+    fibers owned by Ejects inside {!Kernel.with_transport_wait} — a
+    socket round-trip to a remote shard in flight — are omitted unless
+    [include_transport] is [true]: a stage waiting on the wire is
+    making progress elsewhere, not stalled. *)
 
 val diagnose : t -> diagnosis option
 (** [None] once the pipeline has completed; otherwise the current

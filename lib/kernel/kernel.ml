@@ -44,6 +44,11 @@ type eject = {
      them.  Cleared by [crash] — a crashed stage is no longer
      deliberately anything. *)
   mutable quiesced : bool;
+  (* Fibers of this Eject currently blocked on a remote shard's wire
+     (socket round-trip in flight): like [quiesced], expected blocking
+     that stall detectors must not flag.  A counter, not a flag —
+     several workers can be in transit at once.  Reset by [crash]. *)
+  mutable transport_waits : int;
   behaviour : behaviour;
 }
 
@@ -176,6 +181,7 @@ let create_eject t ?node ?(dispatch = Serial) ~type_name behaviour =
       received = 0;
       crash_count = 0;
       quiesced = false;
+      transport_waits = 0;
       behaviour;
     }
   in
@@ -223,6 +229,23 @@ let is_quiesced t uid =
   match Uid.Tbl.find_opt t.ejects uid with
   | Some { state = Destroyed; _ } | None -> false
   | Some e -> e.quiesced
+
+let with_transport_wait ctx f =
+  match ctx.self_uid with
+  | None -> f ()
+  | Some uid -> (
+      match Uid.Tbl.find_opt ctx.k.ejects uid with
+      | None | Some { state = Destroyed; _ } -> f ()
+      | Some e ->
+          e.transport_waits <- e.transport_waits + 1;
+          Fun.protect
+            ~finally:(fun () -> e.transport_waits <- max 0 (e.transport_waits - 1))
+            f)
+
+let in_transport_wait t uid =
+  match Uid.Tbl.find_opt t.ejects uid with
+  | Some { state = Destroyed; _ } | None -> false
+  | Some e -> e.transport_waits > 0
 
 let timeouts t = t.timeouts
 
@@ -565,6 +588,7 @@ let crash t uid =
       t.crashes <- t.crashes + 1;
       e.crash_count <- e.crash_count + 1;
       e.quiesced <- false;
+      e.transport_waits <- 0;
       Sched.note t.sched ~kind:"kernel.crash" ~arg:(Uid.hash e.uid);
       trace t (Crashed { uid = e.uid; at = Sched.now t.sched });
       lifecycle t "crash" e.uid;

@@ -156,6 +156,18 @@ val is_quiesced : t -> Uid.t -> bool
 (** Whether {!set_quiesced} is in effect; [false] for unknown or
     destroyed UIDs. *)
 
+val with_transport_wait : ctx -> (unit -> 'a) -> 'a
+(** Run [f] with the calling Eject marked as blocked on transport — a
+    socket round-trip to a remote shard is in flight on its behalf.
+    Stall detectors treat this like {!set_quiesced}: the Eject's
+    blocked fibers are expected, not stalled.  Counted (nested waits
+    stack); cleared on return, on raise, and by {!crash}.  No-op from
+    a driver context. *)
+
+val in_transport_wait : t -> Uid.t -> bool
+(** Whether any {!with_transport_wait} is in flight for this Eject;
+    [false] for unknown or destroyed UIDs. *)
+
 (** {1 Invoking (from Eject code or drivers)} *)
 
 val invoke : ctx -> Uid.t -> op:string -> Value.t -> reply

@@ -22,6 +22,9 @@ let compare a b =
 
 let hash a = a.serial lxor Int64.to_int a.tag
 
+let to_wire a = (a.tag, a.serial)
+let of_wire ~tag ~serial = { tag; serial }
+
 let to_string a = Printf.sprintf "E#%04Lx.%d" (Int64.logand a.tag 0xFFFFL) a.serial
 
 let pp ppf a = Format.pp_print_string ppf (to_string a)

@@ -21,6 +21,17 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
 
+val to_wire : t -> int64 * int
+(** [(tag, serial)] for the wire codec.  Transport use only: the pair
+    round-trips a UID between shard processes forked from one topology
+    build, where both sides already hold the capability.  It does not
+    weaken unforgeability — the 64-bit random tag still has to match the
+    receiving kernel's table. *)
+
+val of_wire : tag:int64 -> serial:int -> t
+(** Inverse of {!to_wire}; a reconstructed UID names an Eject only if
+    the receiving kernel minted the identical (tag, serial). *)
+
 val to_string : t -> string
 (** Short printable form like ["E#0f3a.17"]; stable for a given UID. *)
 

@@ -72,3 +72,38 @@ let rec pp ppf = function
       Format.fprintf ppf "[@[%a@]]" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp) vs
 
 let to_string v = Format.asprintf "%a" pp v
+
+exception Preview_full
+
+let preview ?(max_len = 96) v =
+  let b = Buffer.create (min max_len 96) in
+  let add s =
+    let room = max_len - Buffer.length b in
+    if String.length s <= room then Buffer.add_string b s
+    else begin
+      Buffer.add_string b (String.sub s 0 (max 0 room));
+      raise Preview_full
+    end
+  in
+  let rec go = function
+    | Unit -> add "()"
+    | Bool x -> add (string_of_bool x)
+    | Int n -> add (string_of_int n)
+    | Float f -> add (Printf.sprintf "%g" f)
+    | Str s ->
+        (* Pre-truncate before quoting so a hostile megabyte string never
+           materialises a megabyte escape. *)
+        let s = if String.length s > max_len then String.sub s 0 max_len else s in
+        add (Printf.sprintf "%S" s)
+    | Uid u -> add (Uid.to_string u)
+    | List vs ->
+        add "[";
+        List.iteri
+          (fun i v ->
+            if i > 0 then add "; ";
+            go v)
+          vs;
+        add "]"
+  in
+  (try go v with Preview_full -> Buffer.add_string b "…");
+  Buffer.contents b

@@ -62,6 +62,26 @@ val partition : t -> node_id -> node_id -> unit
 val heal : t -> node_id -> node_id -> unit
 val heal_all : t -> unit
 
+(** {1 Link establishment}
+
+    Off by default (every link is implicitly up, the seed behaviour).
+    When enabled, an inter-node link carries traffic only after
+    {!establish}; a frame sent earlier is dropped and charged to
+    [dropped_partition] — the link does not exist yet, which is a
+    connectivity condition, not random loss.  The loss coin is not
+    flipped for such frames (they never reach the medium), keeping
+    chaos-experiment tables truthful across the simulated and real
+    transports, whose handshake has the same boundary. *)
+
+val set_require_establishment : t -> bool -> unit
+val establish : t -> node_id -> node_id -> unit
+(** Marks the (symmetric) link up.  Not undone by {!heal_all} —
+    partitions and establishment are independent conditions. *)
+
+val is_established : t -> node_id -> node_id -> bool
+(** True when the link can carry traffic as far as establishment is
+    concerned ([true] whenever gating is off or [a = b]). *)
+
 (** {1 Sending} *)
 
 val send : t -> src:node_id -> dst:node_id -> size:int -> (unit -> unit) -> unit

@@ -4,8 +4,18 @@ module Value = Eden_kernel.Value
 module Sched = Eden_sched.Sched
 module Ivar = Eden_sched.Ivar
 module Prng = Eden_util.Prng
+module Obs = Eden_obs.Obs
+module Frame = Eden_wire.Frame
+module Bin = Eden_wire.Bin
+module Transport = Eden_wire.Transport
+module Faults = Eden_wire.Faults
 
-type mode = Deterministic | Parallel
+type wire_config = {
+  wire_transport : Transport.kind;
+  wire_faults : Faults.t option;
+}
+
+type mode = Deterministic | Parallel | Wire of wire_config
 
 type msg =
   | Request of {
@@ -29,6 +39,44 @@ type shard = {
   mutable ctx : Kernel.ctx option;
 }
 
+(* Stats a leaf process reports back over its socket at shutdown —
+   everything the in-process accessors would have read from the shard's
+   kernel directly.  Histograms are deliberately absent: wall-clock
+   timing makes them transport-dependent, so wire-mode histograms cover
+   the hub shard only. *)
+type remote_stats = {
+  r_meter : Kernel.Meter.snapshot;
+  r_ops : (string * int) list;
+  r_flows : (string * int * int) list;
+  r_makespan : float;
+}
+
+(* Hub (shard 0, the parent process) of the star topology: leaves
+   connect only to the hub, which routes leaf-to-leaf frames by [dst].
+   [sent_to] counts data frames actually written to each leaf (a frame
+   eaten by fault injection is not in flight); [idle_at] is the
+   processed-frame count from the leaf's latest IDLE.  Socket FIFO
+   ordering makes "idle_at = sent_to for every leaf" a sound
+   termination condition: a leaf writes everything it emitted before
+   the IDLE that acknowledges our last frame, so once the hub has read
+   that IDLE there is nothing left in flight from that leaf. *)
+type hub = {
+  conns : Unix.file_descr array; (* index 0 unused *)
+  pids : int array;
+  sent_to : int array;
+  idle_at : int array;
+  hfaults : Faults.t option;
+  remote : remote_stats option array;
+}
+
+type leaf = {
+  conn : Unix.file_descr;
+  mutable processed : int; (* data frames consumed off the socket *)
+  mutable last_idle_sent : int;
+}
+
+type fabric = Inproc | Hub of hub | Leaf of leaf
+
 type t = {
   cluster_mode : mode;
   shards : shard array;
@@ -39,6 +87,9 @@ type t = {
   (* Deterministic-mode shard-order policy; [None] is the fixed
      round-robin baseline. *)
   mutable det_pick : (n:int -> int) option;
+  (* How [forward] reaches other shards: in-process inboxes, or — in
+     wire mode, after the fork — this process's end of the sockets. *)
+  mutable fabric : fabric;
 }
 
 let mode t = t.cluster_mode
@@ -49,6 +100,9 @@ let cross_messages t = Atomic.get t.carried
 
 let create ?(seed = 0xEDE0L) ?latency cluster_mode ~shards:n () =
   if n <= 0 then invalid_arg "Cluster.create: shards must be positive";
+  (match cluster_mode with
+  | Wire _ when n > 256 -> invalid_arg "Cluster.create: wire mode caps shards at 256"
+  | _ -> ());
   let root = Prng.create seed in
   let streams = Prng.split_n root n in
   let shards =
@@ -74,6 +128,7 @@ let create ?(seed = 0xEDE0L) ?latency cluster_mode ~shards:n () =
       carried = Atomic.make 0;
       ran = false;
       det_pick = None;
+      fabric = Inproc;
     }
   in
   (* Capture a driver context per shard: proxy handlers and injected
@@ -100,15 +155,156 @@ let post t ~dst m =
     invalid_arg "Cluster: message posted after shutdown"
   end
 
-let forward t sh ~target ~op arg =
+(* --- Wire framing ---------------------------------------------------- *)
+
+let perr fmt =
+  Printf.ksprintf (fun m -> raise (Value.Protocol_error ("cluster: " ^ m))) fmt
+
+let request_frame ~req_id ~src ~dst ~target ~op arg =
+  Frame.make ~kind:Frame.Request ~src ~dst ~seq:req_id
+    (Bin.encode (Value.List [ Value.Uid target; Value.Str op; arg ]))
+
+let parse_request payload =
+  match Bin.decode payload with
+  | Value.List [ Value.Uid target; Value.Str op; arg ] -> (target, op, arg)
+  | v -> perr "malformed request payload %s" (Value.preview v)
+
+let reply_frame ~req_id ~src ~dst (reply : Kernel.reply) =
+  let body =
+    match reply with
+    | Ok v -> Value.List [ Value.Bool true; v ]
+    | Error m -> Value.List [ Value.Bool false; Value.Str m ]
+  in
+  Frame.make ~kind:Frame.Reply ~src ~dst ~seq:req_id (Bin.encode body)
+
+let parse_reply payload : Kernel.reply =
+  match Bin.decode payload with
+  | Value.List [ Value.Bool true; v ] -> Ok v
+  | Value.List [ Value.Bool false; Value.Str m ] -> Error m
+  | v -> perr "malformed reply payload %s" (Value.preview v)
+
+let flows_of_kernel k =
+  List.map
+    (fun (s : Obs.Flow.stage) -> (s.label, s.items_in, s.items_out))
+    (Obs.stages (Kernel.obs k))
+
+let meter_to_value (m : Kernel.Meter.snapshot) =
+  let n = m.net in
+  Value.List
+    [
+      Value.Int m.invocations; Value.Int m.replies; Value.Int m.activations;
+      Value.Int m.ejects_created; Value.Int m.ejects_live; Value.Int m.crashes;
+      Value.Int m.timeouts;
+      Value.List
+        [
+          Value.Int n.Eden_net.Net.sent; Value.Int n.delivered; Value.Int n.dropped;
+          Value.Int n.dropped_loss; Value.Int n.dropped_partition; Value.Int n.bytes;
+        ];
+    ]
+
+let meter_of_value v : Kernel.Meter.snapshot =
+  match v with
+  | Value.List
+      [
+        Value.Int invocations; Value.Int replies; Value.Int activations;
+        Value.Int ejects_created; Value.Int ejects_live; Value.Int crashes;
+        Value.Int timeouts;
+        Value.List
+          [
+            Value.Int sent; Value.Int delivered; Value.Int dropped;
+            Value.Int dropped_loss; Value.Int dropped_partition; Value.Int bytes;
+          ];
+      ] ->
+      {
+        invocations; replies; activations; ejects_created; ejects_live; crashes;
+        timeouts;
+        net =
+          { Eden_net.Net.sent; delivered; dropped; dropped_loss; dropped_partition;
+            bytes };
+      }
+  | v -> perr "malformed meter %s" (Value.preview v)
+
+let stats_payload sh =
+  let m = Kernel.Meter.snapshot sh.kernel in
+  let ops =
+    Value.List
+      (List.map
+         (fun (op, n) -> Value.pair (Value.Str op) (Value.Int n))
+         (Kernel.op_counts sh.kernel))
+  in
+  let flows =
+    Value.List
+      (List.map
+         (fun (label, i, o) ->
+           Value.List [ Value.Str label; Value.Int i; Value.Int o ])
+         (flows_of_kernel sh.kernel))
+  in
+  Bin.encode
+    (Value.List
+       [
+         meter_to_value m; ops; flows;
+         Value.Float (Sched.now (Kernel.sched sh.kernel));
+       ])
+
+let parse_stats payload =
+  match Bin.decode payload with
+  | Value.List [ meter; Value.List ops; Value.List flows; Value.Float mk ] ->
+      {
+        r_meter = meter_of_value meter;
+        r_ops =
+          List.map
+            (function
+              | Value.List [ Value.Str op; Value.Int n ] -> (op, n)
+              | v -> perr "malformed op count %s" (Value.preview v))
+            ops;
+        r_flows =
+          List.map
+            (function
+              | Value.List [ Value.Str l; Value.Int i; Value.Int o ] -> (l, i, o)
+              | v -> perr "malformed flow %s" (Value.preview v))
+            flows;
+        r_makespan = mk;
+      }
+  | v -> perr "malformed stats %s" (Value.preview v)
+
+(* Write a data frame to a leaf, through fault injection.  Only hub
+   egress is faultable: that one chokepoint sees every cross-process
+   frame exactly once, which is what lets a replay's per-frame loss
+   script line up with the wire. *)
+let hub_send t h ~origin frame =
+  let dst = frame.Frame.hdr.dst in
+  if origin then Atomic.incr t.carried;
+  let action =
+    match h.hfaults with
+    | None -> Faults.Pass
+    | Some fl -> Faults.apply fl ~established:true ~size:(Frame.size frame)
+  in
+  match action with
+  | Faults.Drop -> ()
+  | Faults.Delay d ->
+      Unix.sleepf d;
+      Frame.write h.conns.(dst) frame;
+      h.sent_to.(dst) <- h.sent_to.(dst) + 1
+  | Faults.Pass ->
+      Frame.write h.conns.(dst) frame;
+      h.sent_to.(dst) <- h.sent_to.(dst) + 1
+
+let forward t sh ~target:(tshard, tuid) ~op arg =
   let req_id = sh.next_req in
   sh.next_req <- req_id + 1;
   let slot = Ivar.create () in
   Hashtbl.replace sh.pending req_id slot;
-  (match target with
-  | tshard, tuid ->
+  (match t.fabric with
+  | Inproc ->
       post t ~dst:tshard
-        (Request { req_id; from_shard = sh.index; target = tuid; op; arg }));
+        (Request { req_id; from_shard = sh.index; target = tuid; op; arg })
+  | Hub h ->
+      hub_send t h ~origin:true
+        (request_frame ~req_id ~src:sh.index ~dst:tshard ~target:tuid ~op arg)
+  | Leaf l ->
+      Atomic.incr t.carried;
+      Frame.write l.conn
+        (request_frame ~req_id ~src:sh.index ~dst:tshard ~target:tuid ~op arg));
   match Ivar.read slot with
   | Ok v -> v
   | Error m -> raise (Kernel.Eden_error m)
@@ -118,9 +314,16 @@ let proxy t ~shard ~ops ~target:(tshard, tuid) =
   if tshard = shard then tuid
   else
     Kernel.create_eject sh.kernel ~dispatch:Kernel.Serial
-      ~type_name:"par-proxy" (fun _ctx ~passive:_ ->
+      ~type_name:"par-proxy" (fun ctx ~passive:_ ->
         List.map
-          (fun op -> (op, fun arg -> forward t sh ~target:(tshard, tuid) ~op arg))
+          (fun op ->
+            ( op,
+              fun arg ->
+                (* The round-trip to the remote shard — socket or inbox —
+                   is expected blocking, not a stall (see
+                   [Pipeline.stall_report]). *)
+                Kernel.with_transport_wait ctx (fun () ->
+                    forward t sh ~target:(tshard, tuid) ~op arg) ))
           ops)
 
 let inject t sh = function
@@ -221,6 +424,243 @@ let det_loop t =
   done;
   close_all t
 
+(* --- Wire loops ------------------------------------------------------ *)
+
+(* Leaf process: pump the local scheduler, report idleness, block on the
+   socket.  A Shutdown frame answers with a Stats frame and returns. *)
+let leaf_loop t sh l =
+  let spawn_request f =
+    let target, op, arg = parse_request f.Frame.payload in
+    let ctx = match sh.ctx with Some c -> c | None -> assert false in
+    let req_id = f.Frame.hdr.seq and from = f.Frame.hdr.src in
+    ignore
+      (Sched.spawn (Kernel.sched sh.kernel) ~name:"wire-inject" (fun () ->
+           let reply = Kernel.invoke ctx target ~op arg in
+           Atomic.incr t.carried;
+           Frame.write l.conn (reply_frame ~req_id ~src:sh.index ~dst:from reply)))
+  in
+  let rec loop () =
+    Sched.run (Kernel.sched sh.kernel);
+    if l.processed <> l.last_idle_sent then begin
+      Frame.write l.conn
+        (Frame.make ~kind:Frame.Idle ~src:sh.index ~dst:0 ~seq:l.processed "");
+      l.last_idle_sent <- l.processed
+    end;
+    let f = Frame.read l.conn in
+    match f.Frame.hdr.kind with
+    | Frame.Shutdown ->
+        Frame.write l.conn
+          (Frame.make ~kind:Frame.Stats ~src:sh.index ~dst:0 (stats_payload sh))
+    | Frame.Request ->
+        l.processed <- l.processed + 1;
+        spawn_request f;
+        loop ()
+    | Frame.Reply ->
+        l.processed <- l.processed + 1;
+        (match Hashtbl.find_opt sh.pending f.Frame.hdr.seq with
+        | Some slot ->
+            Hashtbl.remove sh.pending f.Frame.hdr.seq;
+            Ivar.fill slot (parse_reply f.Frame.payload)
+        | None -> perr "leaf %d: reply for unknown request %d" sh.index f.Frame.hdr.seq);
+        loop ()
+    | k -> perr "leaf %d: unexpected %s frame" sh.index (Frame.kind_name k)
+  in
+  loop ()
+
+(* Hub loop: run shard 0 to quiescence, then wait for leaf traffic until
+   every leaf has acknowledged everything we sent it. *)
+let hub_loop t h =
+  let n = Array.length t.shards in
+  let sh0 = t.shards.(0) in
+  let handle src f =
+    match f.Frame.hdr.kind with
+    | Frame.Idle -> h.idle_at.(src) <- f.Frame.hdr.seq
+    | Frame.Request | Frame.Reply ->
+        Atomic.incr t.carried;
+        if f.Frame.hdr.dst = 0 then begin
+          match f.Frame.hdr.kind with
+          | Frame.Request ->
+              let target, op, arg = parse_request f.Frame.payload in
+              let ctx = match sh0.ctx with Some c -> c | None -> assert false in
+              let req_id = f.Frame.hdr.seq in
+              ignore
+                (Sched.spawn (Kernel.sched sh0.kernel) ~name:"wire-inject"
+                   (fun () ->
+                     let reply = Kernel.invoke ctx target ~op arg in
+                     hub_send t h ~origin:true
+                       (reply_frame ~req_id ~src:0 ~dst:src reply)))
+          | _ -> (
+              match Hashtbl.find_opt sh0.pending f.Frame.hdr.seq with
+              | Some slot ->
+                  Hashtbl.remove sh0.pending f.Frame.hdr.seq;
+                  Ivar.fill slot (parse_reply f.Frame.payload)
+              | None -> perr "hub: reply for unknown request %d" f.Frame.hdr.seq)
+        end
+        else
+          (* Leaf-to-leaf: already counted once on receipt, so routing
+             is not a second cross-shard message. *)
+          hub_send t h ~origin:false f
+    | k -> perr "hub: unexpected %s frame from shard %d" (Frame.kind_name k) src
+  in
+  let finished () =
+    let ok = ref true in
+    for i = 1 to n - 1 do
+      if h.idle_at.(i) <> h.sent_to.(i) then ok := false
+    done;
+    !ok
+  in
+  let fd_shard = Hashtbl.create 8 in
+  for i = 1 to n - 1 do
+    Hashtbl.replace fd_shard h.conns.(i) i
+  done;
+  let rec loop () =
+    Sched.run (Kernel.sched sh0.kernel);
+    if not (finished ()) then begin
+      let fds = Array.to_list (Array.sub h.conns 1 (n - 1)) in
+      (match Unix.select fds [] [] 30.0 with
+      | [], _, _ ->
+          failwith "Cluster: wire hub saw no traffic for 30s — leaf stalled?"
+      | ready, _, _ ->
+          List.iter
+            (fun fd -> handle (Hashtbl.find fd_shard fd) (Frame.read fd))
+            ready);
+      loop ()
+    end
+  in
+  loop ()
+
+let hub_shutdown t h =
+  let n = Array.length t.shards in
+  for i = 1 to n - 1 do
+    Frame.write h.conns.(i) (Frame.make ~kind:Frame.Shutdown ~src:0 ~dst:i "")
+  done;
+  for i = 1 to n - 1 do
+    let rec await () =
+      let f = Frame.read h.conns.(i) in
+      match f.Frame.hdr.kind with
+      | Frame.Stats -> h.remote.(i) <- Some (parse_stats f.Frame.payload)
+      | Frame.Idle -> await ()
+      | k -> perr "hub: expected stats from shard %d, got %s" i (Frame.kind_name k)
+    in
+    await ()
+  done
+
+(* Fork one process per leaf shard after the topology is built: every
+   closure, Eject and UID crosses by inheritance, so both sides of each
+   proxy already agree on names without any wire-level bootstrap. *)
+let wire_run t cfg =
+  let n = Array.length t.shards in
+  if n = 1 then det_loop t
+  else begin
+    (* Leaves write only to their socket; make a dead hub surface as an
+       orderly EPIPE-free read error, and keep buffered output from
+       being flushed twice across the fork. *)
+    flush stdout;
+    flush stderr;
+    let prev_sigpipe =
+      try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+      with Invalid_argument _ | Sys_error _ -> None
+    in
+    let server = Transport.listen cfg.wire_transport in
+    let nonce = Random.State.bits64 (Random.State.make_self_init ()) in
+    let pids = Array.make n 0 in
+    let conns = Array.make n Unix.stdin in
+    let cleanup_children () =
+      Array.iteri
+        (fun i pid ->
+          if i > 0 && pid > 0 then begin
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+          end)
+        pids
+    in
+    let restore () =
+      Transport.close_server server;
+      match prev_sigpipe with
+      | Some b -> ( try Sys.set_signal Sys.sigpipe b with _ -> ())
+      | None -> ()
+    in
+    match
+      for i = 1 to n - 1 do
+        match Unix.fork () with
+        | 0 -> (
+            (* Leaf process for shard i. *)
+            pids.(i) <- 0;
+            try
+              let conn = Transport.dial server in
+              Frame.write conn (Frame.hello ~shard:i ~nonce);
+              let shard, n2 =
+                Frame.parse_handshake ~expect:Frame.Welcome (Frame.read conn)
+              in
+              if shard <> i || not (Int64.equal n2 nonce) then
+                perr "leaf %d: welcome names shard %d" i shard;
+              let l = { conn; processed = 0; last_idle_sent = -1 } in
+              t.fabric <- Leaf l;
+              leaf_loop t t.shards.(i) l;
+              (* _exit: skip at_exit handlers (test-runner reporting,
+                 buffered IO) inherited from the parent image. *)
+              Unix._exit 0
+            with e ->
+              Printf.eprintf "eden-wire leaf %d: %s\n%!" i (Printexc.to_string e);
+              Unix._exit 2)
+        | pid -> pids.(i) <- pid
+      done
+    with
+    | exception e ->
+        cleanup_children ();
+        restore ();
+        raise e
+    | () -> (
+        match
+          let seen = Array.make n false in
+          for _ = 1 to n - 1 do
+            let fd = Transport.accept server in
+            let shard, n2 =
+              Frame.parse_handshake ~expect:Frame.Hello (Frame.read fd)
+            in
+            if shard < 1 || shard >= n then perr "hub: hello from shard %d" shard;
+            if seen.(shard) then perr "hub: duplicate hello from shard %d" shard;
+            if not (Int64.equal n2 nonce) then
+              perr "hub: hello nonce mismatch from shard %d" shard;
+            seen.(shard) <- true;
+            conns.(shard) <- fd;
+            Frame.write fd (Frame.welcome ~shard ~nonce)
+          done;
+          let h =
+            {
+              conns;
+              pids;
+              sent_to = Array.make n 0;
+              idle_at = Array.make n (-1);
+              hfaults = cfg.wire_faults;
+              remote = Array.make n None;
+            }
+          in
+          t.fabric <- Hub h;
+          hub_loop t h;
+          hub_shutdown t h
+        with
+        | exception e ->
+            cleanup_children ();
+            restore ();
+            raise e
+        | () ->
+            Array.iteri
+              (fun i fd -> if i > 0 then try Unix.close fd with _ -> ())
+              conns;
+            for i = 1 to n - 1 do
+              match snd (Unix.waitpid [] pids.(i)) with
+              | Unix.WEXITED 0 -> ()
+              | Unix.WEXITED c ->
+                  restore ();
+                  failwith (Printf.sprintf "Cluster: wire leaf %d exited %d" i c)
+              | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+                  restore ();
+                  failwith (Printf.sprintf "Cluster: wire leaf %d killed by %d" i s)
+            done;
+            restore ())
+  end
+
 let run t =
   if t.ran then invalid_arg "Cluster.run: already run";
   t.ran <- true;
@@ -230,23 +670,93 @@ let run t =
       let domains =
         Array.map (fun sh -> Domain.spawn (fun () -> shard_loop t sh)) t.shards
       in
-      Array.iter Domain.join domains);
-  Array.iter (fun sh -> Sched.check_failures (Kernel.sched sh.kernel)) t.shards
+      Array.iter Domain.join domains
+  | Wire cfg -> wire_run t cfg);
+  match t.fabric with
+  | Hub _ ->
+      (* Leaf failures surfaced through exit codes in [wire_run]; only
+         the hub shard's fibers live in this process. *)
+      Sched.check_failures (Kernel.sched t.shards.(0).kernel)
+  | Inproc | Leaf _ ->
+      Array.iter (fun sh -> Sched.check_failures (Kernel.sched sh.kernel)) t.shards
+
+(* --- Aggregated accessors -------------------------------------------- *)
+
+(* In wire mode (after [run]) the parent's copies of leaf kernels are
+   stale pre-fork snapshots; aggregate shard 0 with the stats each leaf
+   reported at shutdown instead. *)
+
+let remote_list t =
+  match t.fabric with
+  | Hub h ->
+      Some
+        (List.filter_map Fun.id
+           (Array.to_list (Array.sub h.remote 1 (Array.length t.shards - 1))))
+  | Inproc | Leaf _ -> None
 
 let meter t =
-  Array.fold_left
-    (fun acc sh -> Kernel.Meter.add acc (Kernel.Meter.snapshot sh.kernel))
-    Kernel.Meter.zero t.shards
+  match remote_list t with
+  | Some remotes ->
+      List.fold_left
+        (fun acc r -> Kernel.Meter.add acc r.r_meter)
+        (Kernel.Meter.snapshot t.shards.(0).kernel)
+        remotes
+  | None ->
+      Array.fold_left
+        (fun acc sh -> Kernel.Meter.add acc (Kernel.Meter.snapshot sh.kernel))
+        Kernel.Meter.zero t.shards
 
 let op_counts t =
   let tbl = Hashtbl.create 16 in
-  Array.iter
-    (fun sh ->
-      List.iter
-        (fun (op, n) ->
-          Hashtbl.replace tbl op
-            (n + Option.value ~default:0 (Hashtbl.find_opt tbl op)))
-        (Kernel.op_counts sh.kernel))
-    t.shards;
+  let add (op, n) =
+    Hashtbl.replace tbl op (n + Option.value ~default:0 (Hashtbl.find_opt tbl op))
+  in
+  (match remote_list t with
+  | Some remotes ->
+      List.iter add (Kernel.op_counts t.shards.(0).kernel);
+      List.iter (fun r -> List.iter add r.r_ops) remotes
+  | None -> Array.iter (fun sh -> List.iter add (Kernel.op_counts sh.kernel)) t.shards);
   Hashtbl.fold (fun op n acc -> (op, n) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let flows t =
+  let all =
+    match remote_list t with
+    | Some remotes ->
+        flows_of_kernel t.shards.(0).kernel
+        @ List.concat_map (fun r -> r.r_flows) remotes
+    | None ->
+        Array.fold_left
+          (fun acc sh -> flows_of_kernel sh.kernel @ acc)
+          [] t.shards
+  in
+  List.sort compare all
+
+let histograms t =
+  let tbl = Hashtbl.create 16 in
+  let fold k =
+    List.iter
+      (fun (name, h) ->
+        match Hashtbl.find_opt tbl name with
+        | None -> Hashtbl.add tbl name h
+        | Some into -> Obs.Histogram.merge ~into h)
+      (Obs.histograms (Kernel.obs k))
+  in
+  (match remote_list t with
+  | Some _ ->
+      (* Wall-clock timing makes leaf histograms transport-dependent;
+         wire mode reports the hub shard only. *)
+      fold t.shards.(0).kernel
+  | None -> Array.iter (fun sh -> fold sh.kernel) t.shards);
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let makespans t =
+  match remote_list t with
+  | Some _ -> (
+      let h = match t.fabric with Hub h -> h | _ -> assert false in
+      Array.init (Array.length t.shards) (fun i ->
+          if i = 0 then Sched.now (Kernel.sched t.shards.(0).kernel)
+          else match h.remote.(i) with Some r -> r.r_makespan | None -> 0.0))
+  | None ->
+      Array.map (fun sh -> Sched.now (Kernel.sched sh.kernel)) t.shards

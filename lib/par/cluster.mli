@@ -25,7 +25,31 @@
     makes that observation closes every inbox, releasing the others from
     their blocking pops. *)
 
-type mode = Deterministic | Parallel
+type wire_config = {
+  wire_transport : Eden_wire.Transport.kind;
+      (** Unix-domain socket or TCP loopback. *)
+  wire_faults : Eden_wire.Faults.t option;
+      (** Fault injection applied at the hub's egress — the one
+          chokepoint every cross-process frame passes exactly once, so
+          a replay's per-frame loss script lines up with the wire. *)
+}
+
+type mode =
+  | Deterministic
+  | Parallel
+  | Wire of wire_config
+      (** One OS process per shard, connected by real sockets in a star
+          around shard 0 (the {e hub}, which stays in the calling
+          process).  {!run} forks the leaves {e after} the topology is
+          built, so every Eject, closure and UID crosses by inheritance
+          and both ends of each proxy already agree on names; frames
+          carry [Value]s in the {!Eden_wire.Bin} codec.  At most 256
+          shards (shard indices ride in one header byte).
+
+          The OCaml 5 runtime forbids [Unix.fork] once any domain has
+          ever been spawned, so in a process that mixes modes every
+          [Wire] run must complete before the first [Parallel] one
+          starts. *)
 
 type t
 
@@ -80,17 +104,46 @@ val set_det_pick : t -> (n:int -> int) option -> unit
 val run : t -> unit
 (** Drives the whole cluster to quiescence — round-robin on the calling
     domain in [Deterministic] mode, one [Domain.spawn] per shard in
-    [Parallel] mode — then re-raises the first fiber failure of any
-    shard.  May be called once. *)
+    [Parallel] mode, one forked OS process per leaf shard in [Wire]
+    mode — then re-raises the first fiber failure of any shard (in
+    [Wire] mode a leaf failure surfaces as its nonzero exit status).
+    May be called once.
+
+    Wire termination: a leaf reports [Idle n] whenever its scheduler
+    quiesces having consumed [n] data frames; the hub stops once every
+    leaf's report matches the count of frames actually sent to it.
+    Socket FIFO ordering makes this sound — everything a leaf emitted
+    precedes its Idle — and frames eaten by fault injection were never
+    sent, so a faulted run still terminates (the requesting fiber stays
+    blocked, exactly like simulated loss without retransmission). *)
 
 val meter : t -> Eden_kernel.Kernel.Meter.snapshot
-(** Counter-wise sum over all shards. *)
+(** Counter-wise sum over all shards.  In [Wire] mode (after {!run})
+    this sums the hub shard with the stats every leaf process reported
+    over its socket at shutdown — the parent's copies of leaf kernels
+    are stale pre-fork snapshots and are not consulted. *)
 
 val op_counts : t -> (string * int) list
 (** Per-operation invocation counts summed over all shards, sorted by
     name.  Proxy forwarding re-issues the operation on the target
     shard, so a cross-shard invocation counts twice (once per side) in
-    both modes — equivalence tests compare like with like. *)
+    every mode — equivalence tests compare like with like.  Wire mode
+    aggregates leaf-reported stats, like {!meter}. *)
+
+val flows : t -> (string * int * int) list
+(** Per-stage [(label, items_in, items_out)] over all shards, sorted.
+    Wire mode aggregates leaf-reported stats. *)
+
+val histograms : t -> (string * Eden_obs.Obs.Histogram.t) list
+(** Merged histograms by name, sorted.  Wire mode reports the hub shard
+    only: wall-clock timing makes leaf histograms transport-dependent,
+    so they are not part of the equivalence surface. *)
+
+val makespans : t -> float array
+(** Final virtual time per shard.  Wire mode: hub read locally, leaves
+    from their reported stats. *)
 
 val cross_messages : t -> int
-(** Messages that crossed a shard boundary (requests + replies). *)
+(** Messages that crossed a shard boundary (requests + replies); in
+    [Wire] mode, data frames as counted at the hub (each exactly
+    once). *)

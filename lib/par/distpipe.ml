@@ -1,0 +1,157 @@
+module Kernel = Eden_kernel.Kernel
+module Value = Eden_kernel.Value
+module Uid = Eden_kernel.Uid
+module T = Eden_transput
+module Cat = Eden_filters.Catalog
+module Report = Eden_filters.Report
+module Dev = Eden_devices.Devices
+module Bin = Eden_wire.Bin
+
+let doc n =
+  List.init n (fun i -> Printf.sprintf "Line-%03d  the Quick brown Fox   " i)
+
+let list_gen vs =
+  let rest = ref vs in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | v :: tl ->
+        rest := tl;
+        Some v
+
+(* Stage s of the chain lands on this shard; shard 0 is reserved for
+   sinks and display devices so every chain tail crosses the wire. *)
+let stage_shard ~domains s = if domains = 1 then 0 else 1 + (s mod (domains - 1))
+
+let encode_stream vs = String.concat "" (List.map Bin.encode vs)
+
+type f2_outcome = {
+  consumed : int;
+  stream : string;
+  meter : Kernel.Meter.snapshot;
+  op_counts : (string * int) list;
+}
+
+let run_f2 mode ?seed ~domains ~filters ~items ?(batch = 2) ?(capacity = 3) () =
+  if domains <= 0 then invalid_arg "Distpipe.run_f2: domains must be positive";
+  if filters < 0 then invalid_arg "Distpipe.run_f2: filters must be non-negative";
+  if items <= 0 then invalid_arg "Distpipe.run_f2: items must be positive";
+  let c = Cluster.create ?seed mode ~shards:domains () in
+  let lines = List.map (fun s -> Value.Str s) (doc items) in
+  let src_shard = stage_shard ~domains 0 in
+  let src =
+    T.Stage.source_ro
+      (Cluster.kernel c src_shard)
+      ~name:"source" ~capacity (list_gen lines)
+  in
+  let prev = ref (src_shard, src) in
+  for j = 1 to filters do
+    let shard = stage_shard ~domains j in
+    let upstream =
+      Cluster.proxy c ~shard ~ops:[ T.Proto.transfer_op ] ~target:!prev
+    in
+    let transform = if j mod 2 = 1 then Cat.trim_trailing else Cat.upcase in
+    let f =
+      T.Stage.filter_ro
+        (Cluster.kernel c shard)
+        ~name:(Printf.sprintf "F%d" j)
+        ~capacity ~batch ~upstream transform
+    in
+    prev := (shard, f)
+  done;
+  let k0 = Cluster.kernel c 0 in
+  let sink_up = Cluster.proxy c ~shard:0 ~ops:[ T.Proto.transfer_op ] ~target:!prev in
+  let acc = ref [] in
+  let n = ref 0 in
+  let sink =
+    T.Stage.sink_ro k0 ~name:"sink" ~batch ~upstream:sink_up (fun v ->
+        incr n;
+        acc := v :: !acc)
+  in
+  Kernel.poke k0 sink;
+  Cluster.run c;
+  {
+    consumed = !n;
+    stream = encode_stream (List.rev !acc);
+    meter = Cluster.meter c;
+    op_counts = Cluster.op_counts c;
+  }
+
+type f4_outcome = {
+  terminal : string list;
+  reports : (string * string list) list;
+  invocations : int;
+  op_counts : (string * int) list;
+}
+
+let split_window_lines ~labels lines =
+  List.map
+    (fun label ->
+      let prefix = label ^ " | " in
+      let plen = String.length prefix in
+      let mine =
+        List.filter_map
+          (fun l ->
+            if String.length l >= plen && String.sub l 0 plen = prefix then
+              Some (String.sub l plen (String.length l - plen))
+            else None)
+          lines
+      in
+      (label, mine))
+    (List.sort compare labels)
+
+let run_f4 mode ?seed ~domains ~items () =
+  if domains <= 0 then invalid_arg "Distpipe.run_f4: domains must be positive";
+  if items <= 0 then invalid_arg "Distpipe.run_f4: items must be positive";
+  let c = Cluster.create ?seed mode ~shards:domains () in
+  let lines =
+    List.map (fun s -> Value.Str s) (doc items @ [ "drop this line" ])
+  in
+  let shard_of = stage_shard ~domains in
+  let s_src = shard_of 0 and s_f1 = shard_of 1 and s_f2 = shard_of 2 and s_f3 = shard_of 3 in
+  let src =
+    Report.source_ro (Cluster.kernel c s_src) ~name:"source" ~label:"source"
+      (list_gen lines)
+  in
+  let f1 =
+    Report.filter_ro (Cluster.kernel c s_f1) ~name:"F1"
+      ~upstream:(Cluster.proxy c ~shard:s_f1 ~ops:[ T.Proto.transfer_op ] ~target:(s_src, src))
+      (Report.with_progress ~every:4 ~label:"F1" T.Transform.identity)
+  in
+  let f2 =
+    T.Stage.filter_ro (Cluster.kernel c s_f2) ~name:"F2"
+      ~upstream:(Cluster.proxy c ~shard:s_f2 ~ops:[ T.Proto.transfer_op ] ~target:(s_f1, f1))
+      (Cat.grep_v "drop")
+  in
+  let f3 =
+    T.Stage.filter_ro (Cluster.kernel c s_f3) ~name:"F3"
+      ~upstream:(Cluster.proxy c ~shard:s_f3 ~ops:[ T.Proto.transfer_op ] ~target:(s_f2, f2))
+      Cat.upcase
+  in
+  let k0 = Cluster.kernel c 0 in
+  let term =
+    Dev.terminal_ro k0 ~name:"terminal"
+      ~upstream:(Cluster.proxy c ~shard:0 ~ops:[ T.Proto.transfer_op ] ~target:(s_f3, f3))
+      ()
+  in
+  let watch =
+    [
+      ( "source",
+        Cluster.proxy c ~shard:0 ~ops:[ T.Proto.transfer_op ] ~target:(s_src, src),
+        T.Channel.report );
+      ( "F1",
+        Cluster.proxy c ~shard:0 ~ops:[ T.Proto.transfer_op ] ~target:(s_f1, f1),
+        T.Channel.report );
+    ]
+  in
+  let window = Dev.report_window_ro k0 ~name:"window" ~watch () in
+  Kernel.poke k0 term.Dev.uid;
+  Kernel.poke k0 window.Dev.uid;
+  Cluster.run c;
+  let meter = Cluster.meter c in
+  {
+    terminal = term.Dev.lines ();
+    reports = split_window_lines ~labels:[ "source"; "F1" ] (window.Dev.lines ());
+    invocations = meter.Kernel.Meter.invocations;
+    op_counts = Cluster.op_counts c;
+  }

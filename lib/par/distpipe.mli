@@ -1,0 +1,55 @@
+(** The paper's F2/F4 pipelines spread across cluster shards.
+
+    The same topologies the bench builds inside one kernel, rebuilt so
+    each stage lands on a shard (round-robin over shards 1..n-1, data
+    sinks and display devices on shard 0) with {!Cluster.proxy} bridges
+    on every shard-crossing edge.  Run under [Deterministic] they are
+    the in-process oracle; under [Wire] each shard is its own OS
+    process and every cross-stage [Transfer] rides the real socket —
+    the equivalence suite demands byte-identical item streams between
+    the two.
+
+    Streams are compared in {!Eden_wire.Bin} encoded form: [f2.stream]
+    is the concatenation of every consumed item, in order, so equality
+    is literal byte equality of what the wire carried. *)
+
+module Value = Eden_kernel.Value
+
+type f2_outcome = {
+  consumed : int;
+  stream : string;  (** Consumed items, Bin-encoded, concatenated in order. *)
+  meter : Eden_kernel.Kernel.Meter.snapshot;
+  op_counts : (string * int) list;
+}
+
+val run_f2 :
+  Cluster.mode ->
+  ?seed:int64 ->
+  domains:int ->
+  filters:int ->
+  items:int ->
+  ?batch:int ->
+  ?capacity:int ->
+  unit ->
+  f2_outcome
+(** Figure 2 read-only pipeline: source and [filters] deterministic
+    text filters round-robin over shards 1..domains-1, pumping sink on
+    shard 0. *)
+
+type f4_outcome = {
+  terminal : string list;  (** Main-stream lines, in order. *)
+  reports : (string * string list) list;
+      (** Report-window lines grouped per watched label (sorted by
+          label), each group in its own arrival order.  The window
+          pulls each watched stream from its own worker, so the
+          {e interleaving} across labels is scheduling-dependent —
+          per-label subsequences are the deterministic surface. *)
+  invocations : int;
+  op_counts : (string * int) list;
+}
+
+val run_f4 : Cluster.mode -> ?seed:int64 -> domains:int -> items:int -> unit -> f4_outcome
+(** Figure 4 read-only report topology: source and reporting filter F1
+    upstream, F2 (grep -v "drop") and F3 (upcase) further along,
+    terminal and report window (watching source and F1 report
+    channels) on shard 0. *)

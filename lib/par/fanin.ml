@@ -118,38 +118,14 @@ let run mode ?seed ~domains spec =
     if done_times.(b) <> 1 || done_count.(b) <> counts.(b) then
       eos_clean := false
   done;
-  let flows =
-    let all = ref [] in
-    for i = 0 to domains - 1 do
-      List.iter
-        (fun (s : Obs.Flow.stage) ->
-          all := (s.label, s.items_in, s.items_out) :: !all)
-        (Obs.stages (Kernel.obs (Cluster.kernel c i)))
-    done;
-    List.sort compare !all
-  in
-  let histograms =
-    let tbl = Hashtbl.create 16 in
-    for i = 0 to domains - 1 do
-      List.iter
-        (fun (name, h) ->
-          match Hashtbl.find_opt tbl name with
-          | None -> Hashtbl.add tbl name h
-          | Some into -> Obs.Histogram.merge ~into h)
-        (Obs.histograms (Kernel.obs (Cluster.kernel c i)))
-    done;
-    Hashtbl.fold (fun name h acc -> (name, h) :: acc) tbl []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
   {
     consumed = Array.fold_left ( + ) 0 counts;
     per_branch = Array.map List.rev acc;
     eos_clean = !eos_clean;
     meter = Cluster.meter c;
     op_counts = Cluster.op_counts c;
-    flows;
-    histograms;
+    flows = Cluster.flows c;
+    histograms = Cluster.histograms c;
     cross_messages = Cluster.cross_messages c;
-    makespans =
-      Array.init domains (fun i -> Sched.now (Kernel.sched (Cluster.kernel c i)));
+    makespans = Cluster.makespans c;
   }

@@ -1,0 +1,150 @@
+module Value = Eden_kernel.Value
+
+type kind = Hello | Welcome | Request | Reply | Idle | Shutdown | Stats
+
+type header = { kind : kind; flags : int; src : int; dst : int; seq : int }
+type t = { hdr : header; payload : string }
+
+let flag_oneway = 1
+let header_bytes = 8
+let max_payload = 16 * 1024 * 1024
+
+let err fmt =
+  Printf.ksprintf (fun m -> raise (Value.Protocol_error ("wire: " ^ m))) fmt
+
+let kind_code = function
+  | Hello -> 1
+  | Welcome -> 2
+  | Request -> 3
+  | Reply -> 4
+  | Idle -> 5
+  | Shutdown -> 6
+  | Stats -> 7
+
+let kind_of_code = function
+  | 1 -> Hello
+  | 2 -> Welcome
+  | 3 -> Request
+  | 4 -> Reply
+  | 5 -> Idle
+  | 6 -> Shutdown
+  | 7 -> Stats
+  | c -> err "unknown frame kind %#x" c
+
+let kind_name = function
+  | Hello -> "hello"
+  | Welcome -> "welcome"
+  | Request -> "request"
+  | Reply -> "reply"
+  | Idle -> "idle"
+  | Shutdown -> "shutdown"
+  | Stats -> "stats"
+
+let make ~kind ?(flags = 0) ~src ~dst ?(seq = 0) payload =
+  { hdr = { kind; flags; src; dst; seq }; payload }
+
+let size f = 4 + header_bytes + String.length f.payload
+
+let encode f =
+  let plen = String.length f.payload in
+  if plen > max_payload then invalid_arg "Frame.encode: payload exceeds max_payload";
+  let len = header_bytes + plen in
+  let b = Buffer.create (4 + len) in
+  Buffer.add_int32_be b (Int32.of_int len);
+  Buffer.add_uint8 b (kind_code f.hdr.kind);
+  Buffer.add_uint8 b (f.hdr.flags land 0xFF);
+  Buffer.add_uint8 b (f.hdr.src land 0xFF);
+  Buffer.add_uint8 b (f.hdr.dst land 0xFF);
+  Buffer.add_int32_be b (Int32.of_int (f.hdr.seq land 0xFFFFFFFF));
+  Buffer.add_string b f.payload;
+  Buffer.contents b
+
+(* [body] is the [len] bytes following the length word. *)
+let decode_body body =
+  let blen = String.length body in
+  if blen < header_bytes then err "truncated frame header: %d bytes" blen;
+  let kind = kind_of_code (Char.code body.[0]) in
+  let flags = Char.code body.[1] in
+  let src = Char.code body.[2] in
+  let dst = Char.code body.[3] in
+  let seq = Int32.to_int (String.get_int32_be body 4) land 0xFFFFFFFF in
+  { hdr = { kind; flags; src; dst; seq };
+    payload = String.sub body header_bytes (blen - header_bytes) }
+
+let check_len len =
+  if len < header_bytes then err "frame length %d below header size %d" len header_bytes;
+  if len > header_bytes + max_payload then
+    err "frame length %d exceeds cap %d" len (header_bytes + max_payload)
+
+let decode s =
+  if String.length s < 4 then err "truncated frame: %d bytes" (String.length s);
+  let len = Int32.to_int (String.get_int32_be s 0) land 0xFFFFFFFF in
+  check_len len;
+  if String.length s <> 4 + len then
+    err "frame length %d disagrees with %d bytes present" len (String.length s - 4);
+  decode_body (String.sub s 4 len)
+
+(* Blocking IO: exactly one frame per read, no inter-frame buffering, so
+   the fault-injection layer can reason frame-at-a-time. *)
+
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    let n = Unix.write fd b pos len in
+    write_all fd b (pos + n) (len - n)
+  end
+
+let write fd f =
+  let s = encode f in
+  write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let read_exact fd n ~at_boundary =
+  let b = Bytes.create n in
+  let got = ref 0 in
+  while !got < n do
+    let r = Unix.read fd b !got (n - !got) in
+    if r = 0 then
+      if at_boundary && !got = 0 then raise End_of_file
+      else err "peer closed mid-frame (%d of %d bytes)" !got n;
+    got := !got + r
+  done;
+  Bytes.unsafe_to_string b
+
+let read fd =
+  let lenw = read_exact fd 4 ~at_boundary:true in
+  let len = Int32.to_int (String.get_int32_be lenw 0) land 0xFFFFFFFF in
+  check_len len;
+  decode_body (read_exact fd len ~at_boundary:false)
+
+(* Handshake.  16-byte payload: magic u32, version u16, shard u8,
+   pad u8, nonce u64 — a 28-byte frame each way. *)
+
+let magic = 0x4544454El (* "EDEN" *)
+let version = 1
+
+let handshake_payload ~shard ~nonce =
+  let b = Buffer.create 16 in
+  Buffer.add_int32_be b magic;
+  Buffer.add_uint16_be b version;
+  Buffer.add_uint8 b (shard land 0xFF);
+  Buffer.add_uint8 b 0;
+  Buffer.add_int64_be b nonce;
+  Buffer.contents b
+
+let hello ~shard ~nonce =
+  make ~kind:Hello ~src:shard ~dst:0 (handshake_payload ~shard ~nonce)
+
+let welcome ~shard ~nonce =
+  make ~kind:Welcome ~src:0 ~dst:shard (handshake_payload ~shard ~nonce)
+
+let parse_handshake ~expect f =
+  if f.hdr.kind <> expect then
+    err "expected %s frame, got %s" (kind_name expect) (kind_name f.hdr.kind);
+  let p = f.payload in
+  if String.length p <> 16 then err "handshake payload %d bytes, want 16" (String.length p);
+  let m = String.get_int32_be p 0 in
+  if not (Int32.equal m magic) then err "bad handshake magic %#lx" m;
+  let v = String.get_uint16_be p 4 in
+  if v <> version then err "protocol version %d, want %d" v version;
+  let shard = Char.code p.[6] in
+  let nonce = String.get_int64_be p 8 in
+  (shard, nonce)

@@ -1,0 +1,79 @@
+(** Length-prefixed wire frames.
+
+    Layout (all integers big-endian), modeled on the ASoc RFC-0001
+    framing (tiny fixed header, length first so a reader can always
+    take exactly one frame off the socket):
+
+    {v
+    +--------+------+-------+-----+-----+--------+=========+
+    | len:u32| kind | flags | src | dst | seq:u32| payload |
+    +--------+------+-------+-----+-----+--------+=========+
+        4       1      1      1     1       4      len - 8
+    v}
+
+    [len] counts every byte after the length word itself (header tail +
+    payload), so the minimum frame is 12 bytes on the wire.  [src] and
+    [dst] are shard indices — the hub (shard 0) routes leaf-to-leaf
+    frames by [dst].  [seq] carries the request id for [Request]/[Reply]
+    and a sender sequence number for one-way traffic.
+
+    The handshake is two 28-byte frames: the leaf sends [Hello]
+    (magic, protocol version, shard index, run nonce), the hub answers
+    [Welcome] echoing the nonce.  A version or magic mismatch is a
+    [Value.Protocol_error], not a hang.
+
+    Every decoder error path — truncated header, hostile length, unknown
+    kind, short handshake — raises [Value.Protocol_error]. *)
+
+module Value = Eden_kernel.Value
+
+type kind = Hello | Welcome | Request | Reply | Idle | Shutdown | Stats
+
+val kind_name : kind -> string
+
+type header = { kind : kind; flags : int; src : int; dst : int; seq : int }
+type t = { hdr : header; payload : string }
+
+val flag_oneway : int
+(** Flag bit 0: set on [Request] frames that expect no [Reply]. *)
+
+val header_bytes : int
+(** Bytes of header after the length word (8). *)
+
+val max_payload : int
+(** Hard cap on payload bytes (16 MiB); a length prefix above
+    [header_bytes + max_payload] is rejected before any allocation. *)
+
+val make : kind:kind -> ?flags:int -> src:int -> dst:int -> ?seq:int -> string -> t
+val size : t -> int
+(** Total bytes on the wire including the length word. *)
+
+val encode : t -> string
+
+val decode : string -> t
+(** Decode exactly one whole frame (length word included).
+    @raise Value.Protocol_error on any malformation. *)
+
+(** {1 Blocking socket IO} *)
+
+val write : Unix.file_descr -> t -> unit
+(** Write one whole frame; handles short writes. *)
+
+val read : Unix.file_descr -> t
+(** Read exactly one frame.
+    @raise End_of_file on a clean close at a frame boundary.
+    @raise Value.Protocol_error on a mid-frame close or malformed
+    header. *)
+
+(** {1 Handshake} *)
+
+val magic : int32
+val version : int
+
+val hello : shard:int -> nonce:int64 -> t
+val welcome : shard:int -> nonce:int64 -> t
+
+val parse_handshake : expect:kind -> t -> int * int64
+(** Validate a [Hello]/[Welcome] frame; returns (shard, nonce).
+    @raise Value.Protocol_error on wrong kind, magic, version, or a
+    short payload. *)

@@ -29,6 +29,10 @@ let () =
       ("integration", Test_integration.suite);
       ("properties", Test_properties.suite);
       ("determinism", Test_determinism.suite);
+      (* wire before par: the wire cluster forks leaf processes, and the
+         OCaml 5 runtime forbids Unix.fork once any domain has ever been
+         spawned — par's Domain.spawn must come after every fork. *)
+      ("wire", Test_wire.suite);
       ("par", Test_par.suite);
       ("check", Test_check.suite);
     ]

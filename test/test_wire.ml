@@ -1,0 +1,565 @@
+(* The wire layer: binary Value codec under hostile input, frame
+   round-trips and handshakes, fault injection at the framing layer,
+   the transport-wait stall exemption, and the headline contract — the
+   multi-process cluster (one OS process per shard over real sockets)
+   is byte-equivalent to the in-process deterministic oracle. *)
+
+module Bin = Eden_wire.Bin
+module Frame = Eden_wire.Frame
+module Faults = Eden_wire.Faults
+module Transport = Eden_wire.Transport
+module Value = Eden_kernel.Value
+module Uid = Eden_kernel.Uid
+module Kernel = Eden_kernel.Kernel
+module Sched = Eden_sched.Sched
+module Net = Eden_net.Net
+module Codec = Eden_transput.Codec
+module Pipeline = Eden_transput.Pipeline
+module Cluster = Eden_par.Cluster
+module Fanin = Eden_par.Fanin
+module Distpipe = Eden_par.Distpipe
+module Check = Eden_check.Check
+module Trace = Eden_check.Trace
+module Workloads = Eden_check.Workloads
+
+let check = Alcotest.check
+
+let prop name ?(count = 100) gen f =
+  Seed.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let protocol_error name f =
+  match f () with
+  | exception Value.Protocol_error _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: expected Protocol_error, got %s" name (Printexc.to_string e)
+  | _ -> Alcotest.failf "%s: expected Protocol_error, decoded fine" name
+
+(* --- Bin: Value codec ------------------------------------------------- *)
+
+let value_gen =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            return Value.Unit;
+            map (fun b -> Value.Bool b) bool;
+            map (fun i -> Value.Int i) int;
+            map (fun f -> Value.Float f) float;
+            return (Value.Float nan);
+            map (fun s -> Value.Str s) string_small;
+            map2
+              (fun t s ->
+                Value.Uid (Uid.of_wire ~tag:(Int64.of_int t) ~serial:s))
+              nat nat;
+          ]
+      in
+      if n <= 0 then leaf
+      else
+        oneof [ leaf; map (fun vs -> Value.List vs) (list_size (int_bound 4) (self (n / 2))) ])
+
+(* Structural equality that treats NaN as equal to itself — the codec
+   must round-trip the bits, not IEEE comparison semantics. *)
+let value_eq a b = compare a b = 0
+
+let prop_bin_roundtrip =
+  prop "bin: decode inverts encode (every constructor, NaN included)" value_gen
+    (fun v -> value_eq v (Bin.decode (Bin.encode v)))
+
+let prop_bin_prefix_rejected =
+  prop "bin: every strict prefix is a Protocol_error" ~count:60 value_gen (fun v ->
+      let s = Bin.encode v in
+      let ok = ref true in
+      for n = 0 to String.length s - 1 do
+        (match Bin.decode (String.sub s 0 n) with
+        | exception Value.Protocol_error _ -> ()
+        | _ -> ok := false);
+        (* and cut-mid-frame must not desync decode_prefix either *)
+        match Bin.decode_prefix (String.sub s 0 n) ~pos:0 with
+        | exception Value.Protocol_error _ -> ()
+        | _ when n = 0 -> ok := false
+        | _, stop -> if stop > n then ok := false
+      done;
+      !ok)
+
+let test_bin_trailing_garbage () =
+  protocol_error "trailing byte" (fun () -> Bin.decode (Bin.encode (Value.Int 7) ^ "\x00"));
+  protocol_error "trailing frame" (fun () ->
+      Bin.decode (Bin.encode Value.Unit ^ Bin.encode Value.Unit))
+
+let test_bin_hostile_headers () =
+  (* A forged 4 GiB string length backed by 2 bytes must be rejected
+     before any allocation (cheaply — this test would OOM otherwise). *)
+  protocol_error "forged string length" (fun () -> Bin.decode "\x04\xff\xff\xff\xffab");
+  protocol_error "forged list count" (fun () -> Bin.decode "\x06\xff\xff\xff\x00");
+  protocol_error "unknown tag" (fun () -> Bin.decode "\x7fhello");
+  protocol_error "empty input" (fun () -> Bin.decode "");
+  protocol_error "truncated int" (fun () -> Bin.decode "\x02\x00\x01");
+  (* 10_000 nested list-of-1 headers: the depth cap must fire, not the
+     OCaml stack. *)
+  let deep =
+    String.concat "" (List.init 10_000 (fun _ -> "\x06\x00\x00\x00\x01")) ^ "\x00"
+  in
+  protocol_error "crafted deep nesting" (fun () -> Bin.decode deep)
+
+let test_bin_size_law () =
+  (* The simulated latency model and the real transport must agree on
+     what a value costs: wire size is Value.size plus one tag byte per
+     node (for Unit the tag IS the value, so no extra byte). *)
+  let rec tag_overhead = function
+    | Value.Unit -> 0
+    | Value.List vs -> List.fold_left (fun a v -> a + tag_overhead v) 1 vs
+    | _ -> 1
+  in
+  List.iter
+    (fun v ->
+      check Alcotest.int
+        (Printf.sprintf "encoded size matches Value.size for %s" (Value.preview v))
+        (Value.size v + tag_overhead v)
+        (String.length (Bin.encode v)))
+    [
+      Value.Unit;
+      Value.Bool true;
+      Value.Int (-1);
+      Value.Float 1.5;
+      Value.Str "hello";
+      Value.List [ Value.Int 1; Value.Str "x"; Value.Unit ];
+      Value.List [];
+    ]
+
+(* --- Frame ------------------------------------------------------------ *)
+
+let frame_gen =
+  let open QCheck2.Gen in
+  let kind =
+    oneofl
+      Frame.[ Hello; Welcome; Request; Reply; Idle; Shutdown; Stats ]
+  in
+  map
+    (fun (kind, (flags, src, dst), seq, payload) ->
+      Frame.make ~kind ~flags ~src ~dst ~seq payload)
+    (tup4 kind
+       (tup3 (int_bound 255) (int_bound 255) (int_bound 255))
+       (int_bound 0xFFFFFFFF) string_small)
+
+let prop_frame_roundtrip =
+  prop "frame: decode inverts encode for every message kind" frame_gen (fun f ->
+      Frame.decode (Frame.encode f) = f)
+
+let test_frame_malformed () =
+  protocol_error "short input" (fun () -> Frame.decode "\x00\x00");
+  protocol_error "length below header" (fun () -> Frame.decode "\x00\x00\x00\x03abc");
+  (* An adversarial length prefix: 0xFFFFFFFF exceeds the cap and is
+     rejected before the decoder trusts it. *)
+  protocol_error "length above cap" (fun () ->
+      Frame.decode ("\xff\xff\xff\xff" ^ String.make 8 '\x00'));
+  protocol_error "unknown kind" (fun () ->
+      Frame.decode "\x00\x00\x00\x08\x63\x00\x00\x00\x00\x00\x00\x00");
+  protocol_error "length disagrees with bytes" (fun () ->
+      Frame.decode "\x00\x00\x00\x09\x01\x00\x00\x00\x00\x00\x00\x00")
+
+let test_frame_handshake () =
+  let shard, nonce = Frame.parse_handshake ~expect:Frame.Hello (Frame.hello ~shard:3 ~nonce:42L) in
+  check Alcotest.int "shard echoes" 3 shard;
+  check Alcotest.int64 "nonce echoes" 42L nonce;
+  let corrupt ~at c =
+    let f = Frame.welcome ~shard:1 ~nonce:7L in
+    let p = Bytes.of_string f.Frame.payload in
+    Bytes.set p at c;
+    { f with Frame.payload = Bytes.to_string p }
+  in
+  protocol_error "wrong kind" (fun () ->
+      Frame.parse_handshake ~expect:Frame.Welcome (Frame.hello ~shard:1 ~nonce:7L));
+  protocol_error "bad magic" (fun () ->
+      Frame.parse_handshake ~expect:Frame.Welcome (corrupt ~at:0 '\xff'));
+  protocol_error "bad version" (fun () ->
+      Frame.parse_handshake ~expect:Frame.Welcome (corrupt ~at:5 '\x63'));
+  protocol_error "short payload" (fun () ->
+      Frame.parse_handshake ~expect:Frame.Welcome
+        (Frame.make ~kind:Frame.Welcome ~src:0 ~dst:1 "short"))
+
+(* --- Faults at the framing layer -------------------------------------- *)
+
+let test_faults_handshake_boundary () =
+  (* A frame offered before the link is established drops into the
+     partition bucket and must NOT consume a script event — same rule
+     as the simulated Net's establishment gate. *)
+  let f = Faults.of_script [ Faults.Lose ] in
+  check Alcotest.bool "unestablished frame drops" true
+    (Faults.apply f ~established:false ~size:20 = Faults.Drop);
+  let m = Faults.meter f in
+  check Alcotest.int "charged to partition" 1 m.Net.dropped_partition;
+  check Alcotest.int "not to loss" 0 m.Net.dropped_loss;
+  check Alcotest.int "script untouched" 1 (Faults.remaining f);
+  (* Established: the Lose event is consumed and charged to loss. *)
+  check Alcotest.bool "established frame consumes Lose" true
+    (Faults.apply f ~established:true ~size:20 = Faults.Drop);
+  let m = Faults.meter f in
+  check Alcotest.int "loss charged" 1 m.Net.dropped_loss;
+  check Alcotest.int "script consumed" 0 (Faults.remaining f);
+  (* Exhausted script passes; partition overrides it. *)
+  check Alcotest.bool "exhausted script passes" true
+    (Faults.apply f ~established:true ~size:20 = Faults.Pass);
+  Faults.partition f;
+  check Alcotest.bool "partitioned drops" true
+    (Faults.apply f ~established:true ~size:20 = Faults.Drop);
+  Faults.heal f;
+  check Alcotest.bool "healed passes" true
+    (Faults.apply f ~established:true ~size:20 = Faults.Pass);
+  let m = Faults.meter f in
+  check Alcotest.int "sum invariant" m.Net.dropped
+    (m.Net.dropped_loss + m.Net.dropped_partition)
+
+let test_faults_of_events () =
+  (* The simulator emits a loss pick for every frame and may add a
+     partition note for the same frame; one wire frame must consume
+     exactly one event. *)
+  let f =
+    Faults.of_events
+      [
+        ("net.loss", 0);
+        ("net.loss", 1);
+        ("net.loss", 1); ("net.partition", 1);
+        ("sched.pick", 3);
+        ("net.loss", 0);
+      ]
+  in
+  check Alcotest.int "four frames scripted" 4 (Faults.remaining f);
+  check Alcotest.bool "frame 0 passes" true
+    (Faults.apply f ~established:true ~size:1 = Faults.Pass);
+  check Alcotest.bool "frame 1 lost" true
+    (Faults.apply f ~established:true ~size:1 = Faults.Drop);
+  check Alcotest.bool "frame 2 cut" true
+    (Faults.apply f ~established:true ~size:1 = Faults.Drop);
+  check Alcotest.bool "frame 3 passes" true
+    (Faults.apply f ~established:true ~size:1 = Faults.Pass);
+  let m = Faults.meter f in
+  check Alcotest.int "one loss" 1 m.Net.dropped_loss;
+  check Alcotest.int "one partition (folded pair)" 1 m.Net.dropped_partition
+
+(* --- Codec.batch under adversarial frames ------------------------------ *)
+
+let test_codec_batch_adversarial () =
+  let c = Codec.batch ~max_items:8 Codec.int in
+  let decode v = c.Codec.decode v in
+  protocol_error "negative length" (fun () ->
+      decode (Value.List [ Value.Int (-1) ]));
+  protocol_error "oversized length" (fun () ->
+      decode (Value.List (Value.Int 9 :: List.init 9 (fun i -> Value.Int i))));
+  protocol_error "truncated batch" (fun () ->
+      decode (Value.List [ Value.Int 3; Value.Int 0; Value.Int 1 ]));
+  protocol_error "padded batch" (fun () ->
+      decode (Value.List [ Value.Int 1; Value.Int 0; Value.Int 1 ]));
+  protocol_error "garbage header" (fun () ->
+      decode (Value.List [ Value.Str "n"; Value.Int 0 ]));
+  protocol_error "not a batch at all" (fun () -> decode (Value.Str "x"));
+  (* A huge claimed length must not pre-allocate anything: the check
+     compares against the items actually present. *)
+  protocol_error "forged huge length" (fun () ->
+      decode (Value.List [ Value.Int max_int ]))
+
+let prop_codec_batch_cut_mid_frame =
+  (* End to end through the byte layer: an encoded batch cut anywhere
+     mid-frame surfaces as a clean Protocol_error from Bin.decode — a
+     partial batch can never be accepted. *)
+  prop "codec.batch: cut-mid-frame and garbage headers stay protocol errors"
+    ~count:40
+    QCheck2.Gen.(list_size (int_bound 8) int)
+    (fun xs ->
+      let c = Codec.batch Codec.int in
+      let bytes = Bin.encode (c.Codec.encode xs) in
+      let ok = ref true in
+      for n = 1 to String.length bytes - 1 do
+        match Bin.decode (String.sub bytes 0 n) with
+        | exception Value.Protocol_error _ -> ()
+        | _ -> ok := false
+      done;
+      (match Bin.decode ("\x06\xde\xad\xbe\xef" ^ bytes) with
+      | exception Value.Protocol_error _ -> ()
+      | _ -> ok := false);
+      (* round trip still holds on the intact frame *)
+      (match c.Codec.decode (Bin.decode bytes) with
+      | ys -> if ys <> xs then ok := false
+      | exception _ -> ok := false);
+      !ok)
+
+(* --- Net: establishment accounting at the handshake boundary ----------- *)
+
+let test_net_establishment_accounting () =
+  let s = Sched.create () in
+  let net = Net.create ~sched:s ~latency:(Net.Fixed 1.0) () in
+  let a = Net.add_node net "a" and b = Net.add_node net "b" in
+  Net.set_require_establishment net true;
+  Net.set_loss_probability net 1.0;
+  (* Before the link exists, a certain-loss coin must not even be
+     flipped: the drop is a connectivity condition. *)
+  Net.send net ~src:a ~dst:b ~size:10 (fun () -> ());
+  Sched.run s;
+  let m = Net.meter net in
+  check Alcotest.int "pre-establishment: partition bucket" 1 m.Net.dropped_partition;
+  check Alcotest.int "pre-establishment: loss bucket untouched" 0 m.Net.dropped_loss;
+  Net.establish net a b;
+  check Alcotest.bool "established" true (Net.is_established net a b);
+  Net.send net ~src:a ~dst:b ~size:10 (fun () -> ());
+  Sched.run s;
+  let m = Net.meter net in
+  check Alcotest.int "post-establishment: loss bucket" 1 m.Net.dropped_loss;
+  check Alcotest.int "post-establishment: partition stays" 1 m.Net.dropped_partition;
+  check Alcotest.int "sum invariant" m.Net.dropped
+    (m.Net.dropped_loss + m.Net.dropped_partition);
+  (* Establishment is independent of heal_all. *)
+  Net.heal_all net;
+  check Alcotest.bool "heal_all does not unestablish" true (Net.is_established net a b);
+  (* Local traffic needs no establishment. *)
+  Net.set_loss_probability net 0.0;
+  let got = ref false in
+  Net.send net ~src:a ~dst:a ~size:1 (fun () -> got := true);
+  Sched.run s;
+  check Alcotest.bool "same-node always established" true !got
+
+(* --- Stall report: transport-blocked stages are not stalls ------------- *)
+
+let test_stall_report_transport_exemption () =
+  (* A proxy whose forwarded request is in flight to another shard is
+     waiting on the wire, not stalled.  Pump only shard 0 so the
+     round-trip can never complete: before the fix this reported the
+     proxy as a stall. *)
+  let c = Cluster.create Cluster.Deterministic ~shards:2 () in
+  let k1 = Cluster.kernel c 1 in
+  let target =
+    Kernel.create_eject k1 ~type_name:"receiver" (fun _ctx ~passive:_ ->
+        [ ("Ping", fun _ -> Value.Unit) ])
+  in
+  let puid = Cluster.proxy c ~shard:0 ~ops:[ "Ping" ] ~target:(1, target) in
+  let k0 = Cluster.kernel c 0 in
+  Kernel.spawn_driver k0 (fun ctx ->
+      ignore (Kernel.invoke ctx puid ~op:"Ping" Value.Unit));
+  Sched.run (Kernel.sched k0);
+  check Alcotest.bool "proxy is in a transport wait" true
+    (Kernel.in_transport_wait k0 puid);
+  let stages = [ ("proxy", puid) ] in
+  let stalled_on stalls =
+    List.exists (fun s -> s.Pipeline.stage = Some "proxy") stalls
+  in
+  check Alcotest.bool "default report exempts the transport wait" false
+    (stalled_on (Pipeline.stall_report k0 ~stages));
+  check Alcotest.bool "still visible on demand" true
+    (stalled_on (Pipeline.stall_report ~include_transport:true k0 ~stages));
+  Kernel.crash k0 puid;
+  check Alcotest.bool "crash clears the wait flag" false
+    (Kernel.in_transport_wait k0 puid)
+
+(* --- Multi-process equivalence ----------------------------------------- *)
+
+let wire tr = Cluster.Wire { Cluster.wire_transport = tr; wire_faults = None }
+
+let transports =
+  [ ("unix", wire Transport.Unix_socket); ("tcp", wire Transport.Tcp) ]
+
+let test_equivalence_fanin () =
+  let spec = { Fanin.default with branches = 4; filters = 1; items = 12; work = 50 } in
+  let digest (o : Fanin.outcome) =
+    Array.map (fun vs -> String.concat "" (List.map Bin.encode vs)) o.Fanin.per_branch
+  in
+  let oracle = Fanin.run Cluster.Deterministic ~domains:3 spec in
+  check Alcotest.int "oracle consumed all" (4 * 12) oracle.Fanin.consumed;
+  List.iter
+    (fun (name, mode) ->
+      let o = Fanin.run mode ~domains:3 spec in
+      check Alcotest.bool (name ^ ": eos clean") true o.Fanin.eos_clean;
+      check
+        Alcotest.(array string)
+        (name ^ ": byte-identical per-branch streams")
+        (digest oracle) (digest o);
+      check
+        Alcotest.(list (pair string int))
+        (name ^ ": op counts") oracle.Fanin.op_counts o.Fanin.op_counts;
+      check Alcotest.int (name ^ ": invocations")
+        oracle.Fanin.meter.Kernel.Meter.invocations o.Fanin.meter.Kernel.Meter.invocations;
+      check Alcotest.int (name ^ ": cross messages")
+        oracle.Fanin.cross_messages o.Fanin.cross_messages)
+    transports
+
+let test_equivalence_f2 () =
+  List.iter
+    (fun domains ->
+      let run mode = Distpipe.run_f2 mode ~domains ~filters:3 ~items:16 () in
+      let oracle = run Cluster.Deterministic in
+      check Alcotest.int "oracle consumed all" 16 oracle.Distpipe.consumed;
+      List.iter
+        (fun (name, mode) ->
+          let o = run mode in
+          let tag = Printf.sprintf "%s/%d shards" name domains in
+          check Alcotest.string (tag ^ ": byte-identical item stream")
+            oracle.Distpipe.stream o.Distpipe.stream;
+          check Alcotest.int (tag ^ ": consumed") oracle.Distpipe.consumed
+            o.Distpipe.consumed;
+          check
+            Alcotest.(list (pair string int))
+            (tag ^ ": op counts") oracle.Distpipe.op_counts o.Distpipe.op_counts)
+        transports)
+    [ 2; 3 ]
+
+let test_equivalence_f4 () =
+  let run mode = Distpipe.run_f4 mode ~domains:3 ~items:16 () in
+  let oracle = run Cluster.Deterministic in
+  check Alcotest.int "oracle terminal lines" 16 (List.length oracle.Distpipe.terminal);
+  List.iter
+    (fun (name, mode) ->
+      let o = run mode in
+      check
+        Alcotest.(list string)
+        (name ^ ": terminal stream byte-identical")
+        oracle.Distpipe.terminal o.Distpipe.terminal;
+      (* The window interleaves its watched streams nondeterministically
+         (one worker per stream); the per-label subsequences are the
+         deterministic surface. *)
+      check
+        Alcotest.(list (pair string (list string)))
+        (name ^ ": per-label report streams") oracle.Distpipe.reports o.Distpipe.reports;
+      check Alcotest.int (name ^ ": invocations") oracle.Distpipe.invocations
+        o.Distpipe.invocations)
+    transports
+
+(* --- Replay: a simulated fault schedule reproduces on real sockets ----- *)
+
+let replay_dir = "_check"
+
+(* 4 seq-stamped one-way frames offered to the injector and sent over a
+   real socket; returns the seqs that made it across. *)
+let send_over_wire faults =
+  let srv = Transport.listen Transport.Unix_socket in
+  flush stdout;
+  flush stderr;
+  let prev = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let finish () = Sys.set_signal Sys.sigpipe prev in
+  match Unix.fork () with
+  | 0 ->
+      (* Sender child: the injector sits between frame construction and
+         the socket write — exactly where the hub applies it. *)
+      let rc =
+        try
+          let fd = Transport.dial srv in
+          for seq = 0 to 3 do
+            let f =
+              Frame.make ~kind:Frame.Request ~flags:Frame.flag_oneway ~src:1 ~dst:0
+                ~seq
+                (Bin.encode (Value.Int seq))
+            in
+            (match Faults.apply faults ~established:true ~size:(Frame.size f) with
+            | Faults.Pass -> Frame.write fd f
+            | Faults.Delay d ->
+                Unix.sleepf d;
+                Frame.write fd f
+            | Faults.Drop -> ())
+          done;
+          Unix.close fd;
+          0
+        with _ -> 2
+      in
+      Unix._exit rc
+  | pid ->
+      Fun.protect ~finally:finish (fun () ->
+          let conn = Transport.accept srv in
+          let got = ref [] in
+          (try
+             while true do
+               let f = Frame.read conn in
+               got := f.Frame.hdr.Frame.seq :: !got
+             done
+           with End_of_file -> ());
+          Unix.close conn;
+          Transport.close_server srv;
+          let _, status = Unix.waitpid [] pid in
+          check Alcotest.bool "sender exited cleanly" true (status = Unix.WEXITED 0);
+          List.rev !got)
+
+let test_replay_reproduces_on_wire () =
+  (* Find the lossy_ack mutant in simulation; its minimized replay file
+     records the per-frame loss schedule as net.loss decisions.  Fed
+     through Faults.of_events, the same schedule must knock the same
+     number of frames off a real socket. *)
+  let f =
+    Check.find_bug ~budget:100 ~policy:Eden_check.Policy.Random ~seed:Seed.base
+      ~replay_dir ~name:"wire-lossy-ack" (Workloads.lossy_ack ~mutant:true)
+  in
+  let path =
+    match f.Check.replay_path with
+    | Some p -> p
+    | None -> Alcotest.fail "no replay file written"
+  in
+  let _meta, trace = Check.load_replay ~path in
+  let events = Trace.decisions ~kind:"net.loss" trace in
+  check Alcotest.int "one loss decision per send" 4 (List.length events);
+  let drops = List.length (List.filter (fun (_, v) -> v = 1) events) in
+  check Alcotest.bool "the minimized schedule drops something" true (drops >= 1);
+  (* Oracle: a clean injector delivers everything. *)
+  check
+    Alcotest.(list int)
+    "clean link delivers 0..3" [ 0; 1; 2; 3 ]
+    (send_over_wire (Faults.none ()));
+  (* The replayed schedule: the same frames go missing on the socket. *)
+  let got = send_over_wire (Faults.of_events events) in
+  check Alcotest.int "replayed schedule drops the same frames" (4 - drops)
+    (List.length got);
+  let expected =
+    List.filteri (fun i _ -> List.nth events i = ("net.loss", 0)) [ 0; 1; 2; 3 ]
+  in
+  check Alcotest.(list int) "exactly the scripted seqs survive" expected got
+
+(* --- Wire-mode fault injection end to end ------------------------------ *)
+
+let test_wire_cluster_with_faults () =
+  (* A Slow event must only delay, never change the byte stream. *)
+  let spec = { Fanin.default with branches = 2; filters = 1; items = 6; work = 10 } in
+  let digest (o : Fanin.outcome) =
+    Array.map (fun vs -> String.concat "" (List.map Bin.encode vs)) o.Fanin.per_branch
+  in
+  let oracle = Fanin.run Cluster.Deterministic ~domains:2 spec in
+  let faults = Faults.of_script [ Faults.Slow 0.02; Faults.Slow 0.01 ] in
+  let o =
+    Fanin.run
+      (Cluster.Wire
+         { Cluster.wire_transport = Transport.Unix_socket; wire_faults = Some faults })
+      ~domains:2 spec
+  in
+  check Alcotest.(array string) "delays do not corrupt the stream" (digest oracle)
+    (digest o);
+  check Alcotest.int "both delays were exercised" 0 (Faults.remaining faults);
+  let m = Faults.meter faults in
+  check Alcotest.int "nothing dropped" 0 m.Net.dropped;
+  check Alcotest.int "every offered frame delivered" m.Net.sent m.Net.delivered;
+  check Alcotest.bool "the delayed frames are in the meter" true (m.Net.delivered >= 2)
+
+let suite =
+  [
+    Alcotest.test_case "bin: trailing bytes rejected" `Quick test_bin_trailing_garbage;
+    Alcotest.test_case "bin: hostile headers" `Quick test_bin_hostile_headers;
+    Alcotest.test_case "bin: size law" `Quick test_bin_size_law;
+    prop_bin_roundtrip;
+    prop_bin_prefix_rejected;
+    Alcotest.test_case "frame: malformed inputs" `Quick test_frame_malformed;
+    Alcotest.test_case "frame: handshake validation" `Quick test_frame_handshake;
+    prop_frame_roundtrip;
+    Alcotest.test_case "faults: handshake-boundary accounting" `Quick
+      test_faults_handshake_boundary;
+    Alcotest.test_case "faults: of_events folds loss+partition pairs" `Quick
+      test_faults_of_events;
+    Alcotest.test_case "codec.batch: adversarial frames" `Quick
+      test_codec_batch_adversarial;
+    prop_codec_batch_cut_mid_frame;
+    Alcotest.test_case "net: establishment accounting at the handshake boundary"
+      `Quick test_net_establishment_accounting;
+    Alcotest.test_case "stall report: transport-blocked stage exempted" `Quick
+      test_stall_report_transport_exemption;
+    Alcotest.test_case "multi-process equivalence: fanin over unix sockets and tcp"
+      `Quick test_equivalence_fanin;
+    Alcotest.test_case "multi-process equivalence: F2 pipeline" `Quick
+      test_equivalence_f2;
+    Alcotest.test_case "multi-process equivalence: F4 report topology" `Quick
+      test_equivalence_f4;
+    Alcotest.test_case "replay: simulated loss schedule reproduces on the wire"
+      `Quick test_replay_reproduces_on_wire;
+    Alcotest.test_case "wire cluster: injected delays keep streams intact" `Quick
+      test_wire_cluster_with_faults;
+  ]
