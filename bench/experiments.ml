@@ -1731,6 +1731,125 @@ let w1 ?(quick = false) () =
     exit 1
   end
 
+let b2 ?(quick = false) () =
+  section "B2  Zero-copy data plane: MB/s per discipline and transport (wall clock)";
+  let domains = 3 in
+  let items = if quick then 192 else 65536 in
+  Printf.printf
+    "The F2 chain moves the same ~%d-line document under three disciplines:\n\
+     item-at-a-time (one Str per Transfer), batch-64 (64 Strs per Transfer)\n\
+     and chunked (flat byte slices under the chunked flow config, 64 KiB\n\
+     cuts).  Filters are identity, as in B1: the measurement isolates the\n\
+     data plane — framing, flow control, transport — not line-filter CPU\n\
+     (the equivalence matrix proves the line filters byte-correct\n\
+     separately).  Bytes counts the sink's output stream, which must be\n\
+     identical across every cell; invocations are the simulator's count of\n\
+     calls it took to move them.  The zero-copy claim is the bottom line:\n\
+     chunked must beat batch-64 by at least 5x MB/s in-process.\n\n"
+    items;
+  let wire tr =
+    Par.Cluster.Wire { Par.Cluster.wire_transport = tr; wire_faults = None }
+  in
+  let transports =
+    [
+      ("in-process", Par.Cluster.Deterministic);
+      ("unix socket", wire Eden_wire.Transport.Unix_socket);
+      ("tcp loopback", wire Eden_wire.Transport.Tcp);
+    ]
+  in
+  let disciplines =
+    [
+      ("item-at-a-time", Par.Distpipe.Boxed, 1);
+      ("batch-64", Par.Distpipe.Boxed, 64);
+      ("chunked", Par.Distpipe.chunked ~cut:65536 ~chunk_bytes:65536 (), 1);
+    ]
+  in
+  let tbl =
+    Table.create ~title:"B2: F2 chain, 3 filters, 3 shards (best of 3)"
+      ~columns:
+        [
+          ("discipline", Table.Left);
+          ("transport", Table.Left);
+          ("bytes", Table.Right);
+          ("invocations", Table.Right);
+          ("inv/MB", Table.Right);
+          ("wall s", Table.Right);
+          ("MB/s", Table.Right);
+          ("stream = oracle", Table.Right);
+        ]
+  in
+  let best_of_3 run =
+    let best = ref infinity and out = ref None in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let o = run () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      out := Some o
+    done;
+    (Option.get !out, !best)
+  in
+  let views0 = Eden_chunk.Chunk.live_views () in
+  let oracle = ref None in
+  let mismatch = ref false in
+  let mbps = Hashtbl.create 9 in
+  List.iter
+    (fun (dname, plane, batch) ->
+      List.iter
+        (fun (tname, mode) ->
+          let o, dt =
+            best_of_3 (fun () ->
+                Par.Distpipe.run_f2p mode ~domains ~filters:3 ~items ~plane
+                  ~filter_of:(fun _ -> T.Transform.identity)
+                  ~batch ~capacity:16 ())
+          in
+          let bytes = String.length o.Par.Distpipe.bytes in
+          let ok =
+            match !oracle with
+            | None ->
+                oracle := Some o.Par.Distpipe.bytes;
+                true
+            | Some s -> s = o.Par.Distpipe.bytes
+          in
+          if not ok then mismatch := true;
+          let mb = float_of_int bytes /. 1e6 in
+          let rate = mb /. dt in
+          Hashtbl.replace mbps (dname, tname) rate;
+          Table.add_row tbl
+            [
+              dname;
+              tname;
+              Table.cell_int bytes;
+              Table.cell_int o.Par.Distpipe.s_meter.Kernel.Meter.invocations;
+              Table.cell_int
+                (int_of_float
+                   (float_of_int o.Par.Distpipe.s_meter.Kernel.Meter.invocations /. mb));
+              Table.cell_float ~decimals:3 dt;
+              Table.cell_float ~decimals:2 rate;
+              (if ok then "yes" else "NO");
+            ])
+        transports)
+    disciplines;
+  Table.print tbl;
+  if !mismatch then begin
+    print_endline "b2: FAILED (a cell diverged from the oracle stream)";
+    exit 1
+  end;
+  if Eden_chunk.Chunk.live_views () <> views0 then begin
+    Printf.printf "b2: FAILED (chunk views leaked: %d -> %d)\n" views0
+      (Eden_chunk.Chunk.live_views ());
+    exit 1
+  end;
+  let chunked = Hashtbl.find mbps ("chunked", "in-process") in
+  let batch64 = Hashtbl.find mbps ("batch-64", "in-process") in
+  Printf.printf "b2: chunked/batch-64 in-process: %.1fx\n" (chunked /. batch64);
+  (* The acceptance gate needs enough volume for per-invocation cost to
+     dominate cluster setup; the quick row only smokes byte-identity. *)
+  if (not quick) && chunked < 5.0 *. batch64 then begin
+    print_endline "b2: FAILED (chunked < 5x batch-64 MB/s in-process)";
+    exit 1
+  end
+
 (* Tiny-iteration smoke over the figures and B1, cheap enough for
    `dune runtest`; exercises the full experiment code paths. *)
 let quick () =
@@ -1741,7 +1860,8 @@ let quick () =
   b1 ~quick:true ();
   e1 ~quick:true ();
   c1 ();
-  w1 ~quick:true ()
+  w1 ~quick:true ();
+  b2 ~quick:true ()
 
 let all () =
   smoke ();
@@ -1760,4 +1880,5 @@ let all () =
   b1 ();
   e1 ();
   c1 ();
-  w1 ()
+  w1 ();
+  b2 ()

@@ -105,6 +105,7 @@ let () =
       ("e1", fun () -> Experiments.e1 ());
       ("c1", fun () -> Experiments.c1 ());
       ("w1", fun () -> Experiments.w1 ());
+      ("b2", fun () -> Experiments.b2 ());
       ("quick", Experiments.quick);
       ("smoke", Experiments.smoke);
       ("p1", Experiments.p1);

@@ -10,6 +10,12 @@ let float = { encode = Value.float; decode = Value.to_float }
 let string = { encode = Value.str; decode = Value.to_str }
 let uid = { encode = Value.uid; decode = Value.to_uid }
 
+(* Chunks frame by reference: encoding wraps the handle, decoding
+   unwraps it — no payload bytes move, so [batch chunk] frames a list
+   of chunks with a length prefix and zero copies (the copy, if any,
+   happens at the wire boundary in Bin/Frame). *)
+let chunk = { encode = Value.chunk; decode = Value.to_chunk }
+
 let pair a b =
   {
     encode = (fun (x, y) -> Value.pair (a.encode x) (b.encode y));

@@ -24,6 +24,11 @@ val float : float t
 val string : string t
 val uid : Uid.t t
 
+val chunk : Eden_chunk.Chunk.t t
+(** By-reference framing for flat byte chunks: no payload copy on
+    either side, so [batch chunk] frames whole chunk batches for the
+    cost of the length prefix alone. *)
+
 (** {1 Combinators} *)
 
 val pair : 'a t -> 'b t -> ('a * 'b) t

@@ -6,6 +6,7 @@ module Sched = Eden_sched.Sched
 module Flowctl = Eden_flowctl.Flowctl
 module Aimd = Eden_flowctl.Aimd
 module Credit = Eden_flowctl.Credit
+module Chunk = Eden_chunk.Chunk
 
 (* Windowed state: several seq-stamped deposits in flight at once.
    Each batch carries the absolute position of its first item; the
@@ -30,9 +31,12 @@ type t = {
   chan : Channel.t;
   batch : int;
   mode : mode;
+  chunk_bytes : int option; (* chunked plane: coalescing threshold *)
   mutable pending : Value.t list; (* reversed *)
+  mutable pending_bytes : int;
   mutable closed : bool;
   mutable deposits : int;
+  mutable chunks_sent : int;
 }
 
 let connect ctx ?(batch = 1) ?flowctl ?(channel = Channel.output) dst =
@@ -54,7 +58,20 @@ let connect ctx ?(batch = 1) ?flowctl ?(channel = Channel.output) dst =
           }
   in
   let batch = match flowctl with None -> batch | Some fc -> Flowctl.initial_batch fc in
-  { ctx; dst; chan = channel; batch; mode; pending = []; closed = false; deposits = 0 }
+  let chunk_bytes = Option.bind flowctl Flowctl.chunk_bytes in
+  {
+    ctx;
+    dst;
+    chan = channel;
+    batch;
+    mode;
+    chunk_bytes;
+    pending = [];
+    pending_bytes = 0;
+    closed = false;
+    deposits = 0;
+    chunks_sent = 0;
+  }
 
 let send t ~eos items =
   t.deposits <- t.deposits + 1;
@@ -111,12 +128,37 @@ let threshold t =
   | Sync -> t.batch
   | Windowed w -> ( match w.ctrl with Some c -> Aimd.current c | None -> w.fixed)
 
+(* Chunked plane: adjacent pending chunks travel as one coalesced
+   chunk.  [Chunk.concat] is zero-copy (new chain over the same
+   roots); the push owns what was written to it, so the source handles
+   are released here and ownership of the bytes continues downstream
+   under the coalesced handle. *)
+let coalesce t items =
+  match t.chunk_bytes with
+  | None -> items
+  | Some _ ->
+      let all_chunks =
+        List.for_all (function Value.Chunk _ -> true | _ -> false) items
+      in
+      (match items with
+      | (Value.Chunk _ :: _ :: _) when all_chunks ->
+          let cs = List.map Value.to_chunk items in
+          let big = Chunk.concat cs in
+          List.iter Chunk.release cs;
+          t.chunks_sent <- t.chunks_sent + 1;
+          [ Value.Chunk big ]
+      | [ Value.Chunk _ ] as one ->
+          t.chunks_sent <- t.chunks_sent + 1;
+          one
+      | items -> items)
+
 let flush t =
   match t.pending with
   | [] -> ()
   | pending -> (
       t.pending <- [];
-      let items = List.rev pending in
+      t.pending_bytes <- 0;
+      let items = coalesce t (List.rev pending) in
       match t.mode with
       | Sync -> send t ~eos:false items
       | Windowed w -> send_windowed t w ~eos:false items)
@@ -124,13 +166,18 @@ let flush t =
 let write t item =
   if t.closed then failwith "Push.write: closed";
   t.pending <- item :: t.pending;
-  if List.length t.pending >= threshold t then flush t
+  match t.chunk_bytes with
+  | Some limit ->
+      t.pending_bytes <- t.pending_bytes + Value.size item;
+      if t.pending_bytes >= limit then flush t
+  | None -> if List.length t.pending >= threshold t then flush t
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    let items = List.rev t.pending in
+    let items = coalesce t (List.rev t.pending) in
     t.pending <- [];
+    t.pending_bytes <- 0;
     match t.mode with
     | Sync -> send t ~eos:true items
     | Windowed w ->
@@ -145,5 +192,6 @@ let close t =
 let sink t = t.dst
 let channel t = t.chan
 let deposits_issued t = t.deposits
+let chunks_sent t = t.chunks_sent
 let controller t = match t.mode with Sync -> None | Windowed w -> w.ctrl
 let stalls t = match t.mode with Sync -> 0 | Windowed w -> w.stalls

@@ -24,6 +24,12 @@ val connect :
     seq-stamped deposits are kept in flight (the intake's turnstile
     reorders scrambled arrivals), and an [Adaptive] config sizes the
     flush threshold with an {!Eden_flowctl.Aimd} controller.  A
+    [Chunked] config switches flushing from item counting to byte
+    counting: pending [Value.Chunk] items coalesce (zero-copy concat;
+    the written handles are released, ownership of the bytes moves to
+    the coalesced chunk) and travel as one chunk per deposit once
+    [chunk_bytes] are pending.  Non-chunk items under a chunked config
+    flush uncoalesced — mixing planes is legal but buys nothing.  A
     windowed channel must have a single writer.
     @raise Invalid_argument if [batch < 1]. *)
 
@@ -43,6 +49,11 @@ val close : t -> unit
 val sink : t -> Eden_kernel.Uid.t
 val channel : t -> Channel.t
 val deposits_issued : t -> int
+
+val chunks_sent : t -> int
+(** Deposits that carried a (possibly coalesced) chunk under the
+    chunked config — the observable proof that the chunked plane was
+    not silently downgraded.  0 outside chunked mode. *)
 
 val controller : t -> Eden_flowctl.Aimd.t option
 (** The adaptive controller of a windowed connection; [None] in sync

@@ -40,11 +40,24 @@ let timed m dir f =
       Obs.Histogram.add hist d;
       r
 
+(* Items and bytes are counted together; bytes follow the Value.size
+   law, so a chunk is charged its whole payload where a boxed line
+   charges its few dozen bytes — the meters stay truthful under the
+   chunked discipline. *)
 let count_in m r =
-  (match (m, r) with Some { fl; _ }, Some _ -> Obs.Flow.note_in fl | _ -> ());
+  (match (m, r) with
+  | Some { fl; _ }, Some v ->
+      Obs.Flow.note_in fl;
+      Obs.Flow.note_bytes_in fl (Value.size v)
+  | _ -> ());
   r
 
-let count_out m = match m with Some { fl; _ } -> Obs.Flow.note_out fl | None -> ()
+let count_out m v =
+  match m with
+  | Some { fl; _ } ->
+      Obs.Flow.note_out fl;
+      Obs.Flow.note_bytes_out fl (Value.size v)
+  | None -> ()
 let note_batches m n = match m with Some { fl; _ } -> Obs.Flow.note_batches fl n | None -> ()
 
 (* Downstream backpressure feeding an upstream adaptive controller:
@@ -75,7 +88,7 @@ let source_ro k ?node ?(name = "source") ?(capacity = 0) ?flow gen =
             match gen () with
             | Some v ->
                 Port.write w v;
-                count_out m;
+                count_out m v;
                 go ()
             | None -> Port.close w
           in
@@ -97,7 +110,7 @@ let filter_ro k ?node ?(name = "filter") ?(capacity = 0) ?(batch = 1) ?flowctl ?
       in
       let emit v =
         feeding_stall ctrl (fun () -> timed m `Out (fun () -> Port.write w v));
-        count_out m
+        count_out m v
       in
       Kernel.spawn_worker ctx ~name:(name ^ "/transform") (fun () ->
           if capacity = 0 then Port.await_demand w;
@@ -136,7 +149,7 @@ let source_wo k ?node ?(name = "source") ?(batch = 1) ?flowctl ?flow ~downstream
             | Some v ->
                 timed m `Out (fun () -> Push.write push v);
                 note_batches m (Push.deposits_issued push);
-                count_out m;
+                count_out m v;
                 go ()
             | None -> Push.close push
           in
@@ -154,7 +167,7 @@ let filter_wo k ?node ?(name = "filter") ?(capacity = 1) ?(batch = 1) ?flowctl ?
       let emit v =
         timed m `Out (fun () -> Push.write push v);
         note_batches m (Push.deposits_issued push);
-        count_out m
+        count_out m v
       in
       Kernel.spawn_worker ctx ~name:(name ^ "/transform") (fun () ->
           transform next emit;
@@ -193,7 +206,7 @@ let pipe k ?node ?(name = "pipe") ?(capacity = 4) ?flow () =
             match count_in m (timed m `In (fun () -> Intake.read r)) with
             | Some v ->
                 timed m `Out (fun () -> Port.write w v);
-                count_out m;
+                count_out m v;
                 go ()
             | None -> Port.close w
           in
@@ -220,7 +233,7 @@ let filter_active k ?node ?(name = "filter") ?(batch = 1) ?flowctl ?flow ~upstre
       let emit v =
         feeding_stall ctrl (fun () -> timed m `Out (fun () -> Push.write push v));
         note_batches m (batches ());
-        count_out m
+        count_out m v
       in
       Kernel.spawn_worker ctx ~name:(name ^ "/pump") (fun () ->
           transform next emit;

@@ -79,9 +79,11 @@ let squeeze_blank =
       if blank && prev_blank then (true, []) else (blank, [ line ]))
     ~flush:(fun _ -> [])
 
-let trim_trailing =
+let trim_line =
   let rec rstrip s i = if i > 0 && (s.[i - 1] = ' ' || s.[i - 1] = '\t') then rstrip s (i - 1) else i in
-  Line.map (fun l -> String.sub l 0 (rstrip l (String.length l)))
+  fun l -> String.sub l 0 (rstrip l (String.length l))
+
+let trim_trailing = Line.map trim_line
 
 let expand_tabs ?(tabstop = 8) () = Line.map (Text.expand_tabs ~tabstop)
 
@@ -109,6 +111,23 @@ let spell ~dictionary =
       Text.words line
       |> List.map normalise_word
       |> List.filter (fun w -> w <> "" && not (SS.mem w dict)))
+
+(* --- chunk-at-a-time counterparts ----------------------------------- *)
+
+(* The same line functions lifted over byte chunks; the equivalence
+   suite holds each pair to byte-identical output. *)
+
+let chunked_upcase = Chunkline.map String.uppercase_ascii
+let chunked_downcase = Chunkline.map String.lowercase_ascii
+let chunked_trim_trailing = Chunkline.map trim_line
+let chunked_rot13 = Chunkline.map (String.map rot13_char)
+let chunked_grep pattern = Chunkline.keep (fun l -> Text.contains_sub ~sub:pattern l)
+let chunked_grep_v pattern = Chunkline.keep (fun l -> not (Text.contains_sub ~sub:pattern l))
+
+let chunked_number_lines ?(start = 1) ?(width = 4) () =
+  Chunkline.stateful ~init:start
+    ~step:(fun n line -> (n + 1, [ Printf.sprintf "%*d  %s" width n line ]))
+    ~flush:(fun _ -> [])
 
 (* --- name registry for the shell ----------------------------------- *)
 

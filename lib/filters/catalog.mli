@@ -51,6 +51,10 @@ val squeeze_blank : Eden_transput.Transform.t
 val trim_trailing : Eden_transput.Transform.t
 val expand_tabs : ?tabstop:int -> unit -> Eden_transput.Transform.t
 
+val trim_line : string -> string
+(** The pure line function under {!trim_trailing}, shared with its
+    chunked counterpart. *)
+
 val cut : delim:char -> field:int -> Eden_transput.Transform.t
 (** 1-indexed field extraction; lines with too few fields pass through
     empty, matching cut(1)'s behaviour for missing fields. *)
@@ -62,6 +66,20 @@ val spell : dictionary:string list -> Eden_transput.Transform.t
 val fold_width : int -> Eden_transput.Transform.t
 (** fold(1): wraps lines at the given width; empty lines pass through.
     @raise Invalid_argument if non-positive. *)
+
+(** {1 Chunk-at-a-time counterparts}
+
+    The same line functions lifted over [Value.Chunk] byte slices via
+    {!Chunkline}; each pair is held byte-identical to its boxed
+    sibling by the equivalence suite. *)
+
+val chunked_upcase : Eden_transput.Transform.t
+val chunked_downcase : Eden_transput.Transform.t
+val chunked_trim_trailing : Eden_transput.Transform.t
+val chunked_rot13 : Eden_transput.Transform.t
+val chunked_grep : string -> Eden_transput.Transform.t
+val chunked_grep_v : string -> Eden_transput.Transform.t
+val chunked_number_lines : ?start:int -> ?width:int -> unit -> Eden_transput.Transform.t
 
 val by_name : string -> string list -> (Eden_transput.Transform.t, string) result
 (** Shell-facing constructor: [by_name "grep" ["pattern"]].  [Error]

@@ -1,0 +1,155 @@
+(* Chunk-at-a-time line filters.
+
+   The chunked data plane moves flat byte chunks cut at arbitrary
+   positions; a line filter must behave as if it had seen the boxed
+   one-line-per-item stream.  The engine here scans each incoming
+   chunk's segments in place for newlines, carries the partial tail
+   line across chunk boundaries, applies the per-line function, and
+   re-emits one output chunk per input chunk (complete output lines
+   are newline-terminated and packed together — the output plane stays
+   chunked).
+
+   Ownership: an input chunk is consumed — its bytes are read, then
+   the handle is released.  Output chunks are fresh roots owned by the
+   downstream consumer.  Boxed [Str] items are accepted too and
+   processed through the same line engine (their outputs still leave
+   as chunks), so a mixed-plane stream degrades gracefully instead of
+   failing; any other value shape is a protocol error, exactly as for
+   the boxed line filters. *)
+
+module Value = Eden_kernel.Value
+module Chunk = Eden_chunk.Chunk
+module Transform = Eden_transput.Transform
+
+let chunk_substring c pos len =
+  let b = Bytes.create len in
+  Chunk.blit_to_bytes c ~src_pos:pos b ~dst_pos:0 ~len;
+  Bytes.unsafe_to_string b
+
+(* [on_line lineno line] returns the output lines and whether to quit
+   (stop consuming input, sed's [q]). *)
+let run ~on_line ~on_flush next emit =
+  let carry = Buffer.create 256 in
+  let out = Buffer.create 4096 in
+  let lineno = ref 1 in
+  let quit = ref false in
+  let emit_out () =
+    if Buffer.length out > 0 then begin
+      emit (Value.Chunk (Chunk.of_string (Buffer.contents out)));
+      Buffer.clear out
+    end
+  in
+  let handle_line line =
+    let outputs, q = on_line !lineno line in
+    incr lineno;
+    List.iter
+      (fun l ->
+        Buffer.add_string out l;
+        Buffer.add_char out '\n')
+      outputs;
+    if q then quit := true
+  in
+  (* One completed line: the carry (if any) plus [len] bytes of [take]
+     starting at [pos]. *)
+  let complete take pos len =
+    if Buffer.length carry = 0 then handle_line (take pos len)
+    else begin
+      Buffer.add_string carry (take pos len);
+      let line = Buffer.contents carry in
+      Buffer.clear carry;
+      handle_line line
+    end
+  in
+  let scan ~length ~index_from ~take =
+    let len = length in
+    let pos = ref 0 in
+    while (not !quit) && !pos < len do
+      match index_from !pos with
+      | Some j ->
+          complete take !pos (j - !pos);
+          pos := j + 1
+      | None ->
+          Buffer.add_string carry (take !pos (len - !pos));
+          pos := len
+    done
+  in
+  let rec go () =
+    if not !quit then
+      match next () with
+      | None ->
+          (* Input ended: a non-terminated tail still counts as a line
+             (its outputs leave newline-terminated — the chunk plane
+             canonicalises the final newline). *)
+          if Buffer.length carry > 0 then begin
+            let line = Buffer.contents carry in
+            Buffer.clear carry;
+            handle_line line
+          end;
+          List.iter
+            (fun l ->
+              Buffer.add_string out l;
+              Buffer.add_char out '\n')
+            (on_flush ());
+          emit_out ()
+      | Some (Value.Chunk c) ->
+          scan ~length:(Chunk.length c)
+            ~index_from:(fun pos -> Chunk.index_from c pos '\n')
+            ~take:(chunk_substring c);
+          Chunk.release c;
+          emit_out ();
+          go ()
+      | Some (Value.Str s) ->
+          scan ~length:(String.length s)
+            ~index_from:(fun pos -> String.index_from_opt s pos '\n')
+            ~take:(fun pos len -> String.sub s pos len);
+          emit_out ();
+          go ()
+      | Some v ->
+          raise
+            (Value.Protocol_error
+               ("chunk line filter: expected chunk or string, got " ^ Value.preview v))
+  in
+  go ();
+  (* A quit mid-chunk leaves buffered output lines to deliver. *)
+  emit_out ()
+
+let stateful ~init ~step ~flush : Transform.t =
+ fun next emit ->
+  let st = ref init in
+  run
+    ~on_line:(fun _ line ->
+      let st', outs = step !st line in
+      st := st';
+      (outs, false))
+    ~on_flush:(fun () -> flush !st)
+    next emit
+
+let map f = stateful ~init:() ~step:(fun () l -> ((), [ f l ])) ~flush:(fun () -> [])
+
+let keep pred =
+  stateful ~init:() ~step:(fun () l -> ((), if pred l then [ l ] else [])) ~flush:(fun () -> [])
+
+let expand f = stateful ~init:() ~step:(fun () l -> ((), f l)) ~flush:(fun () -> [])
+
+let sed script : Transform.t =
+ fun next emit ->
+  let script = Sed.fresh script in
+  run
+    ~on_line:(fun lineno line -> Sed.apply_line script lineno line)
+    ~on_flush:(fun () -> [])
+    next emit
+
+(* Cut a newline-terminated document into chunks of [cut] bytes — the
+   generator half of the chunked plane, deliberately misaligned with
+   line boundaries so carry-over is exercised. *)
+let cut_gen ~cut doc =
+  if cut < 1 then invalid_arg "Chunkline.cut_gen: cut must be at least 1";
+  let pos = ref 0 in
+  fun () ->
+    if !pos >= String.length doc then None
+    else begin
+      let n = min cut (String.length doc - !pos) in
+      let c = Chunk.of_substring doc ~pos:!pos ~len:n in
+      pos := !pos + n;
+      Some (Value.Chunk c)
+    end

@@ -1,0 +1,44 @@
+(** Chunk-at-a-time line filters for the zero-copy data plane.
+
+    These lift the same per-line functions as {!Line} to streams of
+    [Value.Chunk] byte slices cut at arbitrary positions.  The engine
+    scans each chunk's segments in place for newlines, carries the
+    split tail line across chunk boundaries, and emits one output
+    chunk per input chunk with the transformed lines
+    newline-terminated.  Feeding the chunked and boxed versions of
+    the same filter the same line stream yields byte-identical output
+    (the equivalence suite holds every filter to that).
+
+    Ownership: input chunks are consumed and released by the filter;
+    output chunks are fresh roots owned by the downstream consumer.
+    [Str] items are accepted and processed through the same engine
+    (mixed-plane streams degrade gracefully); other shapes raise
+    [Value.Protocol_error]. *)
+
+val map : (string -> string) -> Eden_transput.Transform.t
+val keep : (string -> bool) -> Eden_transput.Transform.t
+val expand : (string -> string list) -> Eden_transput.Transform.t
+
+val stateful :
+  init:'s ->
+  step:('s -> string -> 's * string list) ->
+  flush:('s -> string list) ->
+  Eden_transput.Transform.t
+
+val sed : Sed.script -> Eden_transput.Transform.t
+(** The stream editor over byte slices: same engine as
+    {!Sed.transform}, including [q] (stop consuming mid-chunk). *)
+
+val run :
+  on_line:(int -> string -> string list * bool) ->
+  on_flush:(unit -> string list) ->
+  Eden_transput.Transform.next ->
+  Eden_transput.Transform.emit ->
+  unit
+(** The engine itself: [on_line lineno line] returns output lines and
+    a quit flag. *)
+
+val cut_gen : cut:int -> string -> unit -> Eden_kernel.Value.t option
+(** Generator cutting a document into [cut]-byte chunks, deliberately
+    ignoring line boundaries — the canonical chunked source for tests
+    and benchmarks. *)

@@ -43,6 +43,18 @@ val transform : script -> Eden_transput.Transform.t
 val run_lines : script -> string list -> string list
 (** Pure application, for tests and tools. *)
 
+(** {1 Line-at-a-time core}
+
+    Exposed so the chunk-at-a-time mode ({!Chunkline.sed}) can drive
+    the same engine over byte slices. *)
+
+val fresh : script -> script
+(** Commands carry mutable range state; take a fresh copy per run. *)
+
+val apply_line : script -> int -> string -> string list * bool
+(** [apply_line script lineno line] is the lines to output and whether
+    a [q] command fired.  Mutates the script's range state. *)
+
 val two_input_stage :
   Eden_kernel.Kernel.t ->
   ?node:Eden_net.Net.node_id ->

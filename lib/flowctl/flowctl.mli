@@ -6,7 +6,10 @@
     - {b batching} — how many items one [Invoke] carries.  [Fixed n]
       pins the batch; [Adaptive p] lets an {!Aimd} controller move it
       between [p.min_batch] and [p.max_batch] in response to
-      backpressure.
+      backpressure; [Chunked bytes] switches the endpoint to the
+      zero-copy chunked plane — each exchange carries one flat
+      [Value.Chunk] of roughly [bytes] payload bytes instead of a
+      batch of boxed items.
     - {b credit} — how many exchanges may be outstanding at once
       ({!Credit.limit}).
 
@@ -14,7 +17,7 @@
     rendezvous and the behavioural baseline every other configuration
     must be observationally equivalent to. *)
 
-type batching = Fixed of int | Adaptive of Aimd.params
+type batching = Fixed of int | Adaptive of Aimd.params | Chunked of int
 
 type t = { batching : batching; credit : Credit.limit }
 
@@ -30,6 +33,16 @@ val adaptive : ?credit:Credit.limit -> ?params:Aimd.params -> unit -> t
 (** AIMD-controlled batching (default params {!Aimd.default_params},
     default credit [Window 1]). *)
 
+val default_chunk_bytes : int
+(** 64 KiB. *)
+
+val chunked : ?credit:Credit.limit -> ?chunk_bytes:int -> unit -> t
+(** The chunked data plane: one flat byte chunk of about [chunk_bytes]
+    (default {!default_chunk_bytes}) per exchange.  A pusher coalesces
+    pending chunk items up to the threshold with zero-copy concat; a
+    puller receives one chunk per seq-stamped transfer.
+    @raise Invalid_argument when [chunk_bytes < 1]. *)
+
 val initial_batch : t -> int
 (** The batch the first exchange uses. *)
 
@@ -44,7 +57,14 @@ val credit : t -> Credit.t
 
 val is_legacy : t -> bool
 (** [true] iff the config is exactly one item per rendezvous with no
-    pipelining — endpoints use this to stay on the seed code path. *)
+    pipelining — endpoints use this to stay on the seed code path.
+    Never true for a [Chunked] config: the chunked plane must not be
+    silently downgraded to the boxed rendezvous. *)
+
+val is_chunked : t -> bool
+
+val chunk_bytes : t -> int option
+(** The coalescing threshold for a [Chunked] config, [None] otherwise. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

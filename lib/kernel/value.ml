@@ -1,3 +1,5 @@
+module Chunk = Eden_chunk.Chunk
+
 type t =
   | Unit
   | Bool of bool
@@ -6,6 +8,7 @@ type t =
   | Str of string
   | Uid of Uid.t
   | List of t list
+  | Chunk of Chunk.t
 
 exception Protocol_error of string
 
@@ -17,6 +20,7 @@ let str s = Str s
 let uid u = Uid u
 let list vs = List vs
 let pair a b = List [ a; b ]
+let chunk c = Chunk c
 
 let shape = function
   | Unit -> "unit"
@@ -26,6 +30,7 @@ let shape = function
   | Str _ -> "string"
   | Uid _ -> "uid"
   | List _ -> "list"
+  | Chunk _ -> "chunk"
 
 let wrong expected v =
   raise (Protocol_error (Printf.sprintf "expected %s, got %s" expected (shape v)))
@@ -37,6 +42,7 @@ let to_float = function Float f -> f | v -> wrong "float" v
 let to_str = function Str s -> s | v -> wrong "string" v
 let to_uid = function Uid u -> u | v -> wrong "uid" v
 let to_list = function List vs -> vs | v -> wrong "list" v
+let to_chunk = function Chunk c -> c | v -> wrong "chunk" v
 
 let to_pair = function
   | List [ a; b ] -> (a, b)
@@ -51,7 +57,8 @@ let rec equal a b =
   | Str x, Str y -> String.equal x y
   | Uid x, Uid y -> Uid.equal x y
   | List xs, List ys -> ( try List.for_all2 equal xs ys with Invalid_argument _ -> false)
-  | (Unit | Bool _ | Int _ | Float _ | Str _ | Uid _ | List _), _ -> false
+  | Chunk x, Chunk y -> Chunk.equal x y
+  | (Unit | Bool _ | Int _ | Float _ | Str _ | Uid _ | List _ | Chunk _), _ -> false
 
 let rec size = function
   | Unit -> 1
@@ -60,6 +67,10 @@ let rec size = function
   | Str s -> 4 + String.length s
   | Uid _ -> 16
   | List vs -> List.fold_left (fun acc v -> acc + size v) 4 vs
+  (* Same length-prefix framing as Str, so the simulated cost model and
+     the Bin size law treat the two interchangeably; [Chunk.length]
+     never faults, so sizing a released chunk stays safe. *)
+  | Chunk c -> 4 + Chunk.length c
 
 let rec pp ppf = function
   | Unit -> Format.pp_print_string ppf "()"
@@ -70,6 +81,7 @@ let rec pp ppf = function
   | Uid u -> Uid.pp ppf u
   | List vs ->
       Format.fprintf ppf "[@[%a@]]" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp) vs
+  | Chunk c -> Chunk.pp ppf c
 
 let to_string v = Format.asprintf "%a" pp v
 
@@ -104,6 +116,10 @@ let preview ?(max_len = 96) v =
             go v)
           vs;
         add "]"
+    | Chunk c ->
+        (* Chunk.preview is itself bounded — a hostile gigabyte chunk
+           costs at most [max_len] bytes of rendering here. *)
+        add (Chunk.preview ~max_len c)
   in
   (try go v with Preview_full -> Buffer.add_string b "…");
   Buffer.contents b

@@ -15,6 +15,11 @@ type t =
   | Str of string
   | Uid of Uid.t
   | List of t list
+  | Chunk of Eden_chunk.Chunk.t
+      (** A flat byte payload carried by reference — the zero-copy data
+          plane's unit of transfer.  Sized and wire-framed like [Str]
+          (length prefix + bytes), but [sub]/[split]/[concat] and every
+          in-process hop move only the handle, never the bytes. *)
 
 exception Protocol_error of string
 
@@ -28,6 +33,7 @@ val str : string -> t
 val uid : Uid.t -> t
 val list : t list -> t
 val pair : t -> t -> t
+val chunk : Eden_chunk.Chunk.t -> t
 
 (** {1 Accessors}
 
@@ -41,6 +47,7 @@ val to_float : t -> float
 val to_str : t -> string
 val to_uid : t -> Uid.t
 val to_list : t -> t list
+val to_chunk : t -> Eden_chunk.Chunk.t
 val to_pair : t -> t * t
 
 val equal : t -> t -> bool

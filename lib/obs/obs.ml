@@ -137,6 +137,8 @@ module Flow = struct
     label : string;
     mutable items_in : int;
     mutable items_out : int;
+    mutable bytes_in : int; (* marshalled payload bytes, Value.size law *)
+    mutable bytes_out : int;
     mutable batches : int;
     mutable max_occupancy : int;
     mutable stall_in : float; (* virtual time spent waiting to read *)
@@ -148,6 +150,8 @@ module Flow = struct
       label;
       items_in = 0;
       items_out = 0;
+      bytes_in = 0;
+      bytes_out = 0;
       batches = 0;
       max_occupancy = 0;
       stall_in = 0.0;
@@ -162,13 +166,18 @@ module Flow = struct
     if occ > s.max_occupancy then s.max_occupancy <- occ
 
   let note_out s = s.items_out <- s.items_out + 1
+  let note_bytes_in s n = if n > 0 then s.bytes_in <- s.bytes_in + n
+  let note_bytes_out s n = if n > 0 then s.bytes_out <- s.bytes_out + n
   let note_batches s n = if n > s.batches then s.batches <- n
   let wait_in s d = if d > 0.0 then s.stall_in <- s.stall_in +. d
   let wait_out s d = if d > 0.0 then s.stall_out <- s.stall_out +. d
 
   let pp ppf s =
-    Fmt.pf ppf "%s: in=%d out=%d batches=%d max_occ=%d stall_in=%.3f stall_out=%.3f"
-      s.label s.items_in s.items_out s.batches s.max_occupancy s.stall_in s.stall_out
+    Fmt.pf ppf
+      "%s: in=%d out=%d bytes_in=%d bytes_out=%d batches=%d max_occ=%d stall_in=%.3f \
+       stall_out=%.3f"
+      s.label s.items_in s.items_out s.bytes_in s.bytes_out s.batches s.max_occupancy
+      s.stall_in s.stall_out
 end
 
 (* ------------------------------------------------------------------ *)

@@ -74,6 +74,8 @@ module Flow : sig
     label : string;
     mutable items_in : int;
     mutable items_out : int;
+    mutable bytes_in : int;
+    mutable bytes_out : int;
     mutable batches : int;
     mutable max_occupancy : int;
     mutable stall_in : float;
@@ -84,6 +86,15 @@ module Flow : sig
   val occupancy : stage -> int
   val note_in : stage -> unit
   val note_out : stage -> unit
+
+  val note_bytes_in : stage -> int -> unit
+  (** Add the marshalled byte size of one consumed item.  Metered
+      stages charge [Value.size] per item, so a chunk counts its whole
+      payload (plus the 4-byte length prefix) and the meters stay
+      truthful when one item is a 64 KiB chunk rather than a boxed
+      line.  Non-positive sizes are ignored. *)
+
+  val note_bytes_out : stage -> int -> unit
 
   val note_batches : stage -> int -> unit
   (** Record the current cumulative batch count for the stage (a

@@ -160,22 +160,24 @@ let post t ~dst m =
 let perr fmt =
   Printf.ksprintf (fun m -> raise (Value.Protocol_error ("cluster: " ^ m))) fmt
 
+let request_body ~target ~op arg = Value.List [ Value.Uid target; Value.Str op; arg ]
+
 let request_frame ~req_id ~src ~dst ~target ~op arg =
   Frame.make ~kind:Frame.Request ~src ~dst ~seq:req_id
-    (Bin.encode (Value.List [ Value.Uid target; Value.Str op; arg ]))
+    (Bin.encode (request_body ~target ~op arg))
 
 let parse_request payload =
   match Bin.decode payload with
   | Value.List [ Value.Uid target; Value.Str op; arg ] -> (target, op, arg)
   | v -> perr "malformed request payload %s" (Value.preview v)
 
+let reply_body (reply : Kernel.reply) =
+  match reply with
+  | Ok v -> Value.List [ Value.Bool true; v ]
+  | Error m -> Value.List [ Value.Bool false; Value.Str m ]
+
 let reply_frame ~req_id ~src ~dst (reply : Kernel.reply) =
-  let body =
-    match reply with
-    | Ok v -> Value.List [ Value.Bool true; v ]
-    | Error m -> Value.List [ Value.Bool false; Value.Str m ]
-  in
-  Frame.make ~kind:Frame.Reply ~src ~dst ~seq:req_id (Bin.encode body)
+  Frame.make ~kind:Frame.Reply ~src ~dst ~seq:req_id (Bin.encode (reply_body reply))
 
 let parse_reply payload : Kernel.reply =
   match Bin.decode payload with
@@ -303,8 +305,14 @@ let forward t sh ~target:(tshard, tuid) ~op arg =
         (request_frame ~req_id ~src:sh.index ~dst:tshard ~target:tuid ~op arg)
   | Leaf l ->
       Atomic.incr t.carried;
-      Frame.write l.conn
-        (request_frame ~req_id ~src:sh.index ~dst:tshard ~target:tuid ~op arg));
+      (* Leaf egress is never faulted (only the hub chokepoint is), so
+         requests leave via the gather path: chunk payloads inside
+         [arg] — deposited items, mostly — are blitted once at the
+         socket boundary instead of being flattened by [Bin.encode]
+         first. *)
+      Frame.write_value l.conn ~kind:Frame.Request ~src:sh.index ~dst:tshard
+        ~seq:req_id
+        (request_body ~target:tuid ~op arg));
   match Ivar.read slot with
   | Ok v -> v
   | Error m -> raise (Kernel.Eden_error m)
@@ -437,7 +445,12 @@ let leaf_loop t sh l =
       (Sched.spawn (Kernel.sched sh.kernel) ~name:"wire-inject" (fun () ->
            let reply = Kernel.invoke ctx target ~op arg in
            Atomic.incr t.carried;
-           Frame.write l.conn (reply_frame ~req_id ~src:sh.index ~dst:from reply)))
+           (* Gather path: transfer replies are where bulk chunk
+              payloads ride the wire, and this write is the single
+              copy they are allowed (bytes identical to
+              [reply_frame]). *)
+           Frame.write_value l.conn ~kind:Frame.Reply ~src:sh.index ~dst:from
+             ~seq:req_id (reply_body reply)))
   in
   let rec loop () =
     Sched.run (Kernel.sched sh.kernel);

@@ -4,11 +4,20 @@ module Uid = Eden_kernel.Uid
 module T = Eden_transput
 module Cat = Eden_filters.Catalog
 module Report = Eden_filters.Report
+module Chunkline = Eden_filters.Chunkline
 module Dev = Eden_devices.Devices
 module Bin = Eden_wire.Bin
+module Chunk = Eden_chunk.Chunk
+module Flowctl = Eden_flowctl.Flowctl
 
+(* Same strings "Line-%03d  the Quick brown Fox   " would produce, but
+   Printf-free: at benchmark item counts the sprintf per line is itself
+   a measurable share of a run. *)
 let doc n =
-  List.init n (fun i -> Printf.sprintf "Line-%03d  the Quick brown Fox   " i)
+  List.init n (fun i ->
+      let s = string_of_int i in
+      let s = if String.length s < 3 then String.make (3 - String.length s) '0' ^ s else s in
+      "Line-" ^ s ^ "  the Quick brown Fox   ")
 
 let list_gen vs =
   let rest = ref vs in
@@ -28,6 +37,7 @@ let encode_stream vs = String.concat "" (List.map Bin.encode vs)
 type f2_outcome = {
   consumed : int;
   stream : string;
+  lines : string list;
   meter : Kernel.Meter.snapshot;
   op_counts : (string * int) list;
 }
@@ -73,16 +83,10 @@ let run_f2 mode ?seed ~domains ~filters ~items ?(batch = 2) ?(capacity = 3) () =
   {
     consumed = !n;
     stream = encode_stream (List.rev !acc);
+    lines = List.map Value.to_str (List.rev !acc);
     meter = Cluster.meter c;
     op_counts = Cluster.op_counts c;
   }
-
-type f4_outcome = {
-  terminal : string list;
-  reports : (string * string list) list;
-  invocations : int;
-  op_counts : (string * int) list;
-}
 
 let split_window_lines ~labels lines =
   List.map
@@ -99,6 +103,322 @@ let split_window_lines ~labels lines =
       in
       (label, mine))
     (List.sort compare labels)
+
+(* --- Plane-parametric topologies (the chunked equivalence matrix) ---- *)
+
+(* Every figure below can run its data plane either {e boxed} — one
+   [Value.Str] line per item, batch 1, the paper's counting regime and
+   the oracle of the equivalence suite — or {e chunked} — flat
+   [Value.Chunk] byte slices cut at arbitrary positions, moved under
+   {!Flowctl.chunked}.  The two planes must produce byte-identical
+   output: the boxed sink renders [line ^ "\n"], the chunked sink
+   concatenates raw chunk payloads. *)
+
+type plane = Boxed | Chunked of { cut : int; chunk_bytes : int }
+
+let chunked ?(cut = 113) ?(chunk_bytes = 4096) () =
+  if cut < 1 then invalid_arg "Distpipe.chunked: cut must be at least 1";
+  Chunked { cut; chunk_bytes }
+
+let plane_gen plane lines =
+  match plane with
+  | Boxed -> list_gen (List.map (fun s -> Value.Str s) lines)
+  | Chunked { cut; _ } ->
+      Chunkline.cut_gen ~cut
+        (String.concat "" (List.map (fun l -> l ^ "\n") lines))
+
+let plane_flowctl = function
+  | Boxed -> None
+  | Chunked { chunk_bytes; _ } -> Some (Flowctl.chunked ~chunk_bytes ())
+
+(* The alternating F2 filter chain, per plane. *)
+let plane_filter plane j =
+  match plane with
+  | Boxed -> if j mod 2 = 1 then Cat.trim_trailing else Cat.upcase
+  | Chunked _ -> if j mod 2 = 1 then Cat.chunked_trim_trailing else Cat.chunked_upcase
+
+let plane_grep_v plane pat =
+  match plane with Boxed -> Cat.grep_v pat | Chunked _ -> Cat.chunked_grep_v pat
+
+let plane_upcase = function Boxed -> Cat.upcase | Chunked _ -> Cat.chunked_upcase
+
+(* Sink half shared by every runner: collects the output byte stream
+   and counts which plane each arriving item was on — the equivalence
+   suite asserts [chunk_items > 0] so a silently downgraded chunked
+   config fails instead of comparing boxed against boxed. *)
+let byte_sink () =
+  let buf = Buffer.create 4096 in
+  let chunk_items = ref 0 in
+  let boxed_items = ref 0 in
+  let consume v =
+    match v with
+    | Value.Chunk c ->
+        incr chunk_items;
+        Buffer.add_string buf (Chunk.to_string c);
+        Chunk.release c
+    | Value.Str s ->
+        incr boxed_items;
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n'
+    | v -> raise (Value.Protocol_error ("byte sink: unexpected " ^ Value.preview v))
+  in
+  (consume, buf, chunk_items, boxed_items)
+
+(* Progress reporting for the F3/F4 report streams, held to the same
+   text on both planes: the boxed side counts items (one line each),
+   the chunked side counts lines as the engine completes them. *)
+let plane_progress plane ~every ~label : Report.reporting =
+  match plane with
+  | Boxed -> Report.with_progress ~every ~label T.Transform.identity
+  | Chunked _ ->
+      fun next emit report ->
+        let seen = ref 0 in
+        Chunkline.run
+          ~on_line:(fun _ line ->
+            incr seen;
+            if !seen mod every = 0 then
+              report (Value.Str (Printf.sprintf "%s: %d items" label !seen));
+            ([ line ], false))
+          ~on_flush:(fun () -> [])
+          next emit;
+        report (Value.Str (Printf.sprintf "%s: done, %d items" label !seen))
+
+type stream_outcome = {
+  bytes : string;
+  reports : (string * string list) list;
+  chunk_items : int;
+  boxed_items : int;
+  eos_clean : bool;
+  s_meter : Kernel.Meter.snapshot;
+  s_op_counts : (string * int) list;
+}
+
+let outcome c ~buf ~reports ~chunk_items ~boxed_items ~eos_clean =
+  {
+    bytes = Buffer.contents buf;
+    reports;
+    chunk_items = !chunk_items;
+    boxed_items = !boxed_items;
+    eos_clean;
+    s_meter = Cluster.meter c;
+    s_op_counts = Cluster.op_counts c;
+  }
+
+let run_f2p mode ?seed ~domains ~filters ~items ~plane ?filter_of ?(batch = 1)
+    ?(capacity = 3) () =
+  if domains <= 0 then invalid_arg "Distpipe.run_f2p: domains must be positive";
+  if filters < 0 then invalid_arg "Distpipe.run_f2p: filters must be non-negative";
+  if items <= 0 then invalid_arg "Distpipe.run_f2p: items must be positive";
+  let c = Cluster.create ?seed mode ~shards:domains () in
+  let flowctl = plane_flowctl plane in
+  let src_shard = stage_shard ~domains 0 in
+  let src =
+    T.Stage.source_ro
+      (Cluster.kernel c src_shard)
+      ~name:"source" ~capacity
+      (plane_gen plane (doc items))
+  in
+  let transform_of j =
+    match filter_of with Some f -> f j | None -> plane_filter plane j
+  in
+  let prev = ref (src_shard, src) in
+  for j = 1 to filters do
+    let shard = stage_shard ~domains j in
+    let upstream = Cluster.proxy c ~shard ~ops:[ T.Proto.transfer_op ] ~target:!prev in
+    let f =
+      T.Stage.filter_ro
+        (Cluster.kernel c shard)
+        ~name:(Printf.sprintf "F%d" j)
+        ~capacity ~batch ?flowctl ~upstream (transform_of j)
+    in
+    prev := (shard, f)
+  done;
+  let k0 = Cluster.kernel c 0 in
+  let sink_up = Cluster.proxy c ~shard:0 ~ops:[ T.Proto.transfer_op ] ~target:!prev in
+  let consume, buf, chunk_items, boxed_items = byte_sink () in
+  let eos = ref 0 in
+  let sink =
+    T.Stage.sink_ro k0 ~name:"sink" ~batch ?flowctl ~upstream:sink_up
+      ~on_done:(fun () -> incr eos)
+      consume
+  in
+  Kernel.poke k0 sink;
+  Cluster.run c;
+  outcome c ~buf ~reports:[] ~chunk_items ~boxed_items ~eos_clean:(!eos = 1)
+
+let run_f1p mode ?seed ~domains ~filters ~items ~plane ?(capacity = 4) () =
+  if domains <= 0 then invalid_arg "Distpipe.run_f1p: domains must be positive";
+  if filters < 0 then invalid_arg "Distpipe.run_f1p: filters must be non-negative";
+  if items <= 0 then invalid_arg "Distpipe.run_f1p: items must be positive";
+  let c = Cluster.create ?seed mode ~shards:domains () in
+  let flowctl = plane_flowctl plane in
+  let k0 = Cluster.kernel c 0 in
+  (* Conventional discipline: every active stage lives on a leaf shard
+     while the pipes sit with the sink on shard 0, so each read and
+     each write of the chain crosses the fabric. *)
+  let pipes =
+    Array.init (filters + 1) (fun j ->
+        T.Stage.pipe k0 ~name:(Printf.sprintf "pipe%d" j) ~capacity ())
+  in
+  let pipe_proxy ~shard j ops = Cluster.proxy c ~shard ~ops ~target:(0, pipes.(j)) in
+  let src_shard = stage_shard ~domains 0 in
+  let src =
+    T.Stage.source_active
+      (Cluster.kernel c src_shard)
+      ~name:"source" ?flowctl
+      ~downstream:(pipe_proxy ~shard:src_shard 0 [ T.Proto.deposit_op ])
+      (plane_gen plane (doc items))
+  in
+  Kernel.poke (Cluster.kernel c src_shard) src;
+  for j = 1 to filters do
+    let shard = stage_shard ~domains j in
+    let f =
+      T.Stage.filter_active
+        (Cluster.kernel c shard)
+        ~name:(Printf.sprintf "F%d" j)
+        ?flowctl
+        ~upstream:(pipe_proxy ~shard (j - 1) [ T.Proto.transfer_op ])
+        ~downstream:(pipe_proxy ~shard j [ T.Proto.deposit_op ])
+        (plane_filter plane j)
+    in
+    Kernel.poke (Cluster.kernel c shard) f
+  done;
+  let consume, buf, chunk_items, boxed_items = byte_sink () in
+  let eos = ref 0 in
+  let sink =
+    T.Stage.sink_active k0 ~name:"sink" ?flowctl ~upstream:pipes.(filters)
+      ~on_done:(fun () -> incr eos)
+      consume
+  in
+  Kernel.poke k0 sink;
+  Cluster.run c;
+  outcome c ~buf ~reports:[] ~chunk_items ~boxed_items ~eos_clean:(!eos = 1)
+
+let run_f3p mode ?seed ~domains ~items ~plane ?(capacity = 4) () =
+  if domains <= 0 then invalid_arg "Distpipe.run_f3p: domains must be positive";
+  if items <= 0 then invalid_arg "Distpipe.run_f3p: items must be positive";
+  let c = Cluster.create ?seed mode ~shards:domains () in
+  let flowctl = plane_flowctl plane in
+  let k0 = Cluster.kernel c 0 in
+  let docl = doc items @ [ "drop this line" ] in
+  let shard_of = stage_shard ~domains in
+  let s_src = shard_of 0 and s_f1 = shard_of 1 and s_f2 = shard_of 2 and s_f3 = shard_of 3 in
+  (* Built sink-first: write-only stages hold their downstream's UID. *)
+  let consume, buf, chunk_items, boxed_items = byte_sink () in
+  let eos = ref 0 in
+  let sink =
+    T.Stage.sink_wo k0 ~name:"sink" ~capacity
+      ~on_done:(fun () -> incr eos)
+      consume
+  in
+  let rep_acc = ref [] in
+  let rep_eos = ref 0 in
+  let repsink =
+    T.Stage.sink_wo k0 ~name:"repsink" ~capacity
+      ~on_done:(fun () -> incr rep_eos)
+      (fun v -> rep_acc := Value.to_str v :: !rep_acc)
+  in
+  let f3 =
+    T.Stage.filter_wo
+      (Cluster.kernel c s_f3)
+      ~name:"F3" ~capacity ?flowctl
+      ~downstream:(Cluster.proxy c ~shard:s_f3 ~ops:[ T.Proto.deposit_op ] ~target:(0, sink))
+      (plane_upcase plane)
+  in
+  let f2 =
+    T.Stage.filter_wo
+      (Cluster.kernel c s_f2)
+      ~name:"F2" ~capacity ?flowctl
+      ~downstream:(Cluster.proxy c ~shard:s_f2 ~ops:[ T.Proto.deposit_op ] ~target:(s_f3, f3))
+      (plane_grep_v plane "drop")
+  in
+  let f1 =
+    Report.filter_wo
+      (Cluster.kernel c s_f1)
+      ~name:"F1" ~capacity
+      ~downstream:(Cluster.proxy c ~shard:s_f1 ~ops:[ T.Proto.deposit_op ] ~target:(s_f2, f2))
+      ~report_to:(Cluster.proxy c ~shard:s_f1 ~ops:[ T.Proto.deposit_op ] ~target:(0, repsink))
+      ~report_channel:T.Channel.output
+      (plane_progress plane ~every:4 ~label:"F1")
+  in
+  let src =
+    T.Stage.source_wo
+      (Cluster.kernel c s_src)
+      ~name:"source" ?flowctl
+      ~downstream:(Cluster.proxy c ~shard:s_src ~ops:[ T.Proto.deposit_op ] ~target:(s_f1, f1))
+      (plane_gen plane docl)
+  in
+  Kernel.poke (Cluster.kernel c s_src) src;
+  Cluster.run c;
+  outcome c ~buf
+    ~reports:[ ("F1", List.rev !rep_acc) ]
+    ~chunk_items ~boxed_items
+    ~eos_clean:(!eos = 1 && !rep_eos = 1)
+
+let run_f4p mode ?seed ~domains ~items ~plane ?(capacity = 3) () =
+  if domains <= 0 then invalid_arg "Distpipe.run_f4p: domains must be positive";
+  if items <= 0 then invalid_arg "Distpipe.run_f4p: items must be positive";
+  let c = Cluster.create ?seed mode ~shards:domains () in
+  let flowctl = plane_flowctl plane in
+  let docl = doc items @ [ "drop this line" ] in
+  let shard_of = stage_shard ~domains in
+  let s_src = shard_of 0 and s_f1 = shard_of 1 and s_f2 = shard_of 2 and s_f3 = shard_of 3 in
+  let src =
+    T.Stage.source_ro
+      (Cluster.kernel c s_src)
+      ~name:"source" ~capacity (plane_gen plane docl)
+  in
+  let f1 =
+    Report.filter_ro
+      (Cluster.kernel c s_f1)
+      ~name:"F1" ~capacity
+      ~upstream:(Cluster.proxy c ~shard:s_f1 ~ops:[ T.Proto.transfer_op ] ~target:(s_src, src))
+      (plane_progress plane ~every:4 ~label:"F1")
+  in
+  let f2 =
+    T.Stage.filter_ro
+      (Cluster.kernel c s_f2)
+      ~name:"F2" ~capacity ?flowctl
+      ~upstream:(Cluster.proxy c ~shard:s_f2 ~ops:[ T.Proto.transfer_op ] ~target:(s_f1, f1))
+      (plane_grep_v plane "drop")
+  in
+  let f3 =
+    T.Stage.filter_ro
+      (Cluster.kernel c s_f3)
+      ~name:"F3" ~capacity ?flowctl
+      ~upstream:(Cluster.proxy c ~shard:s_f3 ~ops:[ T.Proto.transfer_op ] ~target:(s_f2, f2))
+      (plane_upcase plane)
+  in
+  let k0 = Cluster.kernel c 0 in
+  let consume, buf, chunk_items, boxed_items = byte_sink () in
+  let eos = ref 0 in
+  let sink =
+    T.Stage.sink_ro k0 ~name:"sink" ?flowctl
+      ~upstream:(Cluster.proxy c ~shard:0 ~ops:[ T.Proto.transfer_op ] ~target:(s_f3, f3))
+      ~on_done:(fun () -> incr eos)
+      consume
+  in
+  let watch =
+    [
+      ( "F1",
+        Cluster.proxy c ~shard:0 ~ops:[ T.Proto.transfer_op ] ~target:(s_f1, f1),
+        T.Channel.report );
+    ]
+  in
+  let window = Dev.report_window_ro k0 ~name:"window" ~watch () in
+  Kernel.poke k0 sink;
+  Kernel.poke k0 window.Dev.uid;
+  Cluster.run c;
+  outcome c ~buf
+    ~reports:(split_window_lines ~labels:[ "F1" ] (window.Dev.lines ()))
+    ~chunk_items ~boxed_items ~eos_clean:(!eos = 1)
+
+type f4_outcome = {
+  terminal : string list;
+  reports : (string * string list) list;
+  invocations : int;
+  op_counts : (string * int) list;
+}
 
 let run_f4 mode ?seed ~domains ~items () =
   if domains <= 0 then invalid_arg "Distpipe.run_f4: domains must be positive";

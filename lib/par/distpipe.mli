@@ -18,6 +18,7 @@ module Value = Eden_kernel.Value
 type f2_outcome = {
   consumed : int;
   stream : string;  (** Consumed items, Bin-encoded, concatenated in order. *)
+  lines : string list;  (** The same items decoded, for line-level oracles. *)
   meter : Eden_kernel.Kernel.Meter.snapshot;
   op_counts : (string * int) list;
 }
@@ -53,3 +54,97 @@ val run_f4 : Cluster.mode -> ?seed:int64 -> domains:int -> items:int -> unit -> 
     upstream, F2 (grep -v "drop") and F3 (upcase) further along,
     terminal and report window (watching source and F1 report
     channels) on shard 0. *)
+
+(** {1 Plane-parametric topologies}
+
+    Every figure rebuilt so its data plane is a parameter: [Boxed] is
+    one [Value.Str] line per item at batch 1 — the oracle — and
+    [Chunked] moves flat [Value.Chunk] byte slices cut at arbitrary
+    [cut]-byte positions under {!Eden_flowctl.Flowctl.chunked}.  The
+    equivalence suite demands the two planes produce byte-identical
+    {!stream_outcome.bytes} (and report streams) on every runtime. *)
+
+type plane = Boxed | Chunked of { cut : int; chunk_bytes : int }
+
+val chunked : ?cut:int -> ?chunk_bytes:int -> unit -> plane
+(** [cut] (default 113, deliberately line-misaligned) sizes the source
+    chunks; [chunk_bytes] (default 4096) the {!Eden_flowctl.Flowctl}
+    coalescing threshold on push edges. *)
+
+val plane_gen : plane -> string list -> unit -> Value.t option
+(** The source generator for a line document on either plane. *)
+
+val plane_flowctl : plane -> Eden_flowctl.Flowctl.t option
+
+type stream_outcome = {
+  bytes : string;
+      (** The sink's byte stream: boxed items render as [line ^ "\n"],
+          chunk payloads are concatenated raw — the cross-plane
+          comparison surface. *)
+  reports : (string * string list) list;
+      (** Report lines per watched label ([[]] for F1/F2). *)
+  chunk_items : int;  (** Sink items that arrived as [Value.Chunk]. *)
+  boxed_items : int;  (** Sink items that arrived as [Value.Str]. *)
+  eos_clean : bool;  (** Every sink saw exactly one end-of-stream, last. *)
+  s_meter : Eden_kernel.Kernel.Meter.snapshot;
+  s_op_counts : (string * int) list;
+}
+
+val run_f1p :
+  Cluster.mode ->
+  ?seed:int64 ->
+  domains:int ->
+  filters:int ->
+  items:int ->
+  plane:plane ->
+  ?capacity:int ->
+  unit ->
+  stream_outcome
+(** Figure 1 conventional pipeline: active source, filters and sink on
+    leaf shards connected through passive pipes on shard 0, so every
+    hop crosses the fabric twice (deposit in, transfer out). *)
+
+val run_f2p :
+  Cluster.mode ->
+  ?seed:int64 ->
+  domains:int ->
+  filters:int ->
+  items:int ->
+  plane:plane ->
+  ?filter_of:(int -> Eden_transput.Transform.t) ->
+  ?batch:int ->
+  ?capacity:int ->
+  unit ->
+  stream_outcome
+(** Figure 2 read-only pipeline, plane-parametric.  [batch] applies to
+    the boxed plane only (the chunked plane is windowed per chunk).
+    [filter_of] overrides the default alternating trim/upcase chain
+    with a custom transform per position — the B2 benchmark passes
+    identity so the measurement isolates the data plane rather than
+    line-filter CPU. *)
+
+val run_f3p :
+  Cluster.mode ->
+  ?seed:int64 ->
+  domains:int ->
+  items:int ->
+  plane:plane ->
+  ?capacity:int ->
+  unit ->
+  stream_outcome
+(** §5 write-only pipeline with a report stream: source pumps into
+    reporting filter F1 (progress every 4 lines), F2 (grep -v "drop"),
+    F3 (upcase), sink on shard 0; F1's reports deposit into their own
+    sink on shard 0. *)
+
+val run_f4p :
+  Cluster.mode ->
+  ?seed:int64 ->
+  domains:int ->
+  items:int ->
+  plane:plane ->
+  ?capacity:int ->
+  unit ->
+  stream_outcome
+(** Figure 4 read-only report topology, plane-parametric: the report
+    window watches F1's report channel; the terminal is a byte sink. *)

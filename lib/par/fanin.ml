@@ -129,3 +129,88 @@ let run mode ?seed ~domains spec =
     cross_messages = Cluster.cross_messages c;
     makespans = Cluster.makespans c;
   }
+
+(* --- Byte-stream fan-in (the chunked equivalence variant) ----------- *)
+
+type bytes_outcome = {
+  b_per_branch : string array;
+  b_chunk_items : int;
+  b_boxed_items : int;
+  b_eos_clean : bool;
+  b_op_counts : (string * int) list;
+}
+
+let branch_doc ~branch n =
+  List.init n (fun i ->
+      Printf.sprintf "b%02d-line-%03d  payload %04x  " branch i
+        (((branch * 7919) + (i * 104729)) land 0xFFFF))
+
+(* Per-branch cut sizes differ (seeded off the branch index) so chunk
+   boundaries land differently on every branch of the same run. *)
+let branch_plane plane ~branch =
+  match (plane : Distpipe.plane) with
+  | Distpipe.Boxed -> Distpipe.Boxed
+  | Distpipe.Chunked { cut; chunk_bytes } ->
+      Distpipe.Chunked { cut = 1 + ((cut + (branch * 13)) mod 257); chunk_bytes }
+
+let run_bytes mode ?seed ~domains ~branches ~items ~plane () =
+  if branches <= 0 then invalid_arg "Fanin.run_bytes: branches must be positive";
+  if items <= 0 then invalid_arg "Fanin.run_bytes: items must be positive";
+  if domains <= 0 then invalid_arg "Fanin.run_bytes: domains must be positive";
+  let c = Cluster.create ?seed mode ~shards:domains () in
+  let bufs = Array.init branches (fun _ -> Buffer.create 1024) in
+  let chunk_items = ref 0 in
+  let boxed_items = ref 0 in
+  let done_times = Array.make branches 0 in
+  let k0 = Cluster.kernel c 0 in
+  for b = 0 to branches - 1 do
+    let bplane = branch_plane plane ~branch:b in
+    let flowctl = Distpipe.plane_flowctl bplane in
+    let pshard = branch_shard ~domains b in
+    let pk = Cluster.kernel c pshard in
+    let src =
+      Stage.source_ro pk
+        ~name:(Printf.sprintf "b%02d.source" b)
+        ~capacity:4
+        (Distpipe.plane_gen bplane (branch_doc ~branch:b items))
+    in
+    let filter =
+      Stage.filter_ro pk
+        ~name:(Printf.sprintf "b%02d.upcase" b)
+        ~capacity:4 ?flowctl ~upstream:src
+        (match bplane with
+        | Distpipe.Boxed -> Eden_filters.Catalog.upcase
+        | Distpipe.Chunked _ -> Eden_filters.Catalog.chunked_upcase)
+    in
+    let sink_up =
+      Cluster.proxy c ~shard:0 ~ops:[ Proto.transfer_op ] ~target:(pshard, filter)
+    in
+    let sink =
+      Stage.sink_ro k0
+        ~name:(Printf.sprintf "b%02d.sink" b)
+        ?flowctl ~upstream:sink_up
+        ~on_done:(fun () -> done_times.(b) <- done_times.(b) + 1)
+        (fun v ->
+          match v with
+          | Value.Chunk c ->
+              incr chunk_items;
+              Buffer.add_string bufs.(b) (Eden_chunk.Chunk.to_string c);
+              Eden_chunk.Chunk.release c
+          | Value.Str s ->
+              incr boxed_items;
+              Buffer.add_string bufs.(b) s;
+              Buffer.add_char bufs.(b) '\n'
+          | v ->
+              raise
+                (Value.Protocol_error ("fanin byte sink: unexpected " ^ Value.preview v)))
+    in
+    Kernel.poke k0 sink
+  done;
+  Cluster.run c;
+  {
+    b_per_branch = Array.map Buffer.contents bufs;
+    b_chunk_items = !chunk_items;
+    b_boxed_items = !boxed_items;
+    b_eos_clean = Array.for_all (fun n -> n = 1) done_times;
+    b_op_counts = Cluster.op_counts c;
+  }

@@ -67,3 +67,31 @@ val run :
     drives it to quiescence.
     @raise Invalid_argument on a non-positive [branches], [items],
     [batch] or [domains]. *)
+
+(** {1 Byte-stream fan-in}
+
+    The same fan-in shape carrying line text instead of integers, on
+    either data plane: every branch is source → upcase → sink, with
+    per-branch documents and (on the chunked plane) per-branch cut
+    sizes.  The equivalence suite holds each branch's byte stream
+    identical between planes and across runtimes. *)
+
+type bytes_outcome = {
+  b_per_branch : string array;  (** concatenated sink bytes per branch *)
+  b_chunk_items : int;  (** sink items that arrived as [Value.Chunk] *)
+  b_boxed_items : int;
+  b_eos_clean : bool;
+  b_op_counts : (string * int) list;
+}
+
+val branch_doc : branch:int -> int -> string list
+
+val run_bytes :
+  Cluster.mode ->
+  ?seed:int64 ->
+  domains:int ->
+  branches:int ->
+  items:int ->
+  plane:Distpipe.plane ->
+  unit ->
+  bytes_outcome

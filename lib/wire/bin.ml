@@ -1,5 +1,6 @@
 module Value = Eden_kernel.Value
 module Uid = Eden_kernel.Uid
+module Chunk = Eden_chunk.Chunk
 
 let max_depth = 200
 
@@ -12,6 +13,7 @@ let tag_float = 0x03
 let tag_str = 0x04
 let tag_uid = 0x05
 let tag_list = 0x06
+let tag_chunk = 0x07
 
 let err fmt =
   Printf.ksprintf (fun m -> raise (Value.Protocol_error ("wire: " ^ m))) fmt
@@ -44,11 +46,62 @@ let rec to_buffer b v =
       Buffer.add_uint8 b tag_list;
       Buffer.add_int32_be b (Int32.of_int (List.length vs));
       List.iter (to_buffer b) vs
+  | Value.Chunk c ->
+      let len = Chunk.length c in
+      if len > 0x3FFFFFFF then invalid_arg "Bin.encode: chunk too long";
+      Buffer.add_uint8 b tag_chunk;
+      Buffer.add_int32_be b (Int32.of_int len);
+      Buffer.add_string b (Chunk.to_string c)
 
 let encode v =
   let b = Buffer.create 64 in
   to_buffer b v;
   Buffer.contents b
+
+(* The gather-encoding of a value: header bytes as flat strings, chunk
+   payloads as live references.  [Frame.write_parts] turns this into a
+   writev-style send where the only payload copy happens at the syscall
+   boundary; [encode] above is the flattening equivalent (and Chunk
+   payloads cost an extra pass through the Buffer there, which is
+   exactly what the parts path exists to avoid). *)
+
+type part = Flat of string | Payload of Chunk.t
+
+let part_length = function
+  | Flat s -> String.length s
+  | Payload c -> Chunk.length c
+
+let parts_length ps = List.fold_left (fun acc p -> acc + part_length p) 0 ps
+
+let parts v =
+  let acc = ref [] in
+  let b = Buffer.create 64 in
+  let flush () =
+    if Buffer.length b > 0 then begin
+      acc := Flat (Buffer.contents b) :: !acc;
+      Buffer.clear b
+    end
+  in
+  let rec go v =
+    match v with
+    | Value.Chunk c ->
+        let len = Chunk.length c in
+        if len > 0x3FFFFFFF then invalid_arg "Bin.parts: chunk too long";
+        Buffer.add_uint8 b tag_chunk;
+        Buffer.add_int32_be b (Int32.of_int len);
+        flush ();
+        acc := Payload c :: !acc
+    | Value.List vs ->
+        if List.compare_length_with vs 0x3FFFFFFF > 0 then
+          invalid_arg "Bin.parts: list too long";
+        Buffer.add_uint8 b tag_list;
+        Buffer.add_int32_be b (Int32.of_int (List.length vs));
+        List.iter go vs
+    | v -> to_buffer b v
+  in
+  go v;
+  flush ();
+  List.rev !acc
 
 (* Decoding: an explicit cursor over an immutable string.  Every read
    checks the remaining byte count first; lengths and list counts are
@@ -111,6 +164,20 @@ let rec value c depth =
     if Int64.compare serial 0L < 0 || Int64.compare serial (Int64.of_int max_int) > 0
     then err "uid serial %Ld outside native range" serial;
     Value.Uid (Uid.of_wire ~tag:tag64 ~serial:(Int64.to_int serial))
+  end
+  else if tag = tag_chunk then begin
+    (* Same hostile-input discipline as strings: the length is bounded
+       by the remaining bytes before any allocation, so a forged header
+       (negative lengths arrive as huge unsigned ones) is rejected for
+       the cost of the bounded diagnostic alone.  Decoding is the one
+       payload copy on the receive side: the fresh root is owned by the
+       decoder's consumer. *)
+    let len = u32 c "chunk length" in
+    if len > c.limit - c.pos then
+      err "chunk length %d exceeds %d remaining bytes" len (c.limit - c.pos);
+    let ch = Chunk.of_substring c.s ~pos:c.pos ~len in
+    c.pos <- c.pos + len;
+    Value.Chunk ch
   end
   else if tag = tag_list then begin
     let count = u32 c "list count" in

@@ -3,10 +3,10 @@
     The simulated kernel moves [Value.t] trees by reference; the wire
     moves bytes.  This codec is the bridge: a compact tagged binary
     form whose sizes match [Value.size] exactly (1 byte for unit, 1+1
-    for bool, 1+8 for int/float, 1+4+len for strings, 1+16 for UIDs,
-    1+4+elements for lists — the leading tag byte is the only
-    overhead), so the simulated latency model and the real transport
-    agree on what a value costs.
+    for bool, 1+8 for int/float, 1+4+len for strings and chunks, 1+16
+    for UIDs, 1+4+elements for lists — the leading tag byte is the
+    only overhead), so the simulated latency model and the real
+    transport agree on what a value costs.
 
     Decoding is strict and hostile-input safe:
     - every length/count is bounds-checked against the bytes actually
@@ -26,6 +26,25 @@ val max_depth : int
 
 val to_buffer : Buffer.t -> Value.t -> unit
 val encode : Value.t -> string
+
+(** {1 Gather encoding}
+
+    [Chunk] payloads are big and already flat; flattening them through
+    a [Buffer] would copy each payload twice before the socket sees it.
+    {!parts} produces the same byte stream as {!encode} but keeps every
+    chunk payload as a live reference, so a writer can emit the flat
+    header strings as-is and blit each payload straight into the
+    syscall ({!Frame.write_parts}). *)
+
+type part =
+  | Flat of string  (** tag/length framing and non-chunk values *)
+  | Payload of Eden_chunk.Chunk.t  (** raw chunk bytes, by reference *)
+
+val parts : Value.t -> part list
+(** [String.concat "" (flattened parts v) = encode v]. *)
+
+val part_length : part -> int
+val parts_length : part list -> int
 
 val decode : string -> Value.t
 (** Decode exactly one value spanning the whole string.

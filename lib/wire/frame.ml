@@ -97,6 +97,42 @@ let write fd f =
   let s = encode f in
   write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
 
+(* Writev-style gather send: the frame header and the flat framing
+   strings go out as-is, and each chunk payload is blitted from its
+   Bigarray segments into one scratch buffer immediately before the
+   syscall — the single payload copy the chunked plane budgets for.
+   (Unix.write takes Bytes, so a userspace staging copy is the floor
+   without C stubs; what this path avoids is the Buffer flattening
+   that [encode] would do on top.) *)
+
+let parts_size ps = 4 + header_bytes + Bin.parts_length ps
+
+let write_parts fd ~kind ?(flags = 0) ~src ~dst ?(seq = 0) ps =
+  let plen = Bin.parts_length ps in
+  if plen > max_payload then invalid_arg "Frame.write_parts: payload exceeds max_payload";
+  let b = Buffer.create (4 + header_bytes) in
+  Buffer.add_int32_be b (Int32.of_int (header_bytes + plen));
+  Buffer.add_uint8 b (kind_code kind);
+  Buffer.add_uint8 b (flags land 0xFF);
+  Buffer.add_uint8 b (src land 0xFF);
+  Buffer.add_uint8 b (dst land 0xFF);
+  Buffer.add_int32_be b (Int32.of_int (seq land 0xFFFFFFFF));
+  let hdr = Buffer.contents b in
+  write_all fd (Bytes.unsafe_of_string hdr) 0 (String.length hdr);
+  List.iter
+    (fun p ->
+      match p with
+      | Bin.Flat s -> write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
+      | Bin.Payload c ->
+          let len = Eden_chunk.Chunk.length c in
+          let scratch = Bytes.create len in
+          Eden_chunk.Chunk.blit_to_bytes c ~src_pos:0 scratch ~dst_pos:0 ~len;
+          write_all fd scratch 0 len)
+    ps
+
+let write_value fd ~kind ?flags ~src ~dst ?seq v =
+  write_parts fd ~kind ?flags ~src ~dst ?seq (Bin.parts v)
+
 let read_exact fd n ~at_boundary =
   let b = Bytes.create n in
   let got = ref 0 in

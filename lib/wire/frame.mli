@@ -59,6 +59,36 @@ val decode : string -> t
 val write : Unix.file_descr -> t -> unit
 (** Write one whole frame; handles short writes. *)
 
+val write_parts :
+  Unix.file_descr ->
+  kind:kind ->
+  ?flags:int ->
+  src:int ->
+  dst:int ->
+  ?seq:int ->
+  Bin.part list ->
+  unit
+(** Writev-style gather send of a frame whose payload is a {!Bin.parts}
+    list: flat framing strings go out as-is and each chunk payload is
+    blitted once, immediately before the syscall.  Byte-identical on
+    the wire to [write (make ... (String.concat "" parts))]. *)
+
+val write_value :
+  Unix.file_descr ->
+  kind:kind ->
+  ?flags:int ->
+  src:int ->
+  dst:int ->
+  ?seq:int ->
+  Value.t ->
+  unit
+(** [write_parts] of [Bin.parts v] — one frame carrying one value with
+    a single copy per chunk payload. *)
+
+val parts_size : Bin.part list -> int
+(** Total wire bytes (length word included) [write_parts] will emit for
+    this payload — what the fault layer and meters charge for it. *)
+
 val read : Unix.file_descr -> t
 (** Read exactly one frame.
     @raise End_of_file on a clean close at a frame boundary.

@@ -29,10 +29,14 @@ let () =
       ("integration", Test_integration.suite);
       ("properties", Test_properties.suite);
       ("determinism", Test_determinism.suite);
+      ("chunk", Test_chunk.suite);
       (* wire before par: the wire cluster forks leaf processes, and the
          OCaml 5 runtime forbids Unix.fork once any domain has ever been
-         spawned — par's Domain.spawn must come after every fork. *)
+         spawned — par's Domain.spawn must come after every fork.  The
+         chunk-equiv suite has cases in both camps, so it sits between
+         them with its wire cases listed before its parallel ones. *)
       ("wire", Test_wire.suite);
+      ("chunk-equiv", Test_chunk_equiv.suite);
       ("par", Test_par.suite);
       ("check", Test_check.suite);
     ]

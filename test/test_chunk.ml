@@ -1,0 +1,434 @@
+(* The zero-copy chunk type and its plumbing: lifecycle faults, the
+   QCheck ownership fuzzer, hostile chunk decoding, the gather-write
+   framing, byte-metered flows, and refcount balance through a resil
+   sink crash/replay. *)
+
+open Eden_kernel
+module Chunk = Eden_chunk.Chunk
+module Bin = Eden_wire.Bin
+module Frame = Eden_wire.Frame
+module Obs = Eden_obs.Obs
+module Flowctl = Eden_flowctl.Flowctl
+module Stage = Eden_transput.Stage
+module Retry = Eden_resil.Retry
+module Backoff = Eden_resil.Backoff
+module Rstage = Eden_resil.Rstage
+module Rpipeline = Eden_resil.Rpipeline
+module Supervisor = Eden_resil.Supervisor
+module Pipeline = Eden_transput.Pipeline
+
+let check = Alcotest.check
+
+let prop name ?(count = 100) gen f =
+  Seed.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let gauges () = (Chunk.live_roots (), Chunk.live_bytes (), Chunk.live_views ())
+
+let check_fault name fault f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected %s fault" name (Chunk.fault_name fault)
+  | exception Chunk.Fault (got, _) ->
+      check Alcotest.string name (Chunk.fault_name fault) (Chunk.fault_name got)
+
+(* --- lifecycle ------------------------------------------------------ *)
+
+let test_basics () =
+  let c = Chunk.of_string "hello world" in
+  check Alcotest.int "length" 11 (Chunk.length c);
+  check Alcotest.string "to_string" "hello world" (Chunk.to_string c);
+  check Alcotest.char "get" 'w' (Chunk.get c 6);
+  check Alcotest.(option int) "index_from" (Some 5) (Chunk.index_from c 0 ' ');
+  let z = Chunk.alloc 4 in
+  check Alcotest.string "alloc zero-filled" "\000\000\000\000" (Chunk.to_string z);
+  let s = Chunk.of_substring "abcdef" ~pos:2 ~len:3 in
+  check Alcotest.string "of_substring" "cde" (Chunk.to_string s);
+  let e = Chunk.empty () in
+  check Alcotest.int "empty" 0 (Chunk.length e);
+  List.iter Chunk.release [ c; z; s; e ]
+
+let test_zero_copy () =
+  let roots0 = Chunk.live_roots () in
+  let c = Chunk.of_string "hello world" in
+  check Alcotest.int "one root" (roots0 + 1) (Chunk.live_roots ());
+  (* sub/split/concat never copy: no new roots, only views. *)
+  let w = Chunk.sub c ~pos:6 ~len:5 in
+  check Alcotest.string "sub" "world" (Chunk.to_string w);
+  let a, b = Chunk.split c 5 in
+  check Alcotest.string "split left" "hello" (Chunk.to_string a);
+  check Alcotest.string "split right" " world" (Chunk.to_string b);
+  let j = Chunk.concat [ a; w ] in
+  check Alcotest.string "concat" "helloworld" (Chunk.to_string j);
+  check Alcotest.int "concat chains segments" 2 (Chunk.segments j);
+  check Alcotest.int "still one root" (roots0 + 1) (Chunk.live_roots ());
+  let flat = Chunk.of_string "helloworld" in
+  check Alcotest.bool "equal across shapes" true (Chunk.equal j flat);
+  List.iter Chunk.release [ c; w; a; b; j; flat ]
+
+let test_equal_segmented () =
+  let l = Chunk.of_string "abc" and r = Chunk.of_string "def" in
+  let j = Chunk.concat [ l; r ] in
+  let flat = Chunk.of_string "abcdef" in
+  check Alcotest.bool "equal segmented vs flat" true (Chunk.equal j flat);
+  let head = Chunk.sub flat ~pos:0 ~len:5 in
+  check Alcotest.bool "not equal" false (Chunk.equal j head);
+  List.iter Chunk.release [ l; r; j; flat; head ]
+
+let test_faults () =
+  let c = Chunk.of_string "doomed" in
+  Chunk.release c;
+  check_fault "double release" Chunk.Double_release (fun () -> Chunk.release c);
+  check_fault "use after free" Chunk.Use_after_free (fun () -> Chunk.to_string c);
+  check_fault "sub after free" Chunk.Use_after_free (fun () -> Chunk.sub c ~pos:0 ~len:1);
+  (* preview must stay safe on a released handle — it feeds error
+     messages and observability. *)
+  let p = Chunk.preview c in
+  check Alcotest.bool "preview safe when released" true
+    (String.length p > 0 && String.length p < 64);
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "preview names released" true (contains_sub p "released")
+
+let test_gauge_balance () =
+  let base = gauges () in
+  let c = Chunk.of_string "0123456789" in
+  let a, b = Chunk.split c 4 in
+  let j = Chunk.concat [ b; a ] in
+  let s = Chunk.sub j ~pos:2 ~len:6 in
+  check Alcotest.bool "gauges rose" true (gauges () <> base);
+  List.iter Chunk.release [ c; a; b; j; s ];
+  check
+    Alcotest.(triple int int int)
+    "gauges balance to baseline" base (gauges ())
+
+(* --- QCheck lifecycle fuzzer ---------------------------------------- *)
+
+(* Random sub/split/concat/release sequences over a tracked pool of
+   handles, plus deliberate double-releases and use-after-free pokes.
+   The typed faults must fire exactly on the poisoned actions, and the
+   gauges must return to baseline once every live handle is released. *)
+let prop_lifecycle =
+  prop "chunk lifecycle fuzzer: faults typed, gauges balance" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 60) (pair (int_bound 7) (int_bound 1000)))
+    (fun ops ->
+      let base = gauges () in
+      let alive = ref [] in
+      let dead = ref [] in
+      let fresh_id = ref 0 in
+      let pick xs r = List.nth xs (r mod List.length xs) in
+      let ok = ref true in
+      List.iter
+        (fun (op, r) ->
+          match op with
+          | 0 | 1 ->
+              incr fresh_id;
+              alive := Chunk.of_string (Printf.sprintf "item-%04d-%d" !fresh_id r) :: !alive
+          | 2 when !alive <> [] ->
+              let c = pick !alive r in
+              let len = Chunk.length c in
+              if len > 0 then
+                alive := Chunk.sub c ~pos:(r mod len) ~len:(1 + (r mod (len - (r mod len)))) :: !alive
+          | 3 when !alive <> [] ->
+              let c = pick !alive r in
+              let a, b = Chunk.split c (r mod (Chunk.length c + 1)) in
+              alive := a :: b :: !alive
+          | 4 when !alive <> [] ->
+              let a = pick !alive r and b = pick !alive (r / 7) in
+              alive := Chunk.concat [ a; b ] :: !alive
+          | 5 when !alive <> [] ->
+              let c = pick !alive r in
+              Chunk.release c;
+              alive := List.filter (fun x -> x != c) !alive;
+              dead := c :: !dead
+          | 6 when !dead <> [] ->
+              (* Double release must raise the typed fault, every time. *)
+              let c = pick !dead r in
+              (match Chunk.release c with
+              | () -> ok := false
+              | exception Chunk.Fault (Chunk.Double_release, _) -> ()
+              | exception _ -> ok := false)
+          | 7 when !dead <> [] ->
+              (* Use-after-free likewise. *)
+              let c = pick !dead r in
+              (match Chunk.to_string c with
+              | _ -> ok := false
+              | exception Chunk.Fault (Chunk.Use_after_free, _) -> ()
+              | exception _ -> ok := false)
+          | _ -> ())
+        ops;
+      (* Exercise reads on the survivors, then drain the pool. *)
+      List.iter (fun c -> ignore (Chunk.to_string c)) !alive;
+      List.iter Chunk.release !alive;
+      !ok && gauges () = base)
+
+(* --- hostile decoding ----------------------------------------------- *)
+
+let test_bin_roundtrip () =
+  let base = gauges () in
+  let c1 = Chunk.of_string "payload one" in
+  let seg = Chunk.of_string "seg-a|" in
+  let c2 = Chunk.concat [ seg ] in
+  Chunk.release seg;
+  let v =
+    Value.List
+      [ Value.Str "hdr"; Value.Chunk c1; Value.List [ Value.Chunk c2; Value.Int 7 ] ]
+  in
+  let enc = Bin.encode v in
+  let back = Bin.decode enc in
+  check Alcotest.bool "chunk value roundtrips" true (Value.equal v back);
+  (* Size law: a chunk frames exactly like a string of the same bytes. *)
+  let lone = Bin.encode (Value.Chunk c1) in
+  check Alcotest.int "1 + 4 + len" (1 + 4 + Chunk.length c1) (String.length lone);
+  (* Release both the originals and the decoded copies: balance. *)
+  let rec dispose = function
+    | Value.Chunk c -> Chunk.release c
+    | Value.List vs -> List.iter dispose vs
+    | _ -> ()
+  in
+  dispose v;
+  dispose back;
+  check Alcotest.(triple int int int) "balanced" base (gauges ())
+
+let test_bin_hostile_chunk () =
+  let reject name s =
+    match Bin.decode s with
+    | v -> Alcotest.failf "%s: decoded %s" name (Value.preview v)
+    | exception Value.Protocol_error _ -> ()
+  in
+  (* Length overrunning the buffer must be rejected before allocation. *)
+  reject "oversized length" "\x07\xff\xff\xff\x7fAB";
+  reject "length past end" "\x07\x00\x00\x00\x09short";
+  reject "truncated header" "\x07\x00\x00";
+  (* 2^31-1-ish lengths encoded in the unsigned field: still bounded by
+     the remaining-bytes check, no allocation attempt. *)
+  reject "huge unsigned length" "\x07\xff\xff\xff\xff";
+  (* Truncating a valid encoding anywhere inside the payload fails. *)
+  let c = Chunk.of_string "0123456789" in
+  let enc = Bin.encode (Value.Chunk c) in
+  Chunk.release c;
+  reject "truncated payload" (String.sub enc 0 (String.length enc - 3));
+  (* Depth cap applies around chunks too: wrap one chunk in more list
+     headers than the decoder allows. *)
+  let depth = 210 in
+  let b = Buffer.create 1024 in
+  for _ = 1 to depth do
+    Buffer.add_string b "\x06\x00\x00\x00\x01"
+  done;
+  Buffer.add_string b "\x07\x00\x00\x00\x01x";
+  reject "depth cap" (Buffer.contents b)
+
+let test_value_preview_bounded () =
+  let c = Chunk.of_string (String.make 100_000 'x') in
+  let p = Value.preview (Value.Chunk c) in
+  check Alcotest.bool "preview bounded" true (String.length p < 256);
+  Chunk.release c
+
+(* --- gather framing -------------------------------------------------- *)
+
+let flatten_parts ps =
+  String.concat ""
+    (List.map (function Bin.Flat s -> s | Bin.Payload c -> Chunk.to_string c) ps)
+
+let test_parts_law () =
+  let c1 = Chunk.of_string "alpha" and c2 = Chunk.of_string "beta" in
+  let vals =
+    [
+      Value.Unit;
+      Value.Str "plain";
+      Value.Chunk c1;
+      Value.List [ Value.Int 3; Value.Chunk c2; Value.Str "tail" ];
+      Value.List [ Value.List [ Value.Chunk c1 ] ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let ps = Bin.parts v in
+      check Alcotest.string "parts flatten to encode" (Bin.encode v) (flatten_parts ps);
+      check Alcotest.int "parts_length law" (String.length (Bin.encode v))
+        (Bin.parts_length ps))
+    vals;
+  (* The chunk payloads must ride as references, not copies. *)
+  let ps = Bin.parts (Value.List [ Value.Chunk c1; Value.Chunk c2 ]) in
+  let payloads = List.filter (function Bin.Payload _ -> true | _ -> false) ps in
+  check Alcotest.int "chunks stay as payload refs" 2 (List.length payloads);
+  List.iter Chunk.release [ c1; c2 ]
+
+let test_write_parts_wire_identical () =
+  let c = Chunk.of_string (String.concat "\n" (List.init 40 (Printf.sprintf "line %d"))) in
+  let v = Value.List [ Value.Str "envelope"; Value.Chunk c ] in
+  let via_parts =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Frame.write_value a ~kind:Frame.Request ~src:3 ~dst:5 ~seq:42 v;
+    let f = Frame.read b in
+    Unix.close a;
+    Unix.close b;
+    f
+  in
+  let via_flat =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Frame.write a (Frame.make ~kind:Frame.Request ~src:3 ~dst:5 ~seq:42 (Bin.encode v));
+    let f = Frame.read b in
+    Unix.close a;
+    Unix.close b;
+    f
+  in
+  check Alcotest.bool "headers agree" true (via_parts.Frame.hdr = via_flat.Frame.hdr);
+  check Alcotest.string "payload byte-identical" via_flat.Frame.payload
+    via_parts.Frame.payload;
+  check Alcotest.int "parts_size agrees with size" (Frame.size via_flat)
+    (Frame.parts_size (Bin.parts v));
+  Chunk.release c
+
+(* --- flow meters ------------------------------------------------------ *)
+
+let test_flow_meter_bytes () =
+  (* Byte meters charge Value.size per item: a chunk counts its whole
+     payload plus the 4-byte framing, same as a string. *)
+  let items = [ Value.Str "abcd"; Value.chunk (Chunk.of_string "0123456789"); Value.Str "" ] in
+  let expect = List.fold_left (fun a v -> a + Value.size v) 0 items in
+  check Alcotest.int "size law str" (4 + 4) (Value.size (List.nth items 0));
+  check Alcotest.int "size law chunk" (4 + 10) (Value.size (List.nth items 1));
+  let k = Kernel.create () in
+  let obs = Kernel.obs k in
+  let src_flow = Obs.register_stage obs "m.source" in
+  let sink_flow = Obs.register_stage obs "m.sink" in
+  let rest = ref items in
+  let gen () =
+    match !rest with
+    | [] -> None
+    | v :: tl ->
+        rest := tl;
+        Some v
+  in
+  let src = Stage.source_ro k ~name:"m.source" ~flow:src_flow gen in
+  let got = ref [] in
+  let sink =
+    Stage.sink_ro k ~name:"m.sink" ~flow:sink_flow ~upstream:src (fun v -> got := v :: !got)
+  in
+  Kernel.poke k sink;
+  Kernel.run k;
+  check Alcotest.int "sink items" 3 (List.length !got);
+  check Alcotest.int "sink bytes_in = sum of sizes" expect sink_flow.Obs.Flow.bytes_in;
+  check Alcotest.int "source bytes_out = sum of sizes" expect src_flow.Obs.Flow.bytes_out;
+  check Alcotest.int "source bytes_in zero" 0 src_flow.Obs.Flow.bytes_in;
+  List.iter (function Value.Chunk c -> Chunk.release c | _ -> ()) !got
+
+let test_net_size_histogram_counts_chunks () =
+  (* Chunk payloads land in the net.size histogram via Value.size — a
+     1 KiB chunk moving across the simulated net must register at least
+     its own bytes. *)
+  let k = Kernel.create () in
+  let payload = String.make 1024 'z' in
+  let rest = ref [ Value.chunk (Chunk.of_string payload) ] in
+  let gen () =
+    match !rest with
+    | [] -> None
+    | v :: tl ->
+        rest := tl;
+        Some v
+  in
+  let src = Stage.source_ro k ~name:"h.source" gen in
+  let sink =
+    Stage.sink_ro k ~name:"h.sink" ~upstream:src (function
+      | Value.Chunk c -> Chunk.release c
+      | _ -> ())
+  in
+  Kernel.poke k sink;
+  Kernel.run k;
+  let m = Kernel.Meter.snapshot k in
+  check Alcotest.bool "net bytes cover the chunk" true
+    (m.Kernel.Meter.net.Eden_net.Net.bytes >= 1024)
+
+(* --- flowctl config --------------------------------------------------- *)
+
+let test_flowctl_chunked () =
+  let f = Flowctl.chunked () in
+  check Alcotest.bool "is_chunked" true (Flowctl.is_chunked f);
+  check Alcotest.bool "never legacy" false (Flowctl.is_legacy f);
+  check Alcotest.(option int) "chunk_bytes" (Some Flowctl.default_chunk_bytes)
+    (Flowctl.chunk_bytes f);
+  check Alcotest.int "initial batch 1" 1 (Flowctl.initial_batch f);
+  let g = Flowctl.chunked ~chunk_bytes:512 () in
+  check Alcotest.(option int) "custom bytes" (Some 512) (Flowctl.chunk_bytes g);
+  check Alcotest.bool "boxed configs report no chunk_bytes" true
+    (Flowctl.chunk_bytes (Flowctl.fixed 4) = None);
+  match Flowctl.chunked ~chunk_bytes:0 () with
+  | _ -> Alcotest.fail "chunk_bytes 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- resil replay balance --------------------------------------------- *)
+
+(* A chunked read-only resumable pipeline whose sink crashes mid-stream
+   and replays from its checkpoint.  Replayed deliveries re-serve the
+   same handles, the restarted fold discards none silently: after
+   releasing the output exactly once, every refcount balances. *)
+let test_resil_replay_balance () =
+  let base = gauges () in
+  let n = 24 in
+  let line i = Printf.sprintf "resil-line-%03d  Quick brown  " i in
+  let gen i = if i >= n then None else Some (Value.chunk (Chunk.of_string (line i))) in
+  let upchunk v =
+    match v with
+    | Value.Chunk c ->
+        let s = String.uppercase_ascii (Chunk.to_string c) in
+        Chunk.release c;
+        Value.chunk (Chunk.of_string s)
+    | v -> v
+  in
+  let k = Kernel.create ~seed:5L ~nodes:[ "a"; "b"; "c" ] () in
+  let policy =
+    Retry.policy ~timeout:50.0 ~max_attempts:10 ~backoff:(Backoff.make ~base:1.0 ~cap:10.0 ()) ()
+  in
+  let p =
+    Rpipeline.build k ~nodes:(Kernel.nodes k) ~batch:2 ~policy ~seed:99L Pipeline.Read_only
+      ~gen ~filters:[ Rstage.pure_map upchunk ]
+  in
+  let sup = Supervisor.create k ~policy:(Supervisor.policy ~interval:4.0 ()) () in
+  Rpipeline.supervise p sup;
+  Supervisor.start sup;
+  Rpipeline.crash_at p p.Rpipeline.sink 6.0;
+  let completed = ref false in
+  Kernel.run_driver k (fun _ctx ->
+      Rpipeline.start p;
+      completed := Rpipeline.await_timeout p ~deadline:5000.0;
+      Supervisor.stop sup);
+  check Alcotest.bool "completes through the crash" true !completed;
+  (match Rpipeline.output p with
+  | None -> Alcotest.fail "no output"
+  | Some vs ->
+      let texts =
+        List.map
+          (function
+            | Value.Chunk c ->
+                let s = Chunk.to_string c in
+                Chunk.release c;
+                s
+            | v -> Value.to_str v)
+          vs
+      in
+      let expected = List.init n (fun i -> String.uppercase_ascii (line i)) in
+      check Alcotest.(list string) "byte-identical stream after replay" expected texts;
+      check Alcotest.int "chunks stayed chunks" n
+        (List.length (List.filter (function Value.Chunk _ -> true | _ -> false) vs)));
+  check Alcotest.(triple int int int) "refcounts balance through replay" base (gauges ())
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "zero-copy sub/split/concat" `Quick test_zero_copy;
+    Alcotest.test_case "equal across segmentations" `Quick test_equal_segmented;
+    Alcotest.test_case "typed faults" `Quick test_faults;
+    Alcotest.test_case "gauge balance" `Quick test_gauge_balance;
+    prop_lifecycle;
+    Alcotest.test_case "bin roundtrip + size law" `Quick test_bin_roundtrip;
+    Alcotest.test_case "bin hostile chunk lengths" `Quick test_bin_hostile_chunk;
+    Alcotest.test_case "value preview bounded" `Quick test_value_preview_bounded;
+    Alcotest.test_case "gather parts law" `Quick test_parts_law;
+    Alcotest.test_case "write_parts wire-identical" `Quick test_write_parts_wire_identical;
+    Alcotest.test_case "flow meters count bytes" `Quick test_flow_meter_bytes;
+    Alcotest.test_case "net.size sees chunk bytes" `Quick test_net_size_histogram_counts_chunks;
+    Alcotest.test_case "flowctl chunked config" `Quick test_flowctl_chunked;
+    Alcotest.test_case "resil replay refcount balance" `Quick test_resil_replay_balance;
+  ]

@@ -1,0 +1,149 @@
+(* The byte-identical equivalence matrix of the chunked data plane.
+
+   Every figure of the paper (F1 conventional, F2 read-only, F3
+   write-only with reports, F4 read-only with a report window) plus
+   the fan-in runs its data plane chunked — flat byte slices cut at
+   seed-varied, line-misaligned positions — against the boxed batch=1
+   oracle, across the deterministic, wire (unix and tcp) and parallel
+   runtimes.  The contract: output byte streams, per-branch order and
+   report streams match bit-for-bit, EOS arrives exactly once and
+   last, and the chunked run actually moved chunks — a silently
+   downgraded config FAILS the plane-intact assertion rather than
+   passing a vacuous boxed-vs-boxed comparison.
+
+   Case order matters: wire cases (which fork leaf processes) are
+   listed before parallel cases (which spawn domains) because OCaml 5
+   forbids fork once any domain has ever been spawned.  See main.ml. *)
+
+module Distpipe = Eden_par.Distpipe
+module Fanin = Eden_par.Fanin
+module Cluster = Eden_par.Cluster
+module Transport = Eden_wire.Transport
+
+let check = Alcotest.check
+
+let domains = 3
+let items = 24
+let filters = 3
+let branches = 4
+
+(* EDEN_SEED varies where chunk boundaries fall and how aggressively
+   pushes coalesce; every size is deliberately line-misaligned. *)
+let seed_int = Int64.to_int Seed.base land 0xFFFF
+
+let plane i =
+  Distpipe.chunked
+    ~cut:(17 + ((seed_int + (i * 37)) mod 241))
+    ~chunk_bytes:(192 + (64 * ((seed_int + i) mod 7)))
+    ()
+
+let det = Cluster.Deterministic
+let par = Cluster.Parallel
+let wire tr = Cluster.Wire { Cluster.wire_transport = tr; wire_faults = None }
+
+(* The oracles: boxed, batch 1, deterministic.  Computed once. *)
+let oracle_f1 =
+  lazy (Distpipe.run_f1p det ~domains ~filters ~items ~plane:Distpipe.Boxed ())
+
+let oracle_f2 =
+  lazy (Distpipe.run_f2p det ~domains ~filters ~items ~plane:Distpipe.Boxed ())
+
+let oracle_f3 = lazy (Distpipe.run_f3p det ~domains ~items ~plane:Distpipe.Boxed ())
+let oracle_f4 = lazy (Distpipe.run_f4p det ~domains ~items ~plane:Distpipe.Boxed ())
+
+let oracle_fanin =
+  lazy (Fanin.run_bytes det ~domains ~branches ~items ~plane:Distpipe.Boxed ())
+
+let check_outcome name (oracle : Distpipe.stream_outcome)
+    (out : Distpipe.stream_outcome) =
+  check Alcotest.string (name ^ ": byte-identical stream") oracle.Distpipe.bytes
+    out.Distpipe.bytes;
+  check
+    Alcotest.(list (pair string (list string)))
+    (name ^ ": byte-identical reports") oracle.Distpipe.reports out.Distpipe.reports;
+  check Alcotest.bool (name ^ ": EOS exactly once, last") true out.Distpipe.eos_clean;
+  (* Fails, never skips: the chunked plane must have carried chunks. *)
+  check Alcotest.bool (name ^ ": chunked plane intact (no silent downgrade)") true
+    (out.Distpipe.chunk_items > 0);
+  check Alcotest.int (name ^ ": no boxed stragglers") 0 out.Distpipe.boxed_items
+
+let sanity_oracle name (oracle : Distpipe.stream_outcome) =
+  check Alcotest.bool (name ^ ": oracle is boxed") true
+    (oracle.Distpipe.chunk_items = 0 && oracle.Distpipe.boxed_items > 0);
+  check Alcotest.bool (name ^ ": oracle EOS clean") true oracle.Distpipe.eos_clean;
+  check Alcotest.bool (name ^ ": oracle stream non-empty") true
+    (String.length oracle.Distpipe.bytes > 0)
+
+let test_oracles () =
+  sanity_oracle "f1" (Lazy.force oracle_f1);
+  sanity_oracle "f2" (Lazy.force oracle_f2);
+  sanity_oracle "f3" (Lazy.force oracle_f3);
+  sanity_oracle "f4" (Lazy.force oracle_f4);
+  (* The boxed F2 oracle agrees with the legacy figure-2 runner: the
+     byte surface is exactly its line stream, newline-terminated. *)
+  let legacy = Distpipe.run_f2 det ~domains ~filters ~items ~batch:1 () in
+  check Alcotest.string "f2 oracle matches legacy runner"
+    (String.concat "" (List.map (fun l -> l ^ "\n") legacy.Distpipe.lines))
+    (Lazy.force oracle_f2).Distpipe.bytes;
+  (* Boxed and chunked planes really are different planes. *)
+  check Alcotest.bool "planes distinguishable" true
+    ((Distpipe.run_f2p det ~domains ~filters ~items ~plane:(plane 0) ()).Distpipe.chunk_items
+    > 0)
+
+let run_fig mode i = function
+  | `F1 -> Distpipe.run_f1p mode ~domains ~filters ~items ~plane:(plane i) ()
+  | `F2 -> Distpipe.run_f2p mode ~domains ~filters ~items ~plane:(plane i) ()
+  | `F3 -> Distpipe.run_f3p mode ~domains ~items ~plane:(plane i) ()
+  | `F4 -> Distpipe.run_f4p mode ~domains ~items ~plane:(plane i) ()
+
+let oracle_of = function
+  | `F1 -> Lazy.force oracle_f1
+  | `F2 -> Lazy.force oracle_f2
+  | `F3 -> Lazy.force oracle_f3
+  | `F4 -> Lazy.force oracle_f4
+
+let fig_name = function `F1 -> "f1" | `F2 -> "f2" | `F3 -> "f3" | `F4 -> "f4"
+
+let test_figs mode mode_name offset () =
+  List.iteri
+    (fun i fig ->
+      let name = Printf.sprintf "%s/%s" (fig_name fig) mode_name in
+      check_outcome name (oracle_of fig) (run_fig mode (offset + i) fig))
+    [ `F1; `F2; `F3; `F4 ]
+
+let test_fanin mode mode_name i () =
+  let oracle = Lazy.force oracle_fanin in
+  let out = Fanin.run_bytes mode ~domains ~branches ~items ~plane:(plane i) () in
+  Array.iteri
+    (fun b bytes ->
+      check Alcotest.string
+        (Printf.sprintf "fanin/%s branch %d byte-identical" mode_name b)
+        bytes out.Fanin.b_per_branch.(b))
+    oracle.Fanin.b_per_branch;
+  check Alcotest.bool ("fanin/" ^ mode_name ^ ": EOS clean") true out.Fanin.b_eos_clean;
+  check Alcotest.bool ("fanin/" ^ mode_name ^ ": chunked plane intact") true
+    (out.Fanin.b_chunk_items > 0);
+  check Alcotest.int ("fanin/" ^ mode_name ^ ": no boxed stragglers") 0
+    out.Fanin.b_boxed_items
+
+(* Wire cases precede parallel cases: forks before any domain spawn. *)
+let suite =
+  [
+    Alcotest.test_case "oracles sane (boxed, deterministic)" `Quick test_oracles;
+    Alcotest.test_case "figures chunked = oracle [deterministic]" `Quick
+      (test_figs det "det" 0);
+    Alcotest.test_case "fanin chunked = oracle [deterministic]" `Quick
+      (test_fanin det "det" 4);
+    Alcotest.test_case "figures chunked = oracle [wire unix]" `Quick
+      (test_figs (wire Transport.Unix_socket) "unix" 5);
+    Alcotest.test_case "fanin chunked = oracle [wire unix]" `Quick
+      (test_fanin (wire Transport.Unix_socket) "unix" 9);
+    Alcotest.test_case "figures chunked = oracle [wire tcp]" `Quick
+      (test_figs (wire Transport.Tcp) "tcp" 10);
+    Alcotest.test_case "fanin chunked = oracle [wire tcp]" `Quick
+      (test_fanin (wire Transport.Tcp) "tcp" 14);
+    Alcotest.test_case "figures chunked = oracle [parallel]" `Quick
+      (test_figs par "par" 15);
+    Alcotest.test_case "fanin chunked = oracle [parallel]" `Quick
+      (test_fanin par "par" 19);
+  ]
