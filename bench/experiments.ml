@@ -1850,6 +1850,216 @@ let b2 ?(quick = false) () =
     exit 1
   end
 
+(* --- S1: million-entity capacity ------------------------------------- *)
+
+let s1_percentile a p =
+  let s = Array.copy a in
+  Array.sort Float.compare s;
+  let n = Array.length s in
+  if n = 0 then 0.0 else s.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+
+(* Heap bytes attributable to the block of allocations done by [f],
+   after a full major cycle on both sides so floating garbage never
+   counts against the entities. *)
+let s1_live_delta f =
+  Gc.full_major ();
+  let w0 = (Gc.stat ()).Gc.live_words in
+  let r = f () in
+  Gc.full_major ();
+  let w1 = (Gc.stat ()).Gc.live_words in
+  (r, float_of_int ((w1 - w0) * 8))
+
+let s1 ?(quick = false) () =
+  section "S1  Million-entity capacity: flat stores, dormancy, wake-up latency";
+  let n =
+    match Option.bind (Sys.getenv_opt "EDEN_S1_N") int_of_string_opt with
+    | Some n when n > 0 -> n
+    | Some _ | None -> if quick then 10_000 else 1_000_000
+  in
+  let items_per = 4 in
+  Printf.printf
+    "N=%d entities (EDEN_S1_N overrides).  Dormant cost is measured live\n\
+     heap delta across creation; producers are capacity-0 read-only\n\
+     sources whose behaviour runs only on first activation (T2\n\
+     scale-to-zero), so a dormant producer is an eject record, a slab\n\
+     slot and a generator closure — no port, no worker fiber.  Wake-ups\n\
+     arrive open-loop in Pareto-sized bursts (alpha 1.2: heavy-tailed)\n\
+     and drain %d items each; latency is wall clock from burst arrival.\n\n"
+    n items_per;
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let tbl =
+    Table.create
+      ~title:(Printf.sprintf "S1: capacity and dormancy at N=%d" n)
+      ~columns:[ ("phase", Table.Left); ("metric", Table.Left); ("value", Table.Right) ]
+  in
+  let row phase metric value = Table.add_row tbl [ phase; metric; value ] in
+  (* Phase 1: bare ejects — the kernel store cost alone.  The behaviour
+     closure is shared, so the per-entity cost is the eject record, its
+     UID, the slab slot and the serial index slot. *)
+  let bare_beh _ctx ~passive:_ = [ ("Echo", Fun.id) ] in
+  let bare_bytes =
+    let (kb, last), bytes =
+      s1_live_delta (fun () ->
+          let kb = Kernel.create ~seed:0x51L () in
+          let last = ref None in
+          for _ = 1 to n do
+            last := Some (Kernel.create_eject kb ~type_name:"cell" bare_beh)
+          done;
+          (kb, last))
+    in
+    (match !last with
+    | Some uid when Kernel.exists kb uid -> ()
+    | _ -> fail "bare ejects: last UID does not resolve");
+    bytes /. float_of_int n
+  in
+  row "bare ejects" "bytes/entity" (Table.cell_float ~decimals:1 bare_bytes);
+  (* Phase 2: N dormant producers in one kernel. *)
+  let gen_calls = ref 0 in
+  let mk_gen p =
+    let i = ref 0 in
+    fun () ->
+      incr gen_calls;
+      if !i >= items_per then None
+      else begin
+        incr i;
+        Some (Value.Str (Printf.sprintf "p%06d item %d payload" p !i))
+      end
+  in
+  let t0 = Unix.gettimeofday () in
+  let (k, srcs), prod_total =
+    s1_live_delta (fun () ->
+        let k = Kernel.create ~seed:0x51AB5L () in
+        let srcs = Array.init n (fun p -> T.Stage.source_ro k ~capacity:0 (mk_gen p)) in
+        (k, srcs))
+  in
+  let dt_create = Unix.gettimeofday () -. t0 in
+  let prod_bytes = prod_total /. float_of_int n in
+  row "dormant producers" "bytes/entity" (Table.cell_float ~decimals:1 prod_bytes);
+  row "dormant producers" "create wall s" (Table.cell_float ~decimals:2 dt_create);
+  row "dormant producers" "ejects live" (Table.cell_int (Kernel.Meter.snapshot k).Kernel.Meter.ejects_live);
+  (* Dormancy really is free: an idle scheduler pass over the fully
+     populated kernel does no invocations, no activations, no gen calls. *)
+  Kernel.run_driver k (fun _ -> ());
+  let m_idle = Kernel.Meter.snapshot k in
+  Kernel.run_driver k (fun _ -> ());
+  let idle = Kernel.Meter.diff (Kernel.Meter.snapshot k) m_idle in
+  if !gen_calls <> 0 then fail "laziness violated: %d gen calls before any pull" !gen_calls;
+  if idle.Kernel.Meter.invocations <> 0 || idle.Kernel.Meter.activations <> 0 then
+    fail "dormancy not free: idle pass did %d invocations, %d activations"
+      idle.Kernel.Meter.invocations idle.Kernel.Meter.activations;
+  (* Phase 3: wake a cohort open-loop in Pareto bursts. *)
+  let w = min (if quick then 2_000 else 20_000) n in
+  let g = Prng.create 0xA1FAL in
+  let first = Array.make w 0.0 and e2e = Array.make w 0.0 in
+  let sched = Kernel.sched k in
+  let m0 = Kernel.Meter.snapshot k in
+  let gc0 = Gc.quick_stat () in
+  let t_wake0 = Unix.gettimeofday () in
+  let woken = ref 0 in
+  let bursts = ref 0 in
+  let burst_max = ref 0 in
+  while !woken < w do
+    let u = 1.0 -. Prng.float g 1.0 in
+    let burst = min (w - !woken) (max 1 (int_of_float (4.0 *. (u ** (-1.0 /. 1.2))))) in
+    let base = !woken in
+    woken := !woken + burst;
+    incr bursts;
+    if burst > !burst_max then burst_max := burst;
+    (* All of a burst's wakes land before any is served — open-loop
+       within the burst; the driver drains to quiescence between
+       bursts. *)
+    Kernel.run_driver k (fun ctx ->
+        for j = 0 to burst - 1 do
+          let p = base + j in
+          let ta = Unix.gettimeofday () in
+          ignore
+            (Sched.spawn sched ~name:"s1-wake" (fun () ->
+                 let pull = T.Pull.connect ctx srcs.(p) in
+                 let rec go n_read =
+                   match T.Pull.read pull with
+                   | Some _ ->
+                       if n_read = 0 then first.(p) <- Unix.gettimeofday () -. ta;
+                       go (n_read + 1)
+                   | None ->
+                       e2e.(p) <- Unix.gettimeofday () -. ta;
+                       if n_read <> items_per then
+                         fail "wake %d: stream had %d items, wanted %d" p n_read items_per
+                 in
+                 go 0))
+        done)
+  done;
+  let dt_wake = Unix.gettimeofday () -. t_wake0 in
+  let md = Kernel.Meter.diff (Kernel.Meter.snapshot k) m0 in
+  let gc1 = Gc.quick_stat () in
+  if !gen_calls <> w * (items_per + 1) then
+    fail "gen calls after wakes: %d, wanted %d" !gen_calls (w * (items_per + 1));
+  let us v = Table.cell_float ~decimals:1 (v *. 1e6) in
+  row "wake-up" "cohort / bursts / max"
+    (Printf.sprintf "%d / %d / %d" w !bursts !burst_max);
+  row "wake-up" "p50 first-item us" (us (s1_percentile first 0.50));
+  row "wake-up" "p99 first-item us" (us (s1_percentile first 0.99));
+  row "wake-up" "max first-item us" (us (s1_percentile first 1.0));
+  row "wake-up" "p50 end-to-end us" (us (s1_percentile e2e 0.50));
+  row "wake-up" "p99 end-to-end us" (us (s1_percentile e2e 0.99));
+  row "wake-up" "wakes/s"
+    (Table.cell_int (int_of_float (float_of_int w /. dt_wake)));
+  row "wake-up" "invocations/wake"
+    (Table.cell_float ~decimals:1 (float_of_int md.Kernel.Meter.invocations /. float_of_int w));
+  row "GC pacing" "minor words/wake"
+    (Table.cell_int
+       (int_of_float ((gc1.Gc.minor_words -. gc0.Gc.minor_words) /. float_of_int w)));
+  row "GC pacing" "minor collections" (Table.cell_int (gc1.Gc.minor_collections - gc0.Gc.minor_collections));
+  row "GC pacing" "major collections" (Table.cell_int (gc1.Gc.major_collections - gc0.Gc.major_collections));
+  (* Phase 4: the F3/F4 window fan-in scenario — parallel chunked must
+     reproduce the deterministic boxed byte streams at capacity scale. *)
+  let fan_p = if quick then 200 else 2_000 in
+  let run_fan mode plane =
+    let t0 = Unix.gettimeofday () in
+    let o =
+      Par.Fanin.run_window mode ~seed:0x51FAL ~window:100 ~domains:3 ~producers:fan_p
+        ~items:5 ~style:`Ro ~plane ()
+    in
+    (o, Unix.gettimeofday () -. t0)
+  in
+  let det_o, det_dt = run_fan Par.Cluster.Deterministic Par.Distpipe.Boxed in
+  let par_o, par_dt =
+    run_fan Par.Cluster.Parallel (Par.Distpipe.chunked ~cut:97 ())
+  in
+  if not det_o.Par.Fanin.w_eos_clean then fail "fan-in: deterministic EOS not clean";
+  if not par_o.Par.Fanin.w_eos_clean then fail "fan-in: parallel EOS not clean";
+  if par_o.Par.Fanin.w_chunk_items = 0 then fail "fan-in: chunked plane downgraded to boxed";
+  if det_o.Par.Fanin.w_bytes <> par_o.Par.Fanin.w_bytes then
+    fail "fan-in: parallel chunked bytes diverged from deterministic boxed";
+  if det_o.Par.Fanin.w_reports <> par_o.Par.Fanin.w_reports then
+    fail "fan-in: report streams diverged across runtimes";
+  row "fan-in window" "producers" (Table.cell_int fan_p);
+  row "fan-in window" "det boxed wall s" (Table.cell_float ~decimals:2 det_dt);
+  row "fan-in window" "par chunked wall s" (Table.cell_float ~decimals:2 par_dt);
+  row "fan-in window" "par == det" "yes";
+  Table.print tbl;
+  (* Pinned regression bounds: generous multiples of measured steady
+     state (130 B bare, 282 B per dormant producer, p99 ~110 ms under
+     3k-wake open-loop bursts where the tail is queueing-dominated), so
+     real regressions (a pointer per entity is +8 bytes; a leaked port
+     is +hundreds; a tombstoned heap turns the tail quadratic) trip
+     them while CI noise does not. *)
+  let bound_bare = 200.0 and bound_prod = 480.0 and bound_p99 = 0.500 in
+  if bare_bytes > bound_bare then
+    fail "bytes/entity (bare) %.1f exceeds pinned bound %.0f" bare_bytes bound_bare;
+  if prod_bytes > bound_prod then
+    fail "bytes/entity (dormant producer) %.1f exceeds pinned bound %.0f" prod_bytes
+      bound_prod;
+  if s1_percentile first 0.99 > bound_p99 then
+    fail "p99 first-item wake %.1f ms exceeds pinned bound %.0f ms"
+      (s1_percentile first 0.99 *. 1e3)
+      (bound_p99 *. 1e3);
+  match !failures with
+  | [] -> Printf.printf "s1: PASSED (N=%d, %d wakes, fan-in %d producers)\n" n w fan_p
+  | fs ->
+      List.iter (fun f -> Printf.printf "s1: FAILED (%s)\n" f) (List.rev fs);
+      exit 1
+
 (* Tiny-iteration smoke over the figures and B1, cheap enough for
    `dune runtest`; exercises the full experiment code paths. *)
 let quick () =
@@ -1861,7 +2071,8 @@ let quick () =
   e1 ~quick:true ();
   c1 ();
   w1 ~quick:true ();
-  b2 ~quick:true ()
+  b2 ~quick:true ();
+  s1 ~quick:true ()
 
 let all () =
   smoke ();
@@ -1881,4 +2092,5 @@ let all () =
   e1 ();
   c1 ();
   w1 ();
-  b2 ()
+  b2 ();
+  s1 ()

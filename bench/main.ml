@@ -106,6 +106,7 @@ let () =
       ("c1", fun () -> Experiments.c1 ());
       ("w1", fun () -> Experiments.w1 ());
       ("b2", fun () -> Experiments.b2 ());
+      ("s1", fun () -> Experiments.s1 ());
       ("quick", Experiments.quick);
       ("smoke", Experiments.smoke);
       ("p1", Experiments.p1);

@@ -30,25 +30,32 @@ type runtime = {
 
 type eject_state = Active of runtime | Passive | Destroyed
 
+(* A dormant Eject is this record, its UID, one slab cell and one index
+   word — roughly a hundred bytes — which is what makes a million idle
+   producers affordable (experiment S1 measures the real figure).  The
+   booleans and small counters share one [flags] word:
+
+     bit 0       Concurrent dispatch
+     bit 1       quiesced — deliberately idle (draining, fenced,
+                 parked): fibers blocked on behalf of a quiesced Eject
+                 are expected, so stall detectors skip them.  Cleared
+                 by [crash] — a crashed stage is no longer deliberately
+                 anything.
+     bits 2-21   crash count
+     bits 22-61  transport waits — fibers of this Eject currently
+                 blocked on a remote shard's wire (socket round-trip in
+                 flight): like quiesced, expected blocking that stall
+                 detectors must not flag.  A counter, not a flag —
+                 several workers can be in transit at once.  Reset by
+                 [crash]. *)
 type eject = {
   uid : Uid.t;
   node : Net.node_id;
   etype : string;
-  dispatch : dispatch;
   mutable state : eject_state;
   mutable versions : (float * Value.t) list; (* checkpoints, newest first *)
   mutable received : int;
-  mutable crash_count : int;
-  (* Deliberately idle (draining, fenced, parked): fibers blocked on
-     behalf of a quiesced Eject are expected, so stall detectors skip
-     them.  Cleared by [crash] — a crashed stage is no longer
-     deliberately anything. *)
-  mutable quiesced : bool;
-  (* Fibers of this Eject currently blocked on a remote shard's wire
-     (socket round-trip in flight): like [quiesced], expected blocking
-     that stall detectors must not flag.  A counter, not a flag —
-     several workers can be in transit at once.  Reset by [crash]. *)
-  mutable transport_waits : int;
+  mutable flags : int;
   behaviour : behaviour;
 }
 
@@ -56,7 +63,7 @@ and t = {
   sched : Sched.t;
   net : Net.t;
   uid_gen : Uid.gen;
-  ejects : eject Uid.Tbl.t;
+  ejects : eject Estore.t;
   node_ids : Net.node_id list;
   per_op : (string, int) Hashtbl.t;
   mutable invocations : int;
@@ -95,6 +102,31 @@ and ctx = { k : t; self_uid : Uid.t option; src_node : Net.node_id }
 
 and behaviour = ctx -> passive:Value.t option -> (string * handler) list
 
+(* [flags] field accessors; see the layout at [type eject]. *)
+let f_concurrent = 1
+let f_quiesced = 2
+let crash_shift = 2
+let crash_mask = 0xFFFFF (* 20 bits *)
+let tw_shift = 22
+
+let e_dispatch e = if e.flags land f_concurrent <> 0 then Concurrent else Serial
+let e_quiesced e = e.flags land f_quiesced <> 0
+
+let e_set_quiesced e q =
+  e.flags <- (if q then e.flags lor f_quiesced else e.flags land lnot f_quiesced)
+
+let e_crash_count e = (e.flags lsr crash_shift) land crash_mask
+let e_transport_waits e = e.flags lsr tw_shift
+let e_tw_incr e = e.flags <- e.flags + (1 lsl tw_shift)
+
+let e_tw_decr e =
+  if e.flags lsr tw_shift > 0 then e.flags <- e.flags - (1 lsl tw_shift)
+
+(* Crash bumps the crash count and clears quiesced plus the
+   transport-wait counter, all in one mask. *)
+let e_crash_reset e =
+  e.flags <- (e.flags land (f_concurrent lor (crash_mask lsl crash_shift))) + (1 lsl crash_shift)
+
 (* When a fiber finishes, forget its span binding and prune it from its
    Eject's worker list: [worker_fids] otherwise only ever grows (one
    entry per Concurrent invocation), and deactivate/destroy would
@@ -105,7 +137,7 @@ let on_fiber_finish t fid =
   | None -> ()
   | Some uid -> (
       Hashtbl.remove t.fiber_owner fid;
-      match Uid.Tbl.find_opt t.ejects uid with
+      match Estore.find t.ejects uid with
       | Some { state = Active rt; _ } ->
           rt.worker_fids <- List.filter (fun f -> f <> fid) rt.worker_fids
       | Some _ | None -> ())
@@ -119,12 +151,24 @@ let create ?(seed = 0xEDE0L) ?(latency = Net.Fixed 1.0) ?(nodes = [ "node-0" ])
   let node_ids = List.map (Net.add_node net) nodes in
   let obs = Obs.create ?span_capacity () in
   Net.set_obs net obs;
+  let dummy_eject =
+    {
+      uid = Uid.of_wire ~tag:0L ~serial:(-1);
+      node = List.hd node_ids;
+      etype = "";
+      state = Destroyed;
+      versions = [];
+      received = 0;
+      flags = 0;
+      behaviour = (fun _ ~passive:_ -> []);
+    }
+  in
   let t =
     {
       sched;
       net;
       uid_gen = Uid.generator ~seed:(Eden_util.Prng.next_int64 prng);
-      ejects = Uid.Tbl.create 64;
+      ejects = Estore.create ~capacity:64 ~dummy:dummy_eject ~uid_of:(fun e -> e.uid) ();
       node_ids;
       per_op = Hashtbl.create 32;
       invocations = 0;
@@ -175,77 +219,75 @@ let create_eject t ?node ?(dispatch = Serial) ~type_name behaviour =
       uid;
       node;
       etype = type_name;
-      dispatch;
       state = Passive;
       versions = [];
       received = 0;
-      crash_count = 0;
-      quiesced = false;
-      transport_waits = 0;
+      flags = (match dispatch with Concurrent -> f_concurrent | Serial -> 0);
       behaviour;
     }
   in
-  Uid.Tbl.replace t.ejects uid e;
+  Estore.add t.ejects e;
   t.ejects_created <- t.ejects_created + 1;
   uid
 
+(* Destroyed Ejects are physically removed from the store, so a miss
+   already means "gone or never existed"; the [Destroyed] state only
+   flags records still referenced by their winding-down coordinator. *)
 let exists t uid =
-  match Uid.Tbl.find_opt t.ejects uid with
+  match Estore.find t.ejects uid with
   | Some { state = Destroyed; _ } | None -> false
   | Some _ -> true
 
 let is_active t uid =
-  match Uid.Tbl.find_opt t.ejects uid with Some { state = Active _; _ } -> true | _ -> false
+  match Estore.find t.ejects uid with Some { state = Active _; _ } -> true | _ -> false
 
 let type_name t uid =
-  match Uid.Tbl.find_opt t.ejects uid with
+  match Estore.find t.ejects uid with
   | Some e when e.state <> Destroyed -> Some e.etype
   | _ -> None
 
 let live_ejects t = t.ejects_created - t.ejects_destroyed
 
 let checkpoints t uid =
-  match Uid.Tbl.find_opt t.ejects uid with Some e -> e.versions | None -> []
+  match Estore.find t.ejects uid with Some e -> e.versions | None -> []
 
 let crash_count t uid =
-  match Uid.Tbl.find_opt t.ejects uid with Some e -> e.crash_count | None -> 0
+  match Estore.find t.ejects uid with Some e -> e_crash_count e | None -> 0
 
 let received t uid =
-  match Uid.Tbl.find_opt t.ejects uid with Some e -> e.received | None -> 0
+  match Estore.find t.ejects uid with Some e -> e.received | None -> 0
 
 let worker_count t uid =
-  match Uid.Tbl.find_opt t.ejects uid with
+  match Estore.find t.ejects uid with
   | Some { state = Active rt; _ } -> List.length rt.worker_fids
   | Some _ | None -> 0
 
 let owner_of_fiber t fid = Hashtbl.find_opt t.fiber_owner fid
 
 let set_quiesced t uid q =
-  match Uid.Tbl.find_opt t.ejects uid with
+  match Estore.find t.ejects uid with
   | None | Some { state = Destroyed; _ } -> ()
-  | Some e -> e.quiesced <- q
+  | Some e -> e_set_quiesced e q
 
 let is_quiesced t uid =
-  match Uid.Tbl.find_opt t.ejects uid with
+  match Estore.find t.ejects uid with
   | Some { state = Destroyed; _ } | None -> false
-  | Some e -> e.quiesced
+  | Some e -> e_quiesced e
 
 let with_transport_wait ctx f =
   match ctx.self_uid with
   | None -> f ()
   | Some uid -> (
-      match Uid.Tbl.find_opt ctx.k.ejects uid with
+      match Estore.find ctx.k.ejects uid with
       | None | Some { state = Destroyed; _ } -> f ()
       | Some e ->
-          e.transport_waits <- e.transport_waits + 1;
-          Fun.protect
-            ~finally:(fun () -> e.transport_waits <- max 0 (e.transport_waits - 1))
-            f)
+          e_tw_incr e;
+          Fun.protect ~finally:(fun () -> e_tw_decr e) f)
 
 let in_transport_wait t uid =
-  match Uid.Tbl.find_opt t.ejects uid with
+  match Estore.find t.ejects uid with
   | Some { state = Destroyed; _ } | None -> false
-  | Some e -> e.transport_waits > 0
+  | Some e -> e_transport_waits e > 0
 
 let timeouts t = t.timeouts
 
@@ -301,7 +343,7 @@ let rec coordinator t e rt () =
           (* Only genuine invocations count as received: the [Stop]
              poison pill is kernel bookkeeping, not traffic. *)
           e.received <- e.received + 1;
-          match e.dispatch with
+          match e_dispatch e with
           | Serial -> run_handler t e m
           | Concurrent ->
               let fid =
@@ -405,7 +447,7 @@ let invoke_from t ~src_node dst ~op arg =
        as a local hop so even errors cost simulated time. *)
     Net.send t.net ~src:src_node ~dst:src_node ~size:16 (fun () -> settle (Error msg))
   in
-  (match Uid.Tbl.find_opt t.ejects dst with
+  (match Estore.find t.ejects dst with
   | None | Some { state = Destroyed; _ } -> fail_local "no such eject"
   | Some e ->
       let size = Value.size arg + String.length op + 16 in
@@ -488,7 +530,7 @@ let my_eject ctx =
   match ctx.self_uid with
   | None -> invalid_arg "Kernel: operation requires an Eject context"
   | Some uid -> (
-      match Uid.Tbl.find_opt ctx.k.ejects uid with
+      match Estore.find ctx.k.ejects uid with
       | Some e -> e
       | None -> invalid_arg "Kernel: unknown self")
 
@@ -571,24 +613,27 @@ let destroy ctx =
   | Passive | Destroyed -> ());
   if e.state <> Destroyed then begin
     e.state <- Destroyed;
+    (* Physically release the slot: the slab recycles it and the UID
+       index forgets the serial.  The coordinator still holds [e] in
+       its closure and sees [Destroyed] on its way out; stale UIDs miss
+       the store rather than finding a ghost record. *)
+    ignore (Estore.remove ctx.k.ejects e.uid);
     ctx.k.ejects_destroyed <- ctx.k.ejects_destroyed + 1;
     trace ctx.k (Destroyed { uid = e.uid; at = Sched.now ctx.k.sched });
     lifecycle ctx.k "destroy" e.uid
   end
 
 let poke t uid =
-  match Uid.Tbl.find_opt t.ejects uid with
+  match Estore.find t.ejects uid with
   | None | Some { state = Destroyed; _ } -> invalid_arg "Kernel.poke: no such eject"
   | Some e -> ignore (activate t e)
 
 let crash t uid =
-  match Uid.Tbl.find_opt t.ejects uid with
+  match Estore.find t.ejects uid with
   | None | Some { state = Destroyed; _ } -> ()
   | Some e ->
       t.crashes <- t.crashes + 1;
-      e.crash_count <- e.crash_count + 1;
-      e.quiesced <- false;
-      e.transport_waits <- 0;
+      e_crash_reset e;
       Sched.note t.sched ~kind:"kernel.crash" ~arg:(Uid.hash e.uid);
       trace t (Crashed { uid = e.uid; at = Sched.now t.sched });
       lifecycle t "crash" e.uid;

@@ -1,4 +1,11 @@
-type t = { tag : int64; serial : int }
+(* [tag] is stored as a native 63-bit int rather than a boxed [int64]:
+   a UID is then one 3-word block (header, tag, serial) instead of a
+   record plus a custom int64 block, which matters when a million
+   dormant Ejects each hold one.  The wire codec widens back to int64;
+   both shard processes truncate identically, so wire round-trips are
+   exact.  The printable form and [hash] only ever used the low bits,
+   which truncation preserves. *)
+type t = { tag : int; serial : int }
 
 (* The generator is shared by everything that mints UIDs against one
    kernel; under the parallel runtime a kernel's domain and the spawning
@@ -13,19 +20,20 @@ let fresh g =
   Mutex.protect g.mu (fun () ->
       let serial = g.next in
       g.next <- serial + 1;
-      { tag = Eden_util.Prng.next_int64 g.prng; serial })
+      { tag = Int64.to_int (Eden_util.Prng.next_int64 g.prng); serial })
 
-let equal a b = a.serial = b.serial && Int64.equal a.tag b.tag
+let equal a b = a.serial = b.serial && a.tag = b.tag
 let compare a b =
   let c = Int.compare a.serial b.serial in
-  if c <> 0 then c else Int64.compare a.tag b.tag
+  if c <> 0 then c else Int.compare a.tag b.tag
 
-let hash a = a.serial lxor Int64.to_int a.tag
+let hash a = a.serial lxor a.tag
+let serial a = a.serial
 
-let to_wire a = (a.tag, a.serial)
-let of_wire ~tag ~serial = { tag; serial }
+let to_wire a = (Int64.of_int a.tag, a.serial)
+let of_wire ~tag ~serial = { tag = Int64.to_int tag; serial }
 
-let to_string a = Printf.sprintf "E#%04Lx.%d" (Int64.logand a.tag 0xFFFFL) a.serial
+let to_string a = Printf.sprintf "E#%04x.%d" (a.tag land 0xFFFF) a.serial
 
 let pp ppf a = Format.pp_print_string ppf (to_string a)
 

@@ -21,6 +21,12 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
 
+val serial : t -> int
+(** Position in the minting order of the generator that made this UID:
+    dense, monotone, starting at 0.  The kernel's flat Eject store uses
+    it as a direct array index.  Not a capability — naming an Eject
+    still requires the full UID, tag included. *)
+
 val to_wire : t -> int64 * int
 (** [(tag, serial)] for the wire codec.  Transport use only: the pair
     round-trips a UID between shard processes forked from one topology

@@ -8,6 +8,7 @@
    span ids to invocations and from fiber ids to Ejects. *)
 
 module Ring = Eden_util.Ring
+module Slab = Eden_util.Slab
 
 (* ------------------------------------------------------------------ *)
 (* Log-bucketed histograms                                            *)
@@ -184,25 +185,47 @@ end
 (* Collector                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* The open-span table is a {!Slab}, and a span's {e id is its slab
+   handle}: begin = alloc, end = free, lookup is two array reads.  A
+   slot's generation only ever grows, so handles — and therefore span
+   ids — are unique for the collector's lifetime even though slots are
+   recycled; parent edges into long-closed spans stay unambiguous.
+   [instant] draws its id from the same handle space (alloc + immediate
+   free) so ids never collide across the two paths. *)
 type t = {
   mutable spans_on : bool;
-  mutable next_span : int;
-  live : (int, Span.t) Hashtbl.t; (* open spans by id *)
+  live : Span.t Slab.t; (* open spans; handle = span id *)
   closed : Span.t Ring.t; (* completed spans, oldest first *)
   mutable dropped : int; (* completed spans evicted from [closed] *)
   hists : (string, Histogram.t) Hashtbl.t;
-  mutable stage_list : Flow.stage list; (* registration order, reversed *)
+  (* Stage meters, flat, in registration order. *)
+  mutable stage_arr : Flow.stage array;
+  mutable stage_count : int;
 }
+
+let dummy_span =
+  {
+    Span.id = -1;
+    parent = None;
+    name = "";
+    cat = "";
+    start = 0.0;
+    stop = 0.0;
+    ok = true;
+    attrs = [];
+  }
+
+let dummy_stage = Flow.make ""
 
 let create ?(span_capacity = 8192) () =
   {
     spans_on = false;
-    next_span = 1;
-    live = Hashtbl.create 64;
+    live = Slab.create ~capacity:64 ~dummy:dummy_span ();
     closed = Ring.create ~capacity:span_capacity;
     dropped = 0;
     hists = Hashtbl.create 16;
-    stage_list = [];
+    stage_arr = [||];
+    stage_count = 0;
   }
 
 let enable_spans t = t.spans_on <- true
@@ -210,39 +233,39 @@ let disable_spans t = t.spans_on <- false
 let spans_enabled t = t.spans_on
 
 let span_begin t ?parent ?(attrs = []) ~name ~cat ~at () =
-  let id = t.next_span in
-  t.next_span <- id + 1;
+  let id = Slab.alloc t.live dummy_span in
   let s =
     { Span.id; parent; name; cat; start = at; stop = Float.nan; ok = true; attrs }
   in
-  Hashtbl.replace t.live id s;
+  ignore (Slab.set t.live id s);
   id
 
 let span_end t id ~at ~ok =
-  match Hashtbl.find_opt t.live id with
+  match Slab.free t.live id with
   | None -> ()
   | Some s ->
-      Hashtbl.remove t.live id;
       s.Span.stop <- at;
       s.Span.ok <- ok;
       if Option.is_some (Ring.push_force t.closed s) then t.dropped <- t.dropped + 1
 
 let instant t ?parent ?(attrs = []) ~name ~cat ~at () =
   if t.spans_on then begin
-    let id = t.next_span in
-    t.next_span <- id + 1;
+    let id = Slab.alloc t.live dummy_span in
+    ignore (Slab.free t.live id);
     let s = { Span.id; parent; name; cat; start = at; stop = at; ok = true; attrs } in
     if Option.is_some (Ring.push_force t.closed s) then t.dropped <- t.dropped + 1
   end
 
 let spans t = Ring.to_list t.closed
-let open_spans t = Hashtbl.fold (fun _ s acc -> s :: acc) t.live []
+let open_spans t = Slab.fold (fun _ s acc -> s :: acc) t.live []
 let span_count t = Ring.length t.closed
 let dropped_spans t = t.dropped
 
 let clear_spans t =
   Ring.clear t.closed;
-  Hashtbl.reset t.live;
+  (* Free every open span; a later [span_end] on one simply misses. *)
+  let open_handles = Slab.fold (fun h _ acc -> h :: acc) t.live [] in
+  List.iter (fun h -> ignore (Slab.free t.live h)) open_handles;
   t.dropped <- 0
 
 let histogram ?lo ?growth t name =
@@ -259,10 +282,17 @@ let histograms t =
 
 let register_stage t label =
   let s = Flow.make label in
-  t.stage_list <- s :: t.stage_list;
+  let cap = Array.length t.stage_arr in
+  if t.stage_count = cap then begin
+    let arr = Array.make (max 8 (2 * cap)) dummy_stage in
+    Array.blit t.stage_arr 0 arr 0 cap;
+    t.stage_arr <- arr
+  end;
+  t.stage_arr.(t.stage_count) <- s;
+  t.stage_count <- t.stage_count + 1;
   s
 
-let stages t = List.rev t.stage_list
+let stages t = Array.to_list (Array.sub t.stage_arr 0 t.stage_count)
 
 (* ------------------------------------------------------------------ *)
 (* Export (JSONL + Chrome trace_event)                                *)

@@ -76,6 +76,18 @@ val plane_gen : plane -> string list -> unit -> Value.t option
 
 val plane_flowctl : plane -> Eden_flowctl.Flowctl.t option
 
+val plane_progress : plane -> every:int -> label:string -> Eden_filters.Report.reporting
+(** Progress reporting held to the same text on both planes: the boxed
+    side counts items, the chunked side counts lines as the engine
+    completes them — so report streams stay byte-comparable across
+    planes. *)
+
+val split_window_lines :
+  labels:string list -> string list -> (string * string list) list
+(** Groups a report window's rendered ["label | line"] lines per
+    watched label, keeping each group's arrival order — the
+    deterministic comparison surface for window output. *)
+
 type stream_outcome = {
   bytes : string;
       (** The sink's byte stream: boxed items render as [line ^ "\n"],

@@ -214,3 +214,140 @@ let run_bytes mode ?seed ~domains ~branches ~items ~plane () =
     b_eos_clean = Array.for_all (fun n -> n = 1) done_times;
     b_op_counts = Cluster.op_counts c;
   }
+
+(* --- Report-window fan-in (the C10M capacity shape) ----------------- *)
+
+module Report = Eden_filters.Report
+module Dev = Eden_devices.Devices
+module T = Eden_transput
+
+type window_outcome = {
+  w_reports : (string * string list) list;
+  w_bytes : string array;
+  w_chunk_items : int;
+  w_boxed_items : int;
+  w_eos_clean : bool;
+  w_op_counts : (string * int) list;
+}
+
+let producer_label p = Printf.sprintf "p%05d" p
+
+let run_window mode ?seed ?window ~domains ~producers ~items ~style ~plane () =
+  if producers <= 0 then invalid_arg "Fanin.run_window: producers must be positive";
+  if items <= 0 then invalid_arg "Fanin.run_window: items must be positive";
+  if domains <= 0 then invalid_arg "Fanin.run_window: domains must be positive";
+  let group = match window with None -> producers | Some w -> max 1 w in
+  let c = Cluster.create ?seed mode ~shards:domains () in
+  let k0 = Cluster.kernel c 0 in
+  let bufs = Array.init producers (fun _ -> Buffer.create 256) in
+  let chunk_items = ref 0 and boxed_items = ref 0 in
+  let sink_eos = Array.make producers 0 in
+  let consume p v =
+    match v with
+    | Value.Chunk ch ->
+        incr chunk_items;
+        Buffer.add_string bufs.(p) (Eden_chunk.Chunk.to_string ch);
+        Eden_chunk.Chunk.release ch
+    | Value.Str s ->
+        incr boxed_items;
+        Buffer.add_string bufs.(p) s;
+        Buffer.add_char bufs.(p) '\n'
+    | v -> raise (Value.Protocol_error ("fanin window sink: unexpected " ^ Value.preview v))
+  in
+  (* Each producer is a dormant source plus a plane-normalising
+     reporting filter on its shard; main streams land in per-producer
+     byte sinks on shard 0, report streams fan into the windows. *)
+  let windows = ref [] in
+  let watch_acc = ref [] (* current group's watch list, `Ro only *) in
+  let flush_watch () =
+    match !watch_acc with
+    | [] -> ()
+    | w ->
+        let win =
+          Dev.report_window_ro k0
+            ~name:(Printf.sprintf "window-%d" (List.length !windows))
+            ~watch:(List.rev w) ()
+        in
+        Kernel.poke k0 win.Dev.uid;
+        windows := win :: !windows;
+        watch_acc := []
+  in
+  (* `Wo: windows are passive fan-in sinks, one per [group] producers,
+     created up front so producers can be pointed at them. *)
+  let wo_windows =
+    match style with
+    | `Ro -> [||]
+    | `Wo ->
+        let n_windows = (producers + group - 1) / group in
+        Array.init n_windows (fun i ->
+            let writers = min group (producers - (i * group)) in
+            Dev.report_window_wo k0 ~name:(Printf.sprintf "window-%d" i) ~writers ())
+  in
+  for p = 0 to producers - 1 do
+    let lbl = producer_label p in
+    let bplane = branch_plane plane ~branch:p in
+    let flowctl = Distpipe.plane_flowctl bplane in
+    let pshard = branch_shard ~domains p in
+    let pk = Cluster.kernel c pshard in
+    let doc = branch_doc ~branch:(p mod 100) items in
+    (match style with
+    | `Ro ->
+        let src =
+          Stage.source_ro pk ~name:(lbl ^ ".src") ~capacity:0 (Distpipe.plane_gen bplane doc)
+        in
+        let f =
+          Report.filter_ro pk ~name:(lbl ^ ".rep") ~upstream:src
+            (Distpipe.plane_progress bplane ~every:4 ~label:lbl)
+        in
+        (* One proxy per pulling client: proxies dispatch serially, so
+           routing the sink's output pulls and the window's report
+           pulls through a shared proxy deadlocks — the report pull
+           parks inside the proxy waiting for data the output pull
+           (queued behind it) would have produced. *)
+        let fp = Cluster.proxy c ~shard:0 ~ops:[ Proto.transfer_op ] ~target:(pshard, f) in
+        let rp = Cluster.proxy c ~shard:0 ~ops:[ Proto.transfer_op ] ~target:(pshard, f) in
+        let sink =
+          Stage.sink_ro k0 ~name:(lbl ^ ".sink") ?flowctl ~upstream:fp
+            ~on_done:(fun () -> sink_eos.(p) <- sink_eos.(p) + 1)
+            (consume p)
+        in
+        Kernel.poke k0 sink;
+        watch_acc := (lbl, rp, T.Channel.report) :: !watch_acc;
+        if (p + 1) mod group = 0 then flush_watch ()
+    | `Wo ->
+        let sink =
+          Stage.sink_wo k0 ~name:(lbl ^ ".sink") ~capacity:4
+            ~on_done:(fun () -> sink_eos.(p) <- sink_eos.(p) + 1)
+            (consume p)
+        in
+        let win = wo_windows.(p / group) in
+        let f =
+          Report.filter_wo pk ~name:(lbl ^ ".rep")
+            ~downstream:(Cluster.proxy c ~shard:pshard ~ops:[ Proto.deposit_op ] ~target:(0, sink))
+            ~report_to:
+              (Cluster.proxy c ~shard:pshard ~ops:[ Proto.deposit_op ] ~target:(0, win.Dev.uid))
+            (Distpipe.plane_progress bplane ~every:4 ~label:lbl)
+        in
+        let src =
+          Stage.source_wo pk ~name:(lbl ^ ".src") ?flowctl ~downstream:f
+            (Distpipe.plane_gen bplane doc)
+        in
+        Kernel.poke pk src)
+  done;
+  (match style with `Ro -> flush_watch () | `Wo -> ());
+  Cluster.run c;
+  let all_windows =
+    match style with `Ro -> List.rev !windows | `Wo -> Array.to_list wo_windows
+  in
+  let window_lines = List.concat_map (fun w -> w.Dev.lines ()) all_windows in
+  let labels = List.init producers producer_label in
+  {
+    w_reports = Distpipe.split_window_lines ~labels window_lines;
+    w_bytes = Array.map Buffer.contents bufs;
+    w_chunk_items = !chunk_items;
+    w_boxed_items = !boxed_items;
+    w_eos_clean =
+      Array.for_all (fun n -> n = 1) sink_eos
+      && List.for_all (fun w -> Eden_sched.Ivar.is_filled w.Dev.done_) all_windows;
+    w_op_counts = Cluster.op_counts c;
+  }

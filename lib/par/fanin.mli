@@ -95,3 +95,43 @@ val run_bytes :
   plane:Distpipe.plane ->
   unit ->
   bytes_outcome
+
+(** {1 Report-window fan-in}
+
+    The C10M capacity shape: [producers] reporting sources fan their
+    report streams into report windows on shard 0 — the paper's §5
+    monitoring arrangement at scale, where free fan-in is the whole
+    point of the cost model.  [`Ro] is the Figure 4 arrangement (the
+    window and per-producer byte sinks actively pull; producers are
+    passive and dormant until first pulled), [`Wo] the Figure 3 one
+    (producers actively deposit into the window).  Producers are
+    grouped [window] to a window ([producers] when omitted: one window
+    watches everything).
+
+    The deterministic surface: per-producer report-line streams
+    (label-sorted; interleaving across labels is scheduling-dependent,
+    as for Figure 4) and per-producer main-stream bytes, identical
+    across modes, planes and seeds. *)
+
+type window_outcome = {
+  w_reports : (string * string list) list;
+      (** Report lines per producer label, label-sorted. *)
+  w_bytes : string array;  (** Main-stream bytes per producer. *)
+  w_chunk_items : int;
+  w_boxed_items : int;
+  w_eos_clean : bool;
+      (** Every sink and every window saw end-of-stream exactly once. *)
+  w_op_counts : (string * int) list;
+}
+
+val run_window :
+  Cluster.mode ->
+  ?seed:int64 ->
+  ?window:int ->
+  domains:int ->
+  producers:int ->
+  items:int ->
+  style:[ `Ro | `Wo ] ->
+  plane:Distpipe.plane ->
+  unit ->
+  window_outcome

@@ -24,10 +24,14 @@ let read_timeout sched t delay =
   | Some _ -> ()
   | None ->
       (* Race the ivar's waiter list against a timer; the shared resume
-         is idempotent so whichever fires second is a no-op. *)
+         is idempotent so whichever fires second is a no-op.  If the
+         fill wins, delete the pending timer so timeout-heavy callers
+         don't grow the heap with entries that never fire. *)
+      let timer = ref (-1) in
       Sched.suspend ~reason:"ivar (timeout)" (fun resume ->
           Waitq.park_external t.waiters resume;
-          Sched.timer sched delay resume));
+          timer := Sched.timer_cancellable sched delay resume);
+      Sched.cancel_timer sched !timer);
   t.value
 
 let peek t = t.value

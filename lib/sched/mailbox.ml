@@ -22,9 +22,13 @@ let receive_timeout sched t delay =
   match Queue.take_opt t.q with
   | Some x -> Some x
   | None ->
+      (* As in [Ivar.read_timeout]: whichever of send/timer loses the
+         race is a no-op, and a won race deletes the loser's timer. *)
+      let timer = ref (-1) in
       Sched.suspend ~reason:"mailbox (timeout)" (fun resume ->
           Waitq.park_external t.waiters resume;
-          Sched.timer sched delay resume);
+          timer := Sched.timer_cancellable sched delay resume);
+      Sched.cancel_timer sched !timer;
       let x = Queue.take_opt t.q in
       if x <> None && not (Queue.is_empty t.q) then ignore (Waitq.wake_one t.waiters);
       x

@@ -1,23 +1,35 @@
 (* Discrete-event cooperative scheduler built on OCaml 5 effect
    handlers.  The design constraint throughout is determinism: FIFO run
    queue, a stable (insertion-ordered) timer heap, and virtual time that
-   advances only at quiescence of the run queue. *)
+   advances only at quiescence of the run queue.
 
-module Timer_heap = Eden_util.Heap.Make (struct
-  type t = float
+   Both hot structures are flat stores (see Eden_util.Cqueue and
+   Eden_util.Theap): the run queue is one circular array, and the timer
+   heap is an index-backed binary heap whose entries are physically
+   removed on cancellation instead of lingering as tombstones until
+   their deadline. *)
 
-  let compare = Float.compare
-end)
+module Cqueue = Eden_util.Cqueue
+module Theap = Eden_util.Theap
 
 exception Cancelled
 
 type fiber_id = int
 
+type timer_handle = int
+
 type state = Ready | Running | Blocked of string | Finished
 
 (* [fired] makes resume/cancel mutually exclusive and idempotent:
-   whichever of {waker, canceller, timer} gets there first wins. *)
-type wake = { mutable fired : bool; mutable cancel_hook : unit -> unit }
+   whichever of {waker, canceller, timer} gets there first wins.
+   [wtimer] is the heap handle of the pending timer backing this wake
+   (sleeps, timeouts); firing or cancelling removes it from the heap so
+   a cancelled sleep costs nothing afterwards. *)
+type wake = {
+  mutable fired : bool;
+  mutable cancel_hook : unit -> unit;
+  mutable wtimer : timer_handle;
+}
 
 type fiber = {
   fid : fiber_id;
@@ -32,8 +44,8 @@ type fiber = {
 type slice = { sfid : fiber_id; thunk : unit -> unit }
 
 type t = {
-  runq : slice Queue.t;
-  mutable timers : (unit -> unit) Timer_heap.t;
+  runq : slice Cqueue.t;
+  timers : (unit -> unit) Theap.t;
   mutable clock : float;
   fibers : (fiber_id, fiber) Hashtbl.t;
   mutable next_id : int;
@@ -57,8 +69,8 @@ type _ Effect.t +=
 
 let create () =
   {
-    runq = Queue.create ();
-    timers = Timer_heap.empty;
+    runq = Cqueue.create ();
+    timers = Theap.create ~dummy:(fun () -> ()) ();
     clock = 0.0;
     fibers = Hashtbl.create 64;
     next_id = 0;
@@ -78,9 +90,13 @@ let note t ~kind ~arg = match t.note_hook with None -> () | Some f -> f ~kind ~a
 
 let now t = t.clock
 
-let timer t delay thunk =
+let timer_cancellable t delay thunk =
   let delay = if delay < 0.0 then 0.0 else delay in
-  t.timers <- Timer_heap.insert (t.clock +. delay) thunk t.timers
+  Theap.insert t.timers (t.clock +. delay) thunk
+
+let timer t delay thunk = ignore (timer_cancellable t delay thunk)
+let cancel_timer t h = ignore (Theap.remove t.timers h)
+let timer_count t = Theap.size t.timers
 
 (* Finished fibers are removed from the table immediately: keeping
    them made [t.fibers] (and every [blocked]/[cancel] scan over it)
@@ -95,17 +111,29 @@ let finish t fiber outcome =
   | None -> ()
   | Some exn -> t.failures <- (fiber.fname, exn) :: t.failures
 
-(* Park [fiber]; build the resume/cancel pair sharing one [wake]. *)
+(* Park [fiber]; build the resume/cancel pair sharing one [wake].
+   [register] receives the resume closure and returns the handle of the
+   backing timer (or [-1] when there is none), so whichever of
+   {resume, cancel} fires first can delete the timer from the heap —
+   physically, not as a tombstone.  A handle already popped by the
+   firing timer itself is stale by then, and removal is a no-op. *)
 let park t fiber reason (k : (unit, unit) Effect.Deep.continuation) register =
   fiber.fstate <- Blocked reason;
-  let wake = { fired = false; cancel_hook = (fun () -> ()) } in
+  let wake = { fired = false; cancel_hook = (fun () -> ()); wtimer = -1 } in
   fiber.fwake <- Some wake;
+  let drop_timer () =
+    if wake.wtimer >= 0 then begin
+      ignore (Theap.remove t.timers wake.wtimer);
+      wake.wtimer <- -1
+    end
+  in
   let resume () =
     if not wake.fired then begin
       wake.fired <- true;
+      drop_timer ();
       fiber.fwake <- None;
       fiber.fstate <- Ready;
-      Queue.push
+      Cqueue.push t.runq
         {
           sfid = fiber.fid;
           thunk =
@@ -115,15 +143,15 @@ let park t fiber reason (k : (unit, unit) Effect.Deep.continuation) register =
               if fiber.fcancelled then Effect.Deep.discontinue k Cancelled
               else Effect.Deep.continue k ());
         }
-        t.runq
     end
   in
   let cancel () =
     if not wake.fired then begin
       wake.fired <- true;
+      drop_timer ();
       fiber.fwake <- None;
       fiber.fstate <- Ready;
-      Queue.push
+      Cqueue.push t.runq
         {
           sfid = fiber.fid;
           thunk =
@@ -132,11 +160,16 @@ let park t fiber reason (k : (unit, unit) Effect.Deep.continuation) register =
               fiber.fstate <- Running;
               Effect.Deep.discontinue k Cancelled);
         }
-        t.runq
     end
   in
   wake.cancel_hook <- cancel;
-  register resume
+  let h = register resume in
+  (* [register] may have resumed synchronously; the handle then belongs
+     to a wake that already fired, so delete rather than record it. *)
+  if wake.fired then begin
+    if h >= 0 then ignore (Theap.remove t.timers h)
+  end
+  else wake.wtimer <- h
 
 let rec spawn t ?name body =
   let fid = t.next_id in
@@ -160,7 +193,7 @@ let rec spawn t ?name body =
                   if fiber.fcancelled then Effect.Deep.discontinue k Cancelled
                   else begin
                     fiber.fstate <- Ready;
-                    Queue.push
+                    Cqueue.push t.runq
                       {
                         sfid = fiber.fid;
                         thunk =
@@ -170,7 +203,6 @@ let rec spawn t ?name body =
                             if fiber.fcancelled then Effect.Deep.discontinue k Cancelled
                             else Effect.Deep.continue k ());
                       }
-                      t.runq
                   end)
           | Sleep d ->
               Some
@@ -180,12 +212,15 @@ let rec spawn t ?name body =
                     park t fiber
                       (Printf.sprintf "sleep %.3f" d)
                       k
-                      (fun resume -> timer t d resume))
+                      (fun resume -> timer_cancellable t d resume))
           | Suspend (reason, register) ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
                   if fiber.fcancelled then Effect.Deep.discontinue k Cancelled
-                  else park t fiber reason k register)
+                  else
+                    park t fiber reason k (fun resume ->
+                        register resume;
+                        -1))
           | Time -> Some (fun (k : (a, unit) Effect.Deep.continuation) -> Effect.Deep.continue k t.clock)
           | Self -> Some (fun (k : (a, unit) Effect.Deep.continuation) -> Effect.Deep.continue k fiber)
           | Spawn_inside (name, body) ->
@@ -204,7 +239,7 @@ let rec spawn t ?name body =
       Effect.Deep.match_with body () handler
     end
   in
-  Queue.push { sfid = fid; thunk } t.runq;
+  Cqueue.push t.runq { sfid = fid; thunk };
   fid
 
 (* Indirection so the Spawn_inside handler (defined inside [spawn]) can
@@ -243,27 +278,21 @@ let consult t ~kind ~ids =
    preserved either way. *)
 let pop_slice t =
   match t.chooser with
-  | None -> Queue.pop t.runq
+  | None -> Cqueue.pop_exn t.runq
   | Some _ ->
-      let n = Queue.length t.runq in
-      if n = 1 then Queue.pop t.runq
+      let n = Cqueue.length t.runq in
+      if n = 1 then Cqueue.pop_exn t.runq
       else begin
         let ids = Array.make n 0 in
         let j = ref 0 in
-        Queue.iter
+        Cqueue.iter
           (fun s ->
             ids.(!j) <- s.sfid;
             incr j)
           t.runq;
         let i = consult t ~kind:"sched.run" ~ids in
-        (* Rotate through the queue once: pop each slice, re-enqueue all
-           but the chosen one.  O(n), but only on explored schedules. *)
-        let chosen = ref None in
-        for idx = 0 to n - 1 do
-          let s = Queue.pop t.runq in
-          if idx = i then chosen := Some s else Queue.push s t.runq
-        done;
-        match !chosen with Some s -> s | None -> assert false
+        (* O(i) in-place extraction; unchosen slices keep their order. *)
+        Cqueue.take_nth t.runq i
       end
 
 (* Fire one pending timer.  Strictly earliest-deadline-first; a chooser
@@ -271,25 +300,24 @@ let pop_slice t =
 let fire_timer t =
   let pick =
     match t.chooser with
-    | None -> Timer_heap.delete_min t.timers
+    | None -> Theap.delete_min t.timers
     | Some _ ->
-        let m = Timer_heap.min_tie_count t.timers in
-        if m <= 1 then Timer_heap.delete_min t.timers
+        let m = Theap.min_tie_count t.timers in
+        if m <= 1 then Theap.delete_min t.timers
         else
           let i = consult t ~kind:"sched.timer" ~ids:(Array.init m (fun i -> i)) in
-          Timer_heap.delete_nth_min t.timers i
+          Theap.delete_nth_min t.timers i
   in
   match pick with
   | None -> false
-  | Some (time, thunk, rest) ->
-      t.timers <- rest;
+  | Some (time, thunk) ->
       if time > t.clock then t.clock <- time;
       thunk ();
       t.current <- None;
       true
 
 let step t =
-  if not (Queue.is_empty t.runq) then begin
+  if not (Cqueue.is_empty t.runq) then begin
     let s = pop_slice t in
     s.thunk ();
     t.current <- None;
@@ -303,14 +331,14 @@ let run t =
 
 let run_until t limit =
   let rec go () =
-    if not (Queue.is_empty t.runq) then begin
+    if not (Cqueue.is_empty t.runq) then begin
       let s = pop_slice t in
       s.thunk ();
       t.current <- None;
       go ()
     end
     else
-      match Timer_heap.find_min t.timers with
+      match Theap.find_min t.timers with
       | Some (time, _) when time <= limit ->
           ignore (fire_timer t);
           go ()

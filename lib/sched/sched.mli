@@ -154,6 +154,23 @@ val timer : t -> float -> (unit -> unit) -> unit
 (** [timer t delay f] runs [f] at virtual time [now t +. delay].  [f]
     must not block (it runs outside any fiber); typically it wakes one. *)
 
+type timer_handle = int
+
+val timer_cancellable : t -> float -> (unit -> unit) -> timer_handle
+(** Like {!timer} but returns a handle accepted by {!cancel_timer}.
+    Handles are generation-stamped: once the timer has fired (or been
+    cancelled) the handle is stale and cancelling it is a no-op. *)
+
+val cancel_timer : t -> timer_handle -> unit
+(** Physically removes a pending timer from the heap.  The entry is
+    deleted immediately — it does not linger as a tombstone until its
+    deadline — so cancel-heavy workloads (timeouts that rarely fire,
+    sleep cancellation storms) keep the heap at its live size. *)
+
+val timer_count : t -> int
+(** Number of timers currently pending in the heap.  Cancelled timers
+    do not count: cancellation deletes physically. *)
+
 (** {1 Operations inside a fiber} *)
 
 val yield : unit -> unit

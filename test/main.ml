@@ -3,6 +3,7 @@ let () =
   Alcotest.run "eden"
     [
       ("util", Test_util.suite);
+      ("slab", Test_slab.suite);
       ("sched", Test_sched.suite);
       ("net", Test_net.suite);
       ("kernel", Test_kernel.suite);
@@ -38,5 +39,6 @@ let () =
       ("wire", Test_wire.suite);
       ("chunk-equiv", Test_chunk_equiv.suite);
       ("par", Test_par.suite);
+      ("capacity", Test_capacity.suite);
       ("check", Test_check.suite);
     ]

@@ -631,6 +631,57 @@ let prop_deterministic_schedule =
   prop "identical seeds give identical schedules" QCheck2.Gen.(int_bound 10_000) (fun seed ->
       run_mixed_workload seed = run_mixed_workload seed)
 
+(* ------------------------------------------------------------------ *)
+(* Timer-heap physical cancellation                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Regression: cancelled timers used to linger as tombstones until
+   their deadline, so a cancel storm left the heap at storm size.  Now
+   [cancel_timer] deletes physically and the heap returns to baseline
+   immediately. *)
+let test_timer_cancel_storm_returns_to_baseline () =
+  let t = Sched.create () in
+  Sched.timer t 1000.0 (fun () -> ());
+  let baseline = Sched.timer_count t in
+  check Alcotest.int "baseline" 1 baseline;
+  let handles =
+    List.init 10_000 (fun i ->
+        Sched.timer_cancellable t (10.0 +. float_of_int i) (fun () ->
+            Alcotest.fail "cancelled timer fired"))
+  in
+  check Alcotest.int "storm pending" (baseline + 10_000) (Sched.timer_count t);
+  List.iter (fun h -> Sched.cancel_timer t h) handles;
+  check Alcotest.int "storm cancelled physically" baseline (Sched.timer_count t);
+  (* Cancelling again is a stale-handle no-op, not a second delete. *)
+  List.iter (fun h -> Sched.cancel_timer t h) handles;
+  check Alcotest.int "double cancel is a no-op" baseline (Sched.timer_count t);
+  run_ok t;
+  check Alcotest.int "drained" 0 (Sched.timer_count t)
+
+(* The same property through the timeout combinators: an ivar/mailbox
+   timeout that loses its race deletes its own timer, so a retry loop
+   cannot accumulate heap entries. *)
+let test_timeout_races_leave_no_tombstones () =
+  let t = Sched.create () in
+  let mb = Mailbox.create () in
+  let got = ref 0 in
+  ignore
+    (Sched.spawn t (fun () ->
+         for _ = 1 to 1_000 do
+           match Mailbox.receive_timeout t mb 1e6 with
+           | Some () -> incr got
+           | None -> Alcotest.fail "timeout fired despite immediate send"
+         done));
+  ignore
+    (Sched.spawn t (fun () ->
+         for _ = 1 to 1_000 do
+           Mailbox.send mb ();
+           Sched.yield ()
+         done));
+  run_ok t;
+  check Alcotest.int "all received" 1_000 !got;
+  check Alcotest.int "no timeout tombstones" 0 (Sched.timer_count t)
+
 let suite =
   [
     ("spawn runs", `Quick, test_spawn_runs);
@@ -676,6 +727,9 @@ let suite =
     ("semaphore try", `Quick, test_semaphore_try);
     ("waitgroup", `Quick, test_waitgroup);
     ("waitgroup underflow", `Quick, test_waitgroup_negative);
+    ("timer cancel storm returns heap to baseline", `Quick,
+     test_timer_cancel_storm_returns_to_baseline);
+    ("timeout races leave no tombstones", `Quick, test_timeout_races_leave_no_tombstones);
     prop_chan_preserves_sequence;
     prop_deterministic_schedule;
   ]
