@@ -105,6 +105,7 @@ let () =
       ("e1", fun () -> Experiments.e1 ());
       ("c1", fun () -> Experiments.c1 ());
       ("w1", fun () -> Experiments.w1 ());
+      ("a1", fun () -> Experiments.a1 ());
       ("b2", fun () -> Experiments.b2 ());
       ("s1", fun () -> Experiments.s1 ());
       ("quick", Experiments.quick);

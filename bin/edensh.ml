@@ -60,6 +60,12 @@ let print_trace kernel = List.iter print_endline (Shell.render_trace kernel)
    for the whole session. *)
 let print_stats kernel = List.iter print_endline (Shell.render_stats kernel)
 
+(* `tenants`: per-namespace violation counters and credit gauges. *)
+let print_tenants kernel =
+  match Shell.render_tenants kernel with
+  | [] -> print_endline "no tenant namespaces installed"
+  | lines -> List.iter print_endline lines
+
 let run_line env ~discipline ~show_meter line =
   let kernel = env.Shell.kernel in
   match String.trim line with
@@ -71,7 +77,8 @@ let run_line env ~discipline ~show_meter line =
          sources:  lines w..., count n [prefix], file /path, date n, random n\n\
          sinks:    terminal [rate], null, out /path, printer [rate]\n\
          filters:  %s\n\
-         builtins: trace (last run's event ring), stats (session meters)\n"
+         builtins: trace (last run's event ring), stats (session meters),\n\
+         \          tenants (per-namespace violation meters)\n"
         (String.concat ", " Eden_filters.Catalog.names);
       true
   | "trace" ->
@@ -79,6 +86,9 @@ let run_line env ~discipline ~show_meter line =
       true
   | "stats" ->
       print_stats kernel;
+      true
+  | "tenants" ->
+      print_tenants kernel;
       true
   | line ->
       K.Trace.clear kernel;

@@ -25,10 +25,14 @@ let mode_of_string = function
   | "inproc" -> Cluster.Deterministic
   | "unix" ->
       Cluster.Wire
-        { Cluster.wire_transport = Eden_wire.Transport.Unix_socket; wire_faults = None }
+        { Cluster.wire_transport = Eden_wire.Transport.Unix_socket;
+          wire_faults = None;
+          wire_auth = None }
   | "tcp" ->
       Cluster.Wire
-        { Cluster.wire_transport = Eden_wire.Transport.Tcp; wire_faults = None }
+        { Cluster.wire_transport = Eden_wire.Transport.Tcp;
+          wire_faults = None;
+          wire_auth = None }
   | s ->
       Printf.eprintf "unknown transport %S (inproc | unix | tcp)\n" s;
       exit 2

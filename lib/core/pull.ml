@@ -31,12 +31,13 @@ type t = {
   chan : Channel.t;
   batch : int;
   mode : mode;
+  wrap : Value.t -> Value.t;
   mutable buf : Value.t list;
   mutable eos : bool;
   mutable transfers : int;
 }
 
-let connect ctx ?(batch = 1) ?flowctl ?(channel = Channel.output) src =
+let connect ctx ?(batch = 1) ?flowctl ?(channel = Channel.output) ?(wrap = Fun.id) src =
   if batch < 1 then invalid_arg "Pull.connect: batch must be at least 1";
   let mode =
     match flowctl with
@@ -56,7 +57,7 @@ let connect ctx ?(batch = 1) ?flowctl ?(channel = Channel.output) src =
           }
   in
   let batch = match flowctl with None -> batch | Some fc -> Flowctl.initial_batch fc in
-  { ctx; src; chan = channel; batch; mode; buf = []; eos = false; transfers = 0 }
+  { ctx; src; chan = channel; batch; mode; wrap; buf = []; eos = false; transfers = 0 }
 
 (* Issue transfers until the credit window is full.  Called only from
    [read] — never at connect time — so a pipeline with no consumer
@@ -69,7 +70,7 @@ let refill t w =
       t.transfers <- t.transfers + 1;
       let ivar =
         Kernel.invoke_async t.ctx t.src ~op:Proto.transfer_op
-          (Proto.transfer_request ~seq:w.next_seq t.chan ~credit:asked)
+          (t.wrap (Proto.transfer_request ~seq:w.next_seq t.chan ~credit:asked))
       in
       w.next_seq <- w.next_seq + asked;
       Queue.push (asked, ivar) w.outstanding
@@ -89,7 +90,7 @@ let rec read t =
             t.transfers <- t.transfers + 1;
             let reply =
               Kernel.call t.ctx t.src ~op:Proto.transfer_op
-                (Proto.transfer_request t.chan ~credit:t.batch)
+                (t.wrap (Proto.transfer_request t.chan ~credit:t.batch))
             in
             let { Proto.eos; items } = Proto.parse_transfer_reply reply in
             t.eos <- eos;
@@ -141,3 +142,4 @@ let channel t = t.chan
 let transfers_issued t = t.transfers
 let controller t = match t.mode with Sync -> None | Windowed w -> w.ctrl
 let stalls t = match t.mode with Sync -> 0 | Windowed w -> w.stalls
+let credit t = match t.mode with Sync -> None | Windowed w -> Some w.credit

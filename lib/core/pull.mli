@@ -16,10 +16,17 @@ val connect :
   ?batch:int ->
   ?flowctl:Eden_flowctl.Flowctl.t ->
   ?channel:Channel.t ->
+  ?wrap:(Value.t -> Value.t) ->
   Eden_kernel.Uid.t ->
   t
 (** [batch] defaults to 1 (one invocation per datum, the paper's
     counting regime); [channel] to {!Channel.output}.
+
+    [wrap] (default identity) is applied to every [Transfer] request
+    value before it is invoked — the hook a tenant-aware connection
+    uses to envelope requests with its session token
+    ({!Eden_tenant.Tenant.wrap}); the destination guard unwraps before
+    the port ever parses.
 
     [flowctl] (when given) supersedes [batch].  A legacy config
     ({!Eden_flowctl.Flowctl.legacy}) keeps the synchronous one-transfer-
@@ -54,3 +61,9 @@ val controller : t -> Eden_flowctl.Aimd.t option
 val stalls : t -> int
 (** Windowed mode: reads that found the next reply not yet arrived and
     had to wait on the network.  0 in sync mode. *)
+
+val credit : t -> Eden_flowctl.Credit.t option
+(** The live credit window of a windowed connection ([None] in sync
+    mode) — what a tenant registry binds a read capability to, so that
+    revocation can reclaim the outstanding credits
+    ({!Eden_flowctl.Credit.revoke}) instead of leaking them. *)

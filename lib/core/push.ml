@@ -31,6 +31,7 @@ type t = {
   chan : Channel.t;
   batch : int;
   mode : mode;
+  wrap : Value.t -> Value.t;
   chunk_bytes : int option; (* chunked plane: coalescing threshold *)
   mutable pending : Value.t list; (* reversed *)
   mutable pending_bytes : int;
@@ -39,7 +40,7 @@ type t = {
   mutable chunks_sent : int;
 }
 
-let connect ctx ?(batch = 1) ?flowctl ?(channel = Channel.output) dst =
+let connect ctx ?(batch = 1) ?flowctl ?(channel = Channel.output) ?(wrap = Fun.id) dst =
   if batch < 1 then invalid_arg "Push.connect: batch must be at least 1";
   let mode =
     match flowctl with
@@ -65,6 +66,7 @@ let connect ctx ?(batch = 1) ?flowctl ?(channel = Channel.output) dst =
     chan = channel;
     batch;
     mode;
+    wrap;
     chunk_bytes;
     pending = [];
     pending_bytes = 0;
@@ -76,7 +78,8 @@ let connect ctx ?(batch = 1) ?flowctl ?(channel = Channel.output) dst =
 let send t ~eos items =
   t.deposits <- t.deposits + 1;
   ignore
-    (Kernel.call t.ctx t.dst ~op:Proto.deposit_op (Proto.deposit_request t.chan ~eos items))
+    (Kernel.call t.ctx t.dst ~op:Proto.deposit_op
+       (t.wrap (Proto.deposit_request t.chan ~eos items)))
 
 (* Consume the oldest outstanding ack, blocking if it has not arrived;
    an [Error] ack (stale seq, closed intake) surfaces here. *)
@@ -111,7 +114,7 @@ let send_windowed t w ~eos items =
   t.deposits <- t.deposits + 1;
   let ivar =
     Kernel.invoke_async t.ctx t.dst ~op:Proto.deposit_op
-      (Proto.deposit_request ~seq:w.next_seq t.chan ~eos items)
+      (t.wrap (Proto.deposit_request ~seq:w.next_seq t.chan ~eos items))
   in
   w.next_seq <- w.next_seq + List.length items;
   Queue.push ivar w.outstanding;

@@ -13,20 +13,38 @@ let cap = function
       n
   | Unlimited -> unlimited_depth
 
-type t = { limit : limit; capacity : int; mutable in_flight : int }
+type t = {
+  limit : limit;
+  capacity : int;
+  mutable in_flight : int;
+  mutable revoked : bool;
+}
 
-let create limit = { limit; capacity = cap limit; in_flight = 0 }
+let create limit = { limit; capacity = cap limit; in_flight = 0; revoked = false }
 let limit t = t.limit
-let available t = t.capacity - t.in_flight
+let available t = if t.revoked then 0 else t.capacity - t.in_flight
 let in_flight t = t.in_flight
+let revoked t = t.revoked
 
 let take t =
-  if t.in_flight >= t.capacity then false
+  if t.revoked || t.in_flight >= t.capacity then false
   else begin
     t.in_flight <- t.in_flight + 1;
     true
   end
 
 let give t =
-  if t.in_flight <= 0 then invalid_arg "Credit.give: no exchange in flight";
-  t.in_flight <- t.in_flight - 1
+  if t.revoked then ()
+  else begin
+    if t.in_flight <= 0 then invalid_arg "Credit.give: no exchange in flight";
+    t.in_flight <- t.in_flight - 1
+  end
+
+let revoke t =
+  if t.revoked then 0
+  else begin
+    t.revoked <- true;
+    let reclaimed = t.in_flight in
+    t.in_flight <- 0;
+    reclaimed
+  end

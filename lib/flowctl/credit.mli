@@ -40,4 +40,16 @@ val take : t -> bool
 
 val give : t -> unit
 (** Return one credit.  @raise Invalid_argument when none are in
-    flight — a give without a matching take is always a caller bug. *)
+    flight — a give without a matching take is always a caller bug.
+    After {!revoke} this is a no-op: replies that were already in
+    flight when the window died land harmlessly. *)
+
+val revoke : t -> int
+(** Kill the window: reclaim every outstanding credit and return how
+    many were reclaimed (the amount a tenant registry meters as
+    [credits_reclaimed]).  Afterwards [take] always refuses,
+    [available] is 0 and [give] is a no-op, so a windowed client winds
+    down instead of re-issuing.  Idempotent — a second revoke reclaims
+    0. *)
+
+val revoked : t -> bool

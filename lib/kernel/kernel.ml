@@ -88,7 +88,14 @@ and t = {
      a delivery thunk where no fiber is current, so the fiber-binding
      table alone cannot carry this edge of the causal tree. *)
   mutable activation_span : int option;
+  (* Destination-side admission hook: consulted at dispatch, after the
+     Estore lookup verified the UID and before the coordinator sees the
+     invocation.  [None] (the default) admits everything. *)
+  mutable guard : guard option;
 }
+
+and guard =
+  dst:Uid.t -> op:string -> Value.t -> (Value.t * ((Value.t, string) result -> unit) option, string) result
 
 and trace_event =
   | Invoked of { op : string; dst : Uid.t; at : float }
@@ -185,6 +192,7 @@ let create ?(seed = 0xEDE0L) ?(latency = Net.Fixed 1.0) ?(nodes = [ "node-0" ])
       fiber_owner = Hashtbl.create 64;
       fiber_spans = Hashtbl.create 64;
       activation_span = None;
+      guard = None;
     }
   in
   Sched.set_finish_hook sched (on_fiber_finish t);
@@ -263,6 +271,7 @@ let worker_count t uid =
   | Some _ | None -> 0
 
 let owner_of_fiber t fid = Hashtbl.find_opt t.fiber_owner fid
+let set_guard t g = t.guard <- g
 
 let set_quiesced t uid q =
   match Estore.find t.ejects uid with
@@ -454,8 +463,7 @@ let invoke_from t ~src_node dst ~op arg =
       Net.send t.net ~src:src_node ~dst:e.node ~size (fun () ->
           match e.state with
           | Destroyed -> settle (Error "no such eject")
-          | Passive | Active _ ->
-              let rt = activate ?span t e in
+          | Passive | Active _ -> (
               let reply_to r =
                 t.replies <- t.replies + 1;
                 trace t
@@ -466,7 +474,25 @@ let invoke_from t ~src_node dst ~op arg =
                 in
                 Net.send t.net ~src:e.node ~dst:src_node ~size:rsize (fun () -> settle r)
               in
-              Mailbox.send rt.mailbox (Invoke { op; arg; span; reply_to })));
+              let admitted =
+                match t.guard with None -> Ok (arg, None) | Some g -> g ~dst ~op arg
+              in
+              match admitted with
+              | Error msg ->
+                  (* Refused at the door: replied without activating —
+                     an attack must not wake a dormant victim. *)
+                  reply_to (Error msg)
+              | Ok (arg, done_cb) ->
+                  let reply_to =
+                    match done_cb with
+                    | None -> reply_to
+                    | Some f ->
+                        fun r ->
+                          f r;
+                          reply_to r
+                  in
+                  let rt = activate ?span t e in
+                  Mailbox.send rt.mailbox (Invoke { op; arg; span; reply_to }))));
   ivar
 
 let invoke_async ctx dst ~op arg = invoke_from ctx.k ~src_node:ctx.src_node dst ~op arg

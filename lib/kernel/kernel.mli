@@ -143,6 +143,31 @@ val owner_of_fiber : t -> Eden_sched.Sched.fiber_id -> Uid.t option
     fibers that have finished.  The structured replacement for
     matching fiber names against Eject types. *)
 
+type guard =
+  dst:Uid.t ->
+  op:string ->
+  Value.t ->
+  (Value.t * (reply -> unit) option, string) result
+(** Destination-side admission control, the hook a tenant registry
+    installs (ROADMAP item 2).  Runs at dispatch — after {!Estore}
+    verified the destination UID, before the coordinator sees the
+    invocation, and before a passive Eject would be activated, so a
+    refused invocation cannot wake a dormant victim.  [Error msg]
+    refuses: the invoker gets [Error msg] as its reply (metered and
+    traced like any reply) and the handler never runs.  [Ok (arg',
+    done_cb)] admits, dispatching [arg'] in place of the original
+    argument — this is where a capability channel id is rewritten to
+    the private underlying channel — and, when [done_cb] is [Some f],
+    runs [f reply] the moment the handler replies (accounting for
+    outstanding demand).  The guard never learns the invoker's
+    identity: per the paper (§5) handlers cannot either, so
+    authentication rides in the argument (session tokens), not in
+    ambient kernel state. *)
+
+val set_guard : t -> guard option -> unit
+(** Install or remove the admission guard ([None] — the default —
+    admits everything, costs nothing). *)
+
 val set_quiesced : t -> Uid.t -> bool -> unit
 (** Mark an Eject as deliberately idle — draining, fenced or parked by
     an elastic reconfiguration.  Stall detectors

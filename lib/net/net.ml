@@ -36,6 +36,11 @@ type t = {
      yet — that is a connectivity condition, not random loss). *)
   mutable require_establishment : bool;
   established : (int * int, unit) Hashtbl.t;
+  (* Authenticated-handshake gating, the same boundary rule one layer
+     up: with [require_auth] set, an established link still drops (to
+     [dropped_partition], loss coin unflipped) until [authenticate]. *)
+  mutable require_auth : bool;
+  authenticated : (int * int, unit) Hashtbl.t;
   mutable loss_probability : float;
   mutable m : meter;
   (* Cached histogram handles; set once via [set_obs]. *)
@@ -60,6 +65,8 @@ let create ?(seed = 0x5EEDL) ~sched ~latency () =
     partitions = Hashtbl.create 8;
     require_establishment = false;
     established = Hashtbl.create 8;
+    require_auth = false;
+    authenticated = Hashtbl.create 8;
     loss_probability = 0.0;
     m = empty_meter;
     h_delay = None;
@@ -102,6 +109,11 @@ let establish t a b = Hashtbl.replace t.established (link_key a b) ()
 let is_established t a b =
   (not t.require_establishment) || a = b || Hashtbl.mem t.established (link_key a b)
 
+let set_require_auth t flag = t.require_auth <- flag
+let authenticate t a b = Hashtbl.replace t.authenticated (link_key a b) ()
+let is_authenticated t a b =
+  (not t.require_auth) || a = b || Hashtbl.mem t.authenticated (link_key a b)
+
 let draw_latency t model size =
   match model with
   | Fixed f -> f
@@ -121,7 +133,9 @@ let latency_for t ~src ~dst ~size =
 
 let send t ~src ~dst ~size deliver =
   t.m <- { t.m with sent = t.m.sent + 1; bytes = t.m.bytes + size };
-  let unestablished = src <> dst && not (is_established t src dst) in
+  let unestablished =
+    src <> dst && not (is_established t src dst && is_authenticated t src dst)
+  in
   let partitioned =
     unestablished || (src <> dst && Hashtbl.mem t.partitions (link_key src dst))
   in

@@ -82,6 +82,19 @@ val is_established : t -> node_id -> node_id -> bool
 (** True when the link can carry traffic as far as establishment is
     concerned ([true] whenever gating is off or [a = b]). *)
 
+(** {1 Authenticated establishment}
+
+    The same boundary rule one layer up, for the {!Eden_wire.Auth}
+    three-layer handshake: with [require_auth] set, an {e established}
+    link still drops every frame (charged to [dropped_partition], loss
+    coin unflipped) until {!authenticate} marks its authenticated
+    handshake complete.  Setup-phase retries therefore never pollute
+    the loss columns of an authenticated-vs-plain comparison (A1). *)
+
+val set_require_auth : t -> bool -> unit
+val authenticate : t -> node_id -> node_id -> unit
+val is_authenticated : t -> node_id -> node_id -> bool
+
 (** {1 Sending} *)
 
 val send : t -> src:node_id -> dst:node_id -> size:int -> (unit -> unit) -> unit

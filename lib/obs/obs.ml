@@ -167,6 +167,15 @@ module Flow = struct
     if occ > s.max_occupancy then s.max_occupancy <- occ
 
   let note_out s = s.items_out <- s.items_out + 1
+
+  let note_in_n s n =
+    if n > 0 then begin
+      s.items_in <- s.items_in + n;
+      let occ = occupancy s in
+      if occ > s.max_occupancy then s.max_occupancy <- occ
+    end
+
+  let note_out_n s n = if n > 0 then s.items_out <- s.items_out + n
   let note_bytes_in s n = if n > 0 then s.bytes_in <- s.bytes_in + n
   let note_bytes_out s n = if n > 0 then s.bytes_out <- s.bytes_out + n
   let note_batches s n = if n > s.batches then s.batches <- n

@@ -87,6 +87,16 @@ module Flow : sig
   val note_in : stage -> unit
   val note_out : stage -> unit
 
+  val note_in_n : stage -> int -> unit
+  (** Bulk {!note_in}: add [n] items at once (updating
+      [max_occupancy] against the post-increment occupancy).  Used by
+      gauge-style stages — e.g. a tenant's outstanding-credit gauge,
+      where a revocation reclaims a whole window in one step.
+      Non-positive [n] is ignored. *)
+
+  val note_out_n : stage -> int -> unit
+  (** Bulk {!note_out}; non-positive [n] is ignored. *)
+
   val note_bytes_in : stage -> int -> unit
   (** Add the marshalled byte size of one consumed item.  Metered
       stages charge [Value.size] per item, so a chunk counts its whole

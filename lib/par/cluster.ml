@@ -9,10 +9,17 @@ module Frame = Eden_wire.Frame
 module Bin = Eden_wire.Bin
 module Transport = Eden_wire.Transport
 module Faults = Eden_wire.Faults
+module Auth = Eden_wire.Auth
 
 type wire_config = {
   wire_transport : Transport.kind;
   wire_faults : Faults.t option;
+  (* When set, the fork-time handshake runs the RFC-0002 three-layer
+     exchange (community id, keyed MAC, per-connection session token)
+     and every post-handshake frame on every socket is sealed with an
+     8-byte MAC trailer.  [None] is the plain version-1 handshake —
+     the benchmark baseline (A1 measures the difference). *)
+  wire_auth : Auth.community option;
 }
 
 type mode = Deterministic | Parallel | Wire of wire_config
@@ -67,13 +74,21 @@ type hub = {
   idle_at : int array;
   hfaults : Faults.t option;
   remote : remote_stats option array;
+  (* Per-connection MAC sessions under [wire_auth]; all [None] on the
+     plain path. *)
+  hsessions : Auth.session option array;
 }
 
 type leaf = {
   conn : Unix.file_descr;
+  session : Auth.session option;
   mutable processed : int; (* data frames consumed off the socket *)
   mutable last_idle_sent : int;
 }
+
+let seal_opt sess f = match sess with None -> f | Some s -> Auth.seal s f
+let open_opt sess f = match sess with None -> f | Some s -> Auth.open_ s f
+let mac_overhead sess = match sess with None -> 0 | Some _ -> 8
 
 type fabric = Inproc | Hub of hub | Leaf of leaf
 
@@ -276,19 +291,25 @@ let parse_stats payload =
 let hub_send t h ~origin frame =
   let dst = frame.Frame.hdr.dst in
   if origin then Atomic.incr t.carried;
+  let sess = h.hsessions.(dst) in
   let action =
     match h.hfaults with
     | None -> Faults.Pass
-    | Some fl -> Faults.apply fl ~established:true ~size:(Frame.size frame)
+    | Some fl ->
+        Faults.apply fl ~established:true
+          ~size:(Frame.size frame + mac_overhead sess)
   in
+  (* Sealing happens only when the frame actually reaches the socket:
+     a fault-dropped frame must not advance the MAC send counter the
+     receiver never sees. *)
   match action with
   | Faults.Drop -> ()
   | Faults.Delay d ->
       Unix.sleepf d;
-      Frame.write h.conns.(dst) frame;
+      Frame.write h.conns.(dst) (seal_opt sess frame);
       h.sent_to.(dst) <- h.sent_to.(dst) + 1
   | Faults.Pass ->
-      Frame.write h.conns.(dst) frame;
+      Frame.write h.conns.(dst) (seal_opt sess frame);
       h.sent_to.(dst) <- h.sent_to.(dst) + 1
 
 let forward t sh ~target:(tshard, tuid) ~op arg =
@@ -303,16 +324,24 @@ let forward t sh ~target:(tshard, tuid) ~op arg =
   | Hub h ->
       hub_send t h ~origin:true
         (request_frame ~req_id ~src:sh.index ~dst:tshard ~target:tuid ~op arg)
-  | Leaf l ->
+  | Leaf l -> (
       Atomic.incr t.carried;
-      (* Leaf egress is never faulted (only the hub chokepoint is), so
-         requests leave via the gather path: chunk payloads inside
-         [arg] — deposited items, mostly — are blitted once at the
-         socket boundary instead of being flattened by [Bin.encode]
-         first. *)
-      Frame.write_value l.conn ~kind:Frame.Request ~src:sh.index ~dst:tshard
-        ~seq:req_id
-        (request_body ~target:tuid ~op arg));
+      match l.session with
+      | None ->
+          (* Leaf egress is never faulted (only the hub chokepoint is),
+             so requests leave via the gather path: chunk payloads
+             inside [arg] — deposited items, mostly — are blitted once
+             at the socket boundary instead of being flattened by
+             [Bin.encode] first. *)
+          Frame.write_value l.conn ~kind:Frame.Request ~src:sh.index ~dst:tshard
+            ~seq:req_id
+            (request_body ~target:tuid ~op arg)
+      | Some s ->
+          (* The MAC trailer covers the whole payload, so the sealed
+             path flattens — part of the measured A1 overhead. *)
+          Frame.write l.conn
+            (Auth.seal s
+               (request_frame ~req_id ~src:sh.index ~dst:tshard ~target:tuid ~op arg))));
   match Ivar.read slot with
   | Ok v -> v
   | Error m -> raise (Kernel.Eden_error m)
@@ -445,25 +474,32 @@ let leaf_loop t sh l =
       (Sched.spawn (Kernel.sched sh.kernel) ~name:"wire-inject" (fun () ->
            let reply = Kernel.invoke ctx target ~op arg in
            Atomic.incr t.carried;
-           (* Gather path: transfer replies are where bulk chunk
-              payloads ride the wire, and this write is the single
-              copy they are allowed (bytes identical to
-              [reply_frame]). *)
-           Frame.write_value l.conn ~kind:Frame.Reply ~src:sh.index ~dst:from
-             ~seq:req_id (reply_body reply)))
+           match l.session with
+           | None ->
+               (* Gather path: transfer replies are where bulk chunk
+                  payloads ride the wire, and this write is the single
+                  copy they are allowed (bytes identical to
+                  [reply_frame]). *)
+               Frame.write_value l.conn ~kind:Frame.Reply ~src:sh.index ~dst:from
+                 ~seq:req_id (reply_body reply)
+           | Some s ->
+               Frame.write l.conn
+                 (Auth.seal s (reply_frame ~req_id ~src:sh.index ~dst:from reply))))
   in
   let rec loop () =
     Sched.run (Kernel.sched sh.kernel);
     if l.processed <> l.last_idle_sent then begin
       Frame.write l.conn
-        (Frame.make ~kind:Frame.Idle ~src:sh.index ~dst:0 ~seq:l.processed "");
+        (seal_opt l.session
+           (Frame.make ~kind:Frame.Idle ~src:sh.index ~dst:0 ~seq:l.processed ""));
       l.last_idle_sent <- l.processed
     end;
-    let f = Frame.read l.conn in
+    let f = open_opt l.session (Frame.read l.conn) in
     match f.Frame.hdr.kind with
     | Frame.Shutdown ->
         Frame.write l.conn
-          (Frame.make ~kind:Frame.Stats ~src:sh.index ~dst:0 (stats_payload sh))
+          (seal_opt l.session
+             (Frame.make ~kind:Frame.Stats ~src:sh.index ~dst:0 (stats_payload sh)))
     | Frame.Request ->
         l.processed <- l.processed + 1;
         spawn_request f;
@@ -535,7 +571,9 @@ let hub_loop t h =
           failwith "Cluster: wire hub saw no traffic for 30s — leaf stalled?"
       | ready, _, _ ->
           List.iter
-            (fun fd -> handle (Hashtbl.find fd_shard fd) (Frame.read fd))
+            (fun fd ->
+              let src = Hashtbl.find fd_shard fd in
+              handle src (open_opt h.hsessions.(src) (Frame.read fd)))
             ready);
       loop ()
     end
@@ -545,11 +583,12 @@ let hub_loop t h =
 let hub_shutdown t h =
   let n = Array.length t.shards in
   for i = 1 to n - 1 do
-    Frame.write h.conns.(i) (Frame.make ~kind:Frame.Shutdown ~src:0 ~dst:i "")
+    Frame.write h.conns.(i)
+      (seal_opt h.hsessions.(i) (Frame.make ~kind:Frame.Shutdown ~src:0 ~dst:i ""))
   done;
   for i = 1 to n - 1 do
     let rec await () =
-      let f = Frame.read h.conns.(i) in
+      let f = open_opt h.hsessions.(i) (Frame.read h.conns.(i)) in
       match f.Frame.hdr.kind with
       | Frame.Stats -> h.remote.(i) <- Some (parse_stats f.Frame.payload)
       | Frame.Idle -> await ()
@@ -601,13 +640,23 @@ let wire_run t cfg =
             pids.(i) <- 0;
             try
               let conn = Transport.dial server in
-              Frame.write conn (Frame.hello ~shard:i ~nonce);
-              let shard, n2 =
-                Frame.parse_handshake ~expect:Frame.Welcome (Frame.read conn)
+              let session =
+                match cfg.wire_auth with
+                | None ->
+                    Frame.write conn (Frame.hello ~shard:i ~nonce);
+                    let shard, n2 =
+                      Frame.parse_handshake ~expect:Frame.Welcome (Frame.read conn)
+                    in
+                    if shard <> i || not (Int64.equal n2 nonce) then
+                      perr "leaf %d: welcome names shard %d" i shard;
+                    None
+                | Some c -> (
+                    Frame.write conn (Auth.hello c ~shard:i ~nonce);
+                    match Auth.verify_welcome c ~expect_nonce:nonce (Frame.read conn) with
+                    | Error reason -> perr "leaf %d: %s" i reason
+                    | Ok token -> Some (Auth.session c ~token))
               in
-              if shard <> i || not (Int64.equal n2 nonce) then
-                perr "leaf %d: welcome names shard %d" i shard;
-              let l = { conn; processed = 0; last_idle_sent = -1 } in
+              let l = { conn; session; processed = 0; last_idle_sent = -1 } in
               t.fabric <- Leaf l;
               leaf_loop t t.shards.(i) l;
               (* _exit: skip at_exit handlers (test-runner reporting,
@@ -626,18 +675,39 @@ let wire_run t cfg =
     | () -> (
         match
           let seen = Array.make n false in
+          let hsessions = Array.make n None in
           for _ = 1 to n - 1 do
             let fd = Transport.accept server in
-            let shard, n2 =
-              Frame.parse_handshake ~expect:Frame.Hello (Frame.read fd)
-            in
-            if shard < 1 || shard >= n then perr "hub: hello from shard %d" shard;
-            if seen.(shard) then perr "hub: duplicate hello from shard %d" shard;
-            if not (Int64.equal n2 nonce) then
-              perr "hub: hello nonce mismatch from shard %d" shard;
-            seen.(shard) <- true;
-            conns.(shard) <- fd;
-            Frame.write fd (Frame.welcome ~shard ~nonce)
+            match cfg.wire_auth with
+            | None ->
+                let shard, n2 =
+                  Frame.parse_handshake ~expect:Frame.Hello (Frame.read fd)
+                in
+                if shard < 1 || shard >= n then perr "hub: hello from shard %d" shard;
+                if seen.(shard) then perr "hub: duplicate hello from shard %d" shard;
+                if not (Int64.equal n2 nonce) then
+                  perr "hub: hello nonce mismatch from shard %d" shard;
+                seen.(shard) <- true;
+                conns.(shard) <- fd;
+                Frame.write fd (Frame.welcome ~shard ~nonce)
+            | Some c -> (
+                match
+                  Auth.verify_hello
+                    ~lookup:(fun id -> if Int64.equal id c.Auth.id then Some c else None)
+                    (Frame.read fd)
+                with
+                | Error reason -> perr "hub: %s" reason
+                | Ok (shard, n2, c) ->
+                    if shard < 1 || shard >= n then
+                      perr "hub: hello from shard %d" shard;
+                    if seen.(shard) then perr "hub: duplicate hello from shard %d" shard;
+                    if not (Int64.equal n2 nonce) then
+                      perr "hub: hello nonce mismatch from shard %d" shard;
+                    seen.(shard) <- true;
+                    conns.(shard) <- fd;
+                    let token = Auth.mint_token c ~shard ~nonce in
+                    Frame.write fd (Auth.welcome c ~shard ~nonce ~token);
+                    hsessions.(shard) <- Some (Auth.session c ~token))
           done;
           let h =
             {
@@ -647,6 +717,7 @@ let wire_run t cfg =
               idle_at = Array.make n (-1);
               hfaults = cfg.wire_faults;
               remote = Array.make n None;
+              hsessions;
             }
           in
           t.fabric <- Hub h;

@@ -32,6 +32,11 @@ type wire_config = {
       (** Fault injection applied at the hub's egress — the one
           chokepoint every cross-process frame passes exactly once, so
           a replay's per-frame loss script lines up with the wire. *)
+  wire_auth : Eden_wire.Auth.community option;
+      (** When set, the hub↔leaf handshake runs the RFC-0002 three-layer
+          exchange (community id, keyed MAC, per-connection session
+          token) and every subsequent frame is sealed with an 8-byte MAC
+          trailer; [None] preserves the plain path for benchmarks. *)
 }
 
 type mode =

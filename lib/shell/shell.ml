@@ -401,6 +401,63 @@ let render_stats kernel =
   | "" :: rest -> List.rev rest
   | all -> List.rev all
 
+let render_tenants kernel =
+  (* Group the ["tenant.<name>.<counter>"] flow stages Eden_tenant
+     registers; the shell reads them straight out of Obs so it needs no
+     dependency on (or knowledge of) the tenant registry itself. *)
+  let obs = Kernel.obs kernel in
+  let order = ref [] in
+  let tbl : (string, (string * Obs.Flow.stage) list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Obs.Flow.stage) ->
+      let label = s.Obs.Flow.label in
+      let prefix = "tenant." in
+      let plen = String.length prefix in
+      if String.length label > plen && String.sub label 0 plen = prefix then begin
+        let rest = String.sub label plen (String.length label - plen) in
+        match String.rindex_opt rest '.' with
+        | None -> ()
+        | Some i ->
+            let name = String.sub rest 0 i in
+            let counter = String.sub rest (i + 1) (String.length rest - i - 1) in
+            let entry =
+              match Hashtbl.find_opt tbl name with
+              | Some l -> l
+              | None ->
+                  let l = ref [] in
+                  Hashtbl.add tbl name l;
+                  order := name :: !order;
+                  l
+            in
+            entry := (counter, s) :: !entry
+      end)
+    (Obs.stages obs);
+  let count counters c =
+    match List.assoc_opt c counters with
+    | Some s -> s.Obs.Flow.items_in
+    | None -> 0
+  in
+  List.concat_map
+    (fun name ->
+      let counters = !(Hashtbl.find tbl name) in
+      let gauge c f = match List.assoc_opt c counters with Some s -> f s | None -> 0 in
+      [
+        Printf.sprintf
+          "tenant %s: violations forged_id=%d stolen_channel=%d replayed_transfer=%d \
+           credit_hoard=%d revoked_use=%d"
+          name (count counters "forged_id")
+          (count counters "stolen_channel")
+          (count counters "replayed_transfer")
+          (count counters "credit_hoard")
+          (count counters "revoked_use");
+        Printf.sprintf "  credits outstanding=%d peak=%d reclaimed=%d; caps live=%d"
+          (gauge "credits" Obs.Flow.occupancy)
+          (gauge "credits" (fun s -> s.Obs.Flow.max_occupancy))
+          (count counters "credits_reclaimed")
+          (gauge "caps" Obs.Flow.occupancy);
+      ])
+    (List.rev !order)
+
 let run env ?(discipline = T.Pipeline.Read_only) line =
   match parse line with
   | Error _ as e -> e |> Result.map (fun _ -> assert false)

@@ -78,3 +78,10 @@ val render_stats : Kernel.t -> string list
 (** Cumulative session counters: the kernel meter snapshot, then — when
     non-empty — [ops:], [histograms:] and [stages:] sections, then a
     ["spans: ..."] footer. *)
+
+val render_tenants : Kernel.t -> string list
+(** The [tenants] builtin: two lines per tenant namespace (violation
+    counters, then credit/capability gauges), grouped from the
+    ["tenant.<name>.<counter>"] flow stages that {!Eden_tenant}
+    registers.  Empty when the kernel has no tenant registry
+    installed. *)

@@ -28,7 +28,7 @@ let of_events events =
 let partition t = t.partitioned <- true
 let heal t = t.partitioned <- false
 
-let apply t ~established ~size =
+let apply ?(authenticated = true) t ~established ~size =
   t.m <- { t.m with Net.sent = t.m.Net.sent + 1; bytes = t.m.Net.bytes + size };
   let drop_partition () =
     t.m <-
@@ -38,8 +38,11 @@ let apply t ~established ~size =
     Drop
   in
   (* Handshake boundary / partition: the frame never reaches the medium,
-     so no script event (the loss coin) is consumed for it. *)
-  if (not established) || t.partitioned then drop_partition ()
+     so no script event (the loss coin) is consumed for it.  The same
+     rule covers the authenticated handshake: an established link that
+     has not finished its Auth exchange is connectivity-down, and setup
+     retries must not consume loss events meant for data frames. *)
+  if (not established) || (not authenticated) || t.partitioned then drop_partition ()
   else begin
     let ev =
       match t.script with

@@ -45,9 +45,13 @@ val partition : t -> unit
 
 val heal : t -> unit
 
-val apply : t -> established:bool -> size:int -> action
+val apply : ?authenticated:bool -> t -> established:bool -> size:int -> action
 (** Offer one data frame of [size] wire bytes.  Returns the action and
-    updates the meter. *)
+    updates the meter.  [authenticated] (default [true], the plain
+    path) extends the handshake-boundary rule to the {!Auth} exchange:
+    a frame offered on an established but not-yet-authenticated link
+    drops to [dropped_partition] without consuming a script event,
+    exactly like a pre-establishment frame. *)
 
 val meter : t -> Net.meter
 (** Same shape as the simulator's meter: [sent] counts offered frames,

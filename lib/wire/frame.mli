@@ -31,11 +31,24 @@ type kind = Hello | Welcome | Request | Reply | Idle | Shutdown | Stats
 
 val kind_name : kind -> string
 
+val kind_code : kind -> int
+(** The wire byte for the kind — also what {!Auth} MACs cover, so a
+    frame cannot be replayed as a different kind. *)
+
 type header = { kind : kind; flags : int; src : int; dst : int; seq : int }
 type t = { hdr : header; payload : string }
 
 val flag_oneway : int
 (** Flag bit 0: set on [Request] frames that expect no [Reply]. *)
+
+val flag_auth : int
+(** Flag bit 1: a [Hello]/[Welcome] carrying the {!Auth} three-layer
+    extension (community id, keyed MAC, session token) after the
+    16-byte base handshake payload. *)
+
+val flag_mac : int
+(** Flag bit 2: the payload ends in an 8-byte keyed MAC trailer sealed
+    by {!Auth.seal}; strip with {!Auth.open_} before parsing. *)
 
 val header_bytes : int
 (** Bytes of header after the length word (8). *)

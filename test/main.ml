@@ -31,6 +31,7 @@ let () =
       ("properties", Test_properties.suite);
       ("determinism", Test_determinism.suite);
       ("chunk", Test_chunk.suite);
+      ("tenant", Test_tenant.suite);
       (* wire before par: the wire cluster forks leaf processes, and the
          OCaml 5 runtime forbids Unix.fork once any domain has ever been
          spawned — par's Domain.spawn must come after every fork.  The

@@ -39,7 +39,7 @@ let plane i =
 
 let det = Cluster.Deterministic
 let par = Cluster.Parallel
-let wire tr = Cluster.Wire { Cluster.wire_transport = tr; wire_faults = None }
+let wire tr = Cluster.Wire { Cluster.wire_transport = tr; wire_faults = None; wire_auth = None }
 
 (* The oracles: boxed, batch 1, deterministic.  Computed once. *)
 let oracle_f1 =

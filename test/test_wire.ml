@@ -351,7 +351,7 @@ let test_stall_report_transport_exemption () =
 
 (* --- Multi-process equivalence ----------------------------------------- *)
 
-let wire tr = Cluster.Wire { Cluster.wire_transport = tr; wire_faults = None }
+let wire tr = Cluster.Wire { Cluster.wire_transport = tr; wire_faults = None; wire_auth = None }
 
 let transports =
   [ ("unix", wire Transport.Unix_socket); ("tcp", wire Transport.Tcp) ]
@@ -520,7 +520,9 @@ let test_wire_cluster_with_faults () =
   let o =
     Fanin.run
       (Cluster.Wire
-         { Cluster.wire_transport = Transport.Unix_socket; wire_faults = Some faults })
+         { Cluster.wire_transport = Transport.Unix_socket;
+           wire_faults = Some faults;
+           wire_auth = None })
       ~domains:2 spec
   in
   check Alcotest.(array string) "delays do not corrupt the stream" (digest oracle)
